@@ -1,0 +1,84 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_SIMTIME``  - simulated seconds per scenario run (default 60;
+  the paper-scale setting is 120+).
+* ``REPRO_BENCH_SEEDS``    - comma-separated seeds to average over
+  (default "3,11"; more seeds -> smoother curves).
+* ``REPRO_BENCH_CURVE``    - "toy48" | "toy64" | "bn254" for crypto
+  micro-benchmarks (default toy64).
+
+Each figure bench writes its series to ``benchmarks/results/<name>.txt`` so
+the regenerated paper rows survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def sim_time() -> float:
+    return float(os.environ.get("REPRO_BENCH_SIMTIME", "60"))
+
+
+def bench_seeds() -> List[int]:
+    raw = os.environ.get("REPRO_BENCH_SEEDS", "3,11")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def bench_curve():
+    from repro.pairing.bn import bn254, toy_curve
+
+    name = os.environ.get("REPRO_BENCH_CURVE", "toy64")
+    if name == "bn254":
+        return bn254()
+    if name == "toy48":
+        return toy_curve(48)
+    return toy_curve(64)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_series(
+    path: Path,
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence],
+) -> str:
+    """Render an aligned text table, print it, and persist it."""
+    lines = [title, ""]
+    widths = [max(len(str(h)), 12) for h in header]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        rendered = [
+            f"{value:.4f}" if isinstance(value, float) else str(value)
+            for value in row
+        ]
+        lines.append("  ".join(v.ljust(w) for v, w in zip(rendered, widths)))
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print("\n" + text)
+    return text
+
+
+def averaged_report(config_factory, seeds: Sequence[int]) -> Dict[str, float]:
+    """Run one scenario per seed and average every reported metric."""
+    from repro.netsim.scenario import run_scenario
+
+    reports = [run_scenario(config_factory(seed)).report() for seed in seeds]
+    keys = reports[0].keys()
+    return {
+        key: sum(report[key] for report in reports) / len(reports)
+        for key in keys
+    }

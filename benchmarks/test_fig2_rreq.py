@@ -1,0 +1,55 @@
+"""Figure 2: RREQ ratio vs node speed (no attack).
+
+Paper result: the RREQ ratio (control overhead per data transmission) of
+McCLS is similar to AODV, and both increase with node speed because faster
+movement breaks routes and forces more discoveries.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import averaged_report, bench_seeds, sim_time, write_series
+from repro.netsim.scenario import ScenarioConfig, paper_speed_sweep
+
+
+def _sweep():
+    seeds = bench_seeds()
+    duration = sim_time()
+    rows = []
+    for speed in paper_speed_sweep():
+        aodv = averaged_report(
+            lambda seed: ScenarioConfig(
+                max_speed=speed, sim_time_s=duration, seed=seed
+            ),
+            seeds,
+        )
+        mccls = averaged_report(
+            lambda seed: ScenarioConfig(
+                max_speed=speed,
+                sim_time_s=duration,
+                seed=seed,
+                protocol="mccls",
+            ),
+            seeds,
+        )
+        rows.append((speed, aodv["rreq_ratio"], mccls["rreq_ratio"]))
+    return rows
+
+
+def test_fig2_rreq_ratio(benchmark, results_dir):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    write_series(
+        results_dir / "fig2_rreq.txt",
+        "Figure 2 - RREQ Ratio vs speed (no attack)",
+        ["speed_m_s", "aodv_rreq_ratio", "mccls_rreq_ratio"],
+        rows,
+    )
+    # Paper shape: overhead grows with mobility for both protocols.
+    static_aodv = rows[0][1]
+    fastest_aodv = rows[-1][1]
+    static_mccls = rows[0][2]
+    fastest_mccls = rows[-1][2]
+    assert fastest_aodv > static_aodv
+    assert fastest_mccls > static_mccls
+    # And the two protocols stay in the same overhead regime.
+    for speed, aodv_ratio, mccls_ratio in rows:
+        assert abs(aodv_ratio - mccls_ratio) < 0.15, (speed, aodv_ratio, mccls_ratio)

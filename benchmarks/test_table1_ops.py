@@ -1,0 +1,182 @@
+"""Table 1: operation counts and timings of the four CLS schemes.
+
+Reproduces the paper's comparison:
+
+    =========  =======  =========  ============
+    scheme     Sign     Verify     PubKey Len
+    =========  =======  =========  ============
+    AP   [1]   1p+3s    4p+1e      2 points
+    ZWXF [17]  4s       4p+3s      1 point
+    YHG  [13]  2s       2p+3s      1 point
+    McCLS      2s       1p+1s      1 point
+    =========  =======  =========  ============
+
+where p = pairing, s = scalar multiplication (the paper's accounting folds
+MapToPoint hashes into "s" - the bench reports both raw and equivalent
+counts), e = GT exponentiation.  Wall-clock sign/verify timings come from
+pytest-benchmark on the real implementations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import bench_curve, write_series
+from repro.pairing.groups import PairingContext
+from repro.schemes.registry import TABLE1_SCHEMES, scheme_class
+
+PAPER_TABLE1 = {
+    "ap": {"sign": "1p+3s", "verify": "4p+1e", "pubkey_points": 2},
+    "zwxf": {"sign": "4s", "verify": "4p+3s", "pubkey_points": 1},
+    "yhg": {"sign": "2s", "verify": "2p+3s", "pubkey_points": 1},
+    "mccls": {"sign": "2s", "verify": "1p+1s", "pubkey_points": 1},
+}
+
+MESSAGE = b"table1 operation measurement"
+
+
+def _scheme_setup(name: str):
+    ctx = PairingContext(bench_curve(), random.Random(0xBEEF))
+    scheme = scheme_class(name)(ctx)
+    keys = scheme.generate_user_keys("bench@manet")
+    return scheme, keys
+
+
+def _equivalent(ops) -> str:
+    """Paper-style op string with MapToPoint hashes folded into 's'."""
+    parts = []
+    if ops.pairings:
+        parts.append(f"{ops.pairings}p")
+    mults = ops.scalar_mults + ops.group_hashes
+    if mults:
+        parts.append(f"{mults}s")
+    if ops.gt_exps:
+        parts.append(f"{ops.gt_exps}e")
+    return "+".join(parts) if parts else "0"
+
+
+def test_table1_operation_counts(benchmark, results_dir):
+    """Regenerate the operation-count rows and check them against Table 1.
+
+    Two verify columns are reported because the paper's own accounting is
+    asymmetric: McCLS's constant pairing e(P_pub, Q_ID) is counted as free
+    (cached per identity), while the baselines' equally-cacheable constant
+    pairings are charged.  "cold" charges everything; "warm" caches the
+    per-identity constants for every scheme.
+    """
+
+    def measure():
+        rows = []
+        for name in TABLE1_SCHEMES:
+            scheme, keys = _scheme_setup(name)
+            scheme.sign(MESSAGE, keys)  # warm signer-side caches (AP, ZWXF)
+            sig, sign_ops = scheme.measure_sign(MESSAGE, keys)
+            ok_cold, cold_ops = scheme.measure_verify(MESSAGE, sig, keys)
+            ok_warm, warm_ops = scheme.measure_verify(MESSAGE, sig, keys)
+            assert ok_cold and ok_warm
+            rows.append(
+                (
+                    name,
+                    PAPER_TABLE1[name]["sign"],
+                    _equivalent(sign_ops),
+                    PAPER_TABLE1[name]["verify"],
+                    _equivalent(cold_ops),
+                    _equivalent(warm_ops),
+                    PAPER_TABLE1[name]["pubkey_points"],
+                    len(keys.public_key_points()),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_series(
+        results_dir / "table1_ops.txt",
+        "Table 1 - CLS scheme comparison (paper vs measured)",
+        [
+            "scheme",
+            "paper sign",
+            "meas sign",
+            "paper verify",
+            "meas verify cold",
+            "meas verify warm",
+            "paper pk pts",
+            "meas pk pts",
+        ],
+        rows,
+    )
+
+    by_name = {row[0]: row for row in rows}
+
+    def pairings(op_string: str) -> int:
+        return int(op_string.split("p")[0]) if "p" in op_string else 0
+
+    # Sign column reproduces the paper exactly (hashes folded into 's').
+    for name in TABLE1_SCHEMES:
+        assert by_name[name][2] == PAPER_TABLE1[name]["sign"], by_name[name]
+    # Cold verify reproduces the paper's pairing counts for the baselines;
+    # McCLS costs 2 cold (its constant included) and 1 warm - the paper
+    # reports the warm number, which is the per-identity steady state.
+    assert pairings(by_name["ap"][4]) == 4
+    assert pairings(by_name["zwxf"][4]) == 4
+    assert pairings(by_name["yhg"][4]) == 2
+    assert pairings(by_name["mccls"][4]) == 2
+    assert pairings(by_name["mccls"][5]) == 1
+    # AP is the only scheme with a two-point public key.
+    assert by_name["ap"][7] == 2
+    assert all(by_name[n][7] == 1 for n in ("zwxf", "yhg", "mccls"))
+
+
+@pytest.mark.parametrize("name", TABLE1_SCHEMES)
+def test_sign_timing(benchmark, name):
+    """Wall-clock signing cost per scheme (pytest-benchmark)."""
+    scheme, keys = _scheme_setup(name)
+    benchmark(scheme.sign, MESSAGE, keys)
+
+
+@pytest.mark.parametrize("name", TABLE1_SCHEMES)
+def test_verify_timing(benchmark, name):
+    """Wall-clock warm verification cost per scheme."""
+    scheme, keys = _scheme_setup(name)
+    sig = scheme.sign(MESSAGE, keys)
+    # Warm the per-identity caches so the steady state is measured.
+    assert scheme.verify(
+        MESSAGE, sig, keys.identity, keys.public_key, keys.public_key_extra
+    )
+    benchmark(
+        scheme.verify,
+        MESSAGE,
+        sig,
+        keys.identity,
+        keys.public_key,
+        keys.public_key_extra,
+    )
+
+
+def test_signature_sizes(benchmark, results_dir):
+    """Wire sizes on BN254 (the sizes the simulator charges per packet)."""
+    from repro.core.serialization import (
+        g1_point_size,
+        g2_point_size,
+        mccls_signature_size,
+        scalar_size,
+    )
+    from repro.pairing.bn import bn254
+
+    curve = bn254()
+    rows = [
+        ("scalar (Zn)", scalar_size(curve)),
+        ("G1 point", g1_point_size(curve)),
+        ("G2 point", g2_point_size(curve)),
+        ("McCLS signature (V,S,R)", mccls_signature_size(curve)),
+    ]
+    write_series(
+        results_dir / "table1_sizes.txt",
+        "Wire sizes on BN254 (bytes)",
+        ["object", "bytes"],
+        rows,
+    )
+    assert mccls_signature_size(curve) == (
+        scalar_size(curve) + g1_point_size(curve) + g2_point_size(curve)
+    )

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Attack resilience: black hole and rushing attacks vs AODV and McCLS.
+
+Run:  python examples/attack_resilience.py [--speed 10] [--time 60]
+
+Reproduces a single speed point of the paper's Figures 4 and 5: two
+attacker nodes mount each attack against plain AODV and against
+McCLS-AODV.  With authentication the attackers - who hold no KGC-issued
+keys - cannot inject forged route replies (black hole) or get their rushed
+flood copies accepted (rushing), so the packet drop ratio goes to zero.
+
+Pass ``--cryptanalyst`` to add the ablation attacker that exploits the
+universal-forgery weakness of the published scheme (see repro.core.games):
+against it the protection collapses, quantifying the gap between the
+paper's claimed and actual security.
+"""
+
+import argparse
+
+from repro.netsim import ScenarioConfig, run_scenario
+
+
+def run_cell(base: ScenarioConfig, protocol: str, attack):
+    return run_scenario(base.with_(protocol=protocol, attack=attack)).report()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--speed", type=float, default=10.0)
+    parser.add_argument("--time", type=float, default=60.0)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--cryptanalyst", action="store_true")
+    args = parser.parse_args()
+
+    base = ScenarioConfig(max_speed=args.speed, sim_time_s=args.time, seed=args.seed)
+    attacks = [None, "blackhole", "rushing"]
+    if args.cryptanalyst:
+        attacks.append("blackhole-cryptanalyst")
+
+    print(
+        f"{'attack':26s} {'protocol':9s} {'PDR':>7s} {'drop ratio':>11s} "
+        f"{'auth rejects':>13s}"
+    )
+    for attack in attacks:
+        for protocol in ("aodv", "mccls"):
+            report = run_cell(base, protocol, attack)
+            print(
+                f"{str(attack or 'none'):26s} {protocol:9s} "
+                f"{report['packet_delivery_ratio']:7.3f} "
+                f"{report['packet_drop_ratio']:11.3f} "
+                f"{report['auth_rejected']:13.0f}"
+            )
+
+    print(
+        "\nreading: under both protocol-level attacks McCLS keeps the drop "
+        "ratio at exactly 0 - unenrolled attackers cannot produce the "
+        "hop-by-hop McCLS signatures, so no honest node routes through them "
+        "(paper Figs. 4-5)."
+    )
+    if args.cryptanalyst:
+        print(
+            "the cryptanalyst black hole forges *valid* signatures using the "
+            "algebraic break documented in repro/core/games.py, and the "
+            "protection collapses - the published Theorems 1/2 do not hold."
+        )
+
+
+if __name__ == "__main__":
+    main()

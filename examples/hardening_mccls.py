@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Breaking and (partially) fixing McCLS: the security-game battery.
+
+Run:  python examples/hardening_mccls.py
+
+The reproduction found that the published scheme is universally forgeable
+(repro/core/games.py derives the attack; EXPERIMENTS.md documents it).
+This example runs the full adversary battery against the published McCLS
+and against McCLS+ - our hardened variant that publishes T_pub = s^2*P and
+pins the signature's S component to the signer via
+e(P_ID, S) == e(T_pub, Q_ID) - and prints the forgery-rate matrix,
+including the residual Type II attack that survives the fix.
+"""
+
+from repro.core.hardened import demo_hardening
+from repro.pairing.bn import default_test_curve
+
+DESCRIPTIONS = {
+    "random": "random signature components",
+    "tamper": "claim a signed message says something else",
+    "transplant": "replay another identity's signature",
+    "key-replacement": "replace the public key, sign without D_ID",
+    "universal": "ALGEBRAIC: forge from public values only",
+    "malicious-kgc": "ALGEBRAIC: forge with the master key, no x",
+    "kgc-signature-replay": "KGC + one observed signature",
+}
+
+
+def main() -> None:
+    curve = default_test_curve()
+    print(f"curve: {curve.name}; 3 trials per cell\n")
+    results = demo_hardening(curve)
+    header = f"{'adversary':22s} {'vs McCLS':>9s} {'vs McCLS+':>10s}  strategy"
+    print(header)
+    print("-" * len(header))
+    for name, (against_mccls, against_plus) in results.items():
+        print(
+            f"{name:22s} {against_mccls:>9.0%} {against_plus:>10.0%}  "
+            f"{DESCRIPTIONS.get(name, '')}"
+        )
+    print(
+        "\nreading: the protocol-level rows (what MANET attacker nodes can\n"
+        "do) fail against both schemes - that is why the paper's Figures\n"
+        "4-5 work.  The algebraic rows break the published scheme outright;\n"
+        "McCLS+ repairs them.  The last row is the honest limit: a KGC that\n"
+        "observed one signature still forges, so full Type II security\n"
+        "needs a message-bound S (YHG's construction), not a patch."
+    )
+    assert results["universal"] == (1.0, 0.0)
+    assert results["kgc-signature-replay"] == (1.0, 1.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Beyond the paper: insider attackers and the revocation response.
+
+Run:  python examples/insider_revocation.py
+
+The paper's attackers are outsiders - they hold no KGC-issued keys, so
+McCLS authentication excludes them completely (Figures 4-5).  But what if
+a *member* is compromised?  Its signatures verify by right, hop-by-hop
+authentication is blind to it, and the black hole works again.
+
+The deployable answer is revocation: the KGC signs a revocation list under
+its reserved identity (repro.core.revocation), honest nodes reject listed
+signers and purge routes through them.  This example sweeps the response
+delay and prints how much traffic the insider destroys before each
+response lands.
+"""
+
+from repro.netsim import ScenarioConfig, run_scenario
+
+
+def main() -> None:
+    base = ScenarioConfig(
+        max_speed=10.0,
+        sim_time_s=60.0,
+        seed=3,
+        protocol="mccls",
+        attack="blackhole-insider",
+        blackhole_fake_seq_boost=100,
+    )
+    print("insider black hole (2 compromised members) vs McCLS-AODV, 60s run\n")
+    print(f"{'response':24s} {'PDR':>7s} {'drop ratio':>11s} {'auth rejects':>13s}")
+    for revocation_time, label in (
+        (None, "none (insider wins)"),
+        (30.0, "revoke at t=30s"),
+        (15.0, "revoke at t=15s"),
+        (5.0, "revoke at t=5s"),
+    ):
+        report = run_scenario(
+            base.with_(revocation_time_s=revocation_time)
+        ).report()
+        print(
+            f"{label:24s} {report['packet_delivery_ratio']:7.3f} "
+            f"{report['packet_drop_ratio']:11.3f} "
+            f"{report['auth_rejected']:13.0f}"
+        )
+    print(
+        "\nreading: every second of response delay is traffic lost to the\n"
+        "insider; with a prompt signed revocation the network recovers to\n"
+        "its no-attack delivery ratio.  Revocation is the one mechanism\n"
+        "PKI gets for free and certificateless schemes must add explicitly\n"
+        "- this reproduction adds it (repro/core/revocation.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Why the curves bend: topology dynamics behind Figures 1-5.
+
+Run:  python examples/mobility_analysis.py
+
+Samples the connectivity graph of the paper's scenario across the speed
+sweep and prints the physical quantities that drive every figure: link
+churn (-> route breaks -> RREQ overhead and delay), connectivity fraction
+(-> the PDR ceiling) and flow path lengths (-> baseline delay).  Then runs
+the matching simulations so the correlation is visible in one table.
+"""
+
+from repro.netsim.analysis import analyze_topology
+from repro.netsim.scenario import ScenarioConfig, paper_speed_sweep, run_scenario
+
+
+def main() -> None:
+    print(
+        f"{'speed':>6s} {'link chg/s':>11s} {'conn frac':>10s} "
+        f"{'path len':>9s} {'AODV pdr':>9s} {'rreq ratio':>11s}"
+    )
+    for speed in paper_speed_sweep():
+        config = ScenarioConfig(max_speed=speed, sim_time_s=40.0, seed=3)
+        topology = analyze_topology(config)
+        report = run_scenario(config).report()
+        print(
+            f"{speed:6.1f} {topology.link_changes_per_second:11.2f} "
+            f"{topology.mean_largest_component_fraction:10.2f} "
+            f"{topology.mean_flow_path_length:9.2f} "
+            f"{report['packet_delivery_ratio']:9.3f} "
+            f"{report['rreq_ratio']:11.3f}"
+        )
+    print(
+        "\nreading: link churn rises roughly linearly with speed; each "
+        "broken link is a potential route break, which is why the RREQ "
+        "ratio (Fig. 2) climbs and why attackers - who strike during "
+        "re-discovery - do more damage at speed (Figs. 4-5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

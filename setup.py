@@ -1,0 +1,19 @@
+"""Legacy setup shim so `pip install -e .` works offline (no `wheel` pkg).
+
+Metadata lives in pyproject.toml; this file only mirrors what the legacy
+editable-install path needs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "McCLS: certificateless signatures for mobile wireless "
+        "cyber-physical systems (ICDCS 2008 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,25 @@
+"""repro: reproduction of "A Certificateless Signature Scheme for Mobile
+Wireless Cyber-Physical Systems" (McCLS, ICDCS 2008 Workshops).
+
+Layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.pairing` - from-scratch BN-curve bilinear pairing substrate.
+* :mod:`repro.core`    - the McCLS certificateless signature scheme, its
+  security-game harness and batch-verification extension.
+* :mod:`repro.schemes` - baseline schemes compared in the paper (AP, ZWXF,
+  YHG) plus ID-based and BLS building blocks.
+* :mod:`repro.pki`     - traditional-PKI baseline (ECDSA + CA/certificates).
+* :mod:`repro.netsim`  - discrete-event MANET simulator with AODV,
+  McCLS-authenticated AODV, black-hole and rushing attackers (the QualNet
+  replacement used for the paper's Figures 1-5).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "pairing",
+    "core",
+    "schemes",
+    "pki",
+    "netsim",
+]

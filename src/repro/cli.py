@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``scenario`` - run one MANET simulation and print the paper's metrics.
+* ``sweep``    - run the Figures 1-5 speed sweep and print the series.
+* ``table1``   - print the Table 1 scheme comparison (measured).
+* ``games``    - run the security-game battery (McCLS vs McCLS+).
+
+Everything the CLI does is a thin layer over the public API, so scripts
+and notebooks can do the same programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.netsim.scenario import ScenarioConfig, paper_speed_sweep, run_scenario
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--protocol", choices=("aodv", "mccls", "pki"), default="aodv"
+    )
+    parser.add_argument(
+        "--attack",
+        choices=("none", "blackhole", "rushing", "blackhole-cryptanalyst"),
+        default="none",
+    )
+    parser.add_argument("--speed", type=float, default=10.0)
+    parser.add_argument("--time", type=float, default=60.0)
+    parser.add_argument("--nodes", type=int, default=20)
+    parser.add_argument("--flows", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--hello", type=float, default=0.0)
+    parser.add_argument("--real-crypto", action="store_true")
+
+
+def _config_from(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(
+        protocol=args.protocol,
+        attack=None if args.attack == "none" else args.attack,
+        max_speed=args.speed,
+        sim_time_s=args.time,
+        n_nodes=args.nodes,
+        n_flows=args.flows,
+        seed=args.seed,
+        hello_interval=args.hello,
+        real_crypto=args.real_crypto,
+    )
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Run one simulation and print the paper's metrics."""
+    result = run_scenario(_config_from(args))
+    report = result.report()
+    print(
+        f"protocol={args.protocol} attack={args.attack} speed={args.speed} "
+        f"seed={args.seed} events={result.events_executed}"
+    )
+    if result.attacker_ids:
+        print(f"attacker nodes: {result.attacker_ids}")
+    for key in (
+        "packet_delivery_ratio",
+        "rreq_ratio",
+        "end_to_end_delay",
+        "packet_drop_ratio",
+        "data_sent",
+        "data_received",
+        "auth_rejected",
+    ):
+        print(f"  {key:24s} {report[key]:.4f}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run the Figures 1-5 speed sweep for one metric."""
+    attack = None if args.attack == "none" else args.attack
+    metric = args.metric
+    print(f"metric={metric} attack={attack or 'none'} time={args.time}s")
+    print(f"{'speed':>6s} {'aodv':>10s} {'mccls':>10s}")
+    for speed in paper_speed_sweep():
+        row = [f"{speed:6.1f}"]
+        for protocol in ("aodv", "mccls"):
+            config = ScenarioConfig(
+                protocol=protocol,
+                attack=attack,
+                max_speed=speed,
+                sim_time_s=args.time,
+                seed=args.seed,
+            )
+            row.append(f"{run_scenario(config).report()[metric]:10.4f}")
+        print(" ".join(row))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Print the measured Table 1 scheme comparison."""
+    from repro.pairing.bn import toy_curve
+    from repro.pairing.groups import PairingContext
+    from repro.schemes.registry import scheme_class, scheme_names
+
+    print(f"{'scheme':8s} {'sign':>12s} {'verify cold':>12s} {'verify warm':>12s}")
+    for name in scheme_names():
+        ctx = PairingContext(toy_curve(args.bits), random.Random(1))
+        scheme = scheme_class(name)(ctx)
+        keys = scheme.generate_user_keys("cli@manet")
+        scheme.sign(b"warm", keys)
+        sig, sign_ops = scheme.measure_sign(b"m", keys)
+        _, cold = scheme.measure_verify(b"m", sig, keys)
+        _, warm = scheme.measure_verify(b"m", sig, keys)
+        print(
+            f"{name:8s} {sign_ops.summary():>12s} {cold.summary():>12s} "
+            f"{warm.summary():>12s}"
+        )
+    return 0
+
+
+def cmd_games(args: argparse.Namespace) -> int:
+    """Run the security-game battery (McCLS vs McCLS+)."""
+    from repro.core.hardened import demo_hardening
+    from repro.pairing.bn import toy_curve
+
+    results = demo_hardening(toy_curve(args.bits))
+    print(f"{'adversary':24s} {'vs McCLS':>10s} {'vs McCLS+':>10s}")
+    for name, (against_mccls, against_plus) in results.items():
+        print(f"{name:24s} {against_mccls:>10.0%} {against_plus:>10.0%}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="McCLS reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scenario = sub.add_parser("scenario", help="run one simulation")
+    _add_scenario_args(scenario)
+    scenario.set_defaults(func=cmd_scenario)
+
+    sweep = sub.add_parser("sweep", help="speed sweep for one metric")
+    sweep.add_argument(
+        "--metric",
+        default="packet_delivery_ratio",
+        choices=(
+            "packet_delivery_ratio",
+            "rreq_ratio",
+            "end_to_end_delay",
+            "packet_drop_ratio",
+        ),
+    )
+    sweep.add_argument(
+        "--attack",
+        choices=("none", "blackhole", "rushing"),
+        default="none",
+    )
+    sweep.add_argument("--time", type=float, default=60.0)
+    sweep.add_argument("--seed", type=int, default=3)
+    sweep.set_defaults(func=cmd_sweep)
+
+    table1 = sub.add_parser("table1", help="scheme op-count comparison")
+    table1.add_argument("--bits", type=int, default=48)
+    table1.set_defaults(func=cmd_table1)
+
+    games = sub.add_parser("games", help="security-game battery")
+    games.add_argument("--bits", type=int, default=32)
+    games.set_defaults(func=cmd_games)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

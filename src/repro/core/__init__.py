@@ -1,0 +1,23 @@
+"""The paper's contribution: McCLS and its supporting machinery.
+
+* :mod:`repro.core.mccls`         - the certificateless signature scheme.
+* :mod:`repro.core.params`        - KGC / public-parameter roles.
+* :mod:`repro.core.serialization` - wire encoding of keys and signatures.
+* :mod:`repro.core.batch`         - batch verification extension.
+* :mod:`repro.core.games`         - Type I / Type II security-game harness.
+* :mod:`repro.core.hardened`      - McCLS+ (the repaired variant).
+* :mod:`repro.core.revocation`    - KGC-signed revocation lists.
+* :mod:`repro.core.keystore`      - key-material persistence.
+"""
+
+from repro.core.hardened import McCLSPlus
+from repro.core.mccls import McCLS, McCLSSignature
+from repro.core.params import KeyGenerationCenter, PublicParams
+
+__all__ = [
+    "McCLS",
+    "McCLSPlus",
+    "McCLSSignature",
+    "KeyGenerationCenter",
+    "PublicParams",
+]

@@ -1,0 +1,152 @@
+"""Persistence for KGC and user key material (JSON keystores).
+
+A real deployment provisions nodes before the network exists (the paper
+assumes out-of-band enrollment).  This module serialises a
+:class:`~repro.core.params.KeyGenerationCenter` - curve identification,
+scheme, master secret and every issued user key - to a JSON document and
+restores it to a fully functional KGC, so provisioning and operation can
+happen in different processes.
+
+Point material is stored as hex of the canonical wire encoding from
+:mod:`repro.core.serialization`, so a tampered keystore fails loudly (the
+decoder validates curve membership).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.params import KeyGenerationCenter
+from repro.core.serialization import (
+    decode_g1,
+    decode_g2,
+    encode_g1,
+    encode_g2,
+)
+from repro.errors import SerializationError
+from repro.pairing.bn import BNCurve, bn254, derive_bn_curve
+from repro.schemes.base import PartialPrivateKey, UserKeyPair
+from repro.schemes.registry import scheme_class
+
+FORMAT_VERSION = 1
+
+
+def _point_hex_g1(curve: BNCurve, point) -> str:
+    return encode_g1(curve, point).hex()
+
+
+def _point_hex_g2(curve: BNCurve, point) -> str:
+    return encode_g2(curve, point).hex()
+
+
+def _g1_from_hex(curve: BNCurve, text: str):
+    point, rest = decode_g1(curve, bytes.fromhex(text))
+    if rest:
+        raise SerializationError("trailing bytes in stored G1 point")
+    return point
+
+
+def _g2_from_hex(curve: BNCurve, text: str):
+    point, rest = decode_g2(curve, bytes.fromhex(text))
+    if rest:
+        raise SerializationError("trailing bytes in stored G2 point")
+    return point
+
+
+def save_kgc(path: Union[str, Path], kgc: KeyGenerationCenter) -> None:
+    """Write the KGC's full state (including secrets) to ``path``.
+
+    The file contains the master secret and user secret values - protect
+    it like a private key file.
+    """
+    curve = kgc.ctx.curve
+    users = []
+    for identity in kgc.issued_identities():
+        keys = kgc.keys_for(identity)
+        record = {
+            "identity": keys.identity,
+            "secret_value": hex(keys.secret_value),
+            "public_key": _point_hex_g1(curve, keys.public_key),
+            "q_id": _point_hex_g2(curve, keys.partial.q_id),
+            "d_id": _point_hex_g2(curve, keys.partial.d_id),
+        }
+        if keys.public_key_extra is not None:
+            record["public_key_extra"] = _point_hex_g1(curve, keys.public_key_extra)
+        if keys.full_private_key is not None:
+            record["full_private_key"] = _point_hex_g2(
+                curve, keys.full_private_key
+            )
+        users.append(record)
+    document = {
+        "format_version": FORMAT_VERSION,
+        "scheme": kgc.scheme.name,
+        "curve": {"name": curve.name, "t": str(curve.t)},
+        "master_secret": hex(kgc.scheme.master_secret),
+        "users": users,
+    }
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def _curve_from_document(spec: dict) -> BNCurve:
+    name = spec.get("name", "")
+    if name == "bn254":
+        return bn254()
+    return derive_bn_curve(int(spec["t"]), name=name)
+
+
+def load_kgc(path: Union[str, Path]) -> KeyGenerationCenter:
+    """Restore a KGC (and its issued users) from a keystore file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read keystore {path}: {exc}") from exc
+    if document.get("format_version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported keystore version {document.get('format_version')!r}"
+        )
+    curve = _curve_from_document(document["curve"])
+    kgc = KeyGenerationCenter(
+        scheme_class(document["scheme"]),
+        curve=curve,
+        master_secret=int(document["master_secret"], 16),
+    )
+    for record in document["users"]:
+        partial = PartialPrivateKey(
+            identity=record["identity"],
+            q_id=_g2_from_hex(curve, record["q_id"]),
+            d_id=_g2_from_hex(curve, record["d_id"]),
+        )
+        keys = UserKeyPair(
+            identity=record["identity"],
+            secret_value=int(record["secret_value"], 16),
+            public_key=_g1_from_hex(curve, record["public_key"]),
+            partial=partial,
+            public_key_extra=(
+                _g1_from_hex(curve, record["public_key_extra"])
+                if "public_key_extra" in record
+                else None
+            ),
+            full_private_key=(
+                _g2_from_hex(curve, record["full_private_key"])
+                if "full_private_key" in record
+                else None
+            ),
+        )
+        _validate_user(kgc, keys)
+        kgc._issued[keys.identity] = keys
+    return kgc
+
+
+def _validate_user(kgc: KeyGenerationCenter, keys: UserKeyPair) -> None:
+    """Cross-check restored material against the master secret."""
+    expected_q = kgc.scheme.q_of(keys.identity)
+    if keys.partial.q_id != expected_q:
+        raise SerializationError(
+            f"stored Q_ID for {keys.identity!r} does not match H1(ID)"
+        )
+    if keys.partial.d_id != expected_q * kgc.scheme.master_secret:
+        raise SerializationError(
+            f"stored D_ID for {keys.identity!r} fails the s*Q_ID check"
+        )

@@ -1,0 +1,133 @@
+"""McCLS - the paper's certificateless signature scheme (Section 4).
+
+Stages (notation as in the paper, type-3 instantiation per DESIGN.md 4.1):
+
+* Setup: master key s, P_pub = s*P (P in G1), hashes H1 -> G2, H2 -> Zp.
+* Extract-Partial-Private-Key: Q_ID = H1(ID), D_ID = s*Q_ID       (G2).
+* Generate-Key-Pair: secret x, public P_ID = x*P_pub              (G1).
+* CL-Sign(M): r <- Zp*,  R = (r - x)*P,  h = H2(M, R, P_ID),
+  V = h*r mod n,  S = x^{-1}*D_ID;  signature sigma = (V, S, R).
+* CL-Verify: h = H2(M, R, P_ID); accept iff (P_pub, V*P - h*R, S/h, Q_ID)
+  is a valid co-DH tuple, i.e. e(V*P - h*R, h^{-1}*S) == e(P_pub, Q_ID).
+
+Correctness: V*P - h*R = h*r*P - h*(r-x)*P = h*x*P and
+h^{-1}*S = (hx)^{-1} * s*Q_ID, so the left side pairs to e(P, Q_ID)^s.
+
+Efficiency: signing needs two scalar multiplications and **no pairing**;
+verification needs **one** pairing plus the constant e(P_pub, Q_ID), which
+any verifier caches per identity - the property the paper's Table 1 and
+Figure 3 build on.  (S = x^{-1}*D_ID is message-independent, so a signer
+may additionally precompute it; pass ``precompute_s=True`` to count signing
+as the paper's steady state of one fresh scalar multiplication.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SignatureError
+from repro.pairing.curve import CurvePoint
+from repro.pairing.groups import PairingContext
+from repro.schemes.base import (
+    CertificatelessScheme,
+    Identity,
+    Message,
+    UserKeyPair,
+    normalize_identity,
+    normalize_message,
+)
+
+
+@dataclass(frozen=True)
+class McCLSSignature:
+    """sigma = (V, S, R): scalar V, G2 point S, G1 point R."""
+
+    v: int
+    s: CurvePoint
+    r: CurvePoint
+
+    def components(self):
+        """Return (V, S, R) as a tuple."""
+        return self.v, self.s, self.r
+
+
+class McCLS(CertificatelessScheme):
+    """The McCLS scheme (paper Section 4)."""
+
+    name = "mccls"
+    public_key_length_points = 1
+    paper_sign_profile = (0, 2, 0)  # 2s
+    paper_verify_profile = (1, 1, 0)  # 1p + 1s
+
+    def __init__(
+        self,
+        ctx: PairingContext,
+        master_secret: Optional[int] = None,
+        precompute_s: bool = False,
+    ):
+        super().__init__(ctx, master_secret)
+        self._precompute_s = precompute_s
+        self._s_cache = {}
+
+    def generate_user_keys(self, identity: Identity) -> UserKeyPair:
+        """Stage 3: pick the secret value x and derive P_ID = x*P_pub."""
+        ident = normalize_identity(identity)
+        x = self.ctx.random_scalar()
+        p_id = self.ctx.g1_mul(self.p_pub_g1, x)
+        partial = self.extract_partial_key(ident)
+        return UserKeyPair(
+            identity=ident, secret_value=x, public_key=p_id, partial=partial
+        )
+
+    def sign(self, message: Message, keys: UserKeyPair) -> McCLSSignature:
+        """CL-Sign: two scalar multiplications, zero pairings."""
+        msg = normalize_message(message)
+        n = self.ctx.order
+        x = keys.secret_value
+        r = self.ctx.random_scalar()
+        big_r = self.ctx.g1_mul(self.ctx.g1, (r - x) % n)
+        h = self.ctx.hash_scalar(b"H2/mccls", msg, big_r, keys.public_key)
+        v = (h * r) % n
+        s_point = self._s_component(keys)
+        return McCLSSignature(v=v, s=s_point, r=big_r)
+
+    def _s_component(self, keys: UserKeyPair) -> CurvePoint:
+        """S = x^{-1} * D_ID - message independent, optionally cached."""
+        if self._precompute_s:
+            cached = self._s_cache.get(keys.identity)
+            if cached is not None:
+                return cached
+        x_inv = self.ctx.scalar_inverse(keys.secret_value)
+        s_point = self.ctx.g2_mul(keys.partial.d_id, x_inv)
+        if self._precompute_s:
+            self._s_cache[keys.identity] = s_point
+        return s_point
+
+    def verify(
+        self,
+        message: Message,
+        signature: McCLSSignature,
+        identity: Identity,
+        public_key: CurvePoint,
+        public_key_extra: Optional[CurvePoint] = None,
+    ) -> bool:
+        """CL-Verify: the co-DH tuple check with the cached constant pairing."""
+        msg = normalize_message(message)
+        if not isinstance(signature, McCLSSignature):
+            raise SignatureError("expected a McCLSSignature")
+        v, s_point, big_r = signature.components()
+        curve = self.ctx.curve
+        if not (0 < v < curve.n):
+            return False
+        if not curve.g1_curve.contains(big_r):
+            return False
+        if s_point.is_infinity() or not curve.g2_curve.contains(s_point):
+            return False
+
+        h = self.ctx.hash_scalar(b"H2/mccls", msg, big_r, public_key)
+        left_g1 = self.ctx.g1_mul(self.ctx.g1, v) - self.ctx.g1_mul(big_r, h)
+        right_g2 = self.ctx.g2_mul(s_point, self.ctx.scalar_inverse(h))
+        q_id = self.q_of(identity)
+        constant = self.ctx.pair_cached(self.p_pub_g1, q_id)
+        return self.ctx.pair(left_g1, right_g2) == constant

@@ -1,0 +1,89 @@
+"""System-parameter view of a certificateless deployment.
+
+Separates the three trust roles the paper's architecture implies:
+
+* the **KGC** (owns the master secret, issues partial private keys),
+* **users** (combine the partial key with a self-chosen secret value),
+* **verifiers** (hold only the public parameters).
+
+The network simulator hands every node a :class:`PublicParams`, gives each
+legitimate node its :class:`UserKeyPair` via the KGC, and gives attacker
+nodes *nothing* - which is exactly why their forged routing messages fail
+verification.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
+
+from repro.pairing.bn import BNCurve, default_test_curve
+from repro.pairing.curve import CurvePoint
+from repro.pairing.groups import PairingContext
+from repro.schemes.base import CertificatelessScheme, Identity, UserKeyPair
+
+
+@dataclass(frozen=True)
+class PublicParams:
+    """What the paper calls (P, P_pub, H1, H2): the verifier's world view."""
+
+    scheme_name: str
+    curve_name: str
+    g1: CurvePoint
+    g2: CurvePoint
+    p_pub_g1: CurvePoint
+    p_pub_g2: CurvePoint
+    order: int
+
+
+class KeyGenerationCenter:
+    """The KGC role: Setup plus partial-key issuance for a chosen scheme.
+
+    Wraps a scheme instance, hands out user key material, and never leaks
+    the master secret through the public surface.
+    """
+
+    def __init__(
+        self,
+        scheme_cls: Type[CertificatelessScheme],
+        curve: Optional[BNCurve] = None,
+        seed: Optional[int] = None,
+        master_secret: Optional[int] = None,
+    ):
+        curve = curve if curve is not None else default_test_curve()
+        rng = random.Random(seed)
+        self.ctx = PairingContext(curve, rng)
+        self.scheme = scheme_cls(self.ctx, master_secret=master_secret)
+        self._issued: Dict[str, UserKeyPair] = {}
+
+    def public_params(self) -> PublicParams:
+        """The verifier's world view (P, P_pub, order, curve)."""
+        return PublicParams(
+            scheme_name=self.scheme.name,
+            curve_name=self.ctx.curve.name,
+            g1=self.ctx.g1,
+            g2=self.ctx.g2,
+            p_pub_g1=self.scheme.p_pub_g1,
+            p_pub_g2=self.scheme.p_pub_g2,
+            order=self.ctx.order,
+        )
+
+    def enroll(self, identity: Identity) -> UserKeyPair:
+        """Full enrollment: partial key extraction + user key generation.
+
+        In a real deployment stages 2 and 3 run on different machines; the
+        simulator treats the returned object as having been provisioned
+        out-of-band before the network starts (as the paper assumes).
+        """
+        keys = self.scheme.generate_user_keys(identity)
+        self._issued[keys.identity] = keys
+        return keys
+
+    def issued_identities(self):
+        """Sorted identities enrolled so far."""
+        return sorted(self._issued)
+
+    def keys_for(self, identity: str) -> UserKeyPair:
+        """Key material previously issued to ``identity``."""
+        return self._issued[identity]

@@ -1,0 +1,169 @@
+"""Canonical wire encoding for keys and signatures.
+
+The network simulator charges packets by the byte, so the authentication
+extension needs honest sizes: a McCLS signature is one scalar + one G1
+point + one G2 point, and a public key is one G1 point.  Encoding is
+fixed-width big-endian per coordinate with a one-byte tag, so sizes are
+static per curve (a property the AODV header accounting relies on).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.core.mccls import McCLSSignature
+from repro.errors import SerializationError
+from repro.pairing.bn import BNCurve
+from repro.pairing.curve import CurvePoint
+from repro.pairing.fields import Fp, Fp2
+
+_TAG_INFINITY = 0
+_TAG_G1 = 1
+_TAG_G2 = 2
+
+
+def _coord_width(curve: BNCurve) -> int:
+    return (curve.p.bit_length() + 7) // 8
+
+
+def scalar_size(curve: BNCurve) -> int:
+    """Encoded size in bytes of one group-order scalar."""
+    return (curve.n.bit_length() + 7) // 8
+
+
+def g1_point_size(curve: BNCurve) -> int:
+    """Encoded size in bytes of one G1 point (tag + 2 coords)."""
+    return 1 + 2 * _coord_width(curve)
+
+
+def g2_point_size(curve: BNCurve) -> int:
+    """Encoded size in bytes of one G2 point (tag + 4 coords)."""
+    return 1 + 4 * _coord_width(curve)
+
+
+def mccls_signature_size(curve: BNCurve) -> int:
+    """Bytes of an encoded McCLS signature (V, S, R)."""
+    return scalar_size(curve) + g2_point_size(curve) + g1_point_size(curve)
+
+
+def encode_g1(curve: BNCurve, point: CurvePoint) -> bytes:
+    """Encode a G1 point as tag || x || y (fixed width)."""
+    width = _coord_width(curve)
+    if point.is_infinity():
+        return bytes([_TAG_INFINITY]) + b"\x00" * (2 * width)
+    if not isinstance(point.x, Fp):
+        raise SerializationError("encode_g1 expects an Fp-coordinate point")
+    return (
+        bytes([_TAG_G1])
+        + point.x.value.to_bytes(width, "big")
+        + point.y.value.to_bytes(width, "big")
+    )
+
+
+def decode_g1(curve: BNCurve, data: bytes) -> Tuple[CurvePoint, bytes]:
+    """Decode a G1 point; validates the curve equation."""
+    width = _coord_width(curve)
+    need = 1 + 2 * width
+    if len(data) < need:
+        raise SerializationError("truncated G1 point")
+    tag, rest = data[0], data[1:need]
+    if tag == _TAG_INFINITY:
+        return curve.g1_curve.infinity(), data[need:]
+    if tag != _TAG_G1:
+        raise SerializationError(f"bad G1 tag {tag}")
+    x = int.from_bytes(rest[:width], "big")
+    y = int.from_bytes(rest[width:], "big")
+    point = curve.g1_curve.unsafe_point(curve.spec.fp(x), curve.spec.fp(y))
+    if not point.is_on_curve():
+        raise SerializationError("decoded G1 point is not on the curve")
+    return point, data[need:]
+
+
+def encode_g2(curve: BNCurve, point: CurvePoint) -> bytes:
+    """Encode a G2 point as tag || x0 || x1 || y0 || y1."""
+    width = _coord_width(curve)
+    if point.is_infinity():
+        return bytes([_TAG_INFINITY]) + b"\x00" * (4 * width)
+    if not isinstance(point.x, Fp2):
+        raise SerializationError("encode_g2 expects an Fp2-coordinate point")
+    coords = (point.x.c0, point.x.c1, point.y.c0, point.y.c1)
+    return bytes([_TAG_G2]) + b"".join(c.to_bytes(width, "big") for c in coords)
+
+
+def decode_g2(curve: BNCurve, data: bytes) -> Tuple[CurvePoint, bytes]:
+    """Decode a G2 point; validates the twist equation."""
+    width = _coord_width(curve)
+    need = 1 + 4 * width
+    if len(data) < need:
+        raise SerializationError("truncated G2 point")
+    tag = data[0]
+    if tag == _TAG_INFINITY:
+        return curve.g2_curve.infinity(), data[need:]
+    if tag != _TAG_G2:
+        raise SerializationError(f"bad G2 tag {tag}")
+    vals = [
+        int.from_bytes(data[1 + i * width : 1 + (i + 1) * width], "big")
+        for i in range(4)
+    ]
+    point = curve.g2_curve.unsafe_point(
+        curve.spec.fp2(vals[0], vals[1]), curve.spec.fp2(vals[2], vals[3])
+    )
+    if not point.is_on_curve():
+        raise SerializationError("decoded G2 point is not on the curve")
+    return point, data[need:]
+
+
+def encode_scalar(curve: BNCurve, value: int) -> bytes:
+    """Encode a scalar in [0, n) big-endian, fixed width."""
+    if not 0 <= value < curve.n:
+        raise SerializationError("scalar out of range")
+    return value.to_bytes(scalar_size(curve), "big")
+
+
+def decode_scalar(curve: BNCurve, data: bytes) -> Tuple[int, bytes]:
+    """Decode a scalar; rejects values >= the group order."""
+    size = scalar_size(curve)
+    if len(data) < size:
+        raise SerializationError("truncated scalar")
+    value = int.from_bytes(data[:size], "big")
+    if value >= curve.n:
+        raise SerializationError("scalar out of range")
+    return value, data[size:]
+
+
+def encode_mccls_signature(curve: BNCurve, sig: McCLSSignature) -> bytes:
+    """Encode sigma = (V, S, R) into its fixed wire size."""
+    return (
+        encode_scalar(curve, sig.v)
+        + encode_g2(curve, sig.s)
+        + encode_g1(curve, sig.r)
+    )
+
+
+def decode_mccls_signature(curve: BNCurve, data: bytes) -> McCLSSignature:
+    """Decode a full signature; rejects trailing bytes."""
+    v, rest = decode_scalar(curve, data)
+    s, rest = decode_g2(curve, rest)
+    r, rest = decode_g1(curve, rest)
+    if rest:
+        raise SerializationError(f"{len(rest)} trailing bytes after signature")
+    return McCLSSignature(v=v, s=s, r=r)
+
+
+def encode_identity(identity: str) -> bytes:
+    """Length-prefixed UTF-8 identity encoding."""
+    raw = identity.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise SerializationError("identity too long")
+    return struct.pack(">H", len(raw)) + raw
+
+
+def decode_identity(data: bytes) -> Tuple[str, bytes]:
+    """Decode a length-prefixed identity, returning the remainder."""
+    if len(data) < 2:
+        raise SerializationError("truncated identity")
+    (length,) = struct.unpack(">H", data[:2])
+    if len(data) < 2 + length:
+        raise SerializationError("truncated identity body")
+    return data[2 : 2 + length].decode("utf-8"), data[2 + length :]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ParameterError(ReproError):
+    """Invalid or inconsistent cryptographic system parameters."""
+
+
+class CurveError(ReproError):
+    """A point is not on the expected curve, or curve construction failed."""
+
+
+class FieldError(ReproError):
+    """Invalid field arithmetic (mixed moduli, inversion of zero, ...)."""
+
+
+class SignatureError(ReproError):
+    """A signature object is structurally invalid (wrong groups, zero parts)."""
+
+
+class SerializationError(ReproError):
+    """Wire-format encoding or decoding failed."""
+
+
+class KeyError_(ReproError):
+    """A key is malformed or does not match the expected identity/params."""
+
+
+class SimulationError(ReproError):
+    """Invalid simulator configuration or runtime inconsistency."""
+
+
+class CertificateError(ReproError):
+    """Certificate validation failed (bad chain, expired, revoked, forged)."""

@@ -1,0 +1,29 @@
+"""Discrete-event MANET simulator (the QualNet replacement).
+
+Public surface for reproducing the paper's evaluation:
+
+* :class:`repro.netsim.scenario.ScenarioConfig` /
+  :func:`repro.netsim.scenario.run_scenario` - one call per data point of
+  Figures 1-5.
+* :mod:`repro.netsim.routing.aodv` - plain AODV.
+* :mod:`repro.netsim.routing.secure_aodv` - McCLS-authenticated AODV.
+* :mod:`repro.netsim.attacks` - black hole and rushing attacker nodes.
+"""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.scenario import (
+    ScenarioConfig,
+    ScenarioResult,
+    paper_speed_sweep,
+    run_scenario,
+)
+
+__all__ = [
+    "Simulator",
+    "MetricsCollector",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_scenario",
+    "paper_speed_sweep",
+]

@@ -1,0 +1,366 @@
+"""Attacker node behaviours: black hole and rushing (paper Section 2/6).
+
+Both attackers are *insiders at the network layer but outsiders at the key
+layer*: they run the routing protocol but were never enrolled with the KGC,
+exactly the paper's threat model ("the proposed McCLS scheme can
+effectively resist such attacks").
+
+* **Black hole** (Marti et al.): answers every RREQ it hears with a forged
+  RREP advertising an artificially fresh destination sequence number and a
+  1-hop route, so traffic is attracted to it; it then silently discards all
+  data it is asked to forward.
+* **Rushing** (Hu-Perrig-Johnson): exploits duplicate suppression -
+  forwards every first RREQ copy *immediately* (no MAC jitter, no
+  processing delay), so downstream nodes adopt the attacker as the reverse
+  hop and drop the legitimate copies that arrive later; data is then
+  discarded.
+
+Mixins keep the behaviours orthogonal to the protocol variant: the same
+attacker logic attacks plain AODV and McCLS-AODV (against the latter its
+RREPs carry forged/absent signatures and get rejected - which is the whole
+point of Figures 4 and 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.netsim.packets import (
+    AuthTag,
+    DataPacket,
+    Frame,
+    RouteReply,
+    RouteRequest,
+)
+from repro.netsim.routing.aodv import MY_ROUTE_TIMEOUT, AODVNode
+from repro.netsim.routing.secure_aodv import identity_of
+
+#: sequence-number inflation of the forged RREP.  The default 0 claims a
+#: route exactly as fresh as the victim's last-known value: it wins the
+#: race against the genuine RREP (instant reply, 1 claimed hop) but is
+#: displaced once the destination's strictly-fresher reply lands, which is
+#: what keeps AODV's damage at the paper's Figure 5 scale.  Large boosts
+#: (the "aggressive" ablation) make the fake route unbeatable and capture
+#: nearly all traffic.
+DEFAULT_FAKE_SEQ_BOOST = 0
+AGGRESSIVE_FAKE_SEQ_BOOST = 100
+
+
+class BlackHoleNode(AODVNode):
+    """Forges fresh-route RREPs, then absorbs the attracted data."""
+
+    role = "blackhole"
+
+    def __init__(
+        self,
+        *args,
+        signature_bytes: int = 0,
+        reply_radius_hops: int = 1,
+        fake_seq_boost: int = DEFAULT_FAKE_SEQ_BOOST,
+        **kwargs,
+    ):
+        # Black holes never answer honestly from cache; they answer always.
+        kwargs.setdefault("allow_intermediate_rrep", False)
+        super().__init__(*args, **kwargs)
+        self._signature_bytes = signature_bytes
+        self.fake_seq_boost = fake_seq_boost
+        # Only RREQs heard within this many hops of the originator are
+        # answered: a fake RREP from far away must survive a long honest
+        # reverse path and mostly loses the race, so real black holes
+        # strike near the source (keeps efficacy at the levels the paper's
+        # Figure 5 reports instead of capturing every flow in the network).
+        self.reply_radius_hops = reply_radius_hops
+
+    def _forged_auth(self, claimed_signer: int) -> Optional[AuthTag]:
+        """A forged tag when attacking the authenticated protocol.
+
+        The attacker holds no partial private key, so the best it can do is
+        attach bytes that will not verify; in modelled-crypto runs this is
+        the ``forged=True`` bit, in real-crypto runs the scenario swaps it
+        for a random invalid signature object.
+        """
+        if self._signature_bytes <= 0:
+            return None
+        return AuthTag(
+            signer=identity_of(claimed_signer),
+            size_bytes=self._signature_bytes,
+            forged=True,
+        )
+
+    def _process_rreq(self, frame: Frame, rreq: RouteRequest) -> None:
+        if rreq.originator == self.node_id:
+            return
+        if rreq.hop_count > self.reply_radius_hops:
+            return  # too far from the source to win the RREP race
+        # Claim a one-hop fresh route to whatever is being looked for.
+        fake_seq = rreq.destination_seq + self.fake_seq_boost
+        rrep = RouteReply(
+            originator=rreq.originator,
+            destination=rreq.destination,
+            destination_seq=fake_seq,
+            hop_count=1,
+            lifetime=MY_ROUTE_TIMEOUT,
+            responder=rreq.destination,  # impersonates the destination
+            auth=self._forged_auth(rreq.destination),
+            hop_auth=self._forged_auth(self.node_id),
+        )
+        self.metrics.fake_rreps_sent += 1
+        # Remember the reverse hop so absorbed data can reach us.
+        self.table.update(
+            rreq.originator,
+            frame.sender,
+            rreq.hop_count + 1,
+            rreq.originator_seq,
+            MY_ROUTE_TIMEOUT,
+            self.sim.now,
+        )
+        self.unicast(frame.sender, rrep)
+        # A black hole does not help the flood along.
+
+    def _handle_data(self, frame: Frame, packet: DataPacket) -> None:
+        if packet.destination == self.node_id:
+            # Traffic genuinely addressed to the attacker is just received.
+            self.metrics.record_delivery(
+                packet.flow_id, self.sim.now - packet.created_at
+            )
+            return
+        self.metrics.dropped_by_attacker += 1  # the black hole absorbs it
+
+    def _rreq_forward_jitter(self) -> Optional[bool]:
+        return False  # react as fast as possible
+
+
+class RushingNode(AODVNode):
+    """Wins the duplicate-suppression race, then discards the data."""
+
+    role = "rushing"
+
+    def _rreq_forward_jitter(self) -> Optional[bool]:
+        return False  # no MAC jitter: this IS the rushing attack
+
+    def _handle_rreq(self, frame: Frame, rreq: RouteRequest) -> None:
+        key = (rreq.originator, rreq.rreq_id)
+        expiry = self._seen_rreqs.get(key)
+        if expiry is not None and self.sim.now < expiry:
+            return
+        self._seen_rreqs[key] = self.sim.now + 30.0
+        if rreq.originator == self.node_id:
+            return
+        # Rush: skip verification/processing delay entirely and forward at
+        # once.
+        if rreq.destination == self.node_id:
+            # Being the destination is fine too - reply instantly.
+            self._process_rreq(frame, rreq)
+            return
+        self.metrics.rreq_forwarded += 1
+        # Still set up the reverse route so returning RREPs flow through us.
+        self.table.update(frame.sender, frame.sender, 1, 0, 30.0, self.sim.now)
+        self.table.update(
+            rreq.originator,
+            frame.sender,
+            rreq.hop_count + 1,
+            rreq.originator_seq,
+            30.0,
+            self.sim.now,
+        )
+        # Forward a doctored copy: hop count zeroed (so downstream reverse
+        # routes through us look one hop long) and TTL restored (so the
+        # rushed copy out-ranges the honest flood) - both fields are exactly
+        # the mutable ones a signature over the immutable fields cannot
+        # protect, which is why rushing works against naive signing too.
+        rushed = replace(rreq, hop_count=0, ttl=max(rreq.ttl, 8))
+        self.broadcast(rushed, jitter=False)
+
+    def _handle_data(self, frame: Frame, packet: DataPacket) -> None:
+        if packet.destination == self.node_id:
+            self.metrics.record_delivery(
+                packet.flow_id, self.sim.now - packet.created_at
+            )
+            return
+        self.metrics.dropped_by_attacker += 1  # rushed route leads nowhere
+
+
+class CryptanalystBlackHoleNode(BlackHoleNode):
+    """A black hole that exploits the universal-forgery break of McCLS.
+
+    :mod:`repro.core.games` shows the published scheme is universally
+    forgeable from public values (``UniversalForgeryAttack``).  This
+    attacker uses that break: its fake RREPs carry signatures that *do*
+    verify under the claimed destination identity, so the authenticated
+    protocol accepts them and the black hole works again.  Modelled-crypto
+    runs represent this with ``forged=False`` tags; the games module proves
+    the corresponding real signatures exist and are constructible in
+    polynomial time.
+
+    Used by the ablation benchmark to quantify the gap between the paper's
+    *claimed* security (Figure 4/5: full resistance) and the security the
+    scheme actually provides against an adversary that reads Section 4
+    carefully.
+    """
+
+    role = "blackhole-cryptanalyst"
+
+    def _forged_auth(self, claimed_signer: int) -> Optional[AuthTag]:
+        if self._signature_bytes <= 0:
+            return None
+        return AuthTag(
+            signer=identity_of(claimed_signer),
+            size_bytes=self._signature_bytes,
+            forged=False,  # the forgery VERIFIES - that is the break
+        )
+
+    def _before_forward_rreq(self, frame: Frame, rreq: RouteRequest):
+        # The cryptanalyst can also produce valid hop signatures for itself.
+        return replace(rreq, hop_auth=self._forged_auth(self.node_id))
+
+    def _process_rreq(self, frame: Frame, rreq: RouteRequest) -> None:
+        super()._process_rreq(frame, rreq)
+        # Unlike the plain black hole it also helps the flood along (with
+        # valid hop signatures), maximising the traffic it attracts.
+        if rreq.destination != self.node_id and rreq.ttl > 1:
+            self._forward_rreq(frame, rreq)
+
+
+class GrayHoleNode(BlackHoleNode):
+    """A selective-forwarding ("gray hole") variant of the black hole.
+
+    Instead of absorbing everything, it forwards a fraction of the data it
+    attracts and drops the rest, which evades naive loss-based detection
+    (a victim sees degraded-but-nonzero throughput, indistinguishable from
+    congestion).  Against authenticated AODV it fails identically to the
+    black hole - it never gets onto a route in the first place.
+    """
+
+    role = "grayhole"
+
+    def __init__(self, *args, drop_probability: float = 0.5, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.drop_probability = drop_probability
+
+    def _handle_data(self, frame: Frame, packet: DataPacket) -> None:
+        if packet.destination == self.node_id:
+            self.metrics.record_delivery(
+                packet.flow_id, self.sim.now - packet.created_at
+            )
+            return
+        if self.sim.rng("grayhole").random() < self.drop_probability:
+            self.metrics.dropped_by_attacker += 1
+            return
+        # Forward honestly this time (maintains the victim's trust).  The
+        # fake RREP that attracted this packet promised a route the gray
+        # hole may not have, so it runs a genuine discovery when needed.
+        route = self.table.lookup(packet.destination, self.sim.now)
+        if route is not None and self.radio.in_range(self.node_id, route.next_hop):
+            self.metrics.data_forwarded += 1
+            self.unicast(route.next_hop, packet)
+        else:
+            self._buffer_and_discover(packet)
+
+
+class WormholeNode(AODVNode):
+    """One endpoint of a wormhole (extension beyond the paper's attacks).
+
+    Two colluding nodes share an out-of-band tunnel (modelled as a direct
+    scheduled hand-off with ``tunnel_latency_s`` delay).  Every RREQ one
+    endpoint overhears is replayed verbatim by the other, so distant parts
+    of the network appear one hop apart and routes collapse through the
+    wormhole; data arriving for forwarding is then discarded.
+
+    Against McCLS-AODV the verbatim replay fails the per-hop forwarder
+    signature (the tag names the original sender, not the replaying
+    endpoint), so the wormhole is excluded like the other attackers -
+    tunnel or not, an unenrolled node cannot inject accepted control
+    traffic.
+    """
+
+    role = "wormhole"
+
+    def __init__(self, *args, tunnel_latency_s: float = 0.001, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.partner: Optional["WormholeNode"] = None
+        self.tunnel_latency_s = tunnel_latency_s
+        self._tunneled: set = set()
+
+    def pair_with(self, partner: "WormholeNode") -> None:
+        """Link two wormhole endpoints through the out-of-band tunnel."""
+        self.partner = partner
+        partner.partner = self
+
+    def _handle_rreq(self, frame: Frame, rreq: RouteRequest) -> None:
+        key = (rreq.originator, rreq.rreq_id)
+        if self.partner is None or key in self._tunneled:
+            return
+        self._tunneled.add(key)
+        self.partner._tunneled.add(key)
+        # Tunnel the copy to the far endpoint, which replays it verbatim
+        # (keeping the original auth material - the wormhole cannot sign).
+        self.table.update(
+            rreq.originator,
+            frame.sender,
+            rreq.hop_count + 1,
+            rreq.originator_seq,
+            30.0,
+            self.sim.now,
+        )
+        self.sim.schedule(
+            self.tunnel_latency_s, self.partner._replay_tunneled, rreq
+        )
+
+    def _replay_tunneled(self, rreq: RouteRequest) -> None:
+        if not self.radio.is_attached(self.node_id):
+            return
+        self.metrics.rreq_forwarded += 1
+        self.broadcast(rreq.hop_forward(), jitter=False)
+
+    def _handle_rrep(self, frame: Frame, rrep: RouteReply) -> None:
+        if self.partner is None:
+            return
+        # Tunnel the RREP back; the far endpoint pushes it towards the
+        # originator along the reverse route it recorded at RREQ time.
+        self.sim.schedule(self.tunnel_latency_s, self.partner._replay_rrep, rrep)
+
+    def _replay_rrep(self, rrep: RouteReply) -> None:
+        if not self.radio.is_attached(self.node_id):
+            return
+        reverse = self.table.lookup(rrep.originator, self.sim.now)
+        if reverse is None:
+            return
+        self.metrics.rrep_forwarded += 1
+        self.unicast(reverse.next_hop, rrep.hop_forward())
+
+    def _handle_data(self, frame: Frame, packet: DataPacket) -> None:
+        if packet.destination == self.node_id:
+            self.metrics.record_delivery(
+                packet.flow_id, self.sim.now - packet.created_at
+            )
+            return
+        self.metrics.dropped_by_attacker += 1  # the wormhole eats it
+
+
+class InsiderBlackHoleNode(CryptanalystBlackHoleNode):
+    """An *enrolled* black hole: compromised member, not an outsider.
+
+    Its key material is legitimate (the node was enrolled before being
+    captured), so every signature it produces verifies - not through the
+    algebraic break but by right.  Hop-by-hop authentication therefore
+    cannot exclude it; the countermeasure is *revocation*
+    (:mod:`repro.core.revocation`): once the KGC distributes a signed
+    revocation list naming this node, honest verifiers reject its messages
+    again.  The scenario layer schedules that response via
+    ``revocation_time_s``.
+    """
+
+    role = "blackhole-insider"
+
+
+ATTACK_ROLES = {
+    "blackhole": BlackHoleNode,
+    "rushing": RushingNode,
+    "blackhole-cryptanalyst": CryptanalystBlackHoleNode,
+    "blackhole-insider": InsiderBlackHoleNode,
+    "wormhole": WormholeNode,
+    "grayhole": GrayHoleNode,
+}

@@ -1,0 +1,105 @@
+"""Simulation campaigns: multi-seed runs with proper statistics.
+
+One simulation run is one sample; the paper's curves (and any credible
+MANET result) average several.  :func:`run_campaign` executes a scenario
+across seeds and returns per-metric mean, standard deviation and a
+confidence interval (Student-t via :mod:`scipy` when the sample is small),
+plus the raw samples for custom analysis.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from scipy import stats as scipy_stats
+
+from repro.netsim.scenario import ScenarioConfig, run_scenario
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    samples: tuple
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} +/- {(self.ci_high - self.mean):.4f}"
+
+
+@dataclass
+class CampaignResult:
+    config: ScenarioConfig
+    seeds: List[int]
+    metrics: Dict[str, MetricSummary] = field(default_factory=dict)
+
+    def table_text(self, keys: Sequence[str] = ()) -> str:
+        """Render the chosen metrics as an aligned text table."""
+        keys = keys or (
+            "packet_delivery_ratio",
+            "rreq_ratio",
+            "end_to_end_delay",
+            "packet_drop_ratio",
+        )
+        lines = [f"{'metric':26s} {'mean':>9s} {'std':>9s} {'95% CI':>21s}"]
+        for key in keys:
+            summary = self.metrics[key]
+            lines.append(
+                f"{key:26s} {summary.mean:9.4f} {summary.std:9.4f} "
+                f"[{summary.ci_low:9.4f}, {summary.ci_high:9.4f}]"
+            )
+        return "\n".join(lines)
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95) -> MetricSummary:
+    """Mean/std/CI of a sample set (t-interval; degenerate cases handled)."""
+    values = list(samples)
+    if not values:
+        return MetricSummary(0.0, 0.0, 0.0, 0.0, ())
+    mean = statistics.fmean(values)
+    if len(values) == 1:
+        return MetricSummary(mean, 0.0, mean, mean, tuple(values))
+    std = statistics.stdev(values)
+    if std == 0.0:
+        return MetricSummary(mean, 0.0, mean, mean, tuple(values))
+    t_value = scipy_stats.t.ppf((1 + confidence) / 2, df=len(values) - 1)
+    half_width = t_value * std / math.sqrt(len(values))
+    return MetricSummary(
+        mean, std, mean - half_width, mean + half_width, tuple(values)
+    )
+
+
+def run_campaign(
+    config: ScenarioConfig,
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> CampaignResult:
+    """Run ``config`` once per seed and aggregate every reported metric."""
+    if not seeds:
+        raise ValueError("a campaign needs at least one seed")
+    reports = [run_scenario(config.with_(seed=seed)).report() for seed in seeds]
+    result = CampaignResult(config=config, seeds=list(seeds))
+    for key in reports[0]:
+        result.metrics[key] = summarize(
+            [report[key] for report in reports], confidence
+        )
+    return result
+
+
+def compare_protocols(
+    base: ScenarioConfig,
+    seeds: Sequence[int],
+    protocols: Sequence[str] = ("aodv", "mccls"),
+    metric: str = "packet_delivery_ratio",
+) -> Dict[str, MetricSummary]:
+    """Same-seeds comparison of protocols on one metric (paired design)."""
+    return {
+        protocol: run_campaign(base.with_(protocol=protocol), seeds).metrics[
+            metric
+        ]
+        for protocol in protocols
+    }

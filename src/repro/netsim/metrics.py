@@ -1,0 +1,89 @@
+"""Metric collection for the paper's four evaluation metrics (Section 6).
+
+* **Packet Delivery Ratio**: packets received at destinations / packets
+  sent by sources (Figures 1, 4).
+* **RREQ Ratio**: RREQs initiated + forwarded + retried, over data packets
+  sent as source + data packets forwarded (Figure 2).
+* **End-to-End Delay**: mean source-to-destination latency of delivered
+  packets (Figure 3).
+* **Packet Drop Ratio**: packets discarded by attacker nodes / packets
+  sent by all sources (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class MetricsCollector:
+    """Shared counters, incremented by nodes/apps during a run."""
+
+    data_sent: int = 0
+    data_received: int = 0
+    data_forwarded: int = 0
+    dropped_by_attacker: int = 0
+    dropped_no_route: int = 0
+    dropped_buffer_overflow: int = 0
+    dropped_ttl: int = 0
+    rreq_initiated: int = 0
+    rreq_forwarded: int = 0
+    rreq_retried: int = 0
+    rrep_sent: int = 0
+    rrep_forwarded: int = 0
+    rerr_sent: int = 0
+    auth_rejected: int = 0
+    fake_rreps_sent: int = 0
+    discovery_failures: int = 0
+    control_bytes_sent: int = 0
+    data_bytes_sent: int = 0
+    delays: List[float] = field(default_factory=list)
+    per_flow_received: Dict[int, int] = field(default_factory=dict)
+
+    # -- recording ----------------------------------------------------------------
+    def record_delivery(self, flow_id: int, delay: float) -> None:
+        """Count one delivered packet and its end-to-end delay."""
+        self.data_received += 1
+        self.delays.append(delay)
+        self.per_flow_received[flow_id] = self.per_flow_received.get(flow_id, 0) + 1
+
+    # -- derived metrics ------------------------------------------------------------
+    @property
+    def packet_delivery_ratio(self) -> float:
+        return self.data_received / self.data_sent if self.data_sent else 0.0
+
+    @property
+    def rreq_ratio(self) -> float:
+        rreqs = self.rreq_initiated + self.rreq_forwarded + self.rreq_retried
+        transmissions = self.data_sent + self.data_forwarded
+        return rreqs / transmissions if transmissions else 0.0
+
+    @property
+    def average_end_to_end_delay(self) -> float:
+        return sum(self.delays) / len(self.delays) if self.delays else 0.0
+
+    @property
+    def packet_drop_ratio(self) -> float:
+        return self.dropped_by_attacker / self.data_sent if self.data_sent else 0.0
+
+    def report(self) -> Dict[str, float]:
+        """The four paper metrics plus supporting counters."""
+        return {
+            "packet_delivery_ratio": self.packet_delivery_ratio,
+            "rreq_ratio": self.rreq_ratio,
+            "end_to_end_delay": self.average_end_to_end_delay,
+            "packet_drop_ratio": self.packet_drop_ratio,
+            "data_sent": float(self.data_sent),
+            "data_received": float(self.data_received),
+            "data_forwarded": float(self.data_forwarded),
+            "dropped_by_attacker": float(self.dropped_by_attacker),
+            "dropped_no_route": float(self.dropped_no_route),
+            "rreq_initiated": float(self.rreq_initiated),
+            "rreq_forwarded": float(self.rreq_forwarded),
+            "rreq_retried": float(self.rreq_retried),
+            "auth_rejected": float(self.auth_rejected),
+            "fake_rreps_sent": float(self.fake_rreps_sent),
+            "control_bytes_sent": float(self.control_bytes_sent),
+            "data_bytes_sent": float(self.data_bytes_sent),
+        }

@@ -1,0 +1,119 @@
+"""Node mobility models.
+
+The paper's setup: "20 nodes move around in a rectangular area of
+1500 m x 300 m according to the random waypoint model ... speed from 0 m/s
+to 20 m/s, pause time 0 s".  :class:`RandomWaypoint` reproduces that model;
+:class:`StaticPosition` covers the 0 m/s end of the sweep and unit tests.
+
+Positions are evaluated lazily: a model stores its current leg (origin,
+destination, speed, start time) and advances legs as queries move forward
+in time.  Queries must be monotonically non-decreasing, which the
+event-driven simulator guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Tuple
+
+from repro.errors import SimulationError
+
+Position = Tuple[float, float]
+
+
+def distance(a: Position, b: Position) -> float:
+    """Euclidean distance between two positions."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+class MobilityModel:
+    """Interface: position(now) -> (x, y) with monotone ``now``."""
+
+    def position(self, now: float) -> Position:
+        """The node's (x, y) at simulated time ``now`` (monotone queries)."""
+        raise NotImplementedError
+
+
+class StaticPosition(MobilityModel):
+    """A node that never moves (the speed = 0 point of the paper's sweep)."""
+
+    def __init__(self, position: Position):
+        self._position = (float(position[0]), float(position[1]))
+
+    def position(self, now: float) -> Position:
+        """The node's (x, y) at simulated time ``now`` (monotone queries)."""
+        return self._position
+
+
+class RandomWaypoint(MobilityModel):
+    """Random waypoint over a rectangle.
+
+    Each leg: choose a uniform destination in the area and a uniform speed
+    in [min_speed, max_speed], travel in a straight line, pause, repeat.
+    ``max_speed == 0`` degenerates to a static node.
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        max_speed: float,
+        rng: random.Random,
+        min_speed: float = 0.5,
+        pause_time: float = 0.0,
+        start: Position = None,
+    ):
+        if width <= 0 or height <= 0:
+            raise SimulationError("mobility area must have positive dimensions")
+        if max_speed < 0:
+            raise SimulationError("max_speed must be non-negative")
+        self.width = width
+        self.height = height
+        self.max_speed = max_speed
+        self.min_speed = min(min_speed, max_speed) if max_speed > 0 else 0.0
+        self.pause_time = pause_time
+        self._rng = rng
+        origin = start if start is not None else self._random_point()
+        self._leg_start_time = 0.0
+        self._leg_origin: Position = origin
+        self._leg_dest: Position = origin
+        self._leg_speed = 0.0
+        self._leg_travel_time = 0.0
+        self._last_query = 0.0
+        if self.max_speed > 0:
+            self._new_leg(0.0)
+
+    def _random_point(self) -> Position:
+        return (
+            self._rng.uniform(0.0, self.width),
+            self._rng.uniform(0.0, self.height),
+        )
+
+    def _new_leg(self, start_time: float) -> None:
+        self._leg_origin = self._leg_dest
+        self._leg_dest = self._random_point()
+        self._leg_speed = self._rng.uniform(self.min_speed, self.max_speed)
+        span = distance(self._leg_origin, self._leg_dest)
+        self._leg_travel_time = span / self._leg_speed if self._leg_speed > 0 else 0.0
+        self._leg_start_time = start_time
+
+    def position(self, now: float) -> Position:
+        """The node's (x, y) at simulated time ``now`` (monotone queries)."""
+        if now < self._last_query - 1e-9:
+            raise SimulationError("mobility queries must be monotone in time")
+        self._last_query = now
+        if self.max_speed <= 0:
+            return self._leg_dest
+        # Advance legs until ``now`` falls inside the current one.
+        while now >= self._leg_start_time + self._leg_travel_time + self.pause_time:
+            self._new_leg(
+                self._leg_start_time + self._leg_travel_time + self.pause_time
+            )
+        elapsed = now - self._leg_start_time
+        if elapsed >= self._leg_travel_time:  # pausing at the destination
+            return self._leg_dest
+        fraction = elapsed / self._leg_travel_time if self._leg_travel_time else 1.0
+        ox, oy = self._leg_origin
+        dx, dy = self._leg_dest
+        return (ox + (dx - ox) * fraction, oy + (dy - oy) * fraction)

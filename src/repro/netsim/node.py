@@ -1,0 +1,94 @@
+"""Network node base: identity, radio access, CPU (crypto) queueing.
+
+A node owns a mobility model, is attached to the shared radio, and has a
+single serialised CPU: crypto work (signing/verification delays from the
+:class:`~repro.netsim.crypto_model.CryptoTimingModel`) queues behind
+earlier crypto work, so a verification burst genuinely delays later
+packets - the mechanism behind McCLS's end-to-end-delay gap in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.crypto_model import CryptoTimingModel
+from repro.netsim.engine import Simulator
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.mobility import MobilityModel
+from repro.netsim.packets import BROADCAST, Frame
+from repro.netsim.radio import RadioMedium
+
+
+class NetworkNode:
+    """Base class wiring a node into the simulator, radio and metrics."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        radio: RadioMedium,
+        mobility: MobilityModel,
+        metrics: MetricsCollector,
+        crypto: Optional[CryptoTimingModel] = None,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.radio = radio
+        self.mobility = mobility
+        self.metrics = metrics
+        self.crypto = crypto if crypto is not None else CryptoTimingModel("none")
+        self._cpu_busy_until = 0.0
+        radio.attach(node_id, mobility, self._on_frame)
+
+    # -- radio helpers -------------------------------------------------------------
+    def broadcast(self, payload: object, jitter: Optional[bool] = None) -> None:
+        """Transmit a payload to every radio in range."""
+        frame = Frame(
+            sender=self.node_id, link_destination=BROADCAST, payload=payload
+        )
+        self._account_bytes(frame)
+        self.radio.transmit(frame, jitter=jitter)
+
+    def unicast(self, destination: int, payload: object) -> None:
+        """Transmit a payload link-addressed to one neighbour."""
+        frame = Frame(
+            sender=self.node_id, link_destination=destination, payload=payload
+        )
+        self._account_bytes(frame)
+        self.radio.transmit(frame)
+
+    def _account_bytes(self, frame: Frame) -> None:
+        from repro.netsim.packets import DataPacket
+
+        if isinstance(frame.payload, DataPacket):
+            self.metrics.data_bytes_sent += frame.size_bytes
+        else:
+            self.metrics.control_bytes_sent += frame.size_bytes
+
+    def _on_frame(self, node_id: int, frame: Frame, now: float) -> None:
+        if not frame.is_broadcast and frame.link_destination != self.node_id:
+            return  # not addressed to us; NICs are not promiscuous here
+        self.receive(frame)
+
+    # -- CPU model -----------------------------------------------------------------
+    def cpu_process(self, cost_s: float, callback: Callable, *args) -> None:
+        """Run ``callback`` after ``cost_s`` seconds of (serialised) CPU time."""
+        if cost_s <= 0:
+            callback(*args)
+            return
+        start = max(self.sim.now, self._cpu_busy_until)
+        finish = start + cost_s
+        self._cpu_busy_until = finish
+        self.sim.schedule_at(finish, callback, *args)
+
+    # -- protocol hook ---------------------------------------------------------------
+    def receive(self, frame: Frame) -> None:
+        """Protocol entry point for frames addressed to this node."""
+        raise NotImplementedError
+
+    @property
+    def position(self):
+        return self.mobility.position(self.sim.now)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.node_id})"

@@ -1,0 +1,170 @@
+"""Packet formats for the MANET simulator.
+
+Sizes follow RFC 3561's message formats plus a constant link/IP overhead,
+so the transmission-delay model (size / bitrate) is honest.  The secure
+variants carry a signature blob and the signer identity; their extra bytes
+are charged by the radio exactly like payload bytes, which is one of the
+two ways McCLS shows up in the end-to-end delay of Figure 3 (the other is
+crypto processing time).
+
+Routing messages are immutable dataclasses; per-hop mutation (hop counts,
+TTL) happens via ``dataclasses.replace`` so a packet captured by one node
+can never be aliased and silently edited by another - a classic simulator
+bug class this design rules out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+#: bytes of MAC + IP framing charged to every transmission
+LINK_OVERHEAD_BYTES = 44
+#: RFC 3561 fixed header sizes
+RREQ_BYTES = 24
+RREP_BYTES = 20
+RERR_BASE_BYTES = 12
+RERR_PER_DEST_BYTES = 8
+HELLO_BYTES = RREP_BYTES
+DATA_HEADER_BYTES = 12
+
+BROADCAST = -1
+
+
+@dataclass(frozen=True)
+class AuthTag:
+    """Authentication extension: signer identity + signature blob size.
+
+    The simulator carries the *real* signature object when real crypto is
+    enabled, or just its wire size when running with the timing model (the
+    accept/reject decision is then taken by the attack/trust model).
+    """
+
+    signer: str
+    size_bytes: int
+    signature: object = field(default=None, compare=False)
+    forged: bool = False  # set by attackers that cannot actually sign
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """AODV RREQ."""
+
+    rreq_id: int
+    originator: int
+    originator_seq: int
+    destination: int
+    destination_seq: int  # last known; 0 = unknown
+    hop_count: int
+    ttl: int
+    originated_at: float
+    auth: Optional[AuthTag] = None  # end-to-end: the originator's signature
+    hop_auth: Optional[AuthTag] = None  # per-hop: the last forwarder's signature
+
+    @property
+    def size_bytes(self) -> int:
+        size = RREQ_BYTES
+        if self.auth:
+            size += self.auth.size_bytes
+        if self.hop_auth:
+            size += self.hop_auth.size_bytes
+        return size
+
+    def hop_forward(self) -> "RouteRequest":
+        """A per-hop copy with hop count advanced (original untouched)."""
+        return replace(self, hop_count=self.hop_count + 1, ttl=self.ttl - 1)
+
+    def signed_fields(self) -> Tuple:
+        """The immutable fields covered by the originator's signature.
+
+        hop_count and ttl mutate per hop and are excluded, as in SAODV's
+        single-signature mode.
+        """
+        return (
+            "rreq",
+            self.rreq_id,
+            self.originator,
+            self.originator_seq,
+            self.destination,
+        )
+
+
+@dataclass(frozen=True)
+class RouteReply:
+    """AODV RREP (also used as HELLO when originator == destination)."""
+
+    originator: int  # the node the reply travels back to
+    destination: int  # the node the route leads to
+    destination_seq: int
+    hop_count: int
+    lifetime: float
+    responder: int  # who generated this RREP
+    auth: Optional[AuthTag] = None  # end-to-end: the destination's signature
+    hop_auth: Optional[AuthTag] = None  # per-hop: the last forwarder's signature
+
+    @property
+    def size_bytes(self) -> int:
+        size = RREP_BYTES
+        if self.auth:
+            size += self.auth.size_bytes
+        if self.hop_auth:
+            size += self.hop_auth.size_bytes
+        return size
+
+    def hop_forward(self) -> "RouteReply":
+        """A per-hop copy with hop count advanced (original untouched)."""
+        return replace(self, hop_count=self.hop_count + 1)
+
+    def signed_fields(self) -> Tuple:
+        """The immutable fields covered by the end-to-end signature."""
+        return (
+            "rrep",
+            self.originator,
+            self.destination,
+            self.destination_seq,
+            self.responder,
+        )
+
+
+@dataclass(frozen=True)
+class RouteError:
+    """AODV RERR: unreachable (destination, seq) pairs."""
+
+    unreachable: Tuple[Tuple[int, int], ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return RERR_BASE_BYTES + RERR_PER_DEST_BYTES * len(self.unreachable)
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """Application (CBR) payload."""
+
+    flow_id: int
+    seq: int
+    source: int
+    destination: int
+    payload_bytes: int
+    created_at: float
+
+    @property
+    def size_bytes(self) -> int:
+        return DATA_HEADER_BYTES + self.payload_bytes
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One link-layer transmission: routing message or data + addressing."""
+
+    sender: int
+    link_destination: int  # BROADCAST or a node id
+    payload: object  # RouteRequest | RouteReply | RouteError | DataPacket
+
+    @property
+    def size_bytes(self) -> int:
+        return LINK_OVERHEAD_BYTES + self.payload.size_bytes
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.link_destination == BROADCAST

@@ -1,0 +1,163 @@
+"""Shared broadcast radio medium (unit-disk + queueing + jitter + loss).
+
+Model, in the spirit of QualNet's default 802.11b profile but reduced to
+what the paper's results depend on:
+
+* **Connectivity**: unit disk of radius ``range_m`` evaluated at
+  transmission time from the mobility models.
+* **Transmission delay**: frame_size / bitrate, serialised per node (one
+  outstanding transmission per radio; later sends queue behind it).
+* **MAC contention**: a small uniform random jitter added before each
+  broadcast (this is also what AODV's RFC prescribes for RREQ forwarding);
+  attackers can bypass it - that *is* the rushing attack.
+* **Propagation delay**: distance / c, microseconds at these scales.
+* **Random loss**: i.i.d. per-link drop probability to model fading and
+  collisions without a full PHY.
+
+Delivery callbacks go to every in-range node; link-layer filtering
+(unicast frames addressed to someone else) happens at the node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+from repro.netsim.mobility import MobilityModel, distance
+from repro.netsim.packets import Frame
+
+SPEED_OF_LIGHT = 299_792_458.0
+
+DeliveryCallback = Callable[[int, Frame, float], None]
+
+
+class RadioMedium:
+    """The single shared channel all nodes transmit on."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        range_m: float = 250.0,
+        bitrate_bps: float = 2_000_000.0,
+        loss_rate: float = 0.0,
+        broadcast_jitter_s: float = 0.002,
+    ):
+        if range_m <= 0 or bitrate_bps <= 0:
+            raise SimulationError("radio range and bitrate must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.range_m = range_m
+        self.bitrate_bps = bitrate_bps
+        self.loss_rate = loss_rate
+        self.broadcast_jitter_s = broadcast_jitter_s
+        self._mobility: Dict[int, MobilityModel] = {}
+        self._receivers: Dict[int, DeliveryCallback] = {}
+        self._busy_until: Dict[int, float] = {}
+        self._observers = []
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_lost = 0
+
+    def add_observer(self, observer) -> None:
+        """Register a callback(now, frame, receiver_ids) fired per
+        completed transmission - the hook the packet tracer uses."""
+        self._observers.append(observer)
+
+    # -- registration -----------------------------------------------------------
+    def attach(
+        self, node_id: int, mobility: MobilityModel, receiver: DeliveryCallback
+    ) -> None:
+        """Register a node's mobility model and delivery callback."""
+        if node_id in self._receivers:
+            raise SimulationError(f"node {node_id} already attached")
+        self._mobility[node_id] = mobility
+        self._receivers[node_id] = receiver
+        self._busy_until[node_id] = 0.0
+
+    def is_attached(self, node_id: int) -> bool:
+        """Whether the node is currently on the radio."""
+        return node_id in self._receivers
+
+    def detach(self, node_id: int) -> None:
+        """Remove a node from the medium (models failure/departure)."""
+        self._mobility.pop(node_id, None)
+        self._receivers.pop(node_id, None)
+        self._busy_until.pop(node_id, None)
+
+    def position_of(self, node_id: int):
+        """The node's current position from its mobility model."""
+        return self._mobility[node_id].position(self.sim.now)
+
+    def neighbors_of(self, node_id: int):
+        """Node ids currently within radio range (excluding self)."""
+        origin = self.position_of(node_id)
+        result = []
+        for other, mobility in self._mobility.items():
+            if other == node_id:
+                continue
+            if distance(origin, mobility.position(self.sim.now)) <= self.range_m:
+                result.append(other)
+        return result
+
+    # -- transmission --------------------------------------------------------------
+    def transmit(self, frame: Frame, jitter: Optional[bool] = None) -> None:
+        """Queue a frame for transmission by ``frame.sender``.
+
+        ``jitter=None`` applies MAC jitter to broadcasts only (the normal
+        behaviour); ``jitter=False`` bypasses it (the rushing attacker's
+        move); ``jitter=True`` forces it.
+        """
+        sender = frame.sender
+        if sender not in self._receivers:
+            raise SimulationError(f"node {sender} is not attached to the radio")
+        apply_jitter = frame.is_broadcast if jitter is None else jitter
+        delay = 0.0
+        if apply_jitter and self.broadcast_jitter_s > 0:
+            delay += self.sim.rng("mac-jitter").uniform(0, self.broadcast_jitter_s)
+        # Serialise transmissions per radio.
+        start = max(self.sim.now + delay, self._busy_until[sender])
+        tx_time = frame.size_bytes * 8 / self.bitrate_bps
+        end = start + tx_time
+        self._busy_until[sender] = end
+        self.sim.schedule_at(end, self._complete_transmission, frame)
+
+    def _complete_transmission(self, frame: Frame) -> None:
+        self.frames_sent += 1
+        sender_pos = self.position_of(frame.sender)
+        loss_rng = self.sim.rng("radio-loss")
+        receivers = []
+        for node_id, mobility in list(self._mobility.items()):
+            if node_id == frame.sender:
+                continue
+            span = distance(sender_pos, mobility.position(self.sim.now))
+            if span > self.range_m:
+                continue
+            if self.loss_rate > 0 and loss_rng.random() < self.loss_rate:
+                self.frames_lost += 1
+                continue
+            propagation = span / SPEED_OF_LIGHT
+            self.frames_delivered += 1
+            receivers.append(node_id)
+            self.sim.schedule(
+                propagation, self._deliver, node_id, frame
+            )
+        for observer in self._observers:
+            observer(self.sim.now, frame, tuple(receivers))
+
+    def _deliver(self, node_id: int, frame: Frame) -> None:
+        receiver = self._receivers.get(node_id)
+        if receiver is not None:
+            receiver(node_id, frame, self.sim.now)
+
+    def in_range(self, a: int, b: int) -> bool:
+        """Whether two attached nodes can currently hear each other.
+
+        A detached node (failed/left) is in range of nothing - which is
+        exactly how the MAC-feedback link-break detection learns about
+        dead neighbours.
+        """
+        if a not in self._mobility or b not in self._mobility:
+            return False
+        return distance(self.position_of(a), self.position_of(b)) <= self.range_m

@@ -1,0 +1,13 @@
+"""Routing protocols: AODV and its McCLS-authenticated extension."""
+
+from repro.netsim.routing.aodv import AODVNode
+from repro.netsim.routing.secure_aodv import CryptoMaterial, McCLSAODVNode
+from repro.netsim.routing.table import RouteEntry, RoutingTable
+
+__all__ = [
+    "AODVNode",
+    "McCLSAODVNode",
+    "CryptoMaterial",
+    "RouteEntry",
+    "RoutingTable",
+]

@@ -1,0 +1,567 @@
+"""Ad hoc On-Demand Distance Vector routing (RFC 3561 mechanisms).
+
+Implements the mechanisms the paper says its QualNet setup retained:
+"route discovery, reverse path setup, forwarding path setup, route
+maintenance, and so on":
+
+* on-demand route discovery by RREQ flooding with duplicate suppression,
+  expanding-ring search and bounded retries,
+* reverse-path setup while the RREQ travels, forward-path setup while the
+  RREP travels back (destination-sequence-number freshness rules),
+* data buffering during discovery,
+* route maintenance: link-failure detection on unicast forwarding (the
+  802.11 "no MAC ACK" signal, modelled as an in-range check at send time),
+  RERR propagation to precursors, and re-discovery by sources.
+
+Attackers and the McCLS authentication extension subclass this node; every
+overridable decision point is a small method (``_rreq_accept``,
+``_before_forward_rreq``, ...), so the variants stay honest about what an
+attacker can and cannot touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.crypto_model import CryptoTimingModel
+from repro.netsim.engine import EventHandle, Simulator
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.mobility import MobilityModel
+from repro.netsim.node import NetworkNode
+from repro.netsim.packets import (
+    DataPacket,
+    Frame,
+    RouteError,
+    RouteReply,
+    RouteRequest,
+)
+from repro.netsim.radio import RadioMedium
+from repro.netsim.routing.table import RoutingTable
+
+# -- AODV constants (RFC 3561 Section 10, adapted to the paper's scale) -----
+ACTIVE_ROUTE_TIMEOUT = 3.0
+MY_ROUTE_TIMEOUT = 2 * ACTIVE_ROUTE_TIMEOUT
+NODE_TRAVERSAL_TIME = 0.04
+NET_DIAMETER = 12
+NET_TRAVERSAL_TIME = 2 * NODE_TRAVERSAL_TIME * NET_DIAMETER
+PATH_DISCOVERY_TIME = 2 * NET_TRAVERSAL_TIME
+RREQ_RETRIES = 2
+TTL_START = 4
+TTL_INCREMENT = 3
+TTL_THRESHOLD = 10
+SEEN_CACHE_LIFETIME = PATH_DISCOVERY_TIME
+MAX_BUFFERED_PACKETS = 64
+#: binary exponential backoff after failed discoveries (RFC 3561 6.3):
+#: without it, traffic to an unreachable destination floods the network
+#: with RREQs forever (which is exactly what static disconnected scenarios
+#: would otherwise show in the Figure 2 overhead metric).
+DISCOVERY_BACKOFF_BASE = NET_TRAVERSAL_TIME * 2
+DISCOVERY_BACKOFF_CAP = 10.0
+#: HELLO-based neighbour monitoring (RFC 3561 6.9); enabled by passing a
+#: positive hello_interval to the node.
+ALLOWED_HELLO_LOSS = 2
+
+
+@dataclass
+class PendingDiscovery:
+    """State of an in-progress route discovery at the originator."""
+
+    destination: int
+    ttl: int
+    retries_left: int
+    timer: Optional[EventHandle] = None
+    buffer: List[DataPacket] = field(default_factory=list)
+
+
+class AODVNode(NetworkNode):
+    """One MANET node running AODV (and carrying application traffic)."""
+
+    #: label used by scenario reports
+    role = "honest"
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        radio: RadioMedium,
+        mobility: MobilityModel,
+        metrics: MetricsCollector,
+        crypto: Optional[CryptoTimingModel] = None,
+        allow_intermediate_rrep: bool = True,
+        hello_interval: float = 0.0,
+    ):
+        super().__init__(node_id, sim, radio, mobility, metrics, crypto)
+        self.table = RoutingTable()
+        self.seq_no = 0
+        self.rreq_id = 0
+        self.allow_intermediate_rrep = allow_intermediate_rrep
+        self._seen_rreqs: Dict[Tuple[int, int], float] = {}
+        self._pending: Dict[int, PendingDiscovery] = {}
+        # destination -> (earliest next discovery time, consecutive failures)
+        self._discovery_backoff: Dict[int, Tuple[float, int]] = {}
+        # HELLO-based neighbour monitoring (off unless hello_interval > 0).
+        self.hello_interval = hello_interval
+        self._last_hello_from: Dict[int, float] = {}
+        if hello_interval > 0:
+            offset = sim.rng("hello").uniform(0, hello_interval)
+            sim.schedule(offset, self._hello_tick)
+
+    # ------------------------------------------------------------------ data path
+    def send_data(self, packet: DataPacket) -> None:
+        """Entry point for application traffic originated at this node."""
+        self.metrics.data_sent += 1
+        route = self.table.lookup(packet.destination, self.sim.now)
+        if route is not None:
+            self._forward_data(packet, route.next_hop, originating=True)
+        else:
+            self._buffer_and_discover(packet)
+
+    def _buffer_and_discover(self, packet: DataPacket) -> None:
+        pending = self._pending.get(packet.destination)
+        if pending is None:
+            not_before, _ = self._discovery_backoff.get(
+                packet.destination, (0.0, 0)
+            )
+            if self.sim.now < not_before:
+                self.metrics.dropped_no_route += 1
+                return
+            pending = PendingDiscovery(
+                destination=packet.destination,
+                ttl=TTL_START,
+                retries_left=RREQ_RETRIES,
+            )
+            self._pending[packet.destination] = pending
+            pending.buffer.append(packet)
+            self._send_rreq(pending, retry=False)
+        else:
+            if len(pending.buffer) >= MAX_BUFFERED_PACKETS:
+                self.metrics.dropped_buffer_overflow += 1
+                return
+            pending.buffer.append(packet)
+
+    def _forward_data(
+        self, packet: DataPacket, next_hop: int, originating: bool = False
+    ) -> None:
+        if not originating:
+            self.metrics.data_forwarded += 1
+        if not self.radio.in_range(self.node_id, next_hop):
+            # MAC-level delivery failure: route maintenance kicks in.
+            self._handle_link_break(next_hop, packet)
+            return
+        self.table.refresh(packet.destination, ACTIVE_ROUTE_TIMEOUT, self.sim.now)
+        self.unicast(next_hop, packet)
+
+    def _handle_data(self, frame: Frame, packet: DataPacket) -> None:
+        if packet.destination == self.node_id:
+            self.metrics.record_delivery(
+                packet.flow_id, self.sim.now - packet.created_at
+            )
+            return
+        route = self.table.lookup(packet.destination, self.sim.now)
+        if route is None:
+            self.metrics.dropped_no_route += 1
+            self._originate_rerr([packet.destination])
+            return
+        self._forward_data(packet, route.next_hop)
+
+    # ------------------------------------------------------------------ discovery
+    def _send_rreq(self, pending: PendingDiscovery, retry: bool) -> None:
+        self.seq_no += 1
+        self.rreq_id += 1
+        known = self.table.entry(pending.destination)
+        signed_fields = (
+            "rreq",
+            self.rreq_id,
+            self.node_id,
+            self.seq_no,
+            pending.destination,
+        )
+        rreq = RouteRequest(
+            rreq_id=self.rreq_id,
+            originator=self.node_id,
+            originator_seq=self.seq_no,
+            destination=pending.destination,
+            destination_seq=known.destination_seq if known is not None else 0,
+            hop_count=0,
+            ttl=pending.ttl,
+            originated_at=self.sim.now,
+            auth=self._make_rreq_auth(signed_fields),
+            hop_auth=self._make_hop_auth(signed_fields),
+        )
+        self._seen_rreqs[(self.node_id, self.rreq_id)] = (
+            self.sim.now + SEEN_CACHE_LIFETIME
+        )
+        if retry:
+            self.metrics.rreq_retried += 1
+        else:
+            self.metrics.rreq_initiated += 1
+        self.cpu_process(
+            self.crypto.sign_delay() if rreq.auth else 0.0,
+            self.broadcast,
+            rreq,
+        )
+        timeout = NET_TRAVERSAL_TIME * (1 + (RREQ_RETRIES - pending.retries_left))
+        pending.timer = self.sim.schedule(
+            timeout, self._discovery_timeout, pending.destination
+        )
+
+    def _discovery_timeout(self, destination: int) -> None:
+        pending = self._pending.get(destination)
+        if pending is None:
+            return
+        if self.table.lookup(destination, self.sim.now) is not None:
+            self._discovery_complete(destination)
+            return
+        if pending.retries_left > 0:
+            pending.retries_left -= 1
+            pending.ttl = min(pending.ttl + TTL_INCREMENT, TTL_THRESHOLD)
+            self._send_rreq(pending, retry=True)
+        else:
+            self.metrics.discovery_failures += 1
+            self.metrics.dropped_no_route += len(pending.buffer)
+            del self._pending[destination]
+            _, failures = self._discovery_backoff.get(destination, (0.0, 0))
+            failures += 1
+            delay = min(
+                DISCOVERY_BACKOFF_BASE * (2 ** failures), DISCOVERY_BACKOFF_CAP
+            )
+            self._discovery_backoff[destination] = (self.sim.now + delay, failures)
+
+    def _discovery_complete(self, destination: int) -> None:
+        self._discovery_backoff.pop(destination, None)
+        pending = self._pending.pop(destination, None)
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        route = self.table.lookup(destination, self.sim.now)
+        if route is None:  # pragma: no cover - raced with expiry
+            self.metrics.dropped_no_route += len(pending.buffer)
+            return
+        for packet in pending.buffer:
+            self._forward_data(packet, route.next_hop, originating=True)
+
+    # ------------------------------------------------------------------ RREQ handling
+    def _handle_rreq(self, frame: Frame, rreq: RouteRequest) -> None:
+        key = (rreq.originator, rreq.rreq_id)
+        expiry = self._seen_rreqs.get(key)
+        if expiry is not None and self.sim.now < expiry:
+            return  # duplicate
+        if not self._rreq_accept(frame, rreq):
+            # Rejected copies must NOT enter the duplicate cache: otherwise
+            # an attacker's unauthenticated copy would suppress the honest
+            # copies arriving right behind it.
+            return
+        self._seen_rreqs[key] = self.sim.now + SEEN_CACHE_LIFETIME
+        if len(self._seen_rreqs) > 4096:
+            self._prune_seen_cache()
+
+        self.cpu_process(self._verify_cost(rreq), self._process_rreq, frame, rreq)
+
+    def _process_rreq(self, frame: Frame, rreq: RouteRequest) -> None:
+        now = self.sim.now
+        # Route to the previous hop (unknown seq -> 0).
+        self.table.update(frame.sender, frame.sender, 1, 0, ACTIVE_ROUTE_TIMEOUT, now)
+        # Reverse route to the originator.
+        self.table.update(
+            rreq.originator,
+            frame.sender,
+            rreq.hop_count + 1,
+            rreq.originator_seq,
+            PATH_DISCOVERY_TIME,
+            now,
+        )
+
+        if rreq.destination == self.node_id:
+            self.seq_no = max(self.seq_no, rreq.destination_seq)
+            self._send_rrep_as_destination(frame, rreq)
+            return
+
+        if self.allow_intermediate_rrep:
+            route = self.table.lookup(rreq.destination, now)
+            if (
+                route is not None
+                and route.destination_seq >= rreq.destination_seq
+                and route.destination_seq > 0
+                and self._may_answer_from_cache(rreq, route)
+            ):
+                self._send_rrep_from_cache(frame, rreq, route)
+                return
+
+        if rreq.ttl > 1:
+            self._forward_rreq(frame, rreq)
+        else:
+            self.metrics.dropped_ttl += 1
+
+    def _forward_rreq(self, frame: Frame, rreq: RouteRequest) -> None:
+        forwarded = self._before_forward_rreq(frame, rreq.hop_forward())
+        if forwarded is None:
+            return
+        self.metrics.rreq_forwarded += 1
+        self.cpu_process(
+            self._forward_sign_cost(),
+            self.broadcast,
+            forwarded,
+            self._rreq_forward_jitter(),
+        )
+
+    def _send_rrep_as_destination(self, frame: Frame, rreq: RouteRequest) -> None:
+        self.seq_no += 1
+        signed_fields = (
+            "rrep",
+            rreq.originator,
+            self.node_id,
+            self.seq_no,
+            self.node_id,
+        )
+        rrep = RouteReply(
+            originator=rreq.originator,
+            destination=self.node_id,
+            destination_seq=self.seq_no,
+            hop_count=0,
+            lifetime=MY_ROUTE_TIMEOUT,
+            responder=self.node_id,
+            auth=self._make_rrep_auth(signed_fields),
+            hop_auth=self._make_hop_auth(signed_fields),
+        )
+        self.metrics.rrep_sent += 1
+        self.cpu_process(
+            self.crypto.sign_delay() if rrep.auth else 0.0,
+            self.unicast,
+            frame.sender,
+            rrep,
+        )
+
+    def _send_rrep_from_cache(self, frame, rreq: RouteRequest, route) -> None:
+        signed_fields = (
+            "rrep",
+            rreq.originator,
+            rreq.destination,
+            route.destination_seq,
+            self.node_id,
+        )
+        rrep = RouteReply(
+            originator=rreq.originator,
+            destination=rreq.destination,
+            destination_seq=route.destination_seq,
+            hop_count=route.hop_count,
+            lifetime=max(0.0, route.expiry - self.sim.now),
+            responder=self.node_id,
+            auth=self._make_rrep_auth(signed_fields),
+        )
+        self.table.add_precursor(rreq.destination, frame.sender)
+        self.metrics.rrep_sent += 1
+        self.cpu_process(
+            self.crypto.sign_delay() if rrep.auth else 0.0,
+            self.unicast,
+            frame.sender,
+            rrep,
+        )
+
+    # ------------------------------------------------------------------ RREP handling
+    def _handle_rrep(self, frame: Frame, rrep: RouteReply) -> None:
+        if not self._rrep_accept(frame, rrep):
+            return
+        if rrep.originator == rrep.destination == rrep.responder:
+            # HELLO beacon: consume, never forward.
+            self.cpu_process(self._verify_cost(rrep), self._handle_hello, frame, rrep)
+            return
+        self.cpu_process(self._verify_cost(rrep), self._process_rrep, frame, rrep)
+
+    def _process_rrep(self, frame: Frame, rrep: RouteReply) -> None:
+        now = self.sim.now
+        self.table.update(frame.sender, frame.sender, 1, 0, ACTIVE_ROUTE_TIMEOUT, now)
+        self.table.update(
+            rrep.destination,
+            frame.sender,
+            rrep.hop_count + 1,
+            rrep.destination_seq,
+            rrep.lifetime,
+            now,
+        )
+
+        if rrep.originator == self.node_id:
+            self._discovery_complete(rrep.destination)
+            return
+
+        next_hop = self._reverse_next_hop(rrep)
+        if next_hop is None:
+            return  # reverse path evaporated; RREP dies here
+        forwarded = self._before_forward_rrep(rrep.hop_forward())
+        if forwarded is None:
+            return
+        self.table.add_precursor(rrep.destination, next_hop)
+        self.metrics.rrep_forwarded += 1
+        self.cpu_process(
+            self._forward_sign_cost(), self.unicast, next_hop, forwarded
+        )
+
+    def _reverse_next_hop(self, rrep: RouteReply) -> Optional[int]:
+        """Pick the neighbour to forward an RREP towards its originator.
+
+        Plain AODV uses the reverse route installed by the RREQ flood; the
+        secure variant overrides this to randomise over all authenticated
+        RREQ copies it heard (rushing defence).
+        """
+        reverse = self.table.lookup(rrep.originator, self.sim.now)
+        return reverse.next_hop if reverse is not None else None
+
+    # ------------------------------------------------------------------ RERR handling
+    def _originate_rerr(self, destinations: List[int]) -> None:
+        unreachable = []
+        for destination in destinations:
+            entry = self.table.invalidate(destination)
+            seq = entry.destination_seq if entry is not None else 0
+            unreachable.append((destination, seq))
+        if unreachable:
+            self.metrics.rerr_sent += 1
+            self.broadcast(RouteError(unreachable=tuple(unreachable)))
+
+    def _handle_link_break(self, next_hop: int, packet: DataPacket) -> None:
+        broken = self.table.invalidate_via(next_hop)
+        self.metrics.dropped_no_route += 1
+        if broken:
+            self.metrics.rerr_sent += 1
+            self.broadcast(
+                RouteError(
+                    unreachable=tuple(
+                        (entry.destination, entry.destination_seq)
+                        for entry in broken
+                    )
+                )
+            )
+
+    def _handle_rerr(self, frame: Frame, rerr: RouteError) -> None:
+        invalidated = []
+        for destination, seq in rerr.unreachable:
+            entry = self.table.entry(destination)
+            if (
+                entry is not None
+                and entry.valid
+                and entry.next_hop == frame.sender
+            ):
+                entry.valid = False
+                entry.destination_seq = max(entry.destination_seq, seq)
+                invalidated.append((destination, entry.destination_seq))
+        if invalidated:
+            self.metrics.rerr_sent += 1
+            self.broadcast(RouteError(unreachable=tuple(invalidated)))
+            # Sources with pending traffic re-discover on next send; nothing
+            # else to do here (data currently buffered is per-discovery).
+
+    # ------------------------------------------------------------------ hello
+    def _hello_tick(self) -> None:
+        """Broadcast a HELLO and expire silent neighbours (RFC 3561 6.9).
+
+        A HELLO is an RREP with originator == destination == self and
+        hop count 0, never forwarded (receivers recognise and consume it).
+        """
+        if not self.radio.is_attached(self.node_id):
+            return  # node left the network (e.g. failed); stop beaconing
+        signed_fields = ("rrep", self.node_id, self.node_id, self.seq_no, self.node_id)
+        hello = RouteReply(
+            originator=self.node_id,
+            destination=self.node_id,
+            destination_seq=self.seq_no,
+            hop_count=0,
+            lifetime=ALLOWED_HELLO_LOSS * self.hello_interval,
+            responder=self.node_id,
+            auth=self._make_rrep_auth(signed_fields),
+            hop_auth=self._make_hop_auth(signed_fields),
+        )
+        self.cpu_process(
+            self.crypto.sign_delay() if hello.auth else 0.0, self.broadcast, hello
+        )
+        self._expire_silent_neighbors()
+        self.sim.schedule(self.hello_interval, self._hello_tick)
+
+    def _expire_silent_neighbors(self) -> None:
+        deadline = self.sim.now - ALLOWED_HELLO_LOSS * self.hello_interval
+        silent = [
+            neighbor
+            for neighbor, heard in self._last_hello_from.items()
+            if heard < deadline
+        ]
+        for neighbor in silent:
+            del self._last_hello_from[neighbor]
+            broken = self.table.invalidate_via(neighbor)
+            if broken:
+                self.metrics.rerr_sent += 1
+                self.broadcast(
+                    RouteError(
+                        unreachable=tuple(
+                            (entry.destination, entry.destination_seq)
+                            for entry in broken
+                        )
+                    )
+                )
+
+    def _handle_hello(self, frame: Frame, hello: RouteReply) -> None:
+        self._last_hello_from[frame.sender] = self.sim.now
+        self.table.update(
+            frame.sender,
+            frame.sender,
+            1,
+            hello.destination_seq,
+            hello.lifetime,
+            self.sim.now,
+        )
+
+    # ------------------------------------------------------------------ dispatch
+    def receive(self, frame: Frame) -> None:
+        """Dispatch an incoming frame to the matching AODV handler."""
+        payload = frame.payload
+        if isinstance(payload, RouteRequest):
+            self._handle_rreq(frame, payload)
+        elif isinstance(payload, RouteReply):
+            self._handle_rrep(frame, payload)
+        elif isinstance(payload, RouteError):
+            self._handle_rerr(frame, payload)
+        elif isinstance(payload, DataPacket):
+            self._handle_data(frame, payload)
+
+    # ------------------------------------------------------------------ hooks
+    # Subclasses (secure variant, attackers) override these narrow points.
+
+    def _make_rreq_auth(self, signed_fields: tuple):
+        return None
+
+    def _make_rrep_auth(self, signed_fields: tuple):
+        return None
+
+    def _make_hop_auth(self, signed_fields: tuple):
+        """Per-hop forwarder signature (secure variant only)."""
+        return None
+
+    def _rreq_accept(self, frame: Frame, rreq: RouteRequest) -> bool:
+        return True
+
+    def _rrep_accept(self, frame: Frame, rrep: RouteReply) -> bool:
+        return True
+
+    def _before_forward_rreq(
+        self, frame: Frame, rreq: RouteRequest
+    ) -> Optional[RouteRequest]:
+        return rreq
+
+    def _before_forward_rrep(self, rrep: RouteReply) -> Optional[RouteReply]:
+        return rrep
+
+    def _verify_cost(self, message) -> float:
+        return self.crypto.verify_delay() if message.auth else 0.0
+
+    def _forward_sign_cost(self) -> float:
+        return 0.0
+
+    def _may_answer_from_cache(self, rreq: RouteRequest, route) -> bool:
+        return True
+
+    def _rreq_forward_jitter(self) -> Optional[bool]:
+        return None  # default MAC jitter
+
+    def _prune_seen_cache(self) -> None:
+        now = self.sim.now
+        self._seen_rreqs = {
+            key: expiry for key, expiry in self._seen_rreqs.items() if expiry > now
+        }

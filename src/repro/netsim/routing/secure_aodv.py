@@ -1,0 +1,298 @@
+"""McCLS-AODV: AODV with certificateless routing authentication.
+
+The paper's protected protocol ("McCLS scheme based on the CLS with routing
+authentication extension").  Differences from plain AODV:
+
+* **Signed control messages.**  RREQs carry the originator's McCLS
+  signature over the immutable fields (rreq id, originator, originator
+  seq, destination); RREPs carry the *destination's* signature over
+  (originator, destination, destination seq, responder).  Nodes verify
+  before processing and drop failures (counted as ``auth_rejected``).
+* **Destination-only replies.**  Intermediate nodes cannot vouch for a
+  destination sequence number they did not sign, so cached-route RREPs are
+  disabled.  This is what defeats the black hole: its "fresh route"
+  RREP would need the destination's signature.
+* **Randomized reverse-path selection** (rushing defence in the spirit of
+  Hu et al. 2003, adapted to avoid per-hop forwarding delays): RREQs are
+  still flooded promptly, but every node keeps listening to the
+  authenticated duplicate copies of a flood and records each sender as a
+  *reverse-hop candidate* together with the hop count its copy carried.
+  When the RREP travels back - hundreds of milliseconds later, long after
+  all copies have arrived, so there is no timing race for the attacker to
+  win - each hop forwards it to a candidate chosen uniformly at random
+  among those strictly closer to the originator, and the destination
+  likewise waits a short window and replies to a random candidate.  The
+  rushing attacker's first-mover advantage buys it nothing: being first
+  only makes it one candidate among many.
+
+Two execution modes share all of this logic:
+
+* **real crypto**: auth tags carry actual
+  :class:`~repro.core.mccls.McCLSSignature` objects verified with the real
+  scheme (slow; used by integration tests on a toy curve);
+* **modelled crypto** (default for the figure sweeps): tags carry the
+  honest wire size and a ``forged`` bit.  Acceptance mirrors what real
+  verification would decide - attackers hold no key material, so their
+  tags are forged by construction - while CPU cost comes from the
+  :class:`~repro.netsim.crypto_model.CryptoTimingModel`.  (Note the
+  algebraic break documented in :mod:`repro.core.games` is *not* given to
+  the modelled attackers: the paper's threat model is protocol-level, and
+  the gap is explored separately by the cryptanalyst-attacker ablation.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.mccls import McCLS
+from repro.netsim.packets import AuthTag, Frame, RouteReply, RouteRequest
+from repro.netsim.routing.aodv import MY_ROUTE_TIMEOUT, AODVNode
+from repro.schemes.base import UserKeyPair
+
+#: seconds the destination waits after the first authenticated RREQ copy
+#: before answering, so late (honest) copies become reply-target candidates
+DESTINATION_REPLY_WINDOW = 0.06
+#: lifetime of collected reverse-hop candidate pools
+CANDIDATE_POOL_LIFETIME = 6.0
+
+
+def identity_of(node_id: int) -> str:
+    """The enrolled identity string of a node id."""
+    return f"node-{node_id}"
+
+
+@dataclass
+class CryptoMaterial:
+    """Key material + shared scheme handle given to every legitimate node."""
+
+    signature_bytes: int
+    scheme: Optional[McCLS] = None  # None in modelled mode
+    keys: Optional[UserKeyPair] = None
+    resolve_public_key: Optional[Callable[[str], object]] = None
+
+    @property
+    def real(self) -> bool:
+        return self.scheme is not None and self.keys is not None
+
+
+class McCLSAODVNode(AODVNode):
+    """An honest node running the authenticated protocol."""
+
+    role = "honest-mccls"
+
+    def __init__(
+        self,
+        *args,
+        material: CryptoMaterial,
+        rushing_defense: bool = True,
+        revocation=None,
+        **kwargs,
+    ):
+        kwargs.setdefault("allow_intermediate_rrep", False)
+        super().__init__(*args, **kwargs)
+        self.material = material
+        self.rushing_defense = rushing_defense
+        #: optional shared RevocationChecker (repro.core.revocation)
+        self.revocation = revocation
+        # (originator, rreq_id) -> {sender: lowest hop count heard}
+        self._candidates: Dict[Tuple[int, int], Dict[int, int]] = {}
+        self._candidate_expiry: Dict[Tuple[int, int], float] = {}
+        self._my_flood_hop: Dict[Tuple[int, int], int] = {}
+        self._latest_flood: Dict[int, Tuple[int, int]] = {}
+
+    # -- signing ------------------------------------------------------------------
+    def _make_auth(self, fields: tuple) -> AuthTag:
+        material = self.material
+        if material.real:
+            signature = material.scheme.sign(repr(fields).encode(), material.keys)
+            return AuthTag(
+                signer=identity_of(self.node_id),
+                size_bytes=material.signature_bytes,
+                signature=signature,
+            )
+        return AuthTag(
+            signer=identity_of(self.node_id), size_bytes=material.signature_bytes
+        )
+
+    def _make_rreq_auth(self, signed_fields: tuple) -> AuthTag:
+        return self._make_auth(signed_fields)
+
+    def _make_rrep_auth(self, signed_fields: tuple) -> AuthTag:
+        return self._make_auth(signed_fields)
+
+    def _make_hop_auth(self, signed_fields: tuple) -> AuthTag:
+        """Per-hop forwarder signature over (message fields, forwarder)."""
+        return self._make_auth(("hop",) + signed_fields + (self.node_id,))
+
+    # -- verification ---------------------------------------------------------------
+    def _auth_valid(
+        self, auth: Optional[AuthTag], expected_signer_id: int, fields: tuple
+    ) -> bool:
+        if auth is None or auth.forged:
+            return False
+        if auth.signer != identity_of(expected_signer_id):
+            return False
+        if self.revocation is not None and self.revocation.is_revoked(auth.signer):
+            return False  # valid signature, revoked signer
+        material = self.material
+        if material.real:
+            if auth.signature is None or material.resolve_public_key is None:
+                return False
+            public_key = material.resolve_public_key(auth.signer)
+            if public_key is None:
+                return False
+            return material.scheme.verify(
+                repr(fields).encode(), auth.signature, auth.signer, public_key
+            )
+        return True
+
+    def _hop_auth_valid(self, message, frame: Frame) -> bool:
+        """The forwarder's (or originator's) per-hop signature must match
+        the node the frame physically came from - this is what excludes
+        unenrolled nodes (both attackers) from routing entirely."""
+        fields = ("hop",) + message.signed_fields() + (frame.sender,)
+        return self._auth_valid(message.hop_auth, frame.sender, fields)
+
+    def _rreq_accept(self, frame: Frame, rreq: RouteRequest) -> bool:
+        if not self._auth_valid(rreq.auth, rreq.originator, rreq.signed_fields()):
+            self.metrics.auth_rejected += 1
+            return False
+        if not self._hop_auth_valid(rreq, frame):
+            self.metrics.auth_rejected += 1
+            return False
+        return True
+
+    def _rrep_accept(self, frame: Frame, rrep: RouteReply) -> bool:
+        # Only the destination itself may vouch for its sequence number.
+        if rrep.responder != rrep.destination:
+            self.metrics.auth_rejected += 1
+            return False
+        if not self._auth_valid(rrep.auth, rrep.destination, rrep.signed_fields()):
+            self.metrics.auth_rejected += 1
+            return False
+        if not self._hop_auth_valid(rrep, frame):
+            self.metrics.auth_rejected += 1
+            return False
+        return True
+
+    # -- per-hop re-signing -------------------------------------------------------
+    def _before_forward_rreq(self, frame: Frame, rreq: RouteRequest):
+        return replace(rreq, hop_auth=self._make_hop_auth(rreq.signed_fields()))
+
+    def _before_forward_rrep(self, rrep: RouteReply):
+        return replace(rrep, hop_auth=self._make_hop_auth(rrep.signed_fields()))
+
+    def _verify_cost(self, message) -> float:
+        verifications = (1 if message.auth else 0) + (
+            1 if getattr(message, "hop_auth", None) else 0
+        )
+        return verifications * self.crypto.verify_delay()
+
+    def _forward_sign_cost(self) -> float:
+        return self.crypto.sign_delay()
+
+    def _may_answer_from_cache(self, rreq: RouteRequest, route) -> bool:
+        return False  # destination-only replies in the secure protocol
+
+    # -- rushing defence ---------------------------------------------------------------
+    def _handle_rreq(self, frame: Frame, rreq: RouteRequest) -> None:
+        if not self.rushing_defense or rreq.originator == self.node_id:
+            super()._handle_rreq(frame, rreq)
+            return
+        # Record every authenticated copy (duplicates included) as a
+        # reverse-hop candidate, then let the normal first-copy flood
+        # processing run.  Candidate recording is gated on both the
+        # originator's and the forwarder's signatures, so an unenrolled
+        # attacker cannot even become a candidate.
+        if not self._auth_valid(
+            rreq.auth, rreq.originator, rreq.signed_fields()
+        ) or not self._hop_auth_valid(rreq, frame):
+            self.metrics.auth_rejected += 1
+            return
+        key = (rreq.originator, rreq.rreq_id)
+        pool = self._candidates.get(key)
+        if pool is None:
+            pool = {}
+            self._candidates[key] = pool
+            self._candidate_expiry[key] = self.sim.now + CANDIDATE_POOL_LIFETIME
+            self._latest_flood[rreq.originator] = key
+            if len(self._candidates) > 512:
+                self._prune_candidates()
+        known_hop = pool.get(frame.sender)
+        if known_hop is None or rreq.hop_count < known_hop:
+            pool[frame.sender] = rreq.hop_count
+        super()._handle_rreq(frame, rreq)
+
+    def _process_rreq(self, frame: Frame, rreq: RouteRequest) -> None:
+        if self.rushing_defense:
+            # Remember the hop count this node itself floods with, which
+            # upper-bounds the candidates eligible at RREP time (strictly
+            # closer to the originator => no forwarding loops).
+            key = (rreq.originator, rreq.rreq_id)
+            self._my_flood_hop[key] = rreq.hop_count + 1
+        super()._process_rreq(frame, rreq)
+
+    def _send_rrep_as_destination(self, frame: Frame, rreq: RouteRequest) -> None:
+        if not self.rushing_defense:
+            super()._send_rrep_as_destination(frame, rreq)
+            return
+        # Delay the reply so late (honest) RREQ copies become candidate
+        # reply targets, then answer a random one.
+        self.sim.schedule(
+            DESTINATION_REPLY_WINDOW, self._reply_as_destination, rreq
+        )
+
+    def _reply_as_destination(self, rreq: RouteRequest) -> None:
+        key = (rreq.originator, rreq.rreq_id)
+        pool = self._candidates.get(key)
+        if not pool:
+            return  # candidates expired; the originator will retry
+        target = self.sim.rng("rushing-defense").choice(sorted(pool))
+        self.seq_no += 1
+        signed_fields = (
+            "rrep",
+            rreq.originator,
+            self.node_id,
+            self.seq_no,
+            self.node_id,
+        )
+        rrep = RouteReply(
+            originator=rreq.originator,
+            destination=self.node_id,
+            destination_seq=self.seq_no,
+            hop_count=0,
+            lifetime=MY_ROUTE_TIMEOUT,
+            responder=self.node_id,
+            auth=self._make_rrep_auth(signed_fields),
+            hop_auth=self._make_hop_auth(signed_fields),
+        )
+        self.metrics.rrep_sent += 1
+        self.cpu_process(self.crypto.sign_delay(), self.unicast, target, rrep)
+
+    def _reverse_next_hop(self, rrep) -> Optional[int]:
+        if not self.rushing_defense:
+            return super()._reverse_next_hop(rrep)
+        key = self._latest_flood.get(rrep.originator)
+        pool = self._candidates.get(key) if key is not None else None
+        if pool:
+            my_hop = self._my_flood_hop.get(key)
+            bound = my_hop if my_hop is not None else min(pool.values()) + 1
+            eligible = sorted(
+                sender for sender, hop in pool.items() if hop < bound
+            )
+            if eligible:
+                return self.sim.rng("rushing-defense").choice(eligible)
+        return super()._reverse_next_hop(rrep)
+
+    def _prune_candidates(self) -> None:
+        now = self.sim.now
+        stale = [
+            key
+            for key, expiry in self._candidate_expiry.items()
+            if expiry <= now
+        ]
+        for key in stale:
+            self._candidates.pop(key, None)
+            self._candidate_expiry.pop(key, None)
+            self._my_flood_hop.pop(key, None)

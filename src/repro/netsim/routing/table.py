@@ -1,0 +1,125 @@
+"""The AODV routing table (RFC 3561 Section 6.1/6.2 semantics).
+
+Entries carry destination sequence numbers and lifetimes; the update rule
+("fresher sequence number wins; equal freshness, fewer hops wins") is the
+heart of AODV *and* of the black hole attack, which works precisely by
+advertising an artificially fresh sequence number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+
+@dataclass
+class RouteEntry:
+    destination: int
+    next_hop: int
+    hop_count: int
+    destination_seq: int
+    expiry: float
+    valid: bool = True
+    precursors: Set[int] = field(default_factory=set)
+
+    def is_usable(self, now: float) -> bool:
+        """Valid and unexpired at time ``now``."""
+        return self.valid and now < self.expiry
+
+
+class RoutingTable:
+    """Per-node route store with the AODV freshness-update rule."""
+
+    def __init__(self):
+        self._routes: Dict[int, RouteEntry] = {}
+
+    def lookup(self, destination: int, now: float) -> Optional[RouteEntry]:
+        """The usable route to ``destination``, or None."""
+        entry = self._routes.get(destination)
+        if entry is not None and entry.is_usable(now):
+            return entry
+        return None
+
+    def entry(self, destination: int) -> Optional[RouteEntry]:
+        """The raw entry regardless of validity (for seq-number reuse)."""
+        return self._routes.get(destination)
+
+    def update(
+        self,
+        destination: int,
+        next_hop: int,
+        hop_count: int,
+        destination_seq: int,
+        lifetime: float,
+        now: float,
+    ) -> bool:
+        """Install/refresh a route if it is *better*; returns True if taken.
+
+        Better means (RFC 3561 6.2): no current entry, or invalid entry, or
+        higher destination sequence number, or equal sequence number with a
+        smaller hop count.
+        """
+        current = self._routes.get(destination)
+        accept = (
+            current is None
+            or not current.is_usable(now)
+            or destination_seq > current.destination_seq
+            or (
+                destination_seq == current.destination_seq
+                and hop_count < current.hop_count
+            )
+        )
+        if not accept:
+            # Still refresh the lifetime of the route we keep using.
+            if current.next_hop == next_hop and current.is_usable(now):
+                current.expiry = max(current.expiry, now + lifetime)
+            return False
+        precursors = current.precursors if current is not None else set()
+        self._routes[destination] = RouteEntry(
+            destination=destination,
+            next_hop=next_hop,
+            hop_count=hop_count,
+            destination_seq=destination_seq,
+            expiry=now + lifetime,
+            valid=True,
+            precursors=precursors,
+        )
+        return True
+
+    def refresh(self, destination: int, lifetime: float, now: float) -> None:
+        """Extend an active route's lifetime (route used again)."""
+        entry = self._routes.get(destination)
+        if entry is not None and entry.valid:
+            entry.expiry = max(entry.expiry, now + lifetime)
+
+    def invalidate(self, destination: int) -> Optional[RouteEntry]:
+        """Mark a route broken; bumps the seq so stale copies lose."""
+        entry = self._routes.get(destination)
+        if entry is not None and entry.valid:
+            entry.valid = False
+            entry.destination_seq += 1
+            return entry
+        return None
+
+    def invalidate_via(self, next_hop: int):
+        """Invalidate every route through ``next_hop``; returns them."""
+        broken = []
+        for entry in self._routes.values():
+            if entry.valid and entry.next_hop == next_hop:
+                entry.valid = False
+                entry.destination_seq += 1
+                broken.append(entry)
+        return broken
+
+    def add_precursor(self, destination: int, node: int) -> None:
+        """Record a neighbour that routes through this entry."""
+        entry = self._routes.get(destination)
+        if entry is not None:
+            entry.precursors.add(node)
+
+    def destinations(self):
+        """All destinations with (possibly invalid) entries."""
+        return list(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)

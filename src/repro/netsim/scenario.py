@@ -1,0 +1,408 @@
+"""Scenario construction and execution (the paper's Section 6 setup).
+
+Defaults mirror the paper: 20 nodes in a 1500 m x 300 m rectangle, random
+waypoint with pause time 0 s, node speeds swept 0-20 m/s, AODV vs
+McCLS-AODV, and optionally 2 black-hole or 2 rushing attacker nodes.
+
+A scenario is fully described by one :class:`ScenarioConfig`; `run()`
+builds the simulator, nodes, flows and attackers from the seed, executes,
+and returns the metric report.  The same seed produces the same mobility
+and traffic for every protocol/attack variant, so curves in one figure
+differ only by the thing the figure varies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.core.mccls import McCLS
+from repro.core.serialization import mccls_signature_size
+from repro.errors import SimulationError
+from repro.netsim.attacks import ATTACK_ROLES
+from repro.netsim.crypto_model import CryptoTimingModel, OperationCosts
+from repro.netsim.engine import Simulator
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.mobility import RandomWaypoint
+from repro.netsim.radio import RadioMedium
+from repro.netsim.routing.aodv import AODVNode
+from repro.netsim.routing.secure_aodv import (
+    CryptoMaterial,
+    McCLSAODVNode,
+    identity_of,
+)
+from repro.netsim.traffic import CBRFlow, FlowSpec
+from repro.pairing.bn import bn254, toy_curve
+from repro.pairing.groups import PairingContext
+
+PROTOCOLS = ("aodv", "mccls", "pki")
+ATTACKS = (
+    None,
+    "blackhole",
+    "rushing",
+    "blackhole-cryptanalyst",
+    "blackhole-insider",
+    "wormhole",
+    "grayhole",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything that defines one simulation run."""
+
+    # topology / mobility (paper defaults)
+    n_nodes: int = 20
+    area_width: float = 1500.0
+    area_height: float = 300.0
+    max_speed: float = 10.0
+    pause_time: float = 0.0
+    # radio
+    range_m: float = 320.0
+    bitrate_bps: float = 2_000_000.0
+    loss_rate: float = 0.01
+    broadcast_jitter_s: float = 0.01
+    # traffic
+    n_flows: int = 6
+    cbr_interval_s: float = 0.25
+    cbr_payload_bytes: int = 512
+    traffic_start_s: float = 5.0
+    sim_time_s: float = 120.0
+    #: HELLO beacon interval in seconds (0 disables; RFC 3561 uses 1.0)
+    hello_interval: float = 0.0
+    # protocol & security
+    protocol: str = "aodv"  # "aodv" | "mccls"
+    attack: Optional[str] = None  # None | "blackhole" | "rushing"
+    n_attackers: int = 2
+    blackhole_fake_seq_boost: int = 0
+    blackhole_reply_radius: int = 1
+    rushing_defense: bool = False
+    #: if set (McCLS protocol only), the KGC distributes a revocation list
+    #: naming every attacker at this simulated time - the response to the
+    #: insider attack (repro.core.revocation); modelled as reaching all
+    #: honest nodes simultaneously
+    revocation_time_s: Optional[float] = None
+    crypto_speedup: float = 1.0
+    crypto_costs: OperationCosts = field(default_factory=OperationCosts)
+    real_crypto: bool = False
+    # reproducibility
+    seed: int = 1
+
+    def validate(self) -> None:
+        """Raise SimulationError on inconsistent settings."""
+        if self.protocol not in PROTOCOLS:
+            raise SimulationError(f"unknown protocol {self.protocol!r}")
+        if self.attack not in ATTACKS:
+            raise SimulationError(f"unknown attack {self.attack!r}")
+        if self.n_nodes < 2:
+            raise SimulationError("need at least two nodes")
+        attackers = self.n_attackers if self.attack else 0
+        if 2 * self.n_flows > self.n_nodes - attackers:
+            raise SimulationError(
+                "not enough honest nodes for disjoint flow endpoints"
+            )
+
+    def with_(self, **changes) -> "ScenarioConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class ScenarioResult:
+    config: ScenarioConfig
+    metrics: MetricsCollector
+    events_executed: int
+    attacker_ids: List[int]
+
+    def report(self) -> Dict[str, float]:
+        """The metric report of the completed run."""
+        return self.metrics.report()
+
+
+def _build_crypto_material(config: ScenarioConfig, n_honest_ids: List[int]):
+    """Key material per honest node id (and the signature size in bytes)."""
+    if config.protocol == "pki":
+        from repro.netsim.routing.pki_aodv import build_pki_material
+
+        curve = toy_curve(64) if config.real_crypto else bn254()
+        materials = build_pki_material(
+            curve,
+            n_honest_ids,
+            real=config.real_crypto,
+            seed=config.seed ^ 0x911,
+        )
+        tag_bytes = next(iter(materials.values())).auth_tag_bytes if materials else 0
+        return materials, tag_bytes
+    if config.protocol != "mccls":
+        return {}, 0
+    if config.real_crypto:
+        curve = toy_curve(64)
+        ctx = PairingContext(curve, random.Random(config.seed ^ 0xC0DE))
+        scheme = McCLS(ctx, precompute_s=True)
+        directory = {}
+        materials = {}
+        signature_bytes = mccls_signature_size(bn254())  # honest wire size
+        for node_id in n_honest_ids:
+            keys = scheme.generate_user_keys(identity_of(node_id))
+            directory[keys.identity] = keys.public_key
+            materials[node_id] = CryptoMaterial(
+                signature_bytes=signature_bytes,
+                scheme=scheme,
+                keys=keys,
+                resolve_public_key=directory.get,
+            )
+        return materials, signature_bytes
+    signature_bytes = mccls_signature_size(bn254())
+    materials = {
+        node_id: CryptoMaterial(signature_bytes=signature_bytes)
+        for node_id in n_honest_ids
+    }
+    return materials, signature_bytes
+
+
+def _sample_connected_endpoints(
+    rng: random.Random,
+    honest_ids: List[int],
+    positions: Dict[int, tuple],
+    range_m: float,
+    n_flows: int,
+) -> List[int]:
+    """Sample 2*n_flows disjoint endpoints with initially-connected pairs.
+
+    Connectivity is evaluated on the unit-disk graph of honest nodes at
+    t = 0.  Falls back to unconstrained sampling if the topology cannot
+    support the requested number of connected disjoint pairs.
+    """
+    components = _connected_components(honest_ids, positions, range_m)
+    component_of = {
+        nid: index for index, comp in enumerate(components) for nid in comp
+    }
+    for _ in range(64):
+        available = list(honest_ids)
+        rng.shuffle(available)
+        endpoints: List[int] = []
+        for _flow in range(n_flows):
+            pair = _pick_connected_pair(available, component_of)
+            if pair is None:
+                break
+            endpoints.extend(pair)
+            available.remove(pair[0])
+            available.remove(pair[1])
+        if len(endpoints) == 2 * n_flows:
+            return endpoints
+    return rng.sample(honest_ids, 2 * n_flows)  # degenerate topology
+
+
+def _pick_connected_pair(available: List[int], component_of: Dict[int, int]):
+    by_component: Dict[int, List[int]] = {}
+    for nid in available:
+        by_component.setdefault(component_of[nid], []).append(nid)
+    for members in by_component.values():
+        if len(members) >= 2:
+            return members[0], members[1]
+    return None
+
+
+def _connected_components(
+    honest_ids: List[int], positions: Dict[int, tuple], range_m: float
+) -> List[List[int]]:
+    from repro.netsim.mobility import distance
+
+    unvisited = set(honest_ids)
+    components = []
+    while unvisited:
+        start = min(unvisited)
+        frontier = [start]
+        unvisited.discard(start)
+        component = [start]
+        while frontier:
+            current = frontier.pop()
+            reachable = [
+                other
+                for other in unvisited
+                if distance(positions[current], positions[other]) <= range_m
+            ]
+            for other in reachable:
+                unvisited.discard(other)
+                frontier.append(other)
+                component.append(other)
+        components.append(component)
+    return components
+
+
+def build_scenario(config: ScenarioConfig):
+    """Construct (simulator, nodes, flows, metrics, attacker_ids)."""
+    config.validate()
+    sim = Simulator(seed=config.seed)
+    metrics = MetricsCollector()
+    radio = RadioMedium(
+        sim,
+        range_m=config.range_m,
+        bitrate_bps=config.bitrate_bps,
+        loss_rate=config.loss_rate,
+        broadcast_jitter_s=config.broadcast_jitter_s,
+    )
+
+    layout_rng = sim.rng("layout")
+    all_ids = list(range(config.n_nodes))
+    attacker_ids: List[int] = []
+    if config.attack:
+        attacker_ids = sorted(layout_rng.sample(all_ids, config.n_attackers))
+    honest_ids = [nid for nid in all_ids if nid not in attacker_ids]
+
+    def make_mobility(node_id: int) -> RandomWaypoint:
+        return RandomWaypoint(
+            config.area_width,
+            config.area_height,
+            config.max_speed,
+            sim.rng(f"mobility-{node_id}"),
+            pause_time=config.pause_time,
+        )
+
+    mobilities = {node_id: make_mobility(node_id) for node_id in all_ids}
+
+    # Flow endpoints are honest, pairwise disjoint, and initially connected
+    # through honest relays (a flow between nodes that can never reach each
+    # other measures topology luck, not the routing protocol).  With
+    # mobility the pairs may still disconnect later, which is the effect
+    # the speed sweep studies.
+    positions = {nid: mobilities[nid].position(0.0) for nid in honest_ids}
+    endpoints = _sample_connected_endpoints(
+        layout_rng, honest_ids, positions, config.range_m, config.n_flows
+    )
+    flow_specs = [
+        FlowSpec(
+            flow_id=i,
+            source=endpoints[2 * i],
+            destination=endpoints[2 * i + 1],
+            interval_s=config.cbr_interval_s,
+            payload_bytes=config.cbr_payload_bytes,
+            start_s=config.traffic_start_s + 0.13 * i,
+            stop_s=config.sim_time_s,
+        )
+        for i in range(config.n_flows)
+    ]
+
+    materials, signature_bytes = _build_crypto_material(config, honest_ids)
+    crypto_scheme = {
+        "aodv": "none",
+        "mccls": "mccls",
+        "pki": "ecdsa-pki",
+    }[config.protocol]
+    crypto_model = CryptoTimingModel(
+        scheme=crypto_scheme,
+        costs=config.crypto_costs,
+        speedup=config.crypto_speedup,
+    )
+
+    revocation_checker = None
+    if config.protocol == "mccls" and config.revocation_time_s is not None:
+        from repro.core.revocation import RevocationChecker, RevocationList
+
+        revocation_checker = RevocationChecker()
+        crl = RevocationList(
+            version=1,
+            revoked=frozenset(
+                identity_of(attacker) for attacker in attacker_ids
+            ),
+        )
+
+        def distribute_revocation() -> None:
+            revocation_checker.apply(crl)
+            # Nodes acting on a CRL also purge routes through the revoked
+            # members; otherwise refresh-on-use keeps poisoned routes alive.
+            for node_id, node in nodes.items():
+                if node_id in attacker_ids:
+                    continue
+                for attacker in attacker_ids:
+                    node.table.invalidate_via(attacker)
+
+        sim.schedule_at(config.revocation_time_s, distribute_revocation)
+
+    nodes: Dict[int, AODVNode] = {}
+    for node_id in all_ids:
+        mobility = mobilities[node_id]
+        if node_id in attacker_ids:
+            attacker_cls = ATTACK_ROLES[config.attack]
+            kwargs = {}
+            if config.attack in (
+                "blackhole",
+                "blackhole-cryptanalyst",
+                "blackhole-insider",
+                "grayhole",
+            ):
+                kwargs["signature_bytes"] = signature_bytes
+                kwargs["fake_seq_boost"] = config.blackhole_fake_seq_boost
+                kwargs["reply_radius_hops"] = config.blackhole_reply_radius
+            nodes[node_id] = attacker_cls(
+                node_id,
+                sim,
+                radio,
+                mobility,
+                metrics,
+                crypto=CryptoTimingModel("none"),
+                **kwargs,
+            )
+        elif config.protocol == "mccls":
+            nodes[node_id] = McCLSAODVNode(
+                node_id,
+                sim,
+                radio,
+                mobility,
+                metrics,
+                crypto=crypto_model,
+                material=materials[node_id],
+                rushing_defense=config.rushing_defense,
+                revocation=revocation_checker,
+                hello_interval=config.hello_interval,
+            )
+        elif config.protocol == "pki":
+            from repro.netsim.routing.pki_aodv import PKIAODVNode
+
+            nodes[node_id] = PKIAODVNode(
+                node_id,
+                sim,
+                radio,
+                mobility,
+                metrics,
+                crypto=crypto_model,
+                material=materials[node_id],
+                hello_interval=config.hello_interval,
+            )
+        else:
+            nodes[node_id] = AODVNode(
+                node_id,
+                sim,
+                radio,
+                mobility,
+                metrics,
+                crypto=crypto_model,
+                hello_interval=config.hello_interval,
+            )
+
+    if config.attack == "wormhole":
+        endpoints = [nodes[attacker] for attacker in attacker_ids]
+        for left, right in zip(endpoints[0::2], endpoints[1::2]):
+            left.pair_with(right)
+
+    flows = [CBRFlow(sim, spec, nodes[spec.source]) for spec in flow_specs]
+    return sim, nodes, flows, metrics, attacker_ids
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build and run one scenario to completion."""
+    sim, nodes, flows, metrics, attacker_ids = build_scenario(config)
+    # Let queued deliveries/drain events settle a little past traffic stop.
+    sim.run(until=config.sim_time_s + 5.0)
+    return ScenarioResult(
+        config=config,
+        metrics=metrics,
+        events_executed=sim.events_executed,
+        attacker_ids=attacker_ids,
+    )
+
+
+def paper_speed_sweep() -> List[float]:
+    """The x-axis of Figures 1-5."""
+    return [0.0, 5.0, 10.0, 15.0, 20.0]

@@ -1,0 +1,283 @@
+"""Barreto-Naehrig (BN) pairing-friendly curves.
+
+A BN curve is parameterised by an integer ``t``:
+
+* base field prime   p(t) = 36t^4 + 36t^3 + 24t^2 + 6t + 1
+* group order        n(t) = 36t^4 + 36t^3 + 18t^2 + 6t + 1
+* Frobenius trace    tr(t) = 6t^2 + 1
+* optimal-ate loop   6t + 2
+
+G1 = E(Fp) with E: y^2 = x^3 + b (prime order n, cofactor 1).
+G2 = the n-torsion subgroup of the D-type sextic twist E': y^2 = x^3 + b/xi
+over Fp2, where xi = xi_a + i is a non-square non-cube in Fp2.  The twist
+group order is n * h2 with cofactor h2 = 2p - n.
+
+:func:`bn_curve` derives everything from ``t`` (searching for b, xi and
+generators), verifying each choice.  :data:`BN254` is the standard
+alt_bn128 curve (t = 4965661367192848881); :func:`toy_curve` generates small
+curves (e.g. ~64-bit p) that exercise exactly the same code paths at test
+speed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Optional
+
+from repro.errors import CurveError, ParameterError
+from repro.pairing.curve import CurvePoint, EllipticCurve
+from repro.pairing.fields import FieldSpec, Fp, Fp2
+from repro.pairing.numbers import is_probable_prime, legendre_symbol, sqrt_mod
+
+# The alt_bn128 / BN254 parameter, as used by Ethereum and py_ecc.
+BN254_T = 4965661367192848881
+
+
+@dataclass(frozen=True)
+class BNCurve:
+    """A fully-derived BN curve: fields, curves, generators, pairing data."""
+
+    t: int
+    p: int
+    n: int
+    trace: int
+    b: int
+    spec: FieldSpec
+    g1_curve: EllipticCurve
+    g2_curve: EllipticCurve
+    g1: CurvePoint
+    g2: CurvePoint
+    twist_cofactor: int
+    ate_loop_count: int
+    final_exp_power: int
+    # Frobenius constants on the twist: gamma2 = xi^((p-1)/3),
+    # gamma3 = xi^((p-1)/2), both in Fp2.
+    frob_gamma2: Fp2 = field(repr=False, default=None)  # type: ignore[assignment]
+    frob_gamma3: Fp2 = field(repr=False, default=None)  # type: ignore[assignment]
+    name: str = "bn"
+
+    @property
+    def xi_a(self) -> int:
+        return self.spec.xi_a
+
+    def random_scalar(self, rng: random.Random) -> int:
+        """A uniform non-zero scalar modulo the group order."""
+        return rng.randrange(1, self.n)
+
+    def g1_point(self, x: int, y: int) -> CurvePoint:
+        """Construct and validate a G1 point from integer coordinates."""
+        return self.g1_curve.point(self.spec.fp(x), self.spec.fp(y))
+
+    def g2_point(self, x0: int, x1: int, y0: int, y1: int) -> CurvePoint:
+        """Construct and validate a G2 point from Fp2 coefficient pairs."""
+        return self.g2_curve.point(self.spec.fp2(x0, x1), self.spec.fp2(y0, y1))
+
+    def in_g1(self, point: CurvePoint) -> bool:
+        """Subgroup membership check for G1 (full order-n check)."""
+        return self.g1_curve.contains(point) and (point * self.n).is_infinity()
+
+    def in_g2(self, point: CurvePoint) -> bool:
+        """Subgroup membership check for G2 (full order-n check)."""
+        return self.g2_curve.contains(point) and (point * self.n).is_infinity()
+
+
+def bn_parameters(t: int):
+    """Return (p, n, trace) for BN parameter t; raise if non-prime."""
+    p = 36 * t**4 + 36 * t**3 + 24 * t**2 + 6 * t + 1
+    n = 36 * t**4 + 36 * t**3 + 18 * t**2 + 6 * t + 1
+    trace = 6 * t**2 + 1
+    if not is_probable_prime(p):
+        raise ParameterError(f"BN p(t) is not prime for t={t}")
+    if not is_probable_prime(n):
+        raise ParameterError(f"BN n(t) is not prime for t={t}")
+    if p % 4 != 3:
+        raise ParameterError(f"BN p(t) != 3 (mod 4) for t={t}; tower needs i^2=-1")
+    return p, n, trace
+
+
+def _find_b_and_g1(spec: FieldSpec, n: int):
+    """Smallest b with E: y^2 = x^3 + b of order n, plus a generator."""
+    p = spec.p
+    for b in range(1, 10_000):
+        curve = EllipticCurve(spec.fp(b), order=n, name=f"E(Fp)+{b}")
+        for x in range(1, 1_000):
+            rhs = (x * x * x + b) % p
+            if legendre_symbol(rhs, p) != 1:
+                continue
+            y = sqrt_mod(rhs, p)
+            point = curve.unsafe_point(spec.fp(x), spec.fp(y))
+            if not point.is_on_curve():  # pragma: no cover - defensive
+                continue
+            if (point * n).is_infinity():
+                return b, curve, point
+            break  # wrong group order: this b is not the BN curve
+    raise CurveError("no suitable b found for BN curve")  # pragma: no cover
+
+
+def _xi_is_non_square_non_cube(spec: FieldSpec, xi: Fp2) -> bool:
+    p = spec.p
+    order = p * p - 1
+    if (xi ** (order // 2)) == 1:
+        return False
+    if order % 3 == 0 and (xi ** (order // 3)) == 1:
+        return False
+    return True
+
+
+def _find_twist(spec: FieldSpec, b: int, n: int, p: int):
+    """Find xi = a + i giving the D-type twist of order n*(2p-n), plus G2."""
+    h2 = 2 * p - n
+    rng = random.Random(0x5EED)
+    for a in range(1, 64):
+        candidate_spec = FieldSpec(p, a)
+        xi = candidate_spec.fp2(a, 1)
+        if not _xi_is_non_square_non_cube(candidate_spec, xi):
+            continue
+        b2 = candidate_spec.fp2(b, 0) / xi
+        twist = EllipticCurve(b2, order=n, name=f"E'(Fp2) xi={a}+i")
+        g2 = _g2_generator(candidate_spec, twist, b2, n, h2, rng)
+        if g2 is not None:
+            return candidate_spec, twist, g2
+    raise CurveError("no suitable twist found")  # pragma: no cover
+
+
+def _g2_generator(
+    spec: FieldSpec,
+    twist: EllipticCurve,
+    b2: Fp2,
+    n: int,
+    h2: int,
+    rng: random.Random,
+) -> Optional[CurvePoint]:
+    """Try to find an order-n point on the twist via cofactor clearing."""
+    for _ in range(24):
+        x = spec.fp2(rng.randrange(spec.p), rng.randrange(spec.p))
+        rhs = x * x * x + b2
+        if not rhs.is_square():
+            continue
+        y = rhs.sqrt()
+        point = twist.unsafe_point(x, y)
+        cleared = point * h2
+        if cleared.is_infinity():
+            continue
+        if (cleared * n).is_infinity():
+            return cleared
+        return None  # wrong twist class: order does not divide n*h2
+    return None  # pragma: no cover - extremely unlikely with 24 draws
+
+
+def derive_bn_curve(t: int, name: str = "") -> BNCurve:
+    """Derive a complete BN curve (fields, twist, generators) from ``t``."""
+    if t <= 0:
+        raise ParameterError("BN parameter t must be positive here (loop 6t+2)")
+    p, n, trace = bn_parameters(t)
+    base_spec = FieldSpec(p, 1)  # temporary spec just for G1 search
+    b, _, _ = _find_b_and_g1(base_spec, n)
+    spec, twist_curve, g2 = _find_twist(base_spec, b, n, p)
+    # Re-derive the G1 curve/generator on the final spec (correct xi_a).
+    b_final, g1_curve, g1 = _find_b_and_g1(spec, n)
+    assert b_final == b
+    gamma2 = spec.fp2(spec.xi_a, 1) ** ((p - 1) // 3)
+    gamma3 = spec.fp2(spec.xi_a, 1) ** ((p - 1) // 2)
+    return BNCurve(
+        t=t,
+        p=p,
+        n=n,
+        trace=trace,
+        b=b,
+        spec=spec,
+        g1_curve=g1_curve,
+        g2_curve=twist_curve,
+        g1=g1,
+        g2=g2,
+        twist_cofactor=2 * p - n,
+        ate_loop_count=6 * t + 2,
+        final_exp_power=(p**12 - 1) // n,
+        frob_gamma2=gamma2,
+        frob_gamma3=gamma3,
+        name=name or f"bn-t{t}",
+    )
+
+
+@lru_cache(maxsize=None)
+def bn254() -> BNCurve:
+    """The standard 254-bit BN curve (alt_bn128 parameters, b = 3, xi = 9+i).
+
+    Constructed from the published constants rather than searched, then
+    checked; this is the curve Ethereum's precompiles and py_ecc use.
+    """
+    t = BN254_T
+    p, n, trace = bn_parameters(t)
+    spec = FieldSpec(p, 9)
+    xi = spec.fp2(9, 1)
+    if not _xi_is_non_square_non_cube(spec, xi):  # pragma: no cover
+        raise CurveError("xi = 9+i unexpectedly invalid for BN254")
+    b = 3
+    g1_curve = EllipticCurve(spec.fp(b), order=n, name="alt_bn128 G1")
+    g1 = g1_curve.point(spec.fp(1), spec.fp(2))
+    b2 = spec.fp2(b, 0) / xi
+    g2_curve = EllipticCurve(b2, order=n, name="alt_bn128 G2")
+    g2 = g2_curve.point(
+        spec.fp2(
+            10857046999023057135944570762232829481370756359578518086990519993285655852781,
+            11559732032986387107991004021392285783925812861821192530917403151452391805634,
+        ),
+        spec.fp2(
+            8495653923123431417604973247489272438418190587263600148770280649306958101930,
+            4082367875863433681332203403145435568316851327593401208105741076214120093531,
+        ),
+    )
+    gamma2 = xi ** ((p - 1) // 3)
+    gamma3 = xi ** ((p - 1) // 2)
+    return BNCurve(
+        t=t,
+        p=p,
+        n=n,
+        trace=trace,
+        b=b,
+        spec=spec,
+        g1_curve=g1_curve,
+        g2_curve=g2_curve,
+        g1=g1,
+        g2=g2,
+        twist_cofactor=2 * p - n,
+        ate_loop_count=6 * t + 2,
+        final_exp_power=(p**12 - 1) // n,
+        frob_gamma2=gamma2,
+        frob_gamma3=gamma3,
+        name="bn254",
+    )
+
+
+def _search_t(start: int) -> int:
+    """Smallest t >= start with p(t), n(t) prime and p = 3 (mod 4)."""
+    t = start
+    while True:
+        try:
+            bn_parameters(t)
+            return t
+        except ParameterError:
+            t += 1
+
+
+@lru_cache(maxsize=None)
+def toy_curve(bits: int = 64) -> BNCurve:
+    """A small BN curve whose prime p has roughly ``bits`` bits.
+
+    p(t) ~ 36 t^4, so t ~ (2^bits / 36)^(1/4).  The same derivation code as
+    production curves; pairings on the result take milliseconds, which keeps
+    the test suite fast while exercising every code path.
+    """
+    if bits < 24 or bits > 128:
+        raise ParameterError("toy curves supported for 24..128-bit primes")
+    t_start = max(2, round((2 ** bits / 36) ** 0.25))
+    t = _search_t(t_start)
+    return derive_bn_curve(t, name=f"bn-toy{bits}")
+
+
+@lru_cache(maxsize=None)
+def default_test_curve() -> BNCurve:
+    """The curve used throughout the test suite (fast, ~64-bit prime)."""
+    return toy_curve(64)

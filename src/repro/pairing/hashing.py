@@ -1,0 +1,151 @@
+"""Hash functions onto pairing groups and scalars.
+
+The paper's scheme needs two random oracles:
+
+* ``H1: {0,1}* -> G``   (identity hashing; here onto G2, see DESIGN.md 4.1)
+* ``H2: {0,1}* x G1 x G1 -> Zp``  (message/commitment hashing to a scalar)
+
+Both are built from SHA-256 with domain separation and counter-based
+expansion.  G1/G2 point hashing uses try-and-increment: derive a candidate
+x-coordinate, test the curve equation for a square, take the canonical
+square root, and (for G2) clear the twist cofactor so the result lands in
+the prime-order subgroup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Union
+
+from repro.errors import CurveError
+from repro.pairing.bn import BNCurve
+from repro.pairing.curve import CurvePoint
+from repro.pairing.numbers import legendre_symbol, sqrt_mod
+
+Encodable = Union[bytes, str, int, CurvePoint]
+
+_MAX_TRIES = 512
+
+
+def _to_bytes(item: Encodable) -> bytes:
+    """Canonical, unambiguous byte encoding for hash inputs."""
+    if isinstance(item, bytes):
+        return b"B" + len(item).to_bytes(4, "big") + item
+    if isinstance(item, str):
+        raw = item.encode("utf-8")
+        return b"S" + len(raw).to_bytes(4, "big") + raw
+    if isinstance(item, int):
+        raw = item.to_bytes((item.bit_length() + 8) // 8 or 1, "big", signed=False)
+        return b"I" + len(raw).to_bytes(4, "big") + raw
+    if isinstance(item, CurvePoint):
+        return b"P" + _point_bytes(item)
+    raise TypeError(f"cannot hash {type(item).__name__}")
+
+
+def _point_bytes(point: CurvePoint) -> bytes:
+    if point.is_infinity():
+        return b"\x00inf"
+    coords = []
+    for coord in (point.x, point.y):
+        if hasattr(coord, "value"):  # Fp
+            coords.append(coord.value)
+        else:  # Fp2
+            coords.extend((coord.c0, coord.c1))
+    blob = b"".join(c.to_bytes((c.bit_length() + 8) // 8 or 1, "big") for c in coords)
+    return len(blob).to_bytes(4, "big") + blob
+
+
+def hash_bytes(domain: bytes, items: Iterable[Encodable]) -> bytes:
+    """Domain-separated SHA-256 over framed items."""
+    digest = hashlib.sha256()
+    digest.update(b"repro:" + domain + b":")
+    for item in items:
+        digest.update(_to_bytes(item))
+    return digest.digest()
+
+
+def expand_to_int(domain: bytes, items: Iterable[Encodable], bits: int) -> int:
+    """Counter-mode SHA-256 expansion to an integer of at least ``bits`` bits."""
+    seed = hash_bytes(domain, list(items))
+    blocks = []
+    counter = 0
+    while len(blocks) * 256 < bits + 128:
+        blocks.append(
+            hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
+        )
+        counter += 1
+    return int.from_bytes(b"".join(blocks), "big")
+
+
+def hash_to_scalar(curve: BNCurve, domain: bytes, *items: Encodable) -> int:
+    """Hash arbitrary items to a non-zero scalar in Z_n (the group order).
+
+    The 128 extra expansion bits make the modular bias negligible.
+    """
+    value = expand_to_int(domain, items, curve.n.bit_length()) % curve.n
+    return value if value != 0 else 1
+
+
+def hash_to_g1(curve: BNCurve, domain: bytes, *items: Encodable) -> CurvePoint:
+    """Try-and-increment hash onto the prime-order group G1 = E(Fp)."""
+    p = curve.p
+    spec = curve.spec
+    for counter in range(_MAX_TRIES):
+        x = expand_to_int(domain + b"/g1", list(items) + [counter], p.bit_length()) % p
+        rhs = (x * x * x + curve.b) % p
+        if legendre_symbol(rhs, p) != 1:
+            continue
+        y = sqrt_mod(rhs, p)
+        if y % 2 == 1:
+            y = p - y  # canonical (even) root for determinism
+        point = curve.g1_curve.unsafe_point(spec.fp(x), spec.fp(y))
+        # BN G1 has cofactor 1, so any curve point is already in the subgroup.
+        return point
+    raise CurveError("hash_to_g1 failed to find a curve point")  # pragma: no cover
+
+
+def hash_to_g2(curve: BNCurve, domain: bytes, *items: Encodable) -> CurvePoint:
+    """Try-and-increment hash onto G2 (twist subgroup of order n).
+
+    A candidate twist point is found first, then multiplied by the twist
+    cofactor 2p - n to land in the prime-order subgroup.
+    """
+    p = curve.p
+    spec = curve.spec
+    for counter in range(_MAX_TRIES):
+        raw = expand_to_int(
+            domain + b"/g2", list(items) + [counter], 2 * p.bit_length() + 64
+        )
+        x = spec.fp2(raw % p, (raw >> p.bit_length()) % p)
+        rhs = x * x * x + curve.g2_curve.b
+        if not rhs.is_square():
+            continue
+        y = rhs.sqrt()
+        if (y.c1, y.c0) > ((p - y.c1) % p, (p - y.c0) % p):
+            y = -y  # canonical root
+        point = curve.g2_curve.unsafe_point(x, y) * curve.twist_cofactor
+        if point.is_infinity():
+            continue  # pragma: no cover - probability ~ 1/n
+        return point
+    raise CurveError("hash_to_g2 failed to find a curve point")  # pragma: no cover
+
+
+def hash_identity(curve: BNCurve, identity: Union[str, bytes]) -> CurvePoint:
+    """The paper's H1: map an identity string to Q_ID (in G2; DESIGN.md 4.1).
+
+    Identities are canonicalised to text so that ``b"alice"`` and
+    ``"alice"`` name the same principal.
+    """
+    if isinstance(identity, bytes):
+        identity = identity.decode("utf-8")
+    return hash_to_g2(curve, b"H1", identity)
+
+
+def hash_h2(
+    curve: BNCurve,
+    message: Union[str, bytes],
+    commitment: CurvePoint,
+    public_key: CurvePoint,
+) -> int:
+    """The paper's H2(M, R, P_ID) -> Z_p scalar."""
+    return hash_to_scalar(curve, b"H2", message, commitment, public_key)

@@ -1,0 +1,144 @@
+"""Number-theoretic helpers for the pairing substrate.
+
+Pure-Python implementations of primality testing, modular inversion and
+modular square roots.  These are the only number-theory primitives the rest
+of the library needs; they work on arbitrary-precision ``int`` values.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import FieldError
+
+# Deterministic Miller-Rabin witness sets.  For n < 3.3e24 the first set is a
+# proven deterministic test; for larger n we add random witnesses for a
+# 2^-128 error bound, which is ample for parameter *generation* (the shipped
+# BN254 parameters are standard and independently known to be prime).
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+_DETERMINISTIC_BOUND = 3317044064679887385961981
+
+
+def is_probable_prime(n: int, extra_rounds: int = 32) -> bool:
+    """Return True if ``n`` is prime (deterministic below ~3.3e24).
+
+    Uses trial division by small primes followed by Miller-Rabin.  Below the
+    deterministic bound the witness set proves primality; above it the test
+    is probabilistic with error below 4**-extra_rounds.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    def witness_composite(a: int) -> bool:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            return False
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                return False
+        return True
+
+    for a in _DETERMINISTIC_WITNESSES:
+        if a >= n:
+            continue
+        if witness_composite(a):
+            return False
+    if n < _DETERMINISTIC_BOUND:
+        return True
+
+    rng = random.Random(0xC0FFEE ^ n)
+    for _ in range(extra_rounds):
+        a = rng.randrange(2, n - 1)
+        if witness_composite(a):
+            return False
+    return True
+
+
+def inverse_mod(a: int, m: int) -> int:
+    """Return the multiplicative inverse of ``a`` modulo ``m``.
+
+    Raises :class:`FieldError` when ``a`` is not invertible (shares a factor
+    with ``m``), which for prime ``m`` means ``a == 0 (mod m)``.
+    """
+    a %= m
+    if a == 0:
+        raise FieldError("division by zero in modular inverse")
+    # Python 3.8+: pow with negative exponent performs the extended-gcd
+    # inversion in C, which is considerably faster than a Python-level loop.
+    try:
+        return pow(a, -1, m)
+    except ValueError as exc:  # pragma: no cover - non-prime modulus misuse
+        raise FieldError(f"{a} is not invertible modulo {m}") from exc
+
+
+def legendre_symbol(a: int, p: int) -> int:
+    """Return the Legendre symbol (a/p) in {-1, 0, 1} for odd prime p."""
+    a %= p
+    if a == 0:
+        return 0
+    ls = pow(a, (p - 1) // 2, p)
+    return -1 if ls == p - 1 else 1
+
+
+def sqrt_mod(a: int, p: int) -> int:
+    """Return a square root of ``a`` modulo the odd prime ``p``.
+
+    Raises :class:`FieldError` when ``a`` is a quadratic non-residue.  Uses
+    the p = 3 (mod 4) shortcut when available, else Tonelli-Shanks.
+    """
+    a %= p
+    if a == 0:
+        return 0
+    if legendre_symbol(a, p) != 1:
+        raise FieldError(f"{a} is not a quadratic residue modulo {p}")
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+
+    # Tonelli-Shanks for p = 1 (mod 4).
+    q = p - 1
+    s = 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = 2
+    while legendre_symbol(z, p) != -1:
+        z += 1
+    m = s
+    c = pow(z, q, p)
+    t = pow(a, q, p)
+    result = pow(a, (q + 1) // 2, p)
+    while t != 1:
+        t2 = t
+        i = 0
+        while t2 != 1:
+            t2 = (t2 * t2) % p
+            i += 1
+            if i == m:  # pragma: no cover - guarded by residue check above
+                raise FieldError("Tonelli-Shanks failed; modulus not prime?")
+        b = pow(c, 1 << (m - i - 1), p)
+        m = i
+        c = (b * b) % p
+        t = (t * c) % p
+        result = (result * b) % p
+    return result
+
+
+def bit_length_of(n: int) -> int:
+    """Bit length of ``abs(n)`` (0 for n == 0); thin wrapper for symmetry."""
+    return abs(n).bit_length()

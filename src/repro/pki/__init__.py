@@ -1,0 +1,26 @@
+"""Traditional-PKI baseline: ECDSA and a certificate authority.
+
+The paper's introduction motivates certificateless crypto by the cost and
+complexity of certificate management in PKI-based MANET schemes; this
+subpackage implements that baseline so the comparison is runnable.
+"""
+
+from repro.pki.ca import (
+    Certificate,
+    CertificateAuthority,
+    CertifiedIdentity,
+    enroll_identity,
+    verify_chain,
+)
+from repro.pki.ecdsa import ECDSA, ECDSAKeyPair, ECDSASignature
+
+__all__ = [
+    "ECDSA",
+    "ECDSAKeyPair",
+    "ECDSASignature",
+    "Certificate",
+    "CertificateAuthority",
+    "CertifiedIdentity",
+    "enroll_identity",
+    "verify_chain",
+]

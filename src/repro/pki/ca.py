@@ -1,0 +1,175 @@
+"""A minimal but complete certificate authority for the PKI baseline.
+
+Models exactly the machinery whose cost the paper's introduction argues
+certificateless crypto removes: certificates binding identity to public
+key, chains up to a root, expiry, and a revocation list.  Used by the PKI
+comparison example and the Table 1 context benchmarks (verifying a PKI
+signature = verifying the signature + walking the chain + checking the
+CRL, i.e. one extra ECDSA verify per chain link).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import CertificateError
+from repro.pairing.bn import BNCurve, default_test_curve
+from repro.pairing.curve import CurvePoint
+from repro.pki.ecdsa import ECDSA, ECDSAKeyPair, ECDSASignature
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed (subject, public key, validity) binding."""
+
+    serial: int
+    subject: str
+    issuer: str
+    public_key: CurvePoint
+    not_before: float
+    not_after: float
+    signature: ECDSASignature
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed encoding (everything except the signature)."""
+        x = self.public_key.x.value if not self.public_key.is_infinity() else 0
+        y = self.public_key.y.value if not self.public_key.is_infinity() else 0
+        return "|".join(
+            [
+                str(self.serial),
+                self.subject,
+                self.issuer,
+                str(x),
+                str(y),
+                repr(self.not_before),
+                repr(self.not_after),
+            ]
+        ).encode("utf-8")
+
+
+class CertificateAuthority:
+    """Issues, verifies and revokes certificates; may be chained."""
+
+    def __init__(
+        self,
+        name: str,
+        curve: Optional[BNCurve] = None,
+        parent: Optional["CertificateAuthority"] = None,
+        seed: Optional[int] = None,
+        validity_seconds: float = 3600.0,
+    ):
+        self.name = name
+        self.curve = curve if curve is not None else default_test_curve()
+        self.parent = parent
+        self.validity_seconds = validity_seconds
+        self.ecdsa = ECDSA(self.curve, random.Random(seed))
+        self.keys: ECDSAKeyPair = self.ecdsa.generate_keys()
+        self._serial = 0
+        self._revoked: Set[int] = set()
+        self._issued: Dict[int, Certificate] = {}
+        #: this CA's own certificate (None for a self-trusted root)
+        self.certificate: Optional[Certificate] = None
+        if parent is not None:
+            self.certificate = parent.issue(name, self.keys.public_key, now=0.0)
+
+    def issue(
+        self, subject: str, public_key: CurvePoint, now: float = 0.0
+    ) -> Certificate:
+        """Sign a (subject, public key, validity) binding."""
+        self._serial += 1
+        unsigned = Certificate(
+            serial=self._serial,
+            subject=subject,
+            issuer=self.name,
+            public_key=public_key,
+            not_before=now,
+            not_after=now + self.validity_seconds,
+            signature=ECDSASignature(1, 1),  # placeholder replaced below
+        )
+        signature = self.ecdsa.sign(unsigned.tbs_bytes(), self.keys)
+        cert = Certificate(
+            serial=unsigned.serial,
+            subject=unsigned.subject,
+            issuer=unsigned.issuer,
+            public_key=unsigned.public_key,
+            not_before=unsigned.not_before,
+            not_after=unsigned.not_after,
+            signature=signature,
+        )
+        self._issued[cert.serial] = cert
+        return cert
+
+    def revoke(self, serial: int) -> None:
+        """Add an issued certificate's serial to the CRL."""
+        if serial not in self._issued:
+            raise CertificateError(f"unknown serial {serial}")
+        self._revoked.add(serial)
+
+    def crl(self) -> Set[int]:
+        """The (in-memory) certificate revocation list."""
+        return set(self._revoked)
+
+    def check_certificate(self, cert: Certificate, now: float = 0.0) -> None:
+        """Raise :class:`CertificateError` unless ``cert`` is currently valid."""
+        if cert.issuer != self.name:
+            raise CertificateError(
+                f"certificate issued by {cert.issuer!r}, not {self.name!r}"
+            )
+        if cert.serial in self._revoked:
+            raise CertificateError(f"certificate {cert.serial} is revoked")
+        if not cert.not_before <= now <= cert.not_after:
+            raise CertificateError("certificate outside its validity window")
+        if not self.ecdsa.verify(cert.tbs_bytes(), cert.signature, self.keys.public_key):
+            raise CertificateError("certificate signature does not verify")
+
+
+def verify_chain(
+    chain: Sequence[Certificate],
+    authorities: Dict[str, CertificateAuthority],
+    now: float = 0.0,
+) -> None:
+    """Validate leaf-to-root; raises on the first broken link.
+
+    ``chain[0]`` is the leaf; each subsequent certificate must certify the
+    issuer of the previous one; the last issuer must be a trusted root in
+    ``authorities``.
+    """
+    if not chain:
+        raise CertificateError("empty certificate chain")
+    for position, cert in enumerate(chain):
+        issuer_ca = authorities.get(cert.issuer)
+        if issuer_ca is None:
+            raise CertificateError(f"unknown issuer {cert.issuer!r}")
+        issuer_ca.check_certificate(cert, now=now)
+        if position + 1 < len(chain) and chain[position + 1].subject != cert.issuer:
+            raise CertificateError("chain is not contiguous")
+
+
+@dataclass
+class CertifiedIdentity:
+    """A PKI participant: key pair plus the certificate that vouches for it."""
+
+    name: str
+    keys: ECDSAKeyPair
+    certificate: Certificate
+    chain: List[Certificate]
+
+
+def enroll_identity(
+    name: str,
+    ca: CertificateAuthority,
+    now: float = 0.0,
+    seed: Optional[int] = None,
+) -> CertifiedIdentity:
+    """Generate a key pair and obtain its certificate chain."""
+    ecdsa = ECDSA(ca.curve, random.Random(seed))
+    keys = ecdsa.generate_keys()
+    cert = ca.issue(name, keys.public_key, now=now)
+    chain = [cert]
+    authority = ca
+    while authority.certificate is not None and authority.parent is not None:
+        chain.append(authority.certificate)
+        authority = authority.parent
+    return CertifiedIdentity(name=name, keys=keys, certificate=cert, chain=chain)

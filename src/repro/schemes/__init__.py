@@ -1,0 +1,44 @@
+"""Signature schemes: McCLS's comparison baselines and building blocks.
+
+* :mod:`repro.schemes.ap`   - Al-Riyami-Paterson CLS (Table 1 "AP").
+* :mod:`repro.schemes.zwxf` - Zhang-Wong-Xu-Feng CLS (Table 1 "ZWXF").
+* :mod:`repro.schemes.yhg`  - Yap-Heng-Goi CLS (Table 1 "YHG").
+* :mod:`repro.schemes.ibs`  - the underlying ID-based signature + PKG
+  (with the key-escrow demonstration).
+* :mod:`repro.schemes.bls`  - BLS short signatures (primitive baseline).
+
+McCLS itself lives in :mod:`repro.core.mccls` (it is the paper's
+contribution, not a baseline).
+"""
+
+from repro.schemes.ap import APScheme, APSignature
+from repro.schemes.base import (
+    CertificatelessScheme,
+    PartialPrivateKey,
+    UserKeyPair,
+)
+from repro.schemes.bls import BLSScheme, BLSSignature
+from repro.schemes.ibs import ChaCheonIBS, IBSSignature, PrivateKeyGenerator
+from repro.schemes.registry import all_scheme_classes, scheme_class, scheme_names
+from repro.schemes.yhg import YHGScheme, YHGSignature
+from repro.schemes.zwxf import ZWXFScheme, ZWXFSignature
+
+__all__ = [
+    "CertificatelessScheme",
+    "PartialPrivateKey",
+    "UserKeyPair",
+    "APScheme",
+    "APSignature",
+    "ZWXFScheme",
+    "ZWXFSignature",
+    "YHGScheme",
+    "YHGSignature",
+    "ChaCheonIBS",
+    "IBSSignature",
+    "PrivateKeyGenerator",
+    "BLSScheme",
+    "BLSSignature",
+    "all_scheme_classes",
+    "scheme_class",
+    "scheme_names",
+]

@@ -1,0 +1,123 @@
+"""AP - the Al-Riyami & Paterson certificateless signature (ASIACRYPT 2003).
+
+The first CLS scheme and the paper's first comparison row in Table 1:
+sign = 1 pairing + 3 scalar mults, verify = 4 pairings + 1 exponentiation,
+public key = **2 points** (the only scheme in the table with a 2-point key).
+
+Type-3 layout (DESIGN.md 4.1): identities hash to G2.
+
+* User keys: secret x; public key pair  X_A = x*P (G1),  Y_A = x*P_pub (G1);
+  full private key S_A = x*D_ID (G2).
+* Sign(M):  a <- Zp*;  r = e(a*P, P2) in GT;  v = H(M, r);
+  U = v*S_A + a*P2 (G2);  sigma = (U, v).
+* Verify: first the AP key-consistency check
+  e(X_A, P_pub2) == e(Y_A, P2)  - this is what replaces a certificate -
+  then recover  r' = e(P, U) * e(Y_A, Q_ID)^(-v)  and accept iff
+  v == H(M, r').
+
+Correctness:  e(P, U) = e(P, S_A)^v * e(P, P2)^a = e(Y_A, Q_ID)^v * r,
+since e(P, x*s*Q_ID) = e(x*s*P, Q_ID) = e(Y_A, Q_ID).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SignatureError
+from repro.pairing.curve import CurvePoint
+from repro.schemes.base import (
+    CertificatelessScheme,
+    Identity,
+    Message,
+    UserKeyPair,
+    normalize_identity,
+    normalize_message,
+)
+
+
+@dataclass(frozen=True)
+class APSignature:
+    """sigma = (U, v): G2 point U and scalar v."""
+
+    u: CurvePoint
+    v: int
+
+
+class APScheme(CertificatelessScheme):
+    """Al-Riyami-Paterson CLS (Table 1 column "AP [1]")."""
+
+    name = "ap"
+    public_key_length_points = 2
+    paper_sign_profile = (1, 3, 0)  # 1p + 3s
+    paper_verify_profile = (4, 0, 1)  # 4p + 1e
+
+    def generate_user_keys(self, identity: Identity) -> UserKeyPair:
+        """AP keys: secret x, public pair (X_A, Y_A), stored S_A."""
+        ident = normalize_identity(identity)
+        x = self.ctx.random_scalar()
+        x_a = self.ctx.g1_mul(self.ctx.g1, x)
+        y_a = self.ctx.g1_mul(self.p_pub_g1, x)
+        partial = self.extract_partial_key(ident)
+        # AP derives the long-term full private key S_A = x * D_ID once.
+        s_a = self.ctx.g2_mul(partial.d_id, x)
+        return UserKeyPair(
+            identity=ident,
+            secret_value=x,
+            public_key=x_a,
+            partial=partial,
+            public_key_extra=y_a,
+            full_private_key=s_a,
+        )
+
+    def sign(self, message: Message, keys: UserKeyPair) -> APSignature:
+        """AP signing: one pairing (the GT commitment) plus three mults."""
+        msg = normalize_message(message)
+        if keys.full_private_key is None:
+            raise SignatureError("AP keys must carry the full private key S_A")
+        a = self.ctx.random_scalar()
+        r_gt = self.ctx.pair(self.ctx.g1_mul(self.ctx.g1, a), self.ctx.g2)
+        v = self.ctx.hash_scalar(b"H/ap", msg, *_gt_items(r_gt))
+        u = self.ctx.g2_mul(keys.full_private_key, v) + self.ctx.g2_mul(
+            self.ctx.g2, a
+        )
+        return APSignature(u=u, v=v)
+
+    def verify(
+        self,
+        message: Message,
+        signature: APSignature,
+        identity: Identity,
+        public_key: CurvePoint,
+        public_key_extra: Optional[CurvePoint] = None,
+    ) -> bool:
+        """AP verification: key-consistency check plus commitment recovery."""
+        msg = normalize_message(message)
+        if not isinstance(signature, APSignature):
+            raise SignatureError("expected an APSignature")
+        if public_key_extra is None:
+            raise SignatureError("AP verification needs the 2-point public key")
+        if not (0 < signature.v < self.ctx.order):
+            return False
+        curve = self.ctx.curve
+        if not curve.g2_curve.contains(signature.u):
+            return False
+
+        # Key-consistency check (the certificateless stand-in for a cert):
+        # e(X_A, P_pub2) == e(Y_A, P2)  <=>  Y_A = s * X_A.
+        if self.ctx.pair(public_key, self.p_pub_g2) != self.ctx.pair(
+            public_key_extra, self.ctx.g2
+        ):
+            return False
+
+        q_id = self.q_of(identity)
+        r_recovered = self.ctx.pair(self.ctx.g1, signature.u) * self.ctx.gt_exp(
+            self.ctx.pair(public_key_extra, q_id), -signature.v % self.ctx.order
+        )
+        v_check = self.ctx.hash_scalar(b"H/ap", msg, *_gt_items(r_recovered))
+        return v_check == signature.v
+
+
+def _gt_items(value):
+    """Flatten a GT (Fp12) element into hashable integers."""
+    return tuple(value.coeffs)

@@ -1,0 +1,68 @@
+"""BLS short signatures (Boneh-Lynn-Shacham) as a primitive baseline.
+
+Not compared in the paper's Table 1, but it is the simplest pairing
+signature and a useful calibration point for the benchmark harness (one
+hash-to-group + one scalar mult to sign; two pairings to verify), and the
+building block the GDH-group assumption in Section 3 is usually introduced
+with.
+
+Layout: secret z; public key PK = z*P2 (G2); sigma = z*H(M) with H into G1;
+verify e(sigma, P2) == e(H(M), PK).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SignatureError
+from repro.pairing.curve import CurvePoint
+from repro.pairing.groups import PairingContext
+from repro.schemes.base import Message, normalize_message
+
+
+@dataclass(frozen=True)
+class BLSKeyPair:
+    secret: int
+    public_key: CurvePoint  # in G2
+
+
+@dataclass(frozen=True)
+class BLSSignature:
+    sigma: CurvePoint  # in G1
+
+
+class BLSScheme:
+    """Plain BLS over the shared pairing context."""
+
+    name = "bls"
+
+    def __init__(self, ctx: PairingContext):
+        self.ctx = ctx
+
+    def generate_keys(self, secret: Optional[int] = None) -> BLSKeyPair:
+        """Fresh (or deterministic, given ``secret``) BLS key pair."""
+        z = secret % self.ctx.order if secret else self.ctx.random_scalar()
+        if z == 0:
+            raise SignatureError("BLS secret must be non-zero")
+        return BLSKeyPair(secret=z, public_key=self.ctx.g2_mul(self.ctx.g2, z))
+
+    def sign(self, message: Message, keys: BLSKeyPair) -> BLSSignature:
+        """sigma = z * H(M): one hash-to-G1 and one multiplication."""
+        msg = normalize_message(message)
+        h = self.ctx.hash_g1(b"H/bls", msg)
+        return BLSSignature(sigma=self.ctx.g1_mul(h, keys.secret))
+
+    def verify(
+        self, message: Message, signature: BLSSignature, public_key: CurvePoint
+    ) -> bool:
+        """Check e(sigma, P2) == e(H(M), PK)."""
+        msg = normalize_message(message)
+        if not isinstance(signature, BLSSignature):
+            raise SignatureError("expected a BLSSignature")
+        if not self.ctx.curve.g1_curve.contains(signature.sigma):
+            return False
+        h = self.ctx.hash_g1(b"H/bls", msg)
+        return self.ctx.pair(signature.sigma, self.ctx.g2) == self.ctx.pair(
+            h, public_key
+        )

@@ -1,0 +1,48 @@
+"""Registry mapping scheme names to classes (for benches and the simulator).
+
+McCLS lives in :mod:`repro.core`, which itself imports the scheme base
+classes from this package, so the registry resolves classes lazily to keep
+the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.schemes.base import CertificatelessScheme
+
+#: the four certificateless schemes of paper Table 1, in table order,
+#: plus the hardened reproduction variant
+_SCHEME_PATHS: Dict[str, str] = {
+    "ap": "repro.schemes.ap:APScheme",
+    "zwxf": "repro.schemes.zwxf:ZWXFScheme",
+    "yhg": "repro.schemes.yhg:YHGScheme",
+    "mccls": "repro.core.mccls:McCLS",
+    "mccls-plus": "repro.core.hardened:McCLSPlus",
+}
+
+#: the paper's Table 1 rows only (benchmarks iterate these)
+TABLE1_SCHEMES = ("ap", "zwxf", "yhg", "mccls")
+
+
+def scheme_class(name: str) -> Type[CertificatelessScheme]:
+    """Resolve a scheme name to its class (lazy import)."""
+    try:
+        path = _SCHEME_PATHS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; choose from {sorted(_SCHEME_PATHS)}"
+        ) from None
+    module_name, _, class_name = path.partition(":")
+    module = __import__(module_name, fromlist=[class_name])
+    return getattr(module, class_name)
+
+
+def scheme_names() -> List[str]:
+    """All registered scheme names, Table 1 order first."""
+    return list(_SCHEME_PATHS)
+
+
+def all_scheme_classes() -> Dict[str, Type[CertificatelessScheme]]:
+    """Name -> class for every registered scheme."""
+    return {name: scheme_class(name) for name in _SCHEME_PATHS}

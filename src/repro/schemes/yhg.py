@@ -1,0 +1,101 @@
+"""YHG - Yap, Heng & Goi's efficient certificateless signature (EUC 2006).
+
+Table 1 row "YHG [13]": sign = 2 scalar mults and **no pairing**, verify =
+2 pairings + scalar work, 1-point public key.  Before McCLS this was the
+most pairing-frugal CLS scheme, which is why the paper singles it out.
+
+Type-3 layout:
+
+* User keys: secret x; public key PK = x*P (G1); partial D_ID = s*Q_ID (G2).
+* Sign(M):  r <- Zp*;  U = r*P (G1);  h = H(M, ID, U, PK);
+  V = (r + h*x)^{-1} * D_ID (G2);  sigma = (U, V).
+* Verify:  h = H(M, ID, U, PK);  accept iff
+  e(U + h*PK, V) == e(P_pub, Q_ID).
+
+Correctness:  U + h*PK = (r + h*x)*P, so the left pairing is
+e((r+hx)*P, (r+hx)^{-1} * s*Q_ID) = e(P, Q_ID)^s = e(P_pub, Q_ID).
+Like McCLS, the right-hand pairing is constant per identity and cacheable;
+unlike McCLS the left side still re-pairs per message *and* the scheme
+needs a modular inversion inside signing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SignatureError
+from repro.pairing.curve import CurvePoint
+from repro.schemes.base import (
+    CertificatelessScheme,
+    Identity,
+    Message,
+    UserKeyPair,
+    normalize_identity,
+    normalize_message,
+)
+
+
+@dataclass(frozen=True)
+class YHGSignature:
+    """sigma = (U, V): G1 point U and G2 point V."""
+
+    u: CurvePoint
+    v: CurvePoint
+
+
+class YHGScheme(CertificatelessScheme):
+    """Yap-Heng-Goi CLS (Table 1 column "YHG [13]")."""
+
+    name = "yhg"
+    public_key_length_points = 1
+    paper_sign_profile = (0, 2, 0)  # 2s
+    paper_verify_profile = (2, 3, 0)  # 2p + 3s
+
+    def generate_user_keys(self, identity: Identity) -> UserKeyPair:
+        """YHG keys: secret x, public PK = x*P."""
+        ident = normalize_identity(identity)
+        x = self.ctx.random_scalar()
+        pk = self.ctx.g1_mul(self.ctx.g1, x)
+        partial = self.extract_partial_key(ident)
+        return UserKeyPair(
+            identity=ident, secret_value=x, public_key=pk, partial=partial
+        )
+
+    def sign(self, message: Message, keys: UserKeyPair) -> YHGSignature:
+        """YHG signing: (U, V) = (r*P, (r + h*x)^-1 * D_ID); no pairings."""
+        msg = normalize_message(message)
+        n = self.ctx.order
+        r = self.ctx.random_scalar()
+        u = self.ctx.g1_mul(self.ctx.g1, r)
+        h = self.ctx.hash_scalar(b"H/yhg", msg, keys.identity, u, keys.public_key)
+        denom = (r + h * keys.secret_value) % n
+        if denom == 0:  # pragma: no cover - probability 1/n
+            return self.sign(message, keys)
+        v = self.ctx.g2_mul(keys.partial.d_id, self.ctx.scalar_inverse(denom))
+        return YHGSignature(u=u, v=v)
+
+    def verify(
+        self,
+        message: Message,
+        signature: YHGSignature,
+        identity: Identity,
+        public_key: CurvePoint,
+        public_key_extra: Optional[CurvePoint] = None,
+    ) -> bool:
+        """Check e(U + h*PK, V) == e(P_pub, Q_ID) (constant cacheable)."""
+        msg = normalize_message(message)
+        if not isinstance(signature, YHGSignature):
+            raise SignatureError("expected a YHGSignature")
+        ident = normalize_identity(identity)
+        curve = self.ctx.curve
+        if not curve.g1_curve.contains(signature.u):
+            return False
+        if signature.v.is_infinity() or not curve.g2_curve.contains(signature.v):
+            return False
+
+        h = self.ctx.hash_scalar(b"H/yhg", msg, ident, signature.u, public_key)
+        left_g1 = signature.u + self.ctx.g1_mul(public_key, h)
+        q_id = self.q_of(ident)
+        constant = self.ctx.pair_cached(self.p_pub_g1, q_id)
+        return self.ctx.pair(left_g1, signature.v) == constant

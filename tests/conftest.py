@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite.
+
+Crypto tests run on generated small BN curves (identical code paths to
+BN254 at test-friendly speed); a handful of BN254 tests are marked
+``slow`` but still run in a normal session.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pairing.bn import toy_curve
+from repro.pairing.groups import PairingContext
+
+
+@pytest.fixture(scope="session")
+def curve32():
+    return toy_curve(32)
+
+
+@pytest.fixture(scope="session")
+def curve48():
+    return toy_curve(48)
+
+
+@pytest.fixture()
+def ctx(curve48) -> PairingContext:
+    return PairingContext(curve48, random.Random(0x5EED))
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(1234)

@@ -1,0 +1,65 @@
+"""Topology-analysis tests."""
+
+import pytest
+
+from repro.netsim.analysis import analyze_topology, connectivity_graph
+from repro.netsim.scenario import ScenarioConfig
+
+FAST = dict(sim_time_s=30.0, n_flows=3, n_nodes=14)
+
+
+class TestConnectivityGraph:
+    def test_edges_respect_range(self):
+        positions = {0: (0, 0), 1: (100, 0), 2: (500, 0)}
+        graph = connectivity_graph(positions, 150.0)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+        assert not graph.has_edge(1, 2)
+
+    def test_all_nodes_present(self):
+        positions = {7: (0, 0), 8: (9999, 9999)}
+        graph = connectivity_graph(positions, 10.0)
+        assert set(graph.nodes) == {7, 8}
+
+
+class TestAnalyzeTopology:
+    def test_static_topology_never_changes(self):
+        report = analyze_topology(ScenarioConfig(max_speed=0.0, **FAST))
+        assert report.link_changes_per_second == 0.0
+
+    def test_mobility_causes_link_churn(self):
+        slow = analyze_topology(ScenarioConfig(max_speed=2.0, seed=3, **FAST))
+        fast = analyze_topology(ScenarioConfig(max_speed=20.0, seed=3, **FAST))
+        assert fast.link_changes_per_second > slow.link_changes_per_second
+        assert slow.link_changes_per_second > 0.0
+
+    def test_connectivity_statistics_sane(self):
+        report = analyze_topology(ScenarioConfig(max_speed=10.0, **FAST))
+        assert 0.0 < report.mean_degree < FAST["n_nodes"]
+        assert 0.0 < report.mean_largest_component_fraction <= 1.0
+        assert report.mean_flow_path_length >= 1.0
+
+    def test_summary_keys(self):
+        report = analyze_topology(ScenarioConfig(max_speed=5.0, **FAST))
+        summary = report.summary()
+        assert set(summary) == {
+            "mean_degree",
+            "largest_component_fraction",
+            "link_changes_per_second",
+            "mean_flow_path_length",
+        }
+
+    def test_deterministic(self):
+        config = ScenarioConfig(max_speed=10.0, seed=8, **FAST)
+        a = analyze_topology(config).summary()
+        b = analyze_topology(config).summary()
+        assert a == b
+
+    def test_denser_network_higher_degree(self):
+        sparse = analyze_topology(
+            ScenarioConfig(max_speed=5.0, range_m=200.0, **FAST)
+        )
+        dense = analyze_topology(
+            ScenarioConfig(max_speed=5.0, range_m=400.0, **FAST)
+        )
+        assert dense.mean_degree > sparse.mean_degree

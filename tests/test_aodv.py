@@ -1,0 +1,212 @@
+"""AODV protocol tests on small controlled topologies."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.mobility import StaticPosition
+from repro.netsim.packets import DataPacket
+from repro.netsim.radio import RadioMedium
+from repro.netsim.routing.aodv import (
+    AODVNode,
+    DISCOVERY_BACKOFF_CAP,
+    RREQ_RETRIES,
+)
+
+
+class Net:
+    """Static test network: positions 100m apart are neighbours (range 150)."""
+
+    def __init__(self, positions, node_cls=AODVNode, seed=4, **node_kwargs):
+        self.sim = Simulator(seed=seed)
+        self.metrics = MetricsCollector()
+        self.radio = RadioMedium(
+            self.sim, range_m=150.0, broadcast_jitter_s=0.001
+        )
+        self.nodes = {
+            node_id: node_cls(
+                node_id,
+                self.sim,
+                self.radio,
+                StaticPosition(pos),
+                self.metrics,
+                **node_kwargs,
+            )
+            for node_id, pos in positions.items()
+        }
+
+    def send(self, source, destination, count=1, payload=128):
+        for seq in range(count):
+            packet = DataPacket(
+                flow_id=0,
+                seq=seq,
+                source=source,
+                destination=destination,
+                payload_bytes=payload,
+                created_at=self.sim.now,
+            )
+            self.nodes[source].send_data(packet)
+
+    def run(self, seconds=5.0):
+        self.sim.run(until=self.sim.now + seconds)
+
+
+def line(n, spacing=100.0):
+    return {i: (i * spacing, 0.0) for i in range(n)}
+
+
+class TestDiscoveryAndDelivery:
+    def test_one_hop_delivery(self):
+        net = Net(line(2))
+        net.send(0, 1)
+        net.run()
+        assert net.metrics.data_received == 1
+
+    def test_multi_hop_delivery(self):
+        net = Net(line(5))
+        net.send(0, 4)
+        net.run()
+        assert net.metrics.data_received == 1
+        # Intermediate nodes forwarded the packet.
+        assert net.metrics.data_forwarded == 3
+
+    def test_route_reused_after_discovery(self):
+        net = Net(line(4))
+        net.send(0, 3)
+        net.run(2.0)
+        rreqs_after_first = net.metrics.rreq_initiated
+        net.send(0, 3, count=5)
+        net.run(2.0)
+        assert net.metrics.data_received == 6
+        assert net.metrics.rreq_initiated == rreqs_after_first  # no re-flood
+
+    def test_buffered_packets_flushed(self):
+        net = Net(line(4))
+        net.send(0, 3, count=4)  # all queued before any route exists
+        net.run()
+        assert net.metrics.data_received == 4
+
+    def test_bidirectional_traffic(self):
+        net = Net(line(3))
+        net.send(0, 2)
+        net.run(2.0)
+        net.send(2, 0)
+        net.run(2.0)
+        assert net.metrics.data_received == 2
+
+    def test_reverse_route_installed_by_flood(self):
+        net = Net(line(3))
+        net.send(0, 2)
+        net.run(1.0)  # within PATH_DISCOVERY_TIME, before reverse expiry
+        # The destination learned a route back to the source.
+        assert net.nodes[2].table.lookup(0, net.sim.now) is not None
+
+    def test_delivery_delay_recorded(self):
+        net = Net(line(3))
+        net.send(0, 2)
+        net.run()
+        assert len(net.metrics.delays) == 1
+        assert 0 < net.metrics.delays[0] < 1.0
+
+
+class TestUnreachableDestinations:
+    def test_discovery_fails_for_missing_node(self):
+        net = Net(line(3))
+        net.send(0, 99)  # no such node
+        net.run(10.0)
+        assert net.metrics.data_received == 0
+        assert net.metrics.discovery_failures >= 1
+        assert net.metrics.dropped_no_route >= 1
+
+    def test_retries_with_expanding_ring(self):
+        net = Net(line(3))
+        net.send(0, 99)
+        net.run(10.0)
+        assert net.metrics.rreq_retried == RREQ_RETRIES
+
+    def test_backoff_limits_rreq_storms(self):
+        net = Net(line(3))
+        # Keep sending to the unreachable destination for a while.
+        for burst in range(30):
+            net.send(0, 99)
+            net.run(1.0)
+        total_rreqs = net.metrics.rreq_initiated + net.metrics.rreq_retried
+        # Without backoff this would be ~3 RREQs per failed discovery with a
+        # discovery per packet; with backoff it is bounded by time/backoff.
+        assert total_rreqs < 30
+        assert DISCOVERY_BACKOFF_CAP > 0
+
+    def test_partitioned_network(self):
+        positions = dict(line(2))
+        positions.update({10: (1000.0, 0.0), 11: (1100.0, 0.0)})
+        net = Net(positions)
+        net.send(0, 10)
+        net.run(10.0)
+        assert net.metrics.data_received == 0
+
+
+class TestRouteMaintenance:
+    def test_link_break_detected_and_rerouted(self):
+        # 0-1-2 line plus alternate path 0-3-2 (3 placed off-axis in range).
+        positions = {
+            0: (0.0, 0.0),
+            1: (100.0, 0.0),
+            2: (200.0, 0.0),
+            3: (100.0, 80.0),
+        }
+        net = Net(positions)
+        net.send(0, 2)
+        net.run(2.0)
+        assert net.metrics.data_received == 1
+        # Kill node 1 (drops off the radio): the route via 1 breaks.
+        net.radio.detach(1)
+        net.send(0, 2, count=3)
+        net.run(10.0)
+        # Eventually traffic flows again via node 3.
+        assert net.metrics.data_received >= 2
+        assert net.metrics.rerr_sent >= 0  # may or may not fire at source
+
+    def test_duplicate_rreq_suppression(self):
+        net = Net(line(4))
+        net.send(0, 3)
+        net.run()
+        # Each intermediate node forwards the flood exactly once.
+        assert net.metrics.rreq_forwarded <= 3
+
+
+class TestIntermediateReply:
+    def test_cached_route_answered_by_intermediate(self):
+        net = Net(line(4))
+        net.send(0, 3)
+        net.run(2.0)
+        rrep_before = net.metrics.rrep_sent
+        # Node 1 now has a fresh route to 3; a new discovery from a newcomer
+        # through node 1 can be answered from cache.  Force node 0 to forget
+        # and rediscover: expire its route by advancing past the lifetime.
+        net.run(7.0)
+        net.send(0, 3)
+        net.run(2.0)
+        assert net.metrics.rrep_sent > rrep_before
+
+    def test_intermediate_reply_disabled(self):
+        net = Net(line(4), allow_intermediate_rrep=False)
+        net.send(0, 3)
+        net.run(2.0)
+        assert net.metrics.data_received == 1
+
+
+class TestSequenceNumbers:
+    def test_seq_increments_on_discovery(self):
+        net = Net(line(2))
+        before = net.nodes[0].seq_no
+        net.send(0, 1)
+        net.run()
+        assert net.nodes[0].seq_no > before
+
+    def test_destination_seq_in_route(self):
+        net = Net(line(3))
+        net.send(0, 2)
+        net.run()
+        entry = net.nodes[0].table.lookup(2, net.sim.now)
+        assert entry is not None
+        assert entry.destination_seq >= 1

@@ -1,0 +1,123 @@
+"""AODV edge-case tests: TTL rings, buffers, cache pruning, RERR chains."""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.mobility import StaticPosition
+from repro.netsim.packets import DataPacket
+from repro.netsim.radio import RadioMedium
+from repro.netsim.routing.aodv import (
+    AODVNode,
+    MAX_BUFFERED_PACKETS,
+    TTL_START,
+)
+
+
+def line_net(n, spacing=100.0, seed=4, **kwargs):
+    sim = Simulator(seed=seed)
+    metrics = MetricsCollector()
+    radio = RadioMedium(sim, range_m=150.0, broadcast_jitter_s=0.001)
+    nodes = {
+        i: AODVNode(
+            i, sim, radio, StaticPosition((i * spacing, 0.0)), metrics, **kwargs
+        )
+        for i in range(n)
+    }
+    return sim, metrics, nodes
+
+
+def send(sim, nodes, src, dst, count=1):
+    for seq in range(count):
+        nodes[src].send_data(DataPacket(0, seq, src, dst, 64, sim.now))
+
+
+class TestExpandingRing:
+    def test_first_ring_limited_by_ttl(self):
+        """With TTL_START=4 the first flood cannot reach hop 7; the
+        expanded retry can - the destination is found on the second ring."""
+        sim, metrics, nodes = line_net(9)
+        send(sim, nodes, 0, 8)
+        sim.run(until=10.0)
+        assert metrics.data_received == 1
+        assert metrics.rreq_retried >= 1  # needed at least one ring expansion
+        assert metrics.dropped_ttl > 0  # the first ring hit its boundary
+        assert TTL_START < 8
+
+    def test_near_destination_no_retry(self):
+        sim, metrics, nodes = line_net(4)
+        send(sim, nodes, 0, 3)
+        sim.run(until=5.0)
+        assert metrics.data_received == 1
+        assert metrics.rreq_retried == 0
+
+
+class TestBuffering:
+    def test_buffer_overflow_drops(self):
+        sim, metrics, nodes = line_net(2)
+        # Flood the buffer towards an unreachable destination.
+        for seq in range(MAX_BUFFERED_PACKETS + 20):
+            nodes[0].send_data(DataPacket(0, seq, 0, 99, 64, sim.now))
+        assert metrics.dropped_buffer_overflow >= 19
+        sim.run(until=10.0)
+        assert metrics.data_received == 0
+
+    def test_buffered_packets_preserve_order(self):
+        sim, metrics, nodes = line_net(3)
+        received = []
+        original = nodes[2]._handle_data
+
+        def spy(frame, packet):
+            received.append(packet.seq)
+            original(frame, packet)
+
+        nodes[2]._handle_data = spy
+        send(sim, nodes, 0, 2, count=5)
+        sim.run(until=5.0)
+        assert received == sorted(received)
+
+
+class TestSeenCache:
+    def test_cache_pruned(self):
+        sim, metrics, nodes = line_net(2)
+        node = nodes[0]
+        # Inject far more synthetic entries than the prune threshold.
+        for i in range(5000):
+            node._seen_rreqs[(i, i)] = -1.0  # long expired
+        node._prune_seen_cache()
+        assert len(node._seen_rreqs) == 0
+
+    def test_fresh_entries_survive_prune(self):
+        sim, metrics, nodes = line_net(2)
+        node = nodes[0]
+        node._seen_rreqs[(1, 1)] = sim.now + 100.0
+        node._seen_rreqs[(2, 2)] = -1.0
+        node._prune_seen_cache()
+        assert (1, 1) in node._seen_rreqs
+        assert (2, 2) not in node._seen_rreqs
+
+
+class TestRouteErrorChain:
+    def test_rerr_invalidate_propagates(self):
+        """When a mid-path node dies, the RERR chain invalidates routes at
+        upstream nodes, and traffic recovers via rediscovery."""
+        sim, metrics, nodes = line_net(5)
+        send(sim, nodes, 0, 4)
+        sim.run(until=3.0)
+        assert metrics.data_received == 1
+        # Node 2 dies; node 1 detects on next forward and reports.
+        nodes[2].radio.detach(2)
+        send(sim, nodes, 0, 4, count=2)
+        sim.run(until=12.0)
+        # No alternative path exists: packets are dropped as no-route...
+        assert metrics.data_received == 1
+        assert metrics.dropped_no_route >= 1
+        # ... and at least one RERR was emitted along the way.
+        assert metrics.rerr_sent >= 1
+
+    def test_destination_sequence_bumped_on_invalidation(self):
+        sim, metrics, nodes = line_net(3)
+        send(sim, nodes, 0, 2)
+        sim.run(until=2.0)
+        entry = nodes[0].table.entry(2)
+        seq_before = entry.destination_seq
+        nodes[0].table.invalidate(2)
+        assert nodes[0].table.entry(2).destination_seq == seq_before + 1

@@ -1,0 +1,129 @@
+"""BN-curve family construction tests (parameter derivation, BN254, toys)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.pairing.bn import (
+    BN254_T,
+    bn254,
+    bn_parameters,
+    derive_bn_curve,
+    default_test_curve,
+    toy_curve,
+)
+
+
+class TestParameters:
+    def test_bn254_formulae(self):
+        p, n, trace = bn_parameters(BN254_T)
+        assert p == 36 * BN254_T**4 + 36 * BN254_T**3 + 24 * BN254_T**2 + 6 * BN254_T + 1
+        assert n == p + 1 - trace
+        assert trace == 6 * BN254_T**2 + 1
+
+    def test_known_bn254_prime(self):
+        p, n, _ = bn_parameters(BN254_T)
+        assert p == int(
+            "218882428718392752222464057452572750886963111572978236626890"
+            "37894645226208583"
+        )
+        assert n == int(
+            "218882428718392752222464057452572750885483644004160343436982"
+            "04186575808495617"
+        )
+
+    def test_non_prime_t_rejected(self):
+        with pytest.raises(ParameterError):
+            bn_parameters(3)  # p(3) = 36*81+36*27+24*9+19 = 4129? composite check
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ParameterError):
+            derive_bn_curve(-5)
+
+
+class TestToyCurves:
+    @pytest.mark.parametrize("bits", [32, 48, 64])
+    def test_derivation(self, bits):
+        curve = toy_curve(bits)
+        assert abs(curve.p.bit_length() - bits) <= 3
+        assert (curve.g1 * curve.n).is_infinity()
+        assert (curve.g2 * curve.n).is_infinity()
+        assert curve.ate_loop_count == 6 * curve.t + 2
+        assert curve.final_exp_power == (curve.p**12 - 1) // curve.n
+
+    def test_out_of_range_bits(self):
+        with pytest.raises(ParameterError):
+            toy_curve(8)
+        with pytest.raises(ParameterError):
+            toy_curve(512)
+
+    def test_caching(self):
+        assert toy_curve(48) is toy_curve(48)
+        assert default_test_curve() is toy_curve(64)
+
+    def test_twist_cofactor_identity(self):
+        curve = toy_curve(32)
+        # #E'(Fp2) = n * (2p - n); any twist point times that is infinity.
+        import random
+
+        rng = random.Random(9)
+        spec = curve.spec
+        while True:
+            x = spec.fp2(rng.randrange(curve.p), rng.randrange(curve.p))
+            rhs = x * x * x + curve.g2_curve.b
+            if rhs.is_square():
+                point = curve.g2_curve.unsafe_point(x, rhs.sqrt())
+                break
+        order = curve.n * curve.twist_cofactor
+        assert (point * order).is_infinity()
+
+    def test_membership_checks(self):
+        curve = toy_curve(32)
+        assert curve.in_g1(curve.g1 * 12345)
+        assert curve.in_g2(curve.g2 * 54321)
+        assert not curve.in_g1(curve.g2)  # wrong curve entirely
+        # A twist point outside the order-n subgroup:
+        h2 = curve.twist_cofactor
+        assert h2 % curve.n != 0
+
+    def test_frobenius_constants(self):
+        curve = toy_curve(32)
+        xi = curve.spec.fp2(curve.spec.xi_a, 1)
+        assert curve.frob_gamma2 == xi ** ((curve.p - 1) // 3)
+        assert curve.frob_gamma3 == xi ** ((curve.p - 1) // 2)
+
+    def test_point_constructors(self):
+        curve = toy_curve(32)
+        g1 = curve.g1
+        rebuilt = curve.g1_point(g1.x.value, g1.y.value)
+        assert rebuilt == g1
+        g2 = curve.g2
+        rebuilt2 = curve.g2_point(g2.x.c0, g2.x.c1, g2.y.c0, g2.y.c1)
+        assert rebuilt2 == g2
+
+    def test_random_scalar_range(self):
+        import random
+
+        curve = toy_curve(32)
+        rng = random.Random(0)
+        for _ in range(100):
+            s = curve.random_scalar(rng)
+            assert 1 <= s < curve.n
+
+
+class TestBN254:
+    def test_construction(self):
+        curve = bn254()
+        assert curve.p.bit_length() == 254
+        assert curve.b == 3
+        assert curve.spec.xi_a == 9
+        assert curve.g1.x.value == 1
+        assert curve.g1.y.value == 2
+
+    @pytest.mark.slow
+    def test_generator_orders(self):
+        curve = bn254()
+        assert (curve.g1 * curve.n).is_infinity()
+        assert (curve.g2 * curve.n).is_infinity()
+
+    def test_cached(self):
+        assert bn254() is bn254()

@@ -1,0 +1,78 @@
+"""Production-curve tests: every scheme on real BN254 (marked slow).
+
+The rest of the suite runs on generated small BN curves for speed; these
+tests pin the same behaviour on the 254-bit production curve, exercising
+full-width field arithmetic, the hardcoded generators and the optimised
+final exponentiation end to end.
+"""
+
+import random
+
+import pytest
+
+from repro.core.mccls import McCLS
+from repro.pairing.bn import bn254
+from repro.pairing.groups import PairingContext
+from repro.schemes.registry import scheme_class, scheme_names
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return bn254()
+
+
+@pytest.mark.parametrize("name", scheme_names())
+def test_sign_verify_on_bn254(curve, name):
+    ctx = PairingContext(curve, random.Random(0xB254))
+    scheme = scheme_class(name)(ctx)
+    keys = scheme.generate_user_keys("prod@manet")
+    sig = scheme.sign(b"production-curve message", keys)
+    assert scheme.verify(
+        b"production-curve message",
+        sig,
+        keys.identity,
+        keys.public_key,
+        keys.public_key_extra,
+    )
+    assert not scheme.verify(
+        b"tampered", sig, keys.identity, keys.public_key, keys.public_key_extra
+    )
+
+
+def test_universal_forgery_on_bn254(curve):
+    """The algebraic break is parameter-independent: it works on the
+    production curve exactly as on the toy curves."""
+    from repro.core.games import UniversalForgeryAttack, run_game
+
+    scheme = McCLS(PairingContext(curve, random.Random(1)))
+    result = run_game(scheme, UniversalForgeryAttack(random.Random(2)), trials=1)
+    assert result.forgery_rate == 1.0
+
+
+def test_hardened_fix_on_bn254(curve):
+    from repro.core.games import UniversalForgeryAttack, run_game
+    from repro.core.hardened import McCLSPlus
+
+    scheme = McCLSPlus(PairingContext(curve, random.Random(1)))
+    keys = scheme.generate_user_keys("prod@manet")
+    sig = scheme.sign(b"m", keys)
+    assert scheme.verify(b"m", sig, keys.identity, keys.public_key)
+    result = run_game(scheme, UniversalForgeryAttack(random.Random(2)), trials=1)
+    assert result.forgery_rate == 0.0
+
+
+def test_batch_verification_on_bn254(curve):
+    from repro.core.batch import McCLSBatchVerifier
+
+    scheme = McCLS(PairingContext(curve, random.Random(3)), precompute_s=True)
+    keys = scheme.generate_user_keys("batch@manet")
+    verifier = McCLSBatchVerifier(scheme)
+    items = verifier.sign_batch([b"a", b"b", b"c"], keys)
+    assert verifier.verify_same_signer(items, keys.identity, keys.public_key)
+    poisoned = list(items)
+    poisoned[1] = (b"FORGED", poisoned[1][1])
+    assert not verifier.verify_same_signer(
+        poisoned, keys.identity, keys.public_key
+    )

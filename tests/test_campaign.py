@@ -1,0 +1,61 @@
+"""Campaign (multi-seed statistics) tests."""
+
+import pytest
+
+from repro.netsim.campaign import compare_protocols, run_campaign, summarize
+from repro.netsim.scenario import ScenarioConfig
+
+FAST = dict(sim_time_s=15.0, n_flows=3, n_nodes=14)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.ci_low < summary.mean < summary.ci_high
+
+    def test_single_sample(self):
+        summary = summarize([5.0])
+        assert summary.mean == 5.0
+        assert summary.ci_low == summary.ci_high == 5.0
+
+    def test_zero_variance(self):
+        summary = summarize([3.0, 3.0, 3.0])
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 3.0
+
+    def test_empty(self):
+        assert summarize([]).mean == 0.0
+
+    def test_ci_narrows_with_samples(self):
+        wide = summarize([1.0, 2.0])
+        narrow = summarize([1.0, 2.0] * 10)
+        assert (narrow.ci_high - narrow.ci_low) < (wide.ci_high - wide.ci_low)
+
+
+class TestCampaign:
+    def test_runs_all_seeds(self):
+        result = run_campaign(ScenarioConfig(**FAST), seeds=[1, 2, 3])
+        assert result.seeds == [1, 2, 3]
+        pdr = result.metrics["packet_delivery_ratio"]
+        assert len(pdr.samples) == 3
+        assert 0.0 <= pdr.mean <= 1.0
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(ScenarioConfig(**FAST), seeds=[])
+
+    def test_table_text(self):
+        result = run_campaign(ScenarioConfig(**FAST), seeds=[1, 2])
+        table = result.table_text()
+        assert "packet_delivery_ratio" in table
+        assert "95% CI" in table
+
+    def test_compare_protocols(self):
+        comparison = compare_protocols(
+            ScenarioConfig(**FAST), seeds=[1, 2], protocols=("aodv", "mccls")
+        )
+        assert set(comparison) == {"aodv", "mccls"}
+        # Both deliver in the same band (the Figure 1 claim, with CIs).
+        assert abs(comparison["aodv"].mean - comparison["mccls"].mean) < 0.15

@@ -1,0 +1,57 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_scenario_command(self, capsys):
+        assert main(["scenario", "--time", "10", "--nodes", "14", "--flows", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "packet_delivery_ratio" in out
+
+    def test_scenario_with_attack(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "--protocol",
+                    "mccls",
+                    "--attack",
+                    "blackhole",
+                    "--time",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "attacker nodes" in out
+        assert "packet_drop_ratio" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--bits", "32"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("ap", "zwxf", "yhg", "mccls"):
+            assert scheme in out
+
+    def test_games_command(self, capsys):
+        assert main(["games", "--bits", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "universal" in out
+        assert "vs McCLS+" in out
+
+    @pytest.mark.slow
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "--time", "10", "--metric", "rreq_ratio"]) == 0
+        out = capsys.readouterr().out
+        assert "aodv" in out and "mccls" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,54 @@
+"""KGC role and public-parameter tests."""
+
+import pytest
+
+from repro.core import KeyGenerationCenter, McCLS
+from repro.pairing.bn import toy_curve
+from repro.schemes import YHGScheme
+
+CURVE = toy_curve(32)
+
+
+class TestKGC:
+    def test_enroll_and_verify(self):
+        kgc = KeyGenerationCenter(McCLS, curve=CURVE, seed=1)
+        keys = kgc.enroll("alice")
+        sig = kgc.scheme.sign(b"m", keys)
+        assert kgc.scheme.verify(b"m", sig, keys.identity, keys.public_key)
+
+    def test_issued_directory(self):
+        kgc = KeyGenerationCenter(McCLS, curve=CURVE, seed=1)
+        kgc.enroll("bravo")
+        kgc.enroll("alpha")
+        assert kgc.issued_identities() == ["alpha", "bravo"]
+        assert kgc.keys_for("alpha").identity == "alpha"
+
+    def test_unknown_identity_raises(self):
+        kgc = KeyGenerationCenter(McCLS, curve=CURVE, seed=1)
+        with pytest.raises(KeyError):
+            kgc.keys_for("ghost")
+
+    def test_public_params_fields(self):
+        kgc = KeyGenerationCenter(McCLS, curve=CURVE, seed=1)
+        params = kgc.public_params()
+        assert params.scheme_name == "mccls"
+        assert params.curve_name == CURVE.name
+        assert params.order == CURVE.n
+        assert params.p_pub_g1 == CURVE.g1 * kgc.scheme.master_secret
+        assert params.p_pub_g2 == CURVE.g2 * kgc.scheme.master_secret
+
+    def test_deterministic_with_seed_and_master(self):
+        a = KeyGenerationCenter(McCLS, curve=CURVE, seed=9, master_secret=777)
+        b = KeyGenerationCenter(McCLS, curve=CURVE, seed=9, master_secret=777)
+        assert a.public_params() == b.public_params()
+
+    def test_works_with_other_schemes(self):
+        kgc = KeyGenerationCenter(YHGScheme, curve=CURVE, seed=1)
+        keys = kgc.enroll("alice")
+        sig = kgc.scheme.sign(b"m", keys)
+        assert kgc.scheme.verify(b"m", sig, keys.identity, keys.public_key)
+        assert kgc.public_params().scheme_name == "yhg"
+
+    def test_default_curve(self):
+        kgc = KeyGenerationCenter(McCLS, seed=1)
+        assert kgc.ctx.curve.name == "bn-toy64"

@@ -1,0 +1,61 @@
+"""Energy-model tests."""
+
+import pytest
+
+from repro.netsim.energy import EnergyMeter, measure_scenario_energy
+from repro.netsim.scenario import ScenarioConfig
+
+FAST = dict(sim_time_s=15.0, n_flows=3, n_nodes=14, seed=5)
+
+
+class TestMeter:
+    def test_transmission_energy_accumulates(self):
+        from repro.netsim.engine import Simulator
+        from repro.netsim.mobility import StaticPosition
+        from repro.netsim.packets import BROADCAST, DataPacket, Frame
+        from repro.netsim.radio import RadioMedium
+
+        sim = Simulator(seed=1)
+        radio = RadioMedium(sim, range_m=200.0, broadcast_jitter_s=0.0)
+        meter = EnergyMeter()
+        meter.attach_radio(radio)
+        radio.attach(0, StaticPosition((0, 0)), lambda *a: None)
+        radio.attach(1, StaticPosition((50, 0)), lambda *a: None)
+        frame = Frame(0, BROADCAST, DataPacket(0, 0, 0, 1, 1000, 0.0))
+        radio.transmit(frame)
+        sim.run()
+        assert meter.tx_joules[0] == pytest.approx(
+            frame.size_bytes * meter.tx_joules_per_byte
+        )
+        assert meter.rx_joules[1] == pytest.approx(
+            frame.size_bytes * meter.rx_joules_per_byte
+        )
+        assert meter.node_joules(0) > meter.node_joules(1)
+
+    def test_breakdown_sums(self):
+        meter = EnergyMeter()
+        meter.tx_joules = {0: 1.0}
+        meter.rx_joules = {1: 2.0}
+        meter.cpu_joules = {0: 3.0}
+        assert meter.total_joules() == 6.0
+        assert meter.breakdown()["total_joules"] == 6.0
+
+
+class TestScenarioEnergy:
+    def test_authentication_costs_energy(self):
+        plain = measure_scenario_energy(ScenarioConfig(**FAST))
+        secured = measure_scenario_energy(
+            ScenarioConfig(protocol="mccls", **FAST)
+        )
+        pki = measure_scenario_energy(ScenarioConfig(protocol="pki", **FAST))
+        # Security costs energy; certificates cost the most radio energy.
+        assert secured["total_joules"] > plain["total_joules"]
+        assert pki["tx_joules"] > secured["tx_joules"]
+        # Crypto CPU energy only exists for the authenticated protocols.
+        assert plain["cpu_joules"] == 0.0
+        assert secured["cpu_joules"] > 0.0
+
+    def test_joules_per_delivered_packet(self):
+        report = measure_scenario_energy(ScenarioConfig(**FAST))
+        assert report["delivered_packets"] > 0
+        assert 0 < report["joules_per_delivered_packet"] < 1.0

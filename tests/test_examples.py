@@ -1,0 +1,67 @@
+"""The shipped examples must run clean end-to-end (they are documentation)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "quickstart OK" in out
+        assert "tampered message accepted? False" in out
+
+    def test_key_escrow_demo(self):
+        out = run_example("key_escrow_demo.py")
+        assert "demo OK" in out
+        assert "verifiers accept it: True" in out  # the PKG escrow problem
+        assert "NO certificate: True" in out
+
+    def test_batch_verification(self):
+        out = run_example("batch_verification.py", "--batch", "4")
+        assert "forged batch rejected: True" in out
+        assert "1 pairing" in out
+
+    @pytest.mark.slow
+    def test_secure_routing_demo(self):
+        out = run_example("secure_routing_demo.py", "--time", "20")
+        assert "packet delivery ratio" in out
+        assert "McCLS delivers within" in out
+
+    @pytest.mark.slow
+    def test_attack_resilience(self):
+        out = run_example("attack_resilience.py", "--time", "20", "--speed", "15")
+        assert "blackhole" in out
+        assert "rushing" in out
+
+    @pytest.mark.slow
+    def test_hardening_mccls(self):
+        out = run_example("hardening_mccls.py")
+        assert "universal" in out
+        assert "100%" in out and "0%" in out
+
+    @pytest.mark.slow
+    def test_insider_revocation(self):
+        out = run_example("insider_revocation.py")
+        assert "revoke at t=5s" in out
+        assert "insider" in out
+
+    @pytest.mark.slow
+    def test_mobility_analysis(self):
+        out = run_example("mobility_analysis.py")
+        assert "link chg/s" in out

@@ -1,0 +1,148 @@
+"""Security-game harness tests (Type I / Type II experiments).
+
+These tests pin down BOTH sides of the reproduction's security story:
+
+* protocol-level adversaries (what MANET attacker nodes can do) forge with
+  probability 0 - this is what makes the simulation's Figure 4/5 results
+  meaningful; and
+* the algebraic adversaries succeed with probability 1 - the published
+  scheme does not satisfy its Theorems 1 and 2 (see EXPERIMENTS.md).
+"""
+
+import random
+
+import pytest
+
+from repro.core.games import (
+    ALGEBRAIC_ADVERSARIES,
+    PROTOCOL_ADVERSARIES,
+    Challenger,
+    KeyReplacementAdversary,
+    MaliciousKGCForger,
+    RandomForgeryAdversary,
+    TamperAdversary,
+    TransplantAdversary,
+    UniversalForgeryAttack,
+    run_game,
+)
+from repro.core.mccls import McCLS
+from repro.pairing.bn import toy_curve
+from repro.pairing.groups import PairingContext
+from repro.schemes import ZWXFScheme
+
+CURVE = toy_curve(32)
+
+
+def make_scheme(cls=McCLS, seed=0x600D):
+    return cls(PairingContext(CURVE, random.Random(seed)))
+
+
+class TestChallenger:
+    def test_target_partial_key_forbidden(self):
+        challenger = Challenger(make_scheme(), "target")
+        with pytest.raises(PermissionError):
+            challenger.extract_partial_key("target")
+
+    def test_other_partial_keys_allowed(self):
+        challenger = Challenger(make_scheme(), "target")
+        partial = challenger.extract_partial_key("other")
+        assert partial.identity == "other"
+
+    def test_replay_is_not_a_forgery(self):
+        from repro.core.games import ForgeryAttempt
+
+        scheme = make_scheme()
+        challenger = Challenger(scheme, "target")
+        sig = challenger.sign_oracle("target", b"msg")
+        attempt = ForgeryAttempt(
+            message=b"msg",
+            signature=sig,
+            identity="target",
+            public_key=challenger.public_key_oracle("target"),
+        )
+        assert not challenger.judge(attempt)
+
+    def test_fresh_valid_signature_judged_as_forgery(self):
+        """Sanity: the judge accepts a genuinely valid fresh signature (as
+        produced here with full knowledge of the keys)."""
+        from repro.core.games import ForgeryAttempt
+
+        scheme = make_scheme()
+        challenger = Challenger(scheme, "target")
+        keys = challenger.keys["target"]
+        sig = scheme.sign(b"fresh message", keys)
+        attempt = ForgeryAttempt(
+            message=b"fresh message",
+            signature=sig,
+            identity="target",
+            public_key=keys.public_key,
+        )
+        assert challenger.judge(attempt)
+
+    def test_wrong_identity_not_judged(self):
+        from repro.core.games import ForgeryAttempt
+
+        scheme = make_scheme()
+        challenger = Challenger(scheme, "target")
+        keys = challenger.keys["target"]
+        attempt = ForgeryAttempt(
+            message=b"m",
+            signature=scheme.sign(b"m", keys),
+            identity="not-the-target",
+            public_key=keys.public_key,
+        )
+        assert not challenger.judge(attempt)
+
+    def test_public_key_replacement_visible(self):
+        challenger = Challenger(make_scheme(), "target")
+        new_key = CURVE.g1 * 424242
+        challenger.replace_public_key("target", new_key)
+        assert challenger.public_key_oracle("target") == new_key
+
+
+@pytest.mark.parametrize("adversary_cls", PROTOCOL_ADVERSARIES)
+def test_protocol_adversaries_fail(adversary_cls):
+    result = run_game(
+        make_scheme(), adversary_cls(random.Random(1)), trials=3
+    )
+    assert result.forgeries == 0, adversary_cls.name
+
+
+@pytest.mark.parametrize("adversary_cls", ALGEBRAIC_ADVERSARIES)
+def test_algebraic_adversaries_succeed(adversary_cls):
+    result = run_game(
+        make_scheme(), adversary_cls(random.Random(1)), trials=3
+    )
+    assert result.forgeries == result.trials, adversary_cls.name
+    assert result.forgery_rate == 1.0
+
+
+class TestAgainstZWXF:
+    """The same strategies against a scheme with a real security proof."""
+
+    @pytest.mark.parametrize(
+        "adversary_cls",
+        [
+            RandomForgeryAdversary,
+            TamperAdversary,
+            TransplantAdversary,
+            KeyReplacementAdversary,
+            UniversalForgeryAttack,
+            MaliciousKGCForger,
+        ],
+    )
+    def test_no_strategy_succeeds(self, adversary_cls):
+        # McCLS-specific algebraic attacks return None (concede) for other
+        # schemes; the generic ones produce invalid signatures.
+        result = run_game(
+            make_scheme(ZWXFScheme), adversary_cls(random.Random(2)), trials=2
+        )
+        assert result.forgeries == 0
+
+
+class TestGameResult:
+    def test_rate(self):
+        from repro.core.games import GameResult
+
+        assert GameResult(trials=0, forgeries=0).forgery_rate == 0.0
+        assert GameResult(trials=4, forgeries=1).forgery_rate == 0.25

@@ -1,0 +1,91 @@
+"""Gray-hole (selective forwarding) attacker tests."""
+
+import pytest
+
+from repro.netsim.attacks import GrayHoleNode
+from repro.netsim.engine import Simulator
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.mobility import StaticPosition
+from repro.netsim.packets import DataPacket
+from repro.netsim.radio import RadioMedium
+from repro.netsim.routing.aodv import AODVNode
+from repro.netsim.scenario import ScenarioConfig, run_scenario
+
+
+def build(drop_probability=0.5):
+    sim = Simulator(seed=4)
+    metrics = MetricsCollector()
+    radio = RadioMedium(sim, range_m=150.0, broadcast_jitter_s=0.002)
+    positions = {0: (0.0, 0.0), 1: (100.0, 0.0), 2: (200.0, 0.0)}
+    nodes = {
+        i: AODVNode(i, sim, radio, StaticPosition(p), metrics)
+        for i, p in positions.items()
+    }
+    nodes[9] = GrayHoleNode(
+        9,
+        sim,
+        radio,
+        StaticPosition((50.0, 80.0)),
+        metrics,
+        fake_seq_boost=100,
+        drop_probability=drop_probability,
+    )
+    return sim, metrics, nodes
+
+
+class TestGrayHole:
+    def test_partial_forwarding(self):
+        sim, metrics, nodes = build(drop_probability=0.5)
+        for seq in range(20):
+            nodes[0].send_data(DataPacket(0, seq, 0, 2, 64, sim.now))
+        sim.run(until=10.0)
+        # Some packets die at the attacker, some get through - the gray
+        # hole's signature behaviour.
+        assert metrics.dropped_by_attacker > 0
+        assert metrics.data_received > 0
+
+    def test_full_drop_equals_blackhole(self):
+        sim, metrics, nodes = build(drop_probability=1.0)
+        for seq in range(10):
+            nodes[0].send_data(DataPacket(0, seq, 0, 2, 64, sim.now))
+        sim.run(until=10.0)
+        assert metrics.data_received < 10
+        assert metrics.dropped_by_attacker > 0
+
+    def test_zero_drop_is_honest_forwarder(self):
+        sim, metrics, nodes = build(drop_probability=0.0)
+        for seq in range(10):
+            nodes[0].send_data(DataPacket(0, seq, 0, 2, 64, sim.now))
+        sim.run(until=10.0)
+        assert metrics.data_received == 10
+        assert metrics.dropped_by_attacker == 0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            build(drop_probability=1.5)
+
+    def test_scenario_integration(self):
+        config = ScenarioConfig(
+            attack="grayhole",
+            blackhole_fake_seq_boost=100,
+            sim_time_s=20.0,
+            n_flows=3,
+            n_nodes=14,
+            seed=5,
+        )
+        report = run_scenario(config).report()
+        assert report["data_sent"] > 0
+
+    def test_mccls_immune(self):
+        report = run_scenario(
+            ScenarioConfig(
+                attack="grayhole",
+                protocol="mccls",
+                blackhole_fake_seq_boost=100,
+                sim_time_s=20.0,
+                n_flows=3,
+                n_nodes=14,
+                seed=5,
+            )
+        ).report()
+        assert report["packet_drop_ratio"] == 0.0

@@ -1,0 +1,108 @@
+"""PairingContext facade tests: counters, caching, measurement."""
+
+import random
+
+from repro.pairing.bn import toy_curve
+from repro.pairing.groups import OpCount, PairingContext
+
+CURVE = toy_curve(32)
+
+
+def make_ctx():
+    return PairingContext(CURVE, random.Random(7))
+
+
+class TestCounters:
+    def test_scalar_mults_counted(self):
+        ctx = make_ctx()
+        ctx.g1_mul(ctx.g1, 5)
+        ctx.g2_mul(ctx.g2, 5)
+        assert ctx.ops.scalar_mults == 2
+        assert ctx.ops.g1_mults == 1
+        assert ctx.ops.g2_mults == 1
+
+    def test_pairings_counted(self):
+        ctx = make_ctx()
+        ctx.pair(ctx.g1, ctx.g2)
+        assert ctx.ops.pairings == 1
+
+    def test_gt_exp_counted(self):
+        ctx = make_ctx()
+        e = ctx.pair(ctx.g1, ctx.g2)
+        ctx.gt_exp(e, 12)
+        assert ctx.ops.gt_exps == 1
+
+    def test_group_hash_counted(self):
+        ctx = make_ctx()
+        ctx.hash_g1(b"d", "x")
+        ctx.hash_g2(b"d", "x")
+        assert ctx.ops.group_hashes == 2
+
+    def test_reset(self):
+        ctx = make_ctx()
+        ctx.g1_mul(ctx.g1, 2)
+        ctx.reset_ops()
+        assert ctx.ops.scalar_mults == 0
+
+
+class TestPairingCache:
+    def test_cache_hit_not_counted_as_pairing(self):
+        ctx = make_ctx()
+        first = ctx.pair_cached(ctx.g1, ctx.g2)
+        second = ctx.pair_cached(ctx.g1, ctx.g2)
+        assert first == second
+        assert ctx.ops.pairings == 1
+        assert ctx.ops.cached_pairing_hits == 1
+
+    def test_different_keys_miss(self):
+        ctx = make_ctx()
+        ctx.pair_cached(ctx.g1, ctx.g2)
+        ctx.pair_cached(ctx.g1 * 2, ctx.g2)
+        assert ctx.ops.pairings == 2
+
+    def test_clear_cache(self):
+        ctx = make_ctx()
+        ctx.pair_cached(ctx.g1, ctx.g2)
+        ctx.clear_pairing_cache()
+        ctx.pair_cached(ctx.g1, ctx.g2)
+        assert ctx.ops.pairings == 2
+
+
+class TestMeasurement:
+    def test_measure_delta(self):
+        ctx = make_ctx()
+        ctx.g1_mul(ctx.g1, 3)  # pre-existing ops must not leak into delta
+        with ctx.measure() as meter:
+            ctx.g1_mul(ctx.g1, 4)
+            ctx.pair(ctx.g1, ctx.g2)
+        assert meter.delta.scalar_mults == 1
+        assert meter.delta.pairings == 1
+
+    def test_opcount_summary(self):
+        assert OpCount().summary() == "0"
+        assert OpCount(pairings=2, scalar_mults=3).summary() == "2p+3s"
+        assert OpCount(gt_exps=1).summary() == "1e"
+
+    def test_snapshot_diff(self):
+        a = OpCount(pairings=5, scalar_mults=2)
+        b = a.snapshot()
+        b.pairings += 1
+        assert b.diff(a).pairings == 1
+        assert b.diff(a).scalar_mults == 0
+
+
+class TestRandomness:
+    def test_random_scalar_range(self):
+        ctx = make_ctx()
+        for _ in range(50):
+            assert 1 <= ctx.random_scalar() < ctx.order
+
+    def test_seeded_reproducibility(self):
+        a = PairingContext(CURVE, random.Random(42)).random_scalar()
+        b = PairingContext(CURVE, random.Random(42)).random_scalar()
+        assert a == b
+
+    def test_scalar_inverse(self):
+        ctx = make_ctx()
+        k = ctx.random_scalar()
+        assert (k * ctx.scalar_inverse(k)) % ctx.order == 1

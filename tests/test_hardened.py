@@ -1,0 +1,117 @@
+"""McCLS+ hardened-variant tests: the fix works, its limits are real."""
+
+import random
+
+import pytest
+
+from repro.core.games import (
+    MaliciousKGCForger,
+    TamperAdversary,
+    UniversalForgeryAttack,
+    run_game,
+)
+from repro.core.hardened import KGCSignatureReplayForger, McCLSPlus, demo_hardening
+from repro.core.mccls import McCLS
+from repro.pairing.bn import toy_curve
+from repro.pairing.groups import PairingContext
+
+CURVE = toy_curve(32)
+
+
+def make_plus(seed=0x5AFE):
+    return McCLSPlus(PairingContext(CURVE, random.Random(seed)))
+
+
+class TestFunctionality:
+    def test_sign_verify_still_works(self):
+        scheme = make_plus()
+        keys = scheme.generate_user_keys("alice")
+        sig = scheme.sign(b"m", keys)
+        assert scheme.verify(b"m", sig, keys.identity, keys.public_key)
+
+    def test_rejections_preserved(self):
+        scheme = make_plus()
+        keys = scheme.generate_user_keys("alice")
+        sig = scheme.sign(b"m", keys)
+        assert not scheme.verify(b"x", sig, keys.identity, keys.public_key)
+        assert not scheme.verify(b"m", sig, "bob", keys.public_key)
+
+    def test_t_pub_structure(self):
+        scheme = make_plus()
+        s = scheme.master_secret
+        assert scheme.t_pub == CURVE.g1 * ((s * s) % CURVE.n)
+
+    def test_warm_verify_one_fresh_pairing(self):
+        scheme = make_plus()
+        keys = scheme.generate_user_keys("alice")
+        sig = scheme.sign(b"m", keys)
+        scheme.verify(b"m", sig, keys.identity, keys.public_key)  # warm caches
+        _, ops = scheme.measure_verify(b"m", sig, keys)
+        assert ops.pairings == 1  # binding constants are both cached
+
+    def test_wrong_s_multiple_rejected(self):
+        """The exact hole in plain McCLS: a scaled S must now fail."""
+        import dataclasses
+
+        scheme = make_plus()
+        keys = scheme.generate_user_keys("alice")
+        sig = scheme.sign(b"m", keys)
+        # Compensate V/R cannot help: any S != (s/x) Q_ID dies in binding.
+        scaled = dataclasses.replace(sig, s=sig.s * 2)
+        assert not scheme.verify(b"m", scaled, keys.identity, keys.public_key)
+
+    def test_infinity_public_key_rejected(self):
+        scheme = make_plus()
+        keys = scheme.generate_user_keys("alice")
+        sig = scheme.sign(b"m", keys)
+        assert not scheme.verify(
+            b"m", sig, keys.identity, CURVE.g1_curve.infinity()
+        )
+
+
+class TestSecurityDelta:
+    def test_universal_forgery_breaks_mccls_not_plus(self):
+        mccls_result = run_game(
+            McCLS(PairingContext(CURVE, random.Random(1))),
+            UniversalForgeryAttack(random.Random(2)),
+            trials=3,
+        )
+        plus_result = run_game(
+            make_plus(),
+            UniversalForgeryAttack(random.Random(2)),
+            trials=3,
+        )
+        assert mccls_result.forgery_rate == 1.0
+        assert plus_result.forgery_rate == 0.0
+
+    def test_blind_kgc_forgery_breaks_mccls_not_plus(self):
+        mccls_result = run_game(
+            McCLS(PairingContext(CURVE, random.Random(1))),
+            MaliciousKGCForger(random.Random(2)),
+            trials=3,
+        )
+        plus_result = run_game(
+            make_plus(), MaliciousKGCForger(random.Random(2)), trials=3
+        )
+        assert mccls_result.forgery_rate == 1.0
+        assert plus_result.forgery_rate == 0.0
+
+    def test_residual_kgc_replay_breaks_both(self):
+        """The honest limit of the fix: a KGC with one observed signature
+        still forges against McCLS+ (Type II not fully repaired)."""
+        plus_result = run_game(
+            make_plus(), KGCSignatureReplayForger(random.Random(2)), trials=3
+        )
+        assert plus_result.forgery_rate == 1.0
+
+    def test_protocol_adversaries_still_fail(self):
+        result = run_game(make_plus(), TamperAdversary(random.Random(3)), trials=2)
+        assert result.forgeries == 0
+
+    def test_demo_hardening_summary(self):
+        results = demo_hardening(CURVE)
+        assert results["universal"] == (1.0, 0.0)
+        assert results["malicious-kgc"] == (1.0, 0.0)
+        assert results["kgc-signature-replay"] == (1.0, 1.0)
+        assert results["tamper"] == (0.0, 0.0)
+        assert results["random"] == (0.0, 0.0)

@@ -1,0 +1,106 @@
+"""Hash-to-group and hash-to-scalar tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pairing.bn import toy_curve
+from repro.pairing.hashing import (
+    hash_h2,
+    hash_identity,
+    hash_to_g1,
+    hash_to_g2,
+    hash_to_scalar,
+)
+
+CURVE = toy_curve(32)
+
+
+class TestHashToG1:
+    def test_on_curve_and_in_subgroup(self):
+        point = hash_to_g1(CURVE, b"test", "alice")
+        assert point.is_on_curve()
+        assert CURVE.in_g1(point)
+
+    def test_deterministic(self):
+        assert hash_to_g1(CURVE, b"d", "x") == hash_to_g1(CURVE, b"d", "x")
+
+    def test_domain_separation(self):
+        assert hash_to_g1(CURVE, b"a", "x") != hash_to_g1(CURVE, b"b", "x")
+
+    def test_input_separation(self):
+        assert hash_to_g1(CURVE, b"d", "x") != hash_to_g1(CURVE, b"d", "y")
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_always_valid(self, data):
+        point = hash_to_g1(CURVE, b"prop", data)
+        assert CURVE.in_g1(point)
+
+    def test_no_length_extension_ambiguity(self):
+        # ("ab", "c") must differ from ("a", "bc") - encodings are framed.
+        assert hash_to_g1(CURVE, b"d", "ab", "c") != hash_to_g1(CURVE, b"d", "a", "bc")
+
+    def test_mixed_input_types(self):
+        point = hash_to_g1(CURVE, b"d", b"bytes", "str", 12345, CURVE.g1)
+        assert CURVE.in_g1(point)
+
+    def test_unhashable_type_raises(self):
+        with pytest.raises(TypeError):
+            hash_to_g1(CURVE, b"d", 3.14)
+
+
+class TestHashToG2:
+    def test_on_twist_and_in_subgroup(self):
+        point = hash_to_g2(CURVE, b"test", "bob")
+        assert point.is_on_curve()
+        assert CURVE.in_g2(point)
+
+    def test_deterministic(self):
+        assert hash_to_g2(CURVE, b"d", "x") == hash_to_g2(CURVE, b"d", "x")
+
+    @given(st.text(max_size=32))
+    @settings(max_examples=25, deadline=None)
+    def test_always_in_subgroup(self, ident):
+        assert CURVE.in_g2(hash_to_g2(CURVE, b"prop", ident))
+
+    def test_point_input(self):
+        q = hash_to_g2(CURVE, b"d", "x")
+        again = hash_to_g2(CURVE, b"d2", q)
+        assert CURVE.in_g2(again)
+
+    def test_infinity_point_input(self):
+        inf = CURVE.g1_curve.infinity()
+        assert CURVE.in_g2(hash_to_g2(CURVE, b"d", inf))
+
+
+class TestHashToScalar:
+    @given(st.binary(max_size=64))
+    @settings(max_examples=50)
+    def test_range(self, data):
+        value = hash_to_scalar(CURVE, b"s", data)
+        assert 1 <= value < CURVE.n
+
+    def test_deterministic(self):
+        assert hash_to_scalar(CURVE, b"s", "m") == hash_to_scalar(CURVE, b"s", "m")
+
+    def test_distribution_sanity(self):
+        values = {hash_to_scalar(CURVE, b"s", i) for i in range(200)}
+        assert len(values) == 200  # no collisions over a tiny sample
+
+
+class TestPaperOracles:
+    def test_h1_lands_in_g2(self):
+        q_id = hash_identity(CURVE, "node-7")
+        assert CURVE.in_g2(q_id)
+
+    def test_h1_accepts_bytes(self):
+        assert hash_identity(CURVE, b"node-7") == hash_identity(CURVE, "node-7")
+
+    def test_h2_binds_all_inputs(self):
+        r_point = CURVE.g1 * 5
+        pk = CURVE.g1 * 9
+        base = hash_h2(CURVE, b"m", r_point, pk)
+        assert hash_h2(CURVE, b"m2", r_point, pk) != base
+        assert hash_h2(CURVE, b"m", CURVE.g1 * 6, pk) != base
+        assert hash_h2(CURVE, b"m", r_point, CURVE.g1 * 10) != base

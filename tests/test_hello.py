@@ -1,0 +1,99 @@
+"""HELLO-based neighbour monitoring tests (RFC 3561 6.9)."""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.mobility import StaticPosition
+from repro.netsim.packets import DataPacket
+from repro.netsim.radio import RadioMedium
+from repro.netsim.routing.aodv import ALLOWED_HELLO_LOSS, AODVNode
+from repro.netsim.routing.secure_aodv import CryptoMaterial, McCLSAODVNode
+
+
+def build(hello_interval=1.0, n=3, secure=False):
+    sim = Simulator(seed=6)
+    metrics = MetricsCollector()
+    radio = RadioMedium(sim, range_m=150.0, broadcast_jitter_s=0.001)
+    nodes = {}
+    for i in range(n):
+        kwargs = dict(hello_interval=hello_interval)
+        if secure:
+            nodes[i] = McCLSAODVNode(
+                i,
+                sim,
+                radio,
+                StaticPosition((i * 100.0, 0.0)),
+                metrics,
+                material=CryptoMaterial(226),
+                **kwargs,
+            )
+        else:
+            nodes[i] = AODVNode(
+                i, sim, radio, StaticPosition((i * 100.0, 0.0)), metrics, **kwargs
+            )
+    return sim, metrics, radio, nodes
+
+
+class TestHello:
+    def test_neighbors_discovered(self):
+        sim, metrics, radio, nodes = build()
+        sim.run(until=3.0)
+        # Node 1 is in range of both 0 and 2 and should know both.
+        assert nodes[1].table.lookup(0, sim.now) is not None
+        assert nodes[1].table.lookup(2, sim.now) is not None
+        # Nodes 0 and 2 are out of range of each other: no direct route.
+        route_02 = nodes[0].table.lookup(2, sim.now)
+        assert route_02 is None or route_02.next_hop != 2
+
+    def test_hello_not_forwarded(self):
+        sim, metrics, radio, nodes = build()
+        sim.run(until=3.0)
+        assert metrics.rrep_forwarded == 0
+
+    def test_silent_neighbor_expired(self):
+        sim, metrics, radio, nodes = build()
+        sim.run(until=3.0)
+        assert nodes[0].table.lookup(1, sim.now) is not None
+        radio.detach(1)  # node 1 dies
+        sim.run(until=3.0 + (ALLOWED_HELLO_LOSS + 2) * 1.0)
+        assert 1 not in nodes[0]._last_hello_from
+
+    def test_disabled_by_default(self):
+        sim = Simulator(seed=6)
+        radio = RadioMedium(sim)
+        node = AODVNode(
+            0, sim, radio, StaticPosition((0, 0)), MetricsCollector()
+        )
+        assert node.hello_interval == 0.0
+        sim.run(until=5.0)
+        assert radio.frames_sent == 0
+
+    def test_hello_keeps_routes_fresh_for_data(self):
+        sim, metrics, radio, nodes = build()
+        sim.run(until=2.0)
+        nodes[0].send_data(DataPacket(0, 0, 0, 1, 64, sim.now))
+        sim.run(until=3.0)
+        assert metrics.data_received == 1
+        # No discovery was needed: the hello already installed the route.
+        assert metrics.rreq_initiated == 0
+
+    def test_secure_hellos_authenticated(self):
+        sim, metrics, radio, nodes = build(secure=True)
+        sim.run(until=3.0)
+        assert metrics.auth_rejected == 0
+        assert nodes[1].table.lookup(0, sim.now) is not None
+
+    def test_secure_mode_rejects_unsigned_hello(self):
+        sim, metrics, radio, nodes = build(secure=True, n=2)
+        from repro.netsim.packets import Frame, RouteReply
+
+        naked_hello = RouteReply(
+            originator=1,
+            destination=1,
+            destination_seq=3,
+            hop_count=0,
+            lifetime=2.0,
+            responder=1,
+        )
+        nodes[0].receive(Frame(sender=1, link_destination=-1, payload=naked_hello))
+        sim.run(until=0.5)
+        assert metrics.auth_rejected >= 1

@@ -1,0 +1,64 @@
+"""Jacobian scalar-multiplication edge cases (beyond the generic group-law
+properties already covered in test_curve.py)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pairing.bn import toy_curve
+from repro.pairing.curve import _jacobian_scalar_mult
+
+CURVE = toy_curve(32)
+
+
+def affine_mult(point, k):
+    result = point.curve.infinity()
+    addend = point
+    while k:
+        if k & 1:
+            result = result + addend
+        addend = addend.double()
+        k >>= 1
+    return result
+
+
+class TestAgainstAffine:
+    @given(st.integers(min_value=8, max_value=2**64))
+    @settings(max_examples=40)
+    def test_matches_affine_g1(self, k):
+        assert CURVE.g1 * k == affine_mult(CURVE.g1, k)
+
+    @given(st.integers(min_value=8, max_value=2**64))
+    @settings(max_examples=20)
+    def test_matches_affine_g2(self, k):
+        assert CURVE.g2 * k == affine_mult(CURVE.g2, k)
+
+    def test_small_scalars_use_affine_path(self):
+        for k in range(8):
+            assert CURVE.g1 * k == affine_mult(CURVE.g1, k)
+
+    def test_scalar_crossing_order(self):
+        for k in (CURVE.n - 1, CURVE.n, CURVE.n + 1, 2 * CURVE.n + 17):
+            assert CURVE.g1 * k == CURVE.g1 * (k % CURVE.n)
+
+
+class TestCancellation:
+    def test_order_multiple_is_infinity(self):
+        assert (CURVE.g1 * (8 * CURVE.n)).is_infinity()
+
+    def test_direct_jacobian_call(self):
+        assert _jacobian_scalar_mult(CURVE.g1, CURVE.n).is_infinity()
+
+    def test_sum_through_infinity(self):
+        """Scalars whose binary expansion forces an intermediate p + (-p)
+        cancellation inside the ladder."""
+        rng = random.Random(11)
+        for _ in range(10):
+            k = CURVE.n - rng.randrange(1, 64)
+            expected = -(CURVE.g1 * (CURVE.n - k))
+            assert CURVE.g1 * k == expected
+
+    def test_random_points_not_just_generators(self):
+        point = CURVE.g1 * 31337
+        assert point * 1000003 == affine_mult(point, 1000003)

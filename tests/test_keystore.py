@@ -1,0 +1,113 @@
+"""Keystore persistence tests."""
+
+import json
+
+import pytest
+
+from repro.core import KeyGenerationCenter, McCLS
+from repro.core.keystore import load_kgc, save_kgc
+from repro.errors import SerializationError
+from repro.pairing.bn import toy_curve
+from repro.schemes import APScheme
+
+CURVE = toy_curve(32)
+
+
+@pytest.fixture()
+def kgc():
+    center = KeyGenerationCenter(McCLS, curve=CURVE, seed=13)
+    center.enroll("alice")
+    center.enroll("bob")
+    return center
+
+
+class TestRoundtrip:
+    def test_save_load(self, kgc, tmp_path):
+        path = tmp_path / "kgc.json"
+        save_kgc(path, kgc)
+        restored = load_kgc(path)
+        assert restored.scheme.master_secret == kgc.scheme.master_secret
+        assert restored.issued_identities() == ["alice", "bob"]
+
+    def test_restored_keys_sign_and_verify(self, kgc, tmp_path):
+        path = tmp_path / "kgc.json"
+        save_kgc(path, kgc)
+        restored = load_kgc(path)
+        keys = restored.keys_for("alice")
+        sig = restored.scheme.sign(b"m", keys)
+        assert restored.scheme.verify(b"m", sig, keys.identity, keys.public_key)
+
+    def test_cross_process_verification(self, kgc, tmp_path):
+        """A signature made before saving verifies after restoring."""
+        keys = kgc.keys_for("alice")
+        sig = kgc.scheme.sign(b"made before save", keys)
+        path = tmp_path / "kgc.json"
+        save_kgc(path, kgc)
+        restored = load_kgc(path)
+        assert restored.scheme.verify(
+            b"made before save", sig, keys.identity, keys.public_key
+        )
+
+    def test_ap_scheme_with_extra_fields(self, tmp_path):
+        center = KeyGenerationCenter(APScheme, curve=CURVE, seed=14)
+        center.enroll("carol")
+        path = tmp_path / "ap.json"
+        save_kgc(path, center)
+        restored = load_kgc(path)
+        keys = restored.keys_for("carol")
+        assert keys.public_key_extra is not None
+        assert keys.full_private_key is not None
+        sig = restored.scheme.sign(b"m", keys)
+        assert restored.scheme.verify(
+            b"m", sig, keys.identity, keys.public_key, keys.public_key_extra
+        )
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_kgc(tmp_path / "nope.json")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_kgc(path)
+
+    def test_wrong_version(self, kgc, tmp_path):
+        path = tmp_path / "kgc.json"
+        save_kgc(path, kgc)
+        document = json.loads(path.read_text())
+        document["format_version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(SerializationError):
+            load_kgc(path)
+
+    def test_tampered_d_id_detected(self, kgc, tmp_path):
+        path = tmp_path / "kgc.json"
+        save_kgc(path, kgc)
+        document = json.loads(path.read_text())
+        # Swap alice's D_ID for bob's: the s*Q_ID cross-check must fire.
+        document["users"][0]["d_id"] = document["users"][1]["d_id"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(SerializationError):
+            load_kgc(path)
+
+    def test_tampered_point_bytes_detected(self, kgc, tmp_path):
+        path = tmp_path / "kgc.json"
+        save_kgc(path, kgc)
+        document = json.loads(path.read_text())
+        blob = bytearray(bytes.fromhex(document["users"][0]["public_key"]))
+        blob[-1] ^= 0xFF
+        document["users"][0]["public_key"] = bytes(blob).hex()
+        path.write_text(json.dumps(document))
+        with pytest.raises(SerializationError):
+            load_kgc(path)
+
+    def test_secrets_present_in_file(self, kgc, tmp_path):
+        """Document the threat model: the keystore holds raw secrets."""
+        path = tmp_path / "kgc.json"
+        save_kgc(path, kgc)
+        document = json.loads(path.read_text())
+        assert document["master_secret"].startswith("0x")
+        assert all("secret_value" in user for user in document["users"])

@@ -1,0 +1,198 @@
+"""McCLS scheme tests: correctness, tamper-rejection, key lifecycle."""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mccls import McCLS, McCLSSignature
+from repro.errors import SignatureError
+from repro.pairing.bn import toy_curve
+from repro.pairing.groups import PairingContext
+
+CURVE = toy_curve(32)
+
+
+def make_scheme(seed=0xA11CE, **kwargs) -> McCLS:
+    return McCLS(PairingContext(CURVE, random.Random(seed)), **kwargs)
+
+
+@pytest.fixture()
+def scheme():
+    return make_scheme()
+
+
+@pytest.fixture()
+def keys(scheme):
+    return scheme.generate_user_keys("alice@manet")
+
+
+class TestCorrectness:
+    def test_sign_verify(self, scheme, keys):
+        sig = scheme.sign(b"hello cps", keys)
+        assert scheme.verify(b"hello cps", sig, keys.identity, keys.public_key)
+
+    @given(st.binary(min_size=0, max_size=256))
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_messages(self, message):
+        scheme = make_scheme()
+        keys = scheme.generate_user_keys("prop@manet")
+        sig = scheme.sign(message, keys)
+        assert scheme.verify(message, sig, keys.identity, keys.public_key)
+
+    def test_string_messages(self, scheme, keys):
+        sig = scheme.sign("unicode message éè", keys)
+        assert scheme.verify(
+            "unicode message éè", sig, keys.identity, keys.public_key
+        )
+
+    def test_multiple_identities(self, scheme):
+        for ident in ("a", "b", "node-17", "x" * 100):
+            keys = scheme.generate_user_keys(ident)
+            sig = scheme.sign(b"m", keys)
+            assert scheme.verify(b"m", sig, ident, keys.public_key)
+
+    def test_signatures_are_randomised(self, scheme, keys):
+        sig1 = scheme.sign(b"m", keys)
+        sig2 = scheme.sign(b"m", keys)
+        assert sig1.r != sig2.r  # fresh r per signature
+        assert sig1.s == sig2.s  # S = x^{-1} D_ID is signer-constant
+
+    def test_correctness_equation_structure(self, scheme, keys):
+        # V*P - h*R == h*x*P by construction.
+        from repro.pairing.hashing import hash_to_scalar
+
+        sig = scheme.sign(b"eq", keys)
+        ctx = scheme.ctx
+        h = ctx.hash_scalar(b"H2/mccls", b"eq", sig.r, keys.public_key)
+        left = ctx.g1 * sig.v - sig.r * h
+        assert left == ctx.g1 * ((h * keys.secret_value) % ctx.order)
+        assert hash_to_scalar is not None
+
+
+class TestRejection:
+    def test_wrong_message(self, scheme, keys):
+        sig = scheme.sign(b"original", keys)
+        assert not scheme.verify(b"tampered", sig, keys.identity, keys.public_key)
+
+    def test_wrong_identity(self, scheme, keys):
+        sig = scheme.sign(b"m", keys)
+        assert not scheme.verify(b"m", sig, "mallory", keys.public_key)
+
+    def test_wrong_public_key(self, scheme, keys):
+        sig = scheme.sign(b"m", keys)
+        other = scheme.generate_user_keys("other")
+        assert not scheme.verify(b"m", sig, keys.identity, other.public_key)
+
+    def test_tampered_v(self, scheme, keys):
+        sig = scheme.sign(b"m", keys)
+        bad = dataclasses.replace(sig, v=(sig.v + 1) % scheme.ctx.order)
+        assert not scheme.verify(b"m", bad, keys.identity, keys.public_key)
+
+    def test_tampered_s(self, scheme, keys):
+        sig = scheme.sign(b"m", keys)
+        bad = dataclasses.replace(sig, s=sig.s * 2)
+        assert not scheme.verify(b"m", bad, keys.identity, keys.public_key)
+
+    def test_tampered_r(self, scheme, keys):
+        sig = scheme.sign(b"m", keys)
+        bad = dataclasses.replace(sig, r=sig.r + scheme.ctx.g1)
+        assert not scheme.verify(b"m", bad, keys.identity, keys.public_key)
+
+    def test_v_out_of_range(self, scheme, keys):
+        sig = scheme.sign(b"m", keys)
+        assert not scheme.verify(
+            b"m",
+            dataclasses.replace(sig, v=0),
+            keys.identity,
+            keys.public_key,
+        )
+
+    def test_s_infinity_rejected(self, scheme, keys):
+        sig = scheme.sign(b"m", keys)
+        bad = dataclasses.replace(sig, s=scheme.ctx.curve.g2_curve.infinity())
+        assert not scheme.verify(b"m", bad, keys.identity, keys.public_key)
+
+    def test_r_off_curve_rejected(self, scheme, keys):
+        spec = CURVE.spec
+        bogus = CURVE.g1_curve.unsafe_point(spec.fp(1), spec.fp(1))
+        sig = scheme.sign(b"m", keys)
+        bad = dataclasses.replace(sig, r=bogus)
+        assert not scheme.verify(b"m", bad, keys.identity, keys.public_key)
+
+    def test_wrong_signature_type(self, scheme, keys):
+        with pytest.raises(SignatureError):
+            scheme.verify(b"m", object(), keys.identity, keys.public_key)
+
+    def test_cross_signer_signature(self, scheme):
+        alice = scheme.generate_user_keys("alice")
+        bob = scheme.generate_user_keys("bob")
+        sig = scheme.sign(b"m", alice)
+        assert not scheme.verify(b"m", sig, bob.identity, bob.public_key)
+
+
+class TestKeyLifecycle:
+    def test_partial_key_structure(self, scheme):
+        partial = scheme.extract_partial_key("carol")
+        # D_ID = s * Q_ID
+        assert partial.d_id == partial.q_id * scheme.master_secret
+        assert CURVE.in_g2(partial.d_id)
+
+    def test_public_key_structure(self, scheme, keys):
+        assert keys.public_key == scheme.p_pub_g1 * keys.secret_value
+
+    def test_master_secret_reproducible(self):
+        a = make_scheme(seed=1, master_secret=12345)
+        b = make_scheme(seed=2, master_secret=12345)
+        assert a.p_pub_g1 == b.p_pub_g1
+
+    def test_distinct_kgc_incompatible(self):
+        kgc_a = make_scheme(seed=1)
+        kgc_b = make_scheme(seed=2)
+        keys = kgc_a.generate_user_keys("alice")
+        sig = kgc_a.sign(b"m", keys)
+        assert not kgc_b.verify(b"m", sig, keys.identity, keys.public_key)
+
+    def test_precompute_s_consistency(self):
+        cached = make_scheme(precompute_s=True)
+        keys = cached.generate_user_keys("dave")
+        sig1 = cached.sign(b"m1", keys)
+        sig2 = cached.sign(b"m2", keys)
+        assert sig1.s == sig2.s
+        assert cached.verify(b"m1", sig1, keys.identity, keys.public_key)
+        assert cached.verify(b"m2", sig2, keys.identity, keys.public_key)
+
+    def test_precompute_s_saves_operations(self):
+        cached = make_scheme(precompute_s=True)
+        keys = cached.generate_user_keys("emma")
+        cached.sign(b"warmup", keys)
+        _, ops = cached.measure_sign(b"steady", keys)
+        assert ops.scalar_mults == 1  # only R = (r-x)P remains per message
+
+
+class TestOperationProfile:
+    def test_sign_is_two_mults_no_pairings(self, scheme, keys):
+        _, ops = scheme.measure_sign(b"profile", keys)
+        assert ops.pairings == 0
+        assert ops.scalar_mults == 2
+
+    def test_verify_warm_is_one_pairing(self, scheme, keys):
+        sig = scheme.sign(b"profile", keys)
+        scheme.verify(b"profile", sig, keys.identity, keys.public_key)
+        _, ops = scheme.measure_verify(b"profile", sig, keys)
+        assert ops.pairings == 1
+        assert ops.cached_pairing_hits == 1
+
+
+class TestSignatureObject:
+    def test_components(self, scheme, keys):
+        sig = scheme.sign(b"m", keys)
+        v, s, r = sig.components()
+        assert sig == McCLSSignature(v=v, s=s, r=r)
+
+    def test_frozen(self, scheme, keys):
+        sig = scheme.sign(b"m", keys)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            sig.v = 1

@@ -1,0 +1,103 @@
+"""Mobility model tests (random waypoint + static)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.netsim.mobility import RandomWaypoint, StaticPosition, distance
+
+
+class TestStatic:
+    def test_never_moves(self):
+        model = StaticPosition((10.0, 20.0))
+        assert model.position(0.0) == (10.0, 20.0)
+        assert model.position(1e6) == (10.0, 20.0)
+
+
+class TestRandomWaypoint:
+    def make(self, speed=10.0, pause=0.0, seed=1, w=1500.0, h=300.0):
+        return RandomWaypoint(w, h, speed, random.Random(seed), pause_time=pause)
+
+    def test_positions_stay_in_area(self):
+        model = self.make()
+        for t in range(0, 2000, 7):
+            x, y = model.position(float(t))
+            assert 0.0 <= x <= 1500.0
+            assert 0.0 <= y <= 300.0
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_in_bounds_property(self, speed, t_ms):
+        model = self.make(speed=float(speed), seed=speed)
+        x, y = model.position(t_ms / 1000.0)
+        assert 0.0 <= x <= 1500.0
+        assert 0.0 <= y <= 300.0
+
+    def test_zero_speed_is_static(self):
+        model = self.make(speed=0.0)
+        p0 = model.position(0.0)
+        assert model.position(100.0) == p0
+
+    def test_speed_bound_respected(self):
+        model = self.make(speed=20.0)
+        previous = model.position(0.0)
+        for step in range(1, 500):
+            t = step * 0.5
+            current = model.position(t)
+            assert distance(previous, current) <= 20.0 * 0.5 + 1e-6
+            previous = current
+
+    def test_movement_actually_happens(self):
+        model = self.make(speed=10.0)
+        p0 = model.position(0.0)
+        p1 = model.position(60.0)
+        assert distance(p0, p1) > 0.0
+
+    def test_monotonic_queries_enforced(self):
+        model = self.make()
+        model.position(10.0)
+        with pytest.raises(SimulationError):
+            model.position(5.0)
+
+    def test_pause_time(self):
+        model = RandomWaypoint(
+            100.0, 100.0, 50.0, random.Random(3), pause_time=5.0
+        )
+        # Find a moment where the node pauses: sample densely and look for
+        # a window where the position repeats.
+        positions = [model.position(t / 10.0) for t in range(0, 600)]
+        repeats = sum(
+            1 for a, b in zip(positions, positions[1:]) if a == b
+        )
+        assert repeats > 0  # pauses exist
+
+    def test_deterministic_with_seed(self):
+        a = self.make(seed=99)
+        b = self.make(seed=99)
+        for t in (0.0, 1.5, 30.0, 31.0):
+            assert a.position(t) == b.position(t)
+
+    def test_invalid_area(self):
+        with pytest.raises(SimulationError):
+            RandomWaypoint(0.0, 100.0, 5.0, random.Random(1))
+
+    def test_negative_speed(self):
+        with pytest.raises(SimulationError):
+            RandomWaypoint(10.0, 10.0, -1.0, random.Random(1))
+
+    def test_start_position_honoured(self):
+        model = RandomWaypoint(
+            100.0, 100.0, 0.0, random.Random(1), start=(5.0, 6.0)
+        )
+        assert model.position(0.0) == (5.0, 6.0)
+
+
+class TestDistance:
+    def test_euclidean(self):
+        assert distance((0, 0), (3, 4)) == 5.0
+
+    def test_zero(self):
+        assert distance((7, 7), (7, 7)) == 0.0

@@ -1,0 +1,127 @@
+"""NetworkNode tests: link-layer filtering and the serialised CPU model."""
+
+import pytest
+
+from repro.netsim.crypto_model import CryptoTimingModel
+from repro.netsim.engine import Simulator
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.mobility import StaticPosition
+from repro.netsim.node import NetworkNode
+from repro.netsim.packets import BROADCAST, DataPacket, Frame
+from repro.netsim.radio import RadioMedium
+
+
+class RecorderNode(NetworkNode):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.frames = []
+
+    def receive(self, frame):
+        self.frames.append((frame, self.sim.now))
+
+
+def build(n=3):
+    sim = Simulator(seed=2)
+    metrics = MetricsCollector()
+    radio = RadioMedium(sim, range_m=500.0, broadcast_jitter_s=0.0)
+    nodes = {
+        i: RecorderNode(
+            i, sim, radio, StaticPosition((i * 10.0, 0.0)), metrics
+        )
+        for i in range(n)
+    }
+    return sim, nodes
+
+
+def packet(dst):
+    return DataPacket(0, 0, 0, dst, 64, 0.0)
+
+
+class TestLinkFiltering:
+    def test_broadcast_received_by_all(self):
+        sim, nodes = build()
+        nodes[0].broadcast(packet(BROADCAST))
+        sim.run()
+        assert len(nodes[1].frames) == 1
+        assert len(nodes[2].frames) == 1
+
+    def test_unicast_filtered_by_link_destination(self):
+        sim, nodes = build()
+        nodes[0].unicast(1, packet(1))
+        sim.run()
+        assert len(nodes[1].frames) == 1
+        assert len(nodes[2].frames) == 0  # heard it, dropped at link layer
+
+    def test_sender_does_not_receive_own_frame(self):
+        sim, nodes = build()
+        nodes[0].broadcast(packet(BROADCAST))
+        sim.run()
+        assert nodes[0].frames == []
+
+
+class TestCPUModel:
+    def test_zero_cost_runs_inline(self):
+        sim, nodes = build(1)
+        ran = []
+        nodes[0].cpu_process(0.0, ran.append, "now")
+        assert ran == ["now"]
+
+    def test_cost_delays_callback(self):
+        sim, nodes = build(1)
+        done = []
+        nodes[0].cpu_process(0.5, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.5]
+
+    def test_cpu_serialises_work(self):
+        """Two 100ms jobs submitted together finish at 100ms and 200ms."""
+        sim, nodes = build(1)
+        finished = []
+        nodes[0].cpu_process(0.1, lambda: finished.append(sim.now))
+        nodes[0].cpu_process(0.1, lambda: finished.append(sim.now))
+        sim.run()
+        assert finished == pytest.approx([0.1, 0.2])
+
+    def test_cpu_idle_gap(self):
+        sim, nodes = build(1)
+        finished = []
+        nodes[0].cpu_process(0.1, lambda: finished.append(sim.now))
+        sim.run()
+        # After the CPU went idle, new work submitted at t=1.1 starts from
+        # "now" (not from the old busy mark) and finishes 0.1s later.
+        sim.schedule(1.0, nodes[0].cpu_process, 0.1, lambda: finished.append(sim.now))
+        sim.run()
+        assert finished == pytest.approx([0.1, 1.2])
+
+    def test_independent_cpus(self):
+        sim, nodes = build(2)
+        finished = []
+        nodes[0].cpu_process(0.1, lambda: finished.append((0, sim.now)))
+        nodes[1].cpu_process(0.1, lambda: finished.append((1, sim.now)))
+        sim.run()
+        assert finished == [(0, pytest.approx(0.1)), (1, pytest.approx(0.1))]
+
+    def test_default_crypto_model_is_free(self):
+        sim, nodes = build(1)
+        assert nodes[0].crypto.sign_delay() == 0.0
+
+    def test_explicit_crypto_model(self):
+        sim = Simulator(seed=2)
+        radio = RadioMedium(sim)
+        node = RecorderNode(
+            0,
+            sim,
+            radio,
+            StaticPosition((0, 0)),
+            MetricsCollector(),
+            crypto=CryptoTimingModel("mccls"),
+        )
+        assert node.crypto.sign_delay() > 0
+
+    def test_position_property(self):
+        sim, nodes = build(2)
+        assert nodes[1].position == (10.0, 0.0)
+
+    def test_repr(self):
+        sim, nodes = build(1)
+        assert "RecorderNode(id=0)" == repr(nodes[0])

@@ -1,0 +1,111 @@
+"""Unit and property tests for the number-theory helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.pairing.numbers import (
+    inverse_mod,
+    is_probable_prime,
+    legendre_symbol,
+    sqrt_mod,
+)
+
+SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 101, 257, 65537]
+SMALL_COMPOSITES = [1, 4, 6, 9, 15, 100, 65536, 561, 1105, 6601]  # incl. Carmichael
+LARGE_PRIME = 2**127 - 1  # Mersenne prime
+P_3MOD4 = 1000003  # prime = 3 (mod 4)
+P_1MOD4 = 1000033  # prime = 1 (mod 4)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in SMALL_PRIMES:
+            assert is_probable_prime(p), p
+
+    def test_small_composites(self):
+        for n in SMALL_COMPOSITES:
+            assert not is_probable_prime(n), n
+
+    def test_negative_and_zero(self):
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(-7)
+
+    def test_large_mersenne_prime(self):
+        assert is_probable_prime(LARGE_PRIME)
+
+    def test_large_composite(self):
+        assert not is_probable_prime(LARGE_PRIME * (2**61 - 1))
+
+    def test_bn254_parameters_are_prime(self):
+        from repro.pairing.bn import BN254_T, bn_parameters
+
+        p, n, _ = bn_parameters(BN254_T)
+        assert p.bit_length() == 254
+        assert n.bit_length() == 254
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_agrees_with_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_probable_prime(n) == by_trial
+
+
+class TestInverse:
+    @given(st.integers(min_value=1, max_value=P_3MOD4 - 1))
+    def test_inverse_roundtrip(self, a):
+        inv = inverse_mod(a, P_3MOD4)
+        assert (a * inv) % P_3MOD4 == 1
+
+    def test_zero_raises(self):
+        with pytest.raises(FieldError):
+            inverse_mod(0, P_3MOD4)
+
+    def test_multiple_of_modulus_raises(self):
+        with pytest.raises(FieldError):
+            inverse_mod(3 * P_3MOD4, P_3MOD4)
+
+    def test_negative_input(self):
+        inv = inverse_mod(-5, P_3MOD4)
+        assert (-5 * inv) % P_3MOD4 == 1
+
+
+class TestLegendre:
+    def test_zero(self):
+        assert legendre_symbol(0, 7) == 0
+
+    def test_known_values_mod_7(self):
+        # squares mod 7: 1, 2, 4
+        assert legendre_symbol(1, 7) == 1
+        assert legendre_symbol(2, 7) == 1
+        assert legendre_symbol(4, 7) == 1
+        assert legendre_symbol(3, 7) == -1
+        assert legendre_symbol(5, 7) == -1
+
+    @given(st.integers(min_value=1, max_value=P_3MOD4 - 1))
+    def test_squares_are_residues(self, a):
+        assert legendre_symbol(a * a, P_3MOD4) == 1
+
+
+class TestSqrt:
+    @pytest.mark.parametrize("p", [P_3MOD4, P_1MOD4, 7, 13, 2**61 - 1])
+    def test_sqrt_of_squares(self, p):
+        for a in (1, 2, 3, 5, 1234, p - 1):
+            square = (a * a) % p
+            root = sqrt_mod(square, p)
+            assert (root * root) % p == square
+
+    def test_sqrt_zero(self):
+        assert sqrt_mod(0, P_3MOD4) == 0
+
+    def test_non_residue_raises(self):
+        # 3 is a non-residue mod 7
+        with pytest.raises(FieldError):
+            sqrt_mod(3, 7)
+
+    @given(st.integers(min_value=1, max_value=P_1MOD4 - 1))
+    @settings(max_examples=50)
+    def test_tonelli_shanks_path(self, a):
+        square = (a * a) % P_1MOD4
+        root = sqrt_mod(square, P_1MOD4)
+        assert (root * root) % P_1MOD4 == square

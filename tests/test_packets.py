@@ -1,0 +1,140 @@
+"""Packet-format tests: sizes, immutability, per-hop mutation."""
+
+import dataclasses
+
+import pytest
+
+from repro.netsim.packets import (
+    AuthTag,
+    BROADCAST,
+    DATA_HEADER_BYTES,
+    DataPacket,
+    Frame,
+    LINK_OVERHEAD_BYTES,
+    RERR_BASE_BYTES,
+    RERR_PER_DEST_BYTES,
+    RREP_BYTES,
+    RREQ_BYTES,
+    RouteError,
+    RouteReply,
+    RouteRequest,
+)
+
+
+def rreq(**overrides):
+    defaults = dict(
+        rreq_id=1,
+        originator=0,
+        originator_seq=5,
+        destination=7,
+        destination_seq=0,
+        hop_count=0,
+        ttl=5,
+        originated_at=0.0,
+    )
+    defaults.update(overrides)
+    return RouteRequest(**defaults)
+
+
+def rrep(**overrides):
+    defaults = dict(
+        originator=0,
+        destination=7,
+        destination_seq=9,
+        hop_count=0,
+        lifetime=6.0,
+        responder=7,
+    )
+    defaults.update(overrides)
+    return RouteReply(**defaults)
+
+
+class TestSizes:
+    def test_rreq_base_size(self):
+        assert rreq().size_bytes == RREQ_BYTES
+
+    def test_rreq_with_auth(self):
+        tag = AuthTag(signer="node-0", size_bytes=226)
+        assert rreq(auth=tag).size_bytes == RREQ_BYTES + 226
+
+    def test_rreq_with_both_tags(self):
+        tag = AuthTag(signer="node-0", size_bytes=226)
+        packet = rreq(auth=tag, hop_auth=tag)
+        assert packet.size_bytes == RREQ_BYTES + 452
+
+    def test_rrep_sizes(self):
+        tag = AuthTag(signer="node-7", size_bytes=100)
+        assert rrep().size_bytes == RREP_BYTES
+        assert rrep(auth=tag, hop_auth=tag).size_bytes == RREP_BYTES + 200
+
+    def test_rerr_size_scales_with_destinations(self):
+        one = RouteError(unreachable=((1, 2),))
+        three = RouteError(unreachable=((1, 2), (3, 4), (5, 6)))
+        assert one.size_bytes == RERR_BASE_BYTES + RERR_PER_DEST_BYTES
+        assert three.size_bytes == RERR_BASE_BYTES + 3 * RERR_PER_DEST_BYTES
+
+    def test_data_size(self):
+        packet = DataPacket(0, 0, 1, 2, 512, 0.0)
+        assert packet.size_bytes == DATA_HEADER_BYTES + 512
+
+    def test_frame_adds_link_overhead(self):
+        packet = DataPacket(0, 0, 1, 2, 512, 0.0)
+        frame = Frame(sender=1, link_destination=2, payload=packet)
+        assert frame.size_bytes == LINK_OVERHEAD_BYTES + packet.size_bytes
+
+
+class TestHopMutation:
+    def test_rreq_hop_forward(self):
+        original = rreq(hop_count=2, ttl=5)
+        forwarded = original.hop_forward()
+        assert forwarded.hop_count == 3
+        assert forwarded.ttl == 4
+        # The original is untouched (no aliasing between nodes).
+        assert original.hop_count == 2
+
+    def test_rrep_hop_forward(self):
+        original = rrep(hop_count=1)
+        assert original.hop_forward().hop_count == 2
+        assert original.hop_count == 1
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            rreq().hop_count = 99
+
+
+class TestSignedFields:
+    def test_rreq_signed_fields_exclude_mutables(self):
+        a = rreq(hop_count=0, ttl=5)
+        b = a.hop_forward()
+        assert a.signed_fields() == b.signed_fields()
+
+    def test_rreq_signed_fields_cover_identity_claims(self):
+        assert rreq(originator=1).signed_fields() != rreq(originator=2).signed_fields()
+        assert rreq(rreq_id=1).signed_fields() != rreq(rreq_id=2).signed_fields()
+        assert (
+            rreq(destination=1).signed_fields()
+            != rreq(destination=2).signed_fields()
+        )
+
+    def test_rrep_signed_fields_cover_seq(self):
+        assert (
+            rrep(destination_seq=1).signed_fields()
+            != rrep(destination_seq=2).signed_fields()
+        )
+        assert rrep(responder=1).signed_fields() != rrep(responder=2).signed_fields()
+
+    def test_rrep_signed_fields_exclude_hops(self):
+        assert rrep(hop_count=0).signed_fields() == rrep(hop_count=3).signed_fields()
+
+
+class TestFrame:
+    def test_broadcast_flag(self):
+        packet = DataPacket(0, 0, 1, 2, 10, 0.0)
+        assert Frame(1, BROADCAST, packet).is_broadcast
+        assert not Frame(1, 2, packet).is_broadcast
+
+    def test_auth_tag_signature_excluded_from_equality(self):
+        a = AuthTag(signer="x", size_bytes=10, signature=object())
+        b = AuthTag(signer="x", size_bytes=10, signature=object())
+        assert a == b  # signature object is compare=False (wire equality)
+        assert a != AuthTag(signer="y", size_bytes=10)

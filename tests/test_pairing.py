@@ -1,0 +1,129 @@
+"""Pairing tests: bilinearity, non-degeneracy, Frobenius, engine counting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CurveError
+from repro.pairing.bn import bn254, toy_curve
+from repro.pairing.pairing import (
+    PairingEngine,
+    _twist_frobenius,
+    final_exponentiation,
+    is_valid_codh_tuple,
+    miller_loop,
+    pairing,
+)
+
+CURVE = toy_curve(32)
+E = pairing(CURVE, CURVE.g1, CURVE.g2)
+
+scalars = st.integers(min_value=1, max_value=CURVE.n - 1)
+
+
+class TestBilinearity:
+    def test_non_degenerate(self):
+        assert not E.is_one()
+
+    def test_order_n(self):
+        assert (E ** CURVE.n).is_one()
+
+    @given(scalars, scalars)
+    @settings(max_examples=15, deadline=None)
+    def test_bilinear(self, a, b):
+        lhs = pairing(CURVE, CURVE.g1 * a, CURVE.g2 * b)
+        assert lhs == E ** ((a * b) % CURVE.n)
+
+    def test_left_right_symmetry(self):
+        a = 987654321 % CURVE.n
+        assert pairing(CURVE, CURVE.g1 * a, CURVE.g2) == pairing(
+            CURVE, CURVE.g1, CURVE.g2 * a
+        )
+
+    def test_additivity_left(self):
+        p1, p2 = CURVE.g1 * 11, CURVE.g1 * 222
+        lhs = pairing(CURVE, p1 + p2, CURVE.g2)
+        assert lhs == pairing(CURVE, p1, CURVE.g2) * pairing(CURVE, p2, CURVE.g2)
+
+    def test_additivity_right(self):
+        q1, q2 = CURVE.g2 * 13, CURVE.g2 * 444
+        lhs = pairing(CURVE, CURVE.g1, q1 + q2)
+        assert lhs == pairing(CURVE, CURVE.g1, q1) * pairing(CURVE, CURVE.g1, q2)
+
+    def test_negation(self):
+        assert pairing(CURVE, -CURVE.g1, CURVE.g2) == E.inverse()
+
+    def test_infinity_arguments(self):
+        inf1 = CURVE.g1_curve.infinity()
+        inf2 = CURVE.g2_curve.infinity()
+        assert pairing(CURVE, inf1, CURVE.g2).is_one()
+        assert pairing(CURVE, CURVE.g1, inf2).is_one()
+
+    def test_membership_check(self):
+        with pytest.raises(CurveError):
+            pairing(CURVE, CURVE.g2, CURVE.g2, check_membership=True)
+
+    def test_miller_loop_needs_final_exponentiation(self):
+        raw = miller_loop(CURVE, CURVE.g1, CURVE.g2)
+        assert final_exponentiation(CURVE, raw) == E
+
+
+class TestFrobenius:
+    def test_eigenvalue_is_p(self):
+        pi = _twist_frobenius(CURVE, CURVE.g2)
+        assert pi == CURVE.g2 * (CURVE.p % CURVE.n)
+
+    def test_twelfth_power_is_identity(self):
+        point = CURVE.g2 * 7
+        current = point
+        for _ in range(12):
+            current = _twist_frobenius(CURVE, current)
+        assert current == point
+
+    def test_infinity(self):
+        inf = CURVE.g2_curve.infinity()
+        assert _twist_frobenius(CURVE, inf).is_infinity()
+
+
+class TestCoDHTuple:
+    def test_valid_tuple(self):
+        s = 31337 % CURVE.n
+        base = CURVE.g1
+        target = CURVE.g2 * 99
+        # e(s*base, target/s') with matching exponents
+        c = 4242
+        left = base * (s * c % CURVE.n)
+        right = CURVE.g2 * (99 * pow(c, -1, CURVE.n) % CURVE.n)
+        assert is_valid_codh_tuple(CURVE, base * s, left, right, target)
+
+    def test_invalid_tuple(self):
+        assert not is_valid_codh_tuple(
+            CURVE, CURVE.g1, CURVE.g1 * 2, CURVE.g2 * 3, CURVE.g2 * 7
+        )
+
+
+class TestEngine:
+    def test_counts(self):
+        engine = PairingEngine(CURVE)
+        engine.pair(CURVE.g1, CURVE.g2)
+        engine.pair(CURVE.g1, CURVE.g2)
+        assert engine.pairing_count == 2
+        engine.reset_counters()
+        assert engine.pairing_count == 0
+
+    def test_codh_with_engine(self):
+        engine = PairingEngine(CURVE)
+        is_valid_codh_tuple(
+            CURVE, CURVE.g1, CURVE.g1, CURVE.g2, CURVE.g2, engine=engine
+        )
+        assert engine.pairing_count == 2
+
+
+@pytest.mark.slow
+class TestBN254Pairing:
+    def test_bilinearity_once(self):
+        curve = bn254()
+        e = pairing(curve, curve.g1, curve.g2)
+        assert not e.is_one()
+        a = 1234567
+        assert pairing(curve, curve.g1 * a, curve.g2) == e ** a

@@ -1,0 +1,177 @@
+"""PKI baseline tests: ECDSA and the certificate authority machinery."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.errors import CertificateError, SignatureError
+from repro.pairing.bn import toy_curve
+from repro.pki.ca import (
+    CertificateAuthority,
+    enroll_identity,
+    verify_chain,
+)
+from repro.pki.ecdsa import (
+    ECDSA,
+    ECDSASignature,
+    decode_signature,
+    encode_signature,
+    signature_size_bytes,
+)
+
+CURVE = toy_curve(32)
+
+
+@pytest.fixture()
+def ecdsa():
+    return ECDSA(CURVE, random.Random(21))
+
+
+class TestECDSA:
+    def test_sign_verify(self, ecdsa):
+        keys = ecdsa.generate_keys()
+        sig = ecdsa.sign(b"payload", keys)
+        assert ecdsa.verify(b"payload", sig, keys.public_key)
+
+    def test_reject_wrong_message(self, ecdsa):
+        keys = ecdsa.generate_keys()
+        sig = ecdsa.sign(b"payload", keys)
+        assert not ecdsa.verify(b"other", sig, keys.public_key)
+
+    def test_reject_wrong_key(self, ecdsa):
+        keys = ecdsa.generate_keys()
+        other = ecdsa.generate_keys()
+        sig = ecdsa.sign(b"payload", keys)
+        assert not ecdsa.verify(b"payload", sig, other.public_key)
+
+    def test_tampered_signature(self, ecdsa):
+        keys = ecdsa.generate_keys()
+        sig = ecdsa.sign(b"payload", keys)
+        bad = dataclasses.replace(sig, s=(sig.s + 1) % CURVE.n)
+        assert not ecdsa.verify(b"payload", bad, keys.public_key)
+
+    def test_range_checks(self, ecdsa):
+        keys = ecdsa.generate_keys()
+        assert not ecdsa.verify(b"m", ECDSASignature(0, 1), keys.public_key)
+        assert not ecdsa.verify(b"m", ECDSASignature(1, 0), keys.public_key)
+        assert not ecdsa.verify(
+            b"m", ECDSASignature(CURVE.n, 1), keys.public_key
+        )
+
+    def test_infinity_key_rejected(self, ecdsa):
+        keys = ecdsa.generate_keys()
+        sig = ecdsa.sign(b"m", keys)
+        assert not ecdsa.verify(b"m", sig, CURVE.g1_curve.infinity())
+
+    def test_deterministic_keys(self):
+        a = ECDSA(CURVE).generate_keys(secret=777)
+        b = ECDSA(CURVE).generate_keys(secret=777)
+        assert a.public_key == b.public_key
+
+    def test_wrong_type_raises(self, ecdsa):
+        keys = ecdsa.generate_keys()
+        with pytest.raises(SignatureError):
+            ecdsa.verify(b"m", "sig", keys.public_key)
+
+    def test_many_messages(self, ecdsa):
+        keys = ecdsa.generate_keys()
+        for i in range(10):
+            msg = f"packet {i}".encode()
+            assert ecdsa.verify(msg, ecdsa.sign(msg, keys), keys.public_key)
+
+    def test_signature_serialization(self, ecdsa):
+        keys = ecdsa.generate_keys()
+        sig = ecdsa.sign(b"m", keys)
+        blob = encode_signature(CURVE, sig)
+        assert len(blob) == signature_size_bytes(CURVE)
+        decoded, rest = decode_signature(CURVE, blob + b"tail")
+        assert decoded == sig
+        assert rest == b"tail"
+
+    def test_truncated_signature(self):
+        with pytest.raises(SignatureError):
+            decode_signature(CURVE, b"\x01")
+
+
+class TestCertificateAuthority:
+    def test_issue_and_check(self):
+        ca = CertificateAuthority("root", CURVE, seed=1)
+        ident = enroll_identity("alice", ca, seed=2)
+        ca.check_certificate(ident.certificate)
+
+    def test_forged_certificate_rejected(self):
+        ca = CertificateAuthority("root", CURVE, seed=1)
+        ident = enroll_identity("alice", ca, seed=2)
+        forged = dataclasses.replace(ident.certificate, subject="mallory")
+        with pytest.raises(CertificateError):
+            ca.check_certificate(forged)
+
+    def test_revocation(self):
+        ca = CertificateAuthority("root", CURVE, seed=1)
+        ident = enroll_identity("alice", ca, seed=2)
+        ca.revoke(ident.certificate.serial)
+        with pytest.raises(CertificateError):
+            ca.check_certificate(ident.certificate)
+        assert ident.certificate.serial in ca.crl()
+
+    def test_revoke_unknown_serial(self):
+        ca = CertificateAuthority("root", CURVE, seed=1)
+        with pytest.raises(CertificateError):
+            ca.revoke(999)
+
+    def test_expiry(self):
+        ca = CertificateAuthority("root", CURVE, seed=1, validity_seconds=10)
+        ident = enroll_identity("alice", ca, now=100.0, seed=2)
+        ca.check_certificate(ident.certificate, now=105.0)
+        with pytest.raises(CertificateError):
+            ca.check_certificate(ident.certificate, now=111.0)
+        with pytest.raises(CertificateError):
+            ca.check_certificate(ident.certificate, now=99.0)
+
+    def test_wrong_issuer(self):
+        ca_a = CertificateAuthority("ca-a", CURVE, seed=1)
+        ca_b = CertificateAuthority("ca-b", CURVE, seed=2)
+        ident = enroll_identity("alice", ca_a, seed=3)
+        with pytest.raises(CertificateError):
+            ca_b.check_certificate(ident.certificate)
+
+
+class TestChains:
+    def test_two_level_chain(self):
+        root = CertificateAuthority("root", CURVE, seed=1)
+        sub = CertificateAuthority("sub", CURVE, parent=root, seed=2)
+        ident = enroll_identity("alice", sub, seed=3)
+        assert len(ident.chain) == 2
+        verify_chain(
+            ident.chain, {"root": root, "sub": sub}
+        )
+
+    def test_unknown_issuer_in_chain(self):
+        root = CertificateAuthority("root", CURVE, seed=1)
+        ident = enroll_identity("alice", root, seed=2)
+        with pytest.raises(CertificateError):
+            verify_chain(ident.chain, {})
+
+    def test_empty_chain(self):
+        with pytest.raises(CertificateError):
+            verify_chain([], {})
+
+    def test_broken_chain_contiguity(self):
+        root = CertificateAuthority("root", CURVE, seed=1)
+        sub = CertificateAuthority("sub", CURVE, parent=root, seed=2)
+        alice = enroll_identity("alice", sub, seed=3)
+        unrelated = root.issue("someone-else", CURVE.g1 * 5)
+        with pytest.raises(CertificateError):
+            verify_chain(
+                [alice.certificate, unrelated],
+                {"root": root, "sub": sub},
+            )
+
+    def test_revoked_intermediate(self):
+        root = CertificateAuthority("root", CURVE, seed=1)
+        sub = CertificateAuthority("sub", CURVE, parent=root, seed=2)
+        ident = enroll_identity("alice", sub, seed=3)
+        root.revoke(sub.certificate.serial)
+        with pytest.raises(CertificateError):
+            verify_chain(ident.chain, {"root": root, "sub": sub})

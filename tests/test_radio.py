@@ -1,0 +1,165 @@
+"""Radio-medium tests: range, addressing, queueing, jitter, loss."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+from repro.netsim.mobility import StaticPosition
+from repro.netsim.packets import BROADCAST, DataPacket, Frame
+from repro.netsim.radio import RadioMedium
+
+
+def data_frame(sender, link_dst, payload_bytes=100):
+    return Frame(
+        sender=sender,
+        link_destination=link_dst,
+        payload=DataPacket(
+            flow_id=0,
+            seq=0,
+            source=sender,
+            destination=link_dst if link_dst != BROADCAST else 0,
+            payload_bytes=payload_bytes,
+            created_at=0.0,
+        ),
+    )
+
+
+class Harness:
+    def __init__(self, positions, **radio_kwargs):
+        self.sim = Simulator(seed=5)
+        radio_kwargs.setdefault("broadcast_jitter_s", 0.0)
+        self.radio = RadioMedium(self.sim, **radio_kwargs)
+        self.received = []
+        for node_id, pos in positions.items():
+            self.radio.attach(
+                node_id,
+                StaticPosition(pos),
+                lambda nid, frame, now: self.received.append((nid, frame, now)),
+            )
+
+
+class TestRangeAndDelivery:
+    def test_in_range_delivery(self):
+        h = Harness({0: (0, 0), 1: (100, 0)}, range_m=250.0)
+        h.radio.transmit(data_frame(0, BROADCAST))
+        h.sim.run()
+        assert [r[0] for r in h.received] == [1]
+
+    def test_out_of_range_not_delivered(self):
+        h = Harness({0: (0, 0), 1: (300, 0)}, range_m=250.0)
+        h.radio.transmit(data_frame(0, BROADCAST))
+        h.sim.run()
+        assert h.received == []
+
+    def test_broadcast_reaches_all_neighbors(self):
+        h = Harness({0: (0, 0), 1: (50, 0), 2: (0, 50), 3: (400, 0)})
+        h.radio.transmit(data_frame(0, BROADCAST))
+        h.sim.run()
+        assert sorted(r[0] for r in h.received) == [1, 2]
+
+    def test_sender_does_not_hear_itself(self):
+        h = Harness({0: (0, 0)})
+        h.radio.transmit(data_frame(0, BROADCAST))
+        h.sim.run()
+        assert h.received == []
+
+    def test_unicast_physically_broadcast(self):
+        """Unicast frames still reach every radio in range (link-layer
+        filtering is the node's job, exercised in node tests)."""
+        h = Harness({0: (0, 0), 1: (50, 0), 2: (60, 0)})
+        h.radio.transmit(data_frame(0, 1))
+        h.sim.run()
+        assert sorted(r[0] for r in h.received) == [1, 2]
+
+    def test_in_range_helper(self):
+        h = Harness({0: (0, 0), 1: (100, 0), 2: (9999, 0)})
+        assert h.radio.in_range(0, 1)
+        assert not h.radio.in_range(0, 2)
+
+    def test_neighbors_of(self):
+        h = Harness({0: (0, 0), 1: (100, 0), 2: (9999, 0)})
+        assert h.radio.neighbors_of(0) == [1]
+
+
+class TestTiming:
+    def test_transmission_delay_proportional_to_size(self):
+        h = Harness({0: (0, 0), 1: (10, 0)}, bitrate_bps=1_000_000.0)
+        frame = data_frame(0, BROADCAST, payload_bytes=1000)
+        h.radio.transmit(frame)
+        h.sim.run()
+        (_, _, arrival) = h.received[0]
+        expected = frame.size_bytes * 8 / 1_000_000.0
+        assert arrival == pytest.approx(expected, rel=1e-3)
+
+    def test_back_to_back_transmissions_serialise(self):
+        h = Harness({0: (0, 0), 1: (10, 0)}, bitrate_bps=1_000_000.0)
+        h.radio.transmit(data_frame(0, BROADCAST, payload_bytes=1000))
+        h.radio.transmit(data_frame(0, BROADCAST, payload_bytes=1000))
+        h.sim.run()
+        assert len(h.received) == 2
+        first, second = h.received[0][2], h.received[1][2]
+        assert second >= 2 * first * 0.99
+
+    def test_jitter_applied_to_broadcast(self):
+        h = Harness({0: (0, 0), 1: (10, 0)}, broadcast_jitter_s=0.01)
+        h.radio.transmit(data_frame(0, BROADCAST, payload_bytes=0))
+        h.sim.run()
+        arrival = h.received[0][2]
+        tx = data_frame(0, BROADCAST, payload_bytes=0).size_bytes * 8 / 2e6
+        assert arrival > tx  # some jitter was added
+
+    def test_jitter_bypass(self):
+        h = Harness({0: (0, 0), 1: (10, 0)}, broadcast_jitter_s=0.01)
+        h.radio.transmit(data_frame(0, BROADCAST, payload_bytes=0), jitter=False)
+        h.sim.run()
+        arrival = h.received[0][2]
+        tx = data_frame(0, BROADCAST, payload_bytes=0).size_bytes * 8 / 2e6
+        assert arrival == pytest.approx(tx, rel=1e-2)
+
+
+class TestLoss:
+    def test_zero_loss_delivers_everything(self):
+        h = Harness({0: (0, 0), 1: (10, 0)}, loss_rate=0.0)
+        for _ in range(20):
+            h.radio.transmit(data_frame(0, BROADCAST))
+        h.sim.run()
+        assert len(h.received) == 20
+
+    def test_heavy_loss_drops_most(self):
+        h = Harness({0: (0, 0), 1: (10, 0)}, loss_rate=0.9)
+        for _ in range(100):
+            h.radio.transmit(data_frame(0, BROADCAST))
+        h.sim.run()
+        assert len(h.received) < 40
+        assert h.radio.frames_lost > 50
+
+    def test_invalid_loss_rate(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            RadioMedium(sim, loss_rate=1.5)
+
+
+class TestAttachment:
+    def test_double_attach_rejected(self):
+        h = Harness({0: (0, 0)})
+        with pytest.raises(SimulationError):
+            h.radio.attach(0, StaticPosition((1, 1)), lambda *a: None)
+
+    def test_detach(self):
+        h = Harness({0: (0, 0), 1: (10, 0)})
+        h.radio.detach(1)
+        h.radio.transmit(data_frame(0, BROADCAST))
+        h.sim.run()
+        assert h.received == []
+
+    def test_unattached_sender_rejected(self):
+        h = Harness({0: (0, 0)})
+        with pytest.raises(SimulationError):
+            h.radio.transmit(data_frame(42, BROADCAST))
+
+    def test_counters(self):
+        h = Harness({0: (0, 0), 1: (10, 0)})
+        h.radio.transmit(data_frame(0, BROADCAST))
+        h.sim.run()
+        assert h.radio.frames_sent == 1
+        assert h.radio.frames_delivered == 1

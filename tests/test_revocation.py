@@ -1,0 +1,135 @@
+"""Revocation-module and insider-attack tests."""
+
+import random
+
+import pytest
+
+from repro.core.mccls import McCLS
+from repro.core.revocation import (
+    REVOCATION_AUTHORITY_IDENTITY,
+    RevocationAuthority,
+    RevocationChecker,
+    RevocationList,
+    forge_revocation,
+)
+from repro.netsim.scenario import ScenarioConfig, run_scenario
+from repro.pairing.bn import toy_curve
+from repro.pairing.groups import PairingContext
+
+CURVE = toy_curve(32)
+
+
+@pytest.fixture()
+def authority():
+    scheme = McCLS(PairingContext(CURVE, random.Random(0xCA)), precompute_s=True)
+    return RevocationAuthority(scheme)
+
+
+class TestAuthority:
+    def test_issue_signed_crl(self, authority):
+        crl = authority.revoke("node-3", "node-7")
+        assert crl.version == 1
+        assert crl.revoked == frozenset({"node-3", "node-7"})
+        assert crl.signature is not None
+
+    def test_versions_increment_and_accumulate(self, authority):
+        authority.revoke("a")
+        crl = authority.revoke("b")
+        assert crl.version == 2
+        assert crl.revoked == frozenset({"a", "b"})
+
+    def test_authority_identity_reserved(self, authority):
+        assert authority.keys.identity == REVOCATION_AUTHORITY_IDENTITY
+
+
+class TestChecker:
+    def test_real_crypto_roundtrip(self, authority):
+        checker = RevocationChecker(
+            scheme=authority.scheme, authority_public_key=authority.public_key()
+        )
+        crl = authority.revoke("node-3")
+        assert checker.apply(crl)
+        assert checker.is_revoked("node-3")
+        assert not checker.is_revoked("node-4")
+
+    def test_forged_crl_rejected(self, authority):
+        checker = RevocationChecker(
+            scheme=authority.scheme, authority_public_key=authority.public_key()
+        )
+        forged, _reason = forge_revocation(1, ["honest-victim"])
+        assert not checker.apply(forged)
+        assert not checker.is_revoked("honest-victim")
+
+    def test_stale_version_ignored(self, authority):
+        checker = RevocationChecker(
+            scheme=authority.scheme, authority_public_key=authority.public_key()
+        )
+        first = authority.revoke("a")
+        second = authority.revoke("b")
+        assert checker.apply(second)
+        assert not checker.apply(first)  # rollback attempt
+        assert checker.is_revoked("b")
+
+    def test_wrong_signer_rejected(self, authority):
+        """A CRL signed by a non-authority identity must not apply."""
+        scheme = authority.scheme
+        impostor = scheme.generate_user_keys("impostor")
+        crl = RevocationList(version=1, revoked=frozenset({"victim"}))
+        bad_sig = scheme.sign(crl.payload_bytes(), impostor)
+        forged = RevocationList(
+            version=1, revoked=crl.revoked, signature=bad_sig
+        )
+        checker = RevocationChecker(
+            scheme=scheme, authority_public_key=authority.public_key()
+        )
+        assert not checker.apply(forged)
+
+    def test_modelled_mode_trusts_lists(self):
+        checker = RevocationChecker()
+        assert checker.apply(
+            RevocationList(version=1, revoked=frozenset({"node-1"}))
+        )
+        assert checker.is_revoked("node-1")
+
+
+class TestInsiderScenario:
+    BASE = dict(
+        max_speed=10.0,
+        sim_time_s=40.0,
+        seed=3,
+        attack="blackhole-insider",
+        protocol="mccls",
+        blackhole_fake_seq_boost=100,
+    )
+
+    def test_insider_defeats_authentication(self):
+        report = run_scenario(ScenarioConfig(**self.BASE)).report()
+        # Valid keys => hop-by-hop auth cannot exclude the insider.
+        assert report["packet_drop_ratio"] > 0.2
+
+    def test_revocation_restores_protection(self):
+        without = run_scenario(ScenarioConfig(**self.BASE)).report()
+        with_revocation = run_scenario(
+            ScenarioConfig(revocation_time_s=10.0, **self.BASE)
+        ).report()
+        assert (
+            with_revocation["packet_drop_ratio"]
+            < without["packet_drop_ratio"] / 2
+        )
+        assert (
+            with_revocation["packet_delivery_ratio"]
+            > without["packet_delivery_ratio"]
+        )
+
+    def test_early_revocation_near_total_protection(self):
+        report = run_scenario(
+            ScenarioConfig(revocation_time_s=4.0, **self.BASE)
+        ).report()
+        assert report["packet_drop_ratio"] < 0.05
+
+    def test_outsider_attack_unaffected_by_revocation_option(self):
+        base = {**self.BASE, "attack": "blackhole"}
+        report = run_scenario(
+            ScenarioConfig(revocation_time_s=10.0, **base)
+        ).report()
+        assert report["packet_drop_ratio"] == 0.0

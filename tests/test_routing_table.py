@@ -1,0 +1,107 @@
+"""AODV routing-table semantics (the freshness rules attacks exploit)."""
+
+from repro.netsim.routing.table import RoutingTable
+
+
+class TestUpdateRules:
+    def test_install_new_route(self):
+        table = RoutingTable()
+        assert table.update(5, 2, 3, 10, lifetime=3.0, now=0.0)
+        entry = table.lookup(5, now=1.0)
+        assert entry is not None
+        assert entry.next_hop == 2
+        assert entry.hop_count == 3
+
+    def test_fresher_sequence_wins(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 10, 3.0, 0.0)
+        assert table.update(5, 9, 7, 11, 3.0, 0.0)  # fresher, even if longer
+        assert table.lookup(5, 0.0).next_hop == 9
+
+    def test_stale_sequence_rejected(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 10, 3.0, 0.0)
+        assert not table.update(5, 9, 1, 9, 3.0, 0.0)
+        assert table.lookup(5, 0.0).next_hop == 2
+
+    def test_equal_seq_fewer_hops_wins(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 10, 3.0, 0.0)
+        assert table.update(5, 9, 2, 10, 3.0, 0.0)
+        assert table.lookup(5, 0.0).next_hop == 9
+
+    def test_equal_seq_more_hops_rejected(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 10, 3.0, 0.0)
+        assert not table.update(5, 9, 4, 10, 3.0, 0.0)
+
+    def test_blackhole_freshness_exploit(self):
+        """The attack surface: any higher sequence number displaces a good
+        route - this is exactly what the forged RREP does."""
+        table = RoutingTable()
+        table.update(5, 2, 2, 10, 3.0, 0.0)  # genuine route
+        assert table.update(5, 666, 1, 110, 3.0, 0.0)  # fake fresh route
+        assert table.lookup(5, 0.0).next_hop == 666
+
+    def test_rejected_update_refreshes_same_next_hop(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 10, 3.0, 0.0)
+        table.update(5, 2, 3, 10, 3.0, 2.0)  # same route seen again
+        assert table.lookup(5, 4.5) is not None  # lifetime extended
+
+
+class TestExpiryAndInvalidation:
+    def test_expiry(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 10, lifetime=3.0, now=0.0)
+        assert table.lookup(5, 2.9) is not None
+        assert table.lookup(5, 3.1) is None
+
+    def test_refresh(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 10, 3.0, 0.0)
+        table.refresh(5, 3.0, now=2.0)
+        assert table.lookup(5, 4.0) is not None
+
+    def test_expired_entry_replaceable_by_stale_seq(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 10, 3.0, 0.0)
+        # after expiry, even an older-seq route is accepted (better than none)
+        assert table.update(5, 9, 3, 8, 3.0, now=10.0)
+
+    def test_invalidate(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 10, 3.0, 0.0)
+        entry = table.invalidate(5)
+        assert entry is not None
+        assert entry.destination_seq == 11  # seq bumped on invalidation
+        assert table.lookup(5, 0.0) is None
+
+    def test_invalidate_missing(self):
+        assert RoutingTable().invalidate(5) is None
+
+    def test_invalidate_via(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 10, 3.0, 0.0)
+        table.update(6, 2, 1, 4, 3.0, 0.0)
+        table.update(7, 9, 1, 4, 3.0, 0.0)
+        broken = table.invalidate_via(2)
+        assert sorted(e.destination for e in broken) == [5, 6]
+        assert table.lookup(7, 0.0) is not None
+
+    def test_precursors(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 10, 3.0, 0.0)
+        table.add_precursor(5, 11)
+        table.add_precursor(5, 12)
+        assert table.entry(5).precursors == {11, 12}
+        # precursors survive route replacement
+        table.update(5, 9, 1, 20, 3.0, 0.0)
+        assert table.entry(5).precursors == {11, 12}
+
+    def test_len_and_destinations(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 10, 3.0, 0.0)
+        table.update(6, 2, 3, 10, 3.0, 0.0)
+        assert len(table) == 2
+        assert sorted(table.destinations()) == [5, 6]

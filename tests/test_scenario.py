@@ -1,0 +1,151 @@
+"""Scenario construction and end-to-end simulation tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.scenario import (
+    ScenarioConfig,
+    build_scenario,
+    paper_speed_sweep,
+    run_scenario,
+)
+
+FAST = dict(sim_time_s=20.0, n_flows=3, n_nodes=14)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = ScenarioConfig()
+        assert config.n_nodes == 20
+        assert config.area_width == 1500.0
+        assert config.area_height == 300.0
+        assert config.pause_time == 0.0
+        assert config.n_attackers == 2
+
+    def test_validation_protocol(self):
+        with pytest.raises(SimulationError):
+            ScenarioConfig(protocol="ospf").validate()
+
+    def test_validation_attack(self):
+        with pytest.raises(SimulationError):
+            ScenarioConfig(attack="sybil").validate()
+
+    def test_validation_node_count(self):
+        with pytest.raises(SimulationError):
+            ScenarioConfig(n_nodes=1).validate()
+
+    def test_validation_flow_endpoints(self):
+        with pytest.raises(SimulationError):
+            ScenarioConfig(n_nodes=6, n_flows=3, attack="rushing").validate()
+
+    def test_with_helper(self):
+        base = ScenarioConfig()
+        changed = base.with_(max_speed=17.0)
+        assert changed.max_speed == 17.0
+        assert base.max_speed != 17.0
+
+    def test_speed_sweep(self):
+        assert paper_speed_sweep() == [0.0, 5.0, 10.0, 15.0, 20.0]
+
+
+class TestBuild:
+    def test_node_roles(self):
+        config = ScenarioConfig(attack="blackhole", **FAST)
+        sim, nodes, flows, metrics, attacker_ids = build_scenario(config)
+        assert len(nodes) == config.n_nodes
+        assert len(attacker_ids) == 2
+        roles = {nodes[a].role for a in attacker_ids}
+        assert roles == {"blackhole"}
+
+    def test_flow_endpoints_are_honest(self):
+        config = ScenarioConfig(attack="rushing", **FAST)
+        sim, nodes, flows, metrics, attacker_ids = build_scenario(config)
+        for flow in flows:
+            assert flow.spec.source not in attacker_ids
+            assert flow.spec.destination not in attacker_ids
+
+    def test_flow_endpoints_disjoint(self):
+        config = ScenarioConfig(**FAST)
+        _, _, flows, _, _ = build_scenario(config)
+        endpoints = [flow.spec.source for flow in flows] + [
+            flow.spec.destination for flow in flows
+        ]
+        assert len(endpoints) == len(set(endpoints))
+
+    def test_secure_nodes_in_mccls_mode(self):
+        config = ScenarioConfig(protocol="mccls", **FAST)
+        _, nodes, _, _, _ = build_scenario(config)
+        assert all(node.role == "honest-mccls" for node in nodes.values())
+
+    def test_initially_connected_pairs(self):
+        from repro.netsim.mobility import distance
+        from repro.netsim.scenario import _connected_components
+
+        config = ScenarioConfig(**FAST, seed=11, max_speed=0.0)
+        _, nodes, flows, _, _ = build_scenario(config)
+        positions = {nid: node.mobility.position(0.0) for nid, node in nodes.items()}
+        components = _connected_components(
+            list(nodes), positions, config.range_m
+        )
+        component_of = {
+            nid: i for i, comp in enumerate(components) for nid in comp
+        }
+        for flow in flows:
+            assert component_of[flow.spec.source] == component_of[
+                flow.spec.destination
+            ]
+        assert distance is not None
+
+
+class TestRun:
+    def test_determinism(self):
+        config = ScenarioConfig(seed=5, **FAST)
+        a = run_scenario(config).report()
+        b = run_scenario(config).report()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = run_scenario(ScenarioConfig(seed=5, **FAST)).report()
+        b = run_scenario(ScenarioConfig(seed=6, **FAST)).report()
+        assert a != b
+
+    def test_basic_delivery(self):
+        report = run_scenario(ScenarioConfig(seed=5, **FAST)).report()
+        assert report["packet_delivery_ratio"] > 0.6
+        assert report["data_sent"] > 0
+
+    @pytest.mark.parametrize("protocol", ["aodv", "mccls"])
+    @pytest.mark.parametrize("attack", [None, "blackhole", "rushing"])
+    def test_protocol_attack_matrix(self, protocol, attack):
+        config = ScenarioConfig(
+            seed=5, protocol=protocol, attack=attack, **FAST
+        )
+        result = run_scenario(config)
+        report = result.report()
+        assert report["data_sent"] > 0
+        if attack:
+            assert len(result.attacker_ids) == 2
+        if protocol == "mccls" and attack:
+            assert report["packet_drop_ratio"] == 0.0
+
+    def test_real_crypto_smoke(self):
+        config = ScenarioConfig(
+            seed=5,
+            protocol="mccls",
+            real_crypto=True,
+            sim_time_s=10.0,
+            n_flows=2,
+            n_nodes=10,
+        )
+        report = run_scenario(config).report()
+        assert report["data_sent"] > 0
+        assert report["packet_delivery_ratio"] > 0.3
+
+    def test_crypto_delay_increases_latency(self):
+        fast = run_scenario(
+            ScenarioConfig(seed=5, protocol="mccls", crypto_speedup=1000.0, **FAST)
+        ).report()
+        slow = run_scenario(
+            ScenarioConfig(seed=5, protocol="mccls", crypto_speedup=0.2, **FAST)
+        ).report()
+        assert slow["end_to_end_delay"] > fast["end_to_end_delay"]

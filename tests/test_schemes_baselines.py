@@ -1,0 +1,179 @@
+"""Baseline CLS scheme tests (AP, ZWXF, YHG) - Table 1's comparison rows."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.pairing.bn import toy_curve
+from repro.pairing.groups import PairingContext
+from repro.schemes import APScheme, YHGScheme, ZWXFScheme
+from repro.schemes.registry import all_scheme_classes, scheme_class, scheme_names
+
+CURVE = toy_curve(32)
+ALL_BASELINES = [APScheme, ZWXFScheme, YHGScheme]
+
+
+def make(cls, seed=0xB0B):
+    scheme = cls(PairingContext(CURVE, random.Random(seed)))
+    keys = scheme.generate_user_keys("baseline@manet")
+    return scheme, keys
+
+
+@pytest.mark.parametrize("cls", ALL_BASELINES)
+class TestCommonBehaviour:
+    def test_sign_verify(self, cls):
+        scheme, keys = make(cls)
+        sig = scheme.sign(b"msg", keys)
+        assert scheme.verify(
+            b"msg", sig, keys.identity, keys.public_key, keys.public_key_extra
+        )
+
+    def test_reject_wrong_message(self, cls):
+        scheme, keys = make(cls)
+        sig = scheme.sign(b"msg", keys)
+        assert not scheme.verify(
+            b"other", sig, keys.identity, keys.public_key, keys.public_key_extra
+        )
+
+    def test_reject_wrong_identity(self, cls):
+        scheme, keys = make(cls)
+        sig = scheme.sign(b"msg", keys)
+        assert not scheme.verify(
+            b"msg", sig, "mallory", keys.public_key, keys.public_key_extra
+        )
+
+    def test_reject_other_users_key(self, cls):
+        scheme, keys = make(cls)
+        other = scheme.generate_user_keys("other@manet")
+        sig = scheme.sign(b"msg", keys)
+        assert not scheme.verify(
+            b"msg", sig, keys.identity, other.public_key, other.public_key_extra
+        )
+
+    def test_many_messages(self, cls):
+        scheme, keys = make(cls)
+        for i in range(5):
+            msg = f"routing packet {i}".encode()
+            sig = scheme.sign(msg, keys)
+            assert scheme.verify(
+                msg, sig, keys.identity, keys.public_key, keys.public_key_extra
+            )
+
+    def test_wrong_signature_type_raises(self, cls):
+        scheme, keys = make(cls)
+        with pytest.raises(SignatureError):
+            scheme.verify(
+                b"m", object(), keys.identity, keys.public_key, keys.public_key_extra
+            )
+
+
+class TestAPSpecific:
+    def test_two_point_public_key(self):
+        scheme, keys = make(APScheme)
+        assert keys.public_key_extra is not None
+        assert len(keys.public_key_points()) == 2
+        # Y_A = s * X_A is the certificateless key-consistency relation.
+        assert keys.public_key_extra == keys.public_key * scheme.master_secret
+
+    def test_inconsistent_key_pair_rejected(self):
+        scheme, keys = make(APScheme)
+        sig = scheme.sign(b"m", keys)
+        bogus_extra = keys.public_key_extra * 2
+        assert not scheme.verify(
+            b"m", sig, keys.identity, keys.public_key, bogus_extra
+        )
+
+    def test_missing_extra_key_raises(self):
+        scheme, keys = make(APScheme)
+        sig = scheme.sign(b"m", keys)
+        with pytest.raises(SignatureError):
+            scheme.verify(b"m", sig, keys.identity, keys.public_key, None)
+
+    def test_full_private_key_stored(self):
+        scheme, keys = make(APScheme)
+        assert keys.full_private_key == keys.partial.d_id * keys.secret_value
+
+    def test_sign_profile(self):
+        scheme, keys = make(APScheme)
+        _, ops = scheme.measure_sign(b"m", keys)
+        assert ops.pairings == 1
+        assert ops.scalar_mults == 3
+
+    def test_tampered_v_scalar(self):
+        scheme, keys = make(APScheme)
+        sig = scheme.sign(b"m", keys)
+        bad = dataclasses.replace(sig, v=(sig.v + 1) % scheme.ctx.order)
+        assert not scheme.verify(
+            b"m", bad, keys.identity, keys.public_key, keys.public_key_extra
+        )
+
+
+class TestZWXFSpecific:
+    def test_verify_profile_four_pairings_cold(self):
+        scheme, keys = make(ZWXFScheme)
+        sig = scheme.sign(b"m", keys)
+        _, ops = scheme.measure_verify(b"m", sig, keys)
+        assert ops.pairings == 4
+
+    def test_w_prime_cache(self):
+        scheme, keys = make(ZWXFScheme)
+        scheme.sign(b"warm", keys)
+        _, ops = scheme.measure_sign(b"steady", keys)
+        assert ops.group_hashes == 1  # only W = H3(M, ID, U) is fresh
+        assert ops.scalar_mults == 3
+
+    def test_tampered_u(self):
+        scheme, keys = make(ZWXFScheme)
+        sig = scheme.sign(b"m", keys)
+        bad = dataclasses.replace(sig, u=sig.u * 3)
+        assert not scheme.verify(b"m", bad, keys.identity, keys.public_key)
+
+
+class TestYHGSpecific:
+    def test_verify_profile_two_pairings_cold(self):
+        scheme, keys = make(YHGScheme)
+        sig = scheme.sign(b"m", keys)
+        _, ops = scheme.measure_verify(b"m", sig, keys)
+        assert ops.pairings == 2
+
+    def test_warm_verify_single_pairing(self):
+        scheme, keys = make(YHGScheme)
+        sig = scheme.sign(b"m", keys)
+        scheme.verify(b"m", sig, keys.identity, keys.public_key)
+        _, ops = scheme.measure_verify(b"m", sig, keys)
+        assert ops.pairings == 1
+
+    def test_sign_no_pairings(self):
+        scheme, keys = make(YHGScheme)
+        _, ops = scheme.measure_sign(b"m", keys)
+        assert ops.pairings == 0
+        assert ops.scalar_mults == 2
+
+    def test_v_infinity_rejected(self):
+        scheme, keys = make(YHGScheme)
+        sig = scheme.sign(b"m", keys)
+        bad = dataclasses.replace(sig, v=CURVE.g2_curve.infinity())
+        assert not scheme.verify(b"m", bad, keys.identity, keys.public_key)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert scheme_names() == ["ap", "zwxf", "yhg", "mccls", "mccls-plus"]
+
+    def test_lookup(self):
+        assert scheme_class("ap") is APScheme
+        from repro.core.mccls import McCLS
+
+        assert scheme_class("mccls") is McCLS
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            scheme_class("nope")
+
+    def test_all_classes(self):
+        classes = all_scheme_classes()
+        assert set(classes) == {"ap", "zwxf", "yhg", "mccls", "mccls-plus"}
+        for name, cls in classes.items():
+            assert cls.name == name

@@ -1,0 +1,110 @@
+"""Cross-scheme property tests (hypothesis) over all five CLS variants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hardened import McCLSPlus
+from repro.errors import SignatureError
+from repro.pairing.bn import toy_curve
+from repro.pairing.groups import PairingContext
+from repro.schemes.registry import scheme_class, scheme_names
+
+CURVE = toy_curve(32)
+ALL_SCHEMES = scheme_names()
+
+
+def make(name, seed=0xFACE):
+    ctx = PairingContext(CURVE, random.Random(seed))
+    if name == "mccls-plus":
+        return McCLSPlus(ctx)
+    return scheme_class(name)(ctx)
+
+
+identities = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=24,
+)
+messages = st.binary(min_size=0, max_size=128)
+
+
+@pytest.mark.parametrize("name", ALL_SCHEMES)
+class TestUniversalProperties:
+    @given(identity=identities, message=messages)
+    @settings(max_examples=8, deadline=None)
+    def test_sign_verify_roundtrip(self, name, identity, message):
+        scheme = make(name)
+        keys = scheme.generate_user_keys(identity)
+        sig = scheme.sign(message, keys)
+        assert scheme.verify(
+            message, sig, keys.identity, keys.public_key, keys.public_key_extra
+        )
+
+    @given(message=messages, other=messages)
+    @settings(max_examples=8, deadline=None)
+    def test_message_binding(self, name, message, other):
+        if message == other:
+            return
+        scheme = make(name)
+        keys = scheme.generate_user_keys("prop")
+        sig = scheme.sign(message, keys)
+        assert not scheme.verify(
+            other, sig, keys.identity, keys.public_key, keys.public_key_extra
+        )
+
+    def test_signature_objects_distinct_types(self, name):
+        """A signature from any OTHER scheme must raise SignatureError
+        (never silently verify) when fed to this scheme's verifier."""
+        scheme = make(name)
+        keys = scheme.generate_user_keys("prop")
+        for other_name in ALL_SCHEMES:
+            if other_name == name:
+                continue
+            if {name, other_name} == {"mccls", "mccls-plus"}:
+                continue  # intentionally share the signature type
+            other = make(other_name)
+            other_keys = other.generate_user_keys("prop")
+            foreign_sig = other.sign(b"m", other_keys)
+            with pytest.raises(SignatureError):
+                scheme.verify(
+                    b"m",
+                    foreign_sig,
+                    keys.identity,
+                    keys.public_key,
+                    keys.public_key_extra,
+                )
+
+    def test_identity_binding(self, name):
+        scheme = make(name)
+        alice = scheme.generate_user_keys("alice")
+        bob = scheme.generate_user_keys("bob")
+        sig = scheme.sign(b"m", alice)
+        assert not scheme.verify(
+            b"m", sig, bob.identity, bob.public_key, bob.public_key_extra
+        )
+
+    def test_two_kgcs_are_separate_worlds(self, name):
+        kgc_a = make(name, seed=1)
+        kgc_b = make(name, seed=2)
+        keys = kgc_a.generate_user_keys("alice")
+        sig = kgc_a.sign(b"m", keys)
+        assert not kgc_b.verify(
+            b"m", sig, keys.identity, keys.public_key, keys.public_key_extra
+        )
+
+
+class TestMcCLSPlusCompatibility:
+    def test_plus_signatures_verify_under_plain_mccls(self):
+        """McCLS+ only ADDS a check: its signatures are plain McCLS
+        signatures and remain valid under the original verifier."""
+        from repro.core.mccls import McCLS
+
+        ctx = PairingContext(CURVE, random.Random(0xAB))
+        plus = McCLSPlus(ctx, master_secret=424242)
+        plain = McCLS(ctx, master_secret=424242)
+        keys = plus.generate_user_keys("compat")
+        sig = plus.sign(b"m", keys)
+        assert plain.verify(b"m", sig, keys.identity, keys.public_key)

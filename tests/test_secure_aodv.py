@@ -1,0 +1,286 @@
+"""McCLS-AODV tests: authentication gates, hop-by-hop signing, defences."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.serialization import mccls_signature_size
+from repro.netsim.engine import Simulator
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.mobility import StaticPosition
+from repro.netsim.packets import AuthTag, DataPacket, Frame, RouteReply
+from repro.netsim.radio import RadioMedium
+from repro.netsim.routing.secure_aodv import (
+    CryptoMaterial,
+    McCLSAODVNode,
+    identity_of,
+)
+from repro.pairing.bn import toy_curve
+
+SIG_BYTES = 226
+
+
+class SecureNet:
+    def __init__(self, positions, seed=4, rushing_defense=False, material=None):
+        self.sim = Simulator(seed=seed)
+        self.metrics = MetricsCollector()
+        self.radio = RadioMedium(
+            self.sim, range_m=150.0, broadcast_jitter_s=0.001
+        )
+        self.nodes = {}
+        for node_id, pos in positions.items():
+            mat = material[node_id] if material else CryptoMaterial(SIG_BYTES)
+            self.nodes[node_id] = McCLSAODVNode(
+                node_id,
+                self.sim,
+                self.radio,
+                StaticPosition(pos),
+                self.metrics,
+                material=mat,
+                rushing_defense=rushing_defense,
+            )
+
+    def send(self, source, destination, count=1):
+        for seq in range(count):
+            self.nodes[source].send_data(
+                DataPacket(
+                    flow_id=0,
+                    seq=seq,
+                    source=source,
+                    destination=destination,
+                    payload_bytes=128,
+                    created_at=self.sim.now,
+                )
+            )
+
+    def run(self, seconds=5.0):
+        self.sim.run(until=self.sim.now + seconds)
+
+
+def line(n, spacing=100.0):
+    return {i: (i * spacing, 0.0) for i in range(n)}
+
+
+class TestAuthenticatedRouting:
+    def test_end_to_end_delivery(self):
+        net = SecureNet(line(4))
+        net.send(0, 3)
+        net.run()
+        assert net.metrics.data_received == 1
+        assert net.metrics.auth_rejected == 0
+
+    def test_control_messages_carry_auth(self):
+        net = SecureNet(line(3))
+        seen = []
+        original = McCLSAODVNode.receive
+
+        def spy(self, frame):
+            seen.append(frame.payload)
+            original(self, frame)
+
+        McCLSAODVNode.receive = spy
+        try:
+            net.send(0, 2)
+            net.run()
+        finally:
+            McCLSAODVNode.receive = original
+        from repro.netsim.packets import RouteRequest
+
+        rreqs = [p for p in seen if isinstance(p, RouteRequest)]
+        rreps = [p for p in seen if isinstance(p, RouteReply)]
+        assert rreqs and rreps
+        assert all(p.auth is not None and p.hop_auth is not None for p in rreqs)
+        assert all(p.auth is not None and p.hop_auth is not None for p in rreps)
+
+    def test_forged_rrep_rejected(self):
+        net = SecureNet(line(3))
+        # Hand-deliver a forged RREP claiming node 2 has a fresh route.
+        forged = RouteReply(
+            originator=0,
+            destination=2,
+            destination_seq=999,
+            hop_count=1,
+            lifetime=30.0,
+            responder=2,
+            auth=AuthTag(signer=identity_of(2), size_bytes=SIG_BYTES, forged=True),
+            hop_auth=AuthTag(
+                signer=identity_of(1), size_bytes=SIG_BYTES, forged=True
+            ),
+        )
+        frame = Frame(sender=1, link_destination=0, payload=forged)
+        net.nodes[0].receive(frame)
+        net.run(1.0)
+        assert net.metrics.auth_rejected >= 1
+        assert net.nodes[0].table.lookup(2, net.sim.now) is None
+
+    def test_rrep_from_non_destination_rejected(self):
+        net = SecureNet(line(3))
+        impostor = RouteReply(
+            originator=0,
+            destination=2,
+            destination_seq=999,
+            hop_count=1,
+            lifetime=30.0,
+            responder=1,  # responder != destination: not allowed
+            auth=AuthTag(signer=identity_of(1), size_bytes=SIG_BYTES),
+            hop_auth=AuthTag(signer=identity_of(1), size_bytes=SIG_BYTES),
+        )
+        net.nodes[0].receive(Frame(sender=1, link_destination=0, payload=impostor))
+        net.run(1.0)
+        assert net.metrics.auth_rejected >= 1
+
+    def test_hop_auth_must_match_frame_sender(self):
+        """A replayed RREQ whose hop signature names a different forwarder is
+        dropped - this is what excludes rushing attackers."""
+        net = SecureNet(line(3))
+        net.send(0, 2)
+        net.run()
+        rejected_before = net.metrics.auth_rejected
+        from repro.netsim.packets import RouteRequest
+
+        replayed = RouteRequest(
+            rreq_id=77,
+            originator=0,
+            originator_seq=50,
+            destination=2,
+            destination_seq=0,
+            hop_count=1,
+            ttl=5,
+            originated_at=net.sim.now,
+            auth=AuthTag(signer=identity_of(0), size_bytes=SIG_BYTES),
+            hop_auth=AuthTag(signer=identity_of(0), size_bytes=SIG_BYTES),
+        )
+        # Frame claims sender 1, but hop_auth is signed by node 0.
+        net.nodes[2].receive(
+            Frame(sender=1, link_destination=-1, payload=replayed)
+        )
+        net.run(0.5)
+        assert net.metrics.auth_rejected == rejected_before + 1
+
+    def test_unsigned_rreq_rejected(self):
+        net = SecureNet(line(2))
+        from repro.netsim.packets import RouteRequest
+
+        naked = RouteRequest(
+            rreq_id=1,
+            originator=1,
+            originator_seq=1,
+            destination=0,
+            destination_seq=0,
+            hop_count=0,
+            ttl=5,
+            originated_at=0.0,
+        )
+        net.nodes[0].receive(Frame(sender=1, link_destination=-1, payload=naked))
+        net.run(0.5)
+        assert net.metrics.auth_rejected == 1
+
+    def test_no_intermediate_rrep_in_secure_mode(self):
+        net = SecureNet(line(4))
+        assert all(
+            not node.allow_intermediate_rrep for node in net.nodes.values()
+        )
+
+
+class TestRushingDefense:
+    def test_delivery_with_defense_enabled(self):
+        net = SecureNet(line(4), rushing_defense=True)
+        net.send(0, 3)
+        net.run()
+        assert net.metrics.data_received == 1
+
+    def test_candidates_collected(self):
+        # Diamond: 0 -> {1, 2} -> 3; node 3 should record both forwarders.
+        positions = {
+            0: (0.0, 0.0),
+            1: (100.0, 50.0),
+            2: (100.0, -50.0),
+            3: (200.0, 0.0),
+        }
+        net = SecureNet(positions, rushing_defense=True)
+        net.send(0, 3)
+        net.run(1.0)
+        pools = net.nodes[3]._candidates
+        assert pools, "destination collected no candidates"
+        senders = set()
+        for pool in pools.values():
+            senders.update(pool)
+        assert {1, 2} <= senders
+        assert net.metrics.data_received == 1
+
+
+class TestRealCrypto:
+    @pytest.mark.slow
+    def test_real_mccls_signatures_end_to_end(self):
+        import random
+
+        from repro.core.mccls import McCLS
+        from repro.pairing.groups import PairingContext
+
+        curve = toy_curve(32)
+        ctx = PairingContext(curve, random.Random(99))
+        scheme = McCLS(ctx, precompute_s=True)
+        directory = {}
+        material = {}
+        for node_id in range(3):
+            keys = scheme.generate_user_keys(identity_of(node_id))
+            directory[keys.identity] = keys.public_key
+            material[node_id] = CryptoMaterial(
+                signature_bytes=mccls_signature_size(curve),
+                scheme=scheme,
+                keys=keys,
+                resolve_public_key=directory.get,
+            )
+        net = SecureNet(line(3), material=material)
+        net.send(0, 2)
+        net.run()
+        assert net.metrics.data_received == 1
+        assert net.metrics.auth_rejected == 0
+
+    @pytest.mark.slow
+    def test_real_crypto_rejects_unenrolled_forger(self):
+        import random
+
+        from repro.core.mccls import McCLS
+        from repro.pairing.groups import PairingContext
+
+        curve = toy_curve(32)
+        ctx = PairingContext(curve, random.Random(99))
+        scheme = McCLS(ctx, precompute_s=True)
+        directory = {}
+        material = {}
+        for node_id in range(2):
+            keys = scheme.generate_user_keys(identity_of(node_id))
+            directory[keys.identity] = keys.public_key
+            material[node_id] = CryptoMaterial(
+                signature_bytes=mccls_signature_size(curve),
+                scheme=scheme,
+                keys=keys,
+                resolve_public_key=directory.get,
+            )
+        net = SecureNet(line(2), material=material)
+        # An attacker-crafted RREP with a random (invalid) real signature.
+        other_keys = scheme.generate_user_keys("unenrolled-attacker")
+        bogus_sig = scheme.sign(b"unrelated", other_keys)
+        forged = RouteReply(
+            originator=0,
+            destination=1,
+            destination_seq=999,
+            hop_count=1,
+            lifetime=30.0,
+            responder=1,
+            auth=AuthTag(
+                signer=identity_of(1),
+                size_bytes=SIG_BYTES,
+                signature=bogus_sig,
+            ),
+            hop_auth=AuthTag(
+                signer=identity_of(1),
+                size_bytes=SIG_BYTES,
+                signature=bogus_sig,
+            ),
+        )
+        net.nodes[0].receive(Frame(sender=1, link_destination=0, payload=forged))
+        net.run(1.0)
+        assert net.metrics.auth_rejected >= 1
+        assert net.nodes[0].table.lookup(1, net.sim.now) is None

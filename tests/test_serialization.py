@@ -1,0 +1,150 @@
+"""Wire-format tests: roundtrips, sizes, malformed-input rejection."""
+
+import random
+
+import pytest
+
+from repro.core import serialization as ser
+from repro.core.mccls import McCLS
+from repro.errors import SerializationError
+from repro.pairing.bn import toy_curve
+from repro.pairing.groups import PairingContext
+
+CURVE = toy_curve(32)
+
+
+@pytest.fixture()
+def scheme():
+    return McCLS(PairingContext(CURVE, random.Random(2)))
+
+
+class TestPointEncoding:
+    def test_g1_roundtrip(self):
+        point = CURVE.g1 * 777
+        blob = ser.encode_g1(CURVE, point)
+        decoded, rest = ser.decode_g1(CURVE, blob)
+        assert decoded == point
+        assert rest == b""
+
+    def test_g1_infinity_roundtrip(self):
+        blob = ser.encode_g1(CURVE, CURVE.g1_curve.infinity())
+        decoded, _ = ser.decode_g1(CURVE, blob)
+        assert decoded.is_infinity()
+
+    def test_g2_roundtrip(self):
+        point = CURVE.g2 * 999
+        decoded, rest = ser.decode_g2(CURVE, ser.encode_g2(CURVE, point))
+        assert decoded == point
+        assert rest == b""
+
+    def test_g2_infinity_roundtrip(self):
+        blob = ser.encode_g2(CURVE, CURVE.g2_curve.infinity())
+        decoded, _ = ser.decode_g2(CURVE, blob)
+        assert decoded.is_infinity()
+
+    def test_sizes_are_static(self):
+        assert len(ser.encode_g1(CURVE, CURVE.g1)) == ser.g1_point_size(CURVE)
+        assert len(ser.encode_g2(CURVE, CURVE.g2)) == ser.g2_point_size(CURVE)
+
+    def test_truncated_g1(self):
+        blob = ser.encode_g1(CURVE, CURVE.g1)
+        with pytest.raises(SerializationError):
+            ser.decode_g1(CURVE, blob[:-1])
+
+    def test_bad_tag(self):
+        blob = ser.encode_g1(CURVE, CURVE.g1)
+        with pytest.raises(SerializationError):
+            ser.decode_g1(CURVE, b"\x07" + blob[1:])
+
+    def test_off_curve_point_rejected(self):
+        width = (CURVE.p.bit_length() + 7) // 8
+        bogus = bytes([1]) + (1).to_bytes(width, "big") + (1).to_bytes(width, "big")
+        with pytest.raises(SerializationError):
+            ser.decode_g1(CURVE, bogus)
+
+    def test_wrong_group_encode_raises(self):
+        with pytest.raises(SerializationError):
+            ser.encode_g1(CURVE, CURVE.g2)
+        with pytest.raises(SerializationError):
+            ser.encode_g2(CURVE, CURVE.g1)
+
+    def test_trailing_bytes_returned(self):
+        blob = ser.encode_g1(CURVE, CURVE.g1) + b"tail"
+        _, rest = ser.decode_g1(CURVE, blob)
+        assert rest == b"tail"
+
+
+class TestScalarEncoding:
+    def test_roundtrip(self):
+        blob = ser.encode_scalar(CURVE, 123456)
+        value, rest = ser.decode_scalar(CURVE, blob)
+        assert value == 123456
+        assert rest == b""
+
+    def test_out_of_range_encode(self):
+        with pytest.raises(SerializationError):
+            ser.encode_scalar(CURVE, CURVE.n)
+        with pytest.raises(SerializationError):
+            ser.encode_scalar(CURVE, -1)
+
+    def test_out_of_range_decode(self):
+        width = ser.scalar_size(CURVE)
+        with pytest.raises(SerializationError):
+            ser.decode_scalar(CURVE, (CURVE.n).to_bytes(width, "big"))
+
+    def test_truncated(self):
+        with pytest.raises(SerializationError):
+            ser.decode_scalar(CURVE, b"\x01")
+
+
+class TestSignatureEncoding:
+    def test_roundtrip(self, scheme):
+        keys = scheme.generate_user_keys("alice")
+        sig = scheme.sign(b"m", keys)
+        blob = ser.encode_mccls_signature(CURVE, sig)
+        assert len(blob) == ser.mccls_signature_size(CURVE)
+        assert ser.decode_mccls_signature(CURVE, blob) == sig
+
+    def test_decoded_signature_verifies(self, scheme):
+        keys = scheme.generate_user_keys("alice")
+        sig = scheme.sign(b"m", keys)
+        decoded = ser.decode_mccls_signature(
+            CURVE, ser.encode_mccls_signature(CURVE, sig)
+        )
+        assert scheme.verify(b"m", decoded, keys.identity, keys.public_key)
+
+    def test_trailing_bytes_rejected(self, scheme):
+        keys = scheme.generate_user_keys("alice")
+        sig = scheme.sign(b"m", keys)
+        blob = ser.encode_mccls_signature(CURVE, sig) + b"x"
+        with pytest.raises(SerializationError):
+            ser.decode_mccls_signature(CURVE, blob)
+
+    def test_bn254_signature_size(self):
+        from repro.pairing.bn import bn254
+
+        curve = bn254()
+        # 32-byte scalar + 129-byte G2 + 65-byte G1 = 226 bytes.
+        assert ser.mccls_signature_size(curve) == 226
+
+
+class TestIdentityEncoding:
+    def test_roundtrip(self):
+        blob = ser.encode_identity("node-17")
+        ident, rest = ser.decode_identity(blob + b"more")
+        assert ident == "node-17"
+        assert rest == b"more"
+
+    def test_unicode(self):
+        ident, _ = ser.decode_identity(ser.encode_identity("nœud-17"))
+        assert ident == "nœud-17"
+
+    def test_truncated(self):
+        with pytest.raises(SerializationError):
+            ser.decode_identity(b"\x00")
+        with pytest.raises(SerializationError):
+            ser.decode_identity(b"\x00\x05ab")
+
+    def test_too_long(self):
+        with pytest.raises(SerializationError):
+            ser.encode_identity("x" * 70000)

@@ -1,0 +1,105 @@
+"""Packet-tracer tests."""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.mobility import StaticPosition
+from repro.netsim.packets import DataPacket
+from repro.netsim.radio import RadioMedium
+from repro.netsim.routing.aodv import AODVNode
+from repro.netsim.routing.secure_aodv import CryptoMaterial, McCLSAODVNode
+from repro.netsim.trace import PacketTracer, packet_kind
+
+
+def build(secure=False, n=3):
+    sim = Simulator(seed=9)
+    metrics = MetricsCollector()
+    radio = RadioMedium(sim, range_m=150.0, broadcast_jitter_s=0.001)
+    tracer = PacketTracer(radio)
+    nodes = {}
+    for i in range(n):
+        if secure:
+            nodes[i] = McCLSAODVNode(
+                i,
+                sim,
+                radio,
+                StaticPosition((i * 100.0, 0.0)),
+                metrics,
+                material=CryptoMaterial(226),
+            )
+        else:
+            nodes[i] = AODVNode(
+                i, sim, radio, StaticPosition((i * 100.0, 0.0)), metrics
+            )
+    return sim, nodes, tracer
+
+
+class TestTracer:
+    def test_records_discovery_and_data(self):
+        sim, nodes, tracer = build()
+        nodes[0].send_data(DataPacket(0, 0, 0, 2, 64, 0.0))
+        sim.run(until=3.0)
+        kinds = tracer.counts_by_kind()
+        assert kinds.get("RREQ", 0) >= 1
+        assert kinds.get("RREP", 0) >= 1
+        assert kinds.get("DATA", 0) >= 2  # two hops
+
+    def test_filtering(self):
+        sim, nodes, tracer = build()
+        nodes[0].send_data(DataPacket(0, 0, 0, 2, 64, 0.0))
+        sim.run(until=3.0)
+        rreqs = tracer.filter(kind="RREQ")
+        assert rreqs
+        assert all(r.kind == "RREQ" for r in rreqs)
+        from_node_0 = tracer.filter(sender=0)
+        assert all(r.sender == 0 for r in from_node_0)
+
+    def test_bytes_accounting(self):
+        sim, nodes, tracer = build()
+        nodes[0].send_data(DataPacket(0, 0, 0, 2, 64, 0.0))
+        sim.run(until=3.0)
+        sizes = tracer.bytes_by_kind()
+        counts = tracer.counts_by_kind()
+        for kind in counts:
+            assert sizes[kind] >= counts[kind]  # non-zero frames
+
+    def test_secure_frames_marked_authenticated(self):
+        sim, nodes, tracer = build(secure=True)
+        nodes[0].send_data(DataPacket(0, 0, 0, 2, 64, 0.0))
+        sim.run(until=3.0)
+        rreqs = tracer.filter(kind="RREQ")
+        assert rreqs and all(r.authenticated for r in rreqs)
+        data = tracer.filter(kind="DATA")
+        assert data and not any(r.authenticated for r in data)
+
+    def test_summary_and_render(self):
+        sim, nodes, tracer = build()
+        nodes[0].send_data(DataPacket(0, 0, 0, 2, 64, 0.0))
+        sim.run(until=3.0)
+        summary = tracer.summary_text()
+        assert "RREQ" in summary and "total" in summary
+        rendered = tracer.render(tracer.records[:3])
+        assert rendered.count("\n") == 2
+
+    def test_record_cap(self):
+        sim, nodes, tracer = build()
+        tracer.max_records = 2
+        for seq in range(5):
+            nodes[0].send_data(DataPacket(0, seq, 0, 1, 16, 0.0))
+        sim.run(until=3.0)
+        assert len(tracer.records) == 2
+        assert tracer.dropped_records > 0
+
+    def test_packet_kind_names(self):
+        from repro.netsim.packets import RouteError, RouteReply
+
+        assert packet_kind(RouteError(unreachable=((1, 2),))) == "RERR"
+        hello = RouteReply(
+            originator=3,
+            destination=3,
+            destination_seq=0,
+            hop_count=0,
+            lifetime=2.0,
+            responder=3,
+        )
+        assert packet_kind(hello) == "HELLO"
+        assert packet_kind("weird") == "str"

@@ -1,0 +1,109 @@
+"""CBR traffic and metrics-collector tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.mobility import StaticPosition
+from repro.netsim.radio import RadioMedium
+from repro.netsim.routing.aodv import AODVNode
+from repro.netsim.traffic import CBRFlow, FlowSpec
+
+
+def two_node_net():
+    sim = Simulator(seed=1)
+    metrics = MetricsCollector()
+    radio = RadioMedium(sim, range_m=200.0, broadcast_jitter_s=0.001)
+    nodes = {
+        i: AODVNode(i, sim, radio, StaticPosition((i * 100.0, 0.0)), metrics)
+        for i in range(2)
+    }
+    return sim, metrics, nodes
+
+
+class TestCBR:
+    def test_emission_count(self):
+        sim, metrics, nodes = two_node_net()
+        spec = FlowSpec(
+            flow_id=1,
+            source=0,
+            destination=1,
+            interval_s=0.5,
+            payload_bytes=100,
+            start_s=1.0,
+            stop_s=5.0,
+        )
+        flow = CBRFlow(sim, spec, nodes[0])
+        sim.run(until=10.0)
+        # Emissions at 1.0, 1.5, ..., 5.0 -> 9 packets.
+        assert flow.packets_emitted == 9
+        assert metrics.data_sent == 9
+        assert metrics.data_received == 9
+
+    def test_delays_recorded_per_flow(self):
+        sim, metrics, nodes = two_node_net()
+        spec = FlowSpec(2, 0, 1, 0.25, 64, 0.5, 2.0)
+        CBRFlow(sim, spec, nodes[0])
+        sim.run(until=5.0)
+        assert metrics.per_flow_received.get(2, 0) > 0
+        assert len(metrics.delays) == metrics.data_received
+
+    def test_invalid_interval(self):
+        sim, metrics, nodes = two_node_net()
+        with pytest.raises(SimulationError):
+            CBRFlow(sim, FlowSpec(1, 0, 1, 0.0, 64, 0.0, 1.0), nodes[0])
+
+    def test_self_flow_rejected(self):
+        sim, metrics, nodes = two_node_net()
+        with pytest.raises(SimulationError):
+            CBRFlow(sim, FlowSpec(1, 0, 0, 0.5, 64, 0.0, 1.0), nodes[0])
+
+    def test_wrong_node_rejected(self):
+        sim, metrics, nodes = two_node_net()
+        with pytest.raises(SimulationError):
+            CBRFlow(sim, FlowSpec(1, 0, 1, 0.5, 64, 0.0, 1.0), nodes[1])
+
+
+class TestMetrics:
+    def test_pdr(self):
+        m = MetricsCollector()
+        m.data_sent = 10
+        m.record_delivery(0, 0.1)
+        m.record_delivery(0, 0.2)
+        assert m.packet_delivery_ratio == pytest.approx(0.2)
+
+    def test_pdr_no_traffic(self):
+        assert MetricsCollector().packet_delivery_ratio == 0.0
+
+    def test_rreq_ratio(self):
+        m = MetricsCollector()
+        m.rreq_initiated = 3
+        m.rreq_forwarded = 5
+        m.rreq_retried = 2
+        m.data_sent = 20
+        m.data_forwarded = 30
+        assert m.rreq_ratio == pytest.approx(10 / 50)
+
+    def test_delay_average(self):
+        m = MetricsCollector()
+        m.record_delivery(0, 0.1)
+        m.record_delivery(1, 0.3)
+        assert m.average_end_to_end_delay == pytest.approx(0.2)
+
+    def test_drop_ratio(self):
+        m = MetricsCollector()
+        m.data_sent = 50
+        m.dropped_by_attacker = 5
+        assert m.packet_drop_ratio == pytest.approx(0.1)
+
+    def test_report_keys(self):
+        report = MetricsCollector().report()
+        for key in (
+            "packet_delivery_ratio",
+            "rreq_ratio",
+            "end_to_end_delay",
+            "packet_drop_ratio",
+            "auth_rejected",
+        ):
+            assert key in report
