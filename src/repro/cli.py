@@ -7,6 +7,15 @@ Commands:
 * ``table1``   - print the Table 1 scheme comparison (measured).
 * ``games``    - run the security-game battery (McCLS vs McCLS+).
 
+Observability flags (scenario/sweep/table1):
+
+* ``--json`` prints one machine-readable JSON document instead of the
+  aligned text tables - metrics plus an ``ops`` section with the
+  pairing/multiplication counts collected by :mod:`repro.obs`.
+* ``--trace-out FILE`` (scenario/sweep) streams the structured simulator
+  event trace (route discovery, auth accept/reject, attacker drops, queue
+  samples, radio transmissions) to ``FILE`` as JSON Lines.
+
 Everything the CLI does is a thin layer over the public API, so scripts
 and notebooks can do the same programmatically.
 """
@@ -16,20 +25,20 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro import obs
 from repro.netsim.scenario import ScenarioConfig, paper_speed_sweep, run_scenario
+
+#: attack choices shared by the scenario and sweep subcommands
+ATTACK_CHOICES = ("none", "blackhole", "rushing", "blackhole-cryptanalyst")
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--protocol", choices=("aodv", "mccls", "pki"), default="aodv"
     )
-    parser.add_argument(
-        "--attack",
-        choices=("none", "blackhole", "rushing", "blackhole-cryptanalyst"),
-        default="none",
-    )
+    parser.add_argument("--attack", choices=ATTACK_CHOICES, default="none")
     parser.add_argument("--speed", type=float, default=10.0)
     parser.add_argument("--time", type=float, default=60.0)
     parser.add_argument("--nodes", type=int, default=20)
@@ -37,6 +46,23 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument("--hello", type=float, default=0.0)
     parser.add_argument("--real-crypto", action="store_true")
+
+
+def _add_output_args(
+    parser: argparse.ArgumentParser, trace: bool = True
+) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print one machine-readable JSON document instead of text",
+    )
+    if trace:
+        parser.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            default=None,
+            help="stream the structured simulator event trace to FILE (JSONL)",
+        )
 
 
 def _config_from(args: argparse.Namespace) -> ScenarioConfig:
@@ -53,10 +79,63 @@ def _config_from(args: argparse.Namespace) -> ScenarioConfig:
     )
 
 
+def _ops_section(registry: obs.Registry) -> Dict[str, int]:
+    """The combined op-count report of one collection window.
+
+    Merges the pairing stack's measured tally (nonzero only when real
+    crypto executed) with the timing model's modelled primitive counts
+    (nonzero in modelled-crypto simulations).
+    """
+    ops: Dict[str, int] = dict(registry.field_ops.snapshot())
+    for counter in (
+        "modelled_pairings",
+        "modelled_scalar_mults",
+        "modelled_gt_exps",
+        "modelled_group_hashes",
+    ):
+        ops[counter] = registry.counter_total(f"crypto.{counter}")
+    ops["modelled_signs"] = registry.counter_total("crypto.sign")
+    ops["modelled_verifies"] = registry.counter_total("crypto.verify")
+    return ops
+
+
+def _print_ops_text(ops: Dict[str, int]) -> None:
+    nonzero = {name: count for name, count in ops.items() if count}
+    if not nonzero:
+        return
+    print("ops:")
+    width = max(len(name) for name in nonzero)
+    for name, count in nonzero.items():
+        print(f"  {name:<{width}} {count:>12}")
+
+
 def cmd_scenario(args: argparse.Namespace) -> int:
     """Run one simulation and print the paper's metrics."""
-    result = run_scenario(_config_from(args))
+    config = _config_from(args)
+    sink = obs.open_sink(args.trace_out)
+    try:
+        with obs.collecting() as registry:
+            result = run_scenario(
+                config, event_sink=sink if sink.enabled else None
+            )
+    finally:
+        sink.close()
     report = result.report()
+    ops = _ops_section(registry)
+    if args.json:
+        payload = {
+            "command": "scenario",
+            "protocol": args.protocol,
+            "attack": args.attack,
+            "speed": args.speed,
+            "seed": args.seed,
+            "events_executed": result.events_executed,
+            "attacker_ids": result.attacker_ids,
+            "metrics": report,
+            "ops": ops,
+        }
+        print(obs.render_json(payload))
+        return 0
     print(
         f"protocol={args.protocol} attack={args.attack} speed={args.speed} "
         f"seed={args.seed} events={result.events_executed}"
@@ -73,6 +152,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         "auth_rejected",
     ):
         print(f"  {key:24s} {report[key]:.4f}")
+    _print_ops_text(ops)
     return 0
 
 
@@ -80,20 +160,52 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     """Run the Figures 1-5 speed sweep for one metric."""
     attack = None if args.attack == "none" else args.attack
     metric = args.metric
+    sink = obs.open_sink(args.trace_out)
+    rows: List[Dict[str, float]] = []
+    try:
+        with obs.collecting() as registry:
+            for speed in paper_speed_sweep():
+                row: Dict[str, float] = {"speed": speed}
+                for protocol in ("aodv", "mccls"):
+                    if sink.enabled:
+                        sink.emit(
+                            "run.start",
+                            protocol=protocol,
+                            attack=attack or "none",
+                            speed=speed,
+                        )
+                    config = ScenarioConfig(
+                        protocol=protocol,
+                        attack=attack,
+                        max_speed=speed,
+                        sim_time_s=args.time,
+                        seed=args.seed,
+                    )
+                    result = run_scenario(
+                        config, event_sink=sink if sink.enabled else None
+                    )
+                    row[protocol] = result.report()[metric]
+                rows.append(row)
+    finally:
+        sink.close()
+    if args.json:
+        payload = {
+            "command": "sweep",
+            "metric": metric,
+            "attack": attack or "none",
+            "time": args.time,
+            "seed": args.seed,
+            "rows": rows,
+            "ops": _ops_section(registry),
+        }
+        print(obs.render_json(payload))
+        return 0
     print(f"metric={metric} attack={attack or 'none'} time={args.time}s")
     print(f"{'speed':>6s} {'aodv':>10s} {'mccls':>10s}")
-    for speed in paper_speed_sweep():
-        row = [f"{speed:6.1f}"]
-        for protocol in ("aodv", "mccls"):
-            config = ScenarioConfig(
-                protocol=protocol,
-                attack=attack,
-                max_speed=speed,
-                sim_time_s=args.time,
-                seed=args.seed,
-            )
-            row.append(f"{run_scenario(config).report()[metric]:10.4f}")
-        print(" ".join(row))
+    for row in rows:
+        print(
+            f"{row['speed']:6.1f} {row['aodv']:10.4f} {row['mccls']:10.4f}"
+        )
     return 0
 
 
@@ -103,15 +215,45 @@ def cmd_table1(args: argparse.Namespace) -> int:
     from repro.pairing.groups import PairingContext
     from repro.schemes.registry import scheme_class, scheme_names
 
+    rows = []
+    with obs.collecting() as registry:
+        for name in scheme_names():
+            ctx = PairingContext(toy_curve(args.bits), random.Random(1))
+            scheme = scheme_class(name)(ctx)
+            keys = scheme.generate_user_keys("cli@manet")
+            scheme.sign(b"warm", keys)
+            sig, sign_ops = scheme.measure_sign(b"m", keys)
+            _, cold = scheme.measure_verify(b"m", sig, keys)
+            _, warm = scheme.measure_verify(b"m", sig, keys)
+            rows.append((name, sign_ops, cold, warm))
+    if args.json:
+        payload = {
+            "command": "table1",
+            "bits": args.bits,
+            "rows": [
+                {
+                    "scheme": name,
+                    "sign": vars(sign_ops),
+                    "verify_cold": vars(cold),
+                    "verify_warm": vars(warm),
+                    # pairings the pairing stack actually executed inside
+                    # each measured phase (verify spans cold + warm)
+                    "executed_pairings": {
+                        "sign": registry.counter_value(
+                            "ops.pairings", phase=f"{name}.sign"
+                        ),
+                        "verify": registry.counter_value(
+                            "ops.pairings", phase=f"{name}.verify"
+                        ),
+                    },
+                }
+                for name, sign_ops, cold, warm in rows
+            ],
+        }
+        print(obs.render_json(payload))
+        return 0
     print(f"{'scheme':8s} {'sign':>12s} {'verify cold':>12s} {'verify warm':>12s}")
-    for name in scheme_names():
-        ctx = PairingContext(toy_curve(args.bits), random.Random(1))
-        scheme = scheme_class(name)(ctx)
-        keys = scheme.generate_user_keys("cli@manet")
-        scheme.sign(b"warm", keys)
-        sig, sign_ops = scheme.measure_sign(b"m", keys)
-        _, cold = scheme.measure_verify(b"m", sig, keys)
-        _, warm = scheme.measure_verify(b"m", sig, keys)
+    for name, sign_ops, cold, warm in rows:
         print(
             f"{name:8s} {sign_ops.summary():>12s} {cold.summary():>12s} "
             f"{warm.summary():>12s}"
@@ -131,8 +273,8 @@ def cmd_games(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Parse arguments and dispatch to the chosen subcommand."""
+def build_parser() -> argparse.ArgumentParser:
+    """The complete argument parser (separate from main for testability)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="McCLS reproduction toolkit"
     )
@@ -140,6 +282,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     scenario = sub.add_parser("scenario", help="run one simulation")
     _add_scenario_args(scenario)
+    _add_output_args(scenario)
     scenario.set_defaults(func=cmd_scenario)
 
     sweep = sub.add_parser("sweep", help="speed sweep for one metric")
@@ -153,24 +296,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             "packet_drop_ratio",
         ),
     )
-    sweep.add_argument(
-        "--attack",
-        choices=("none", "blackhole", "rushing"),
-        default="none",
-    )
+    sweep.add_argument("--attack", choices=ATTACK_CHOICES, default="none")
     sweep.add_argument("--time", type=float, default=60.0)
     sweep.add_argument("--seed", type=int, default=3)
+    _add_output_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     table1 = sub.add_parser("table1", help="scheme op-count comparison")
     table1.add_argument("--bits", type=int, default=48)
+    _add_output_args(table1, trace=False)
     table1.set_defaults(func=cmd_table1)
 
     games = sub.add_parser("games", help="security-game battery")
     games.add_argument("--bits", type=int, default=32)
     games.set_defaults(func=cmd_games)
+    return parser
 
-    args = parser.parse_args(argv)
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    args = build_parser().parse_args(argv)
     return args.func(args)
 
 

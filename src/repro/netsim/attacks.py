@@ -106,6 +106,12 @@ class BlackHoleNode(AODVNode):
             hop_auth=self._forged_auth(self.node_id),
         )
         self.metrics.fake_rreps_sent += 1
+        self.emit_event(
+            "attack.fake_rrep",
+            role=self.role,
+            originator=rreq.originator,
+            destination=rreq.destination,
+        )
         # Remember the reverse hop so absorbed data can reach us.
         self.table.update(
             rreq.originator,
@@ -126,6 +132,7 @@ class BlackHoleNode(AODVNode):
             )
             return
         self.metrics.dropped_by_attacker += 1  # the black hole absorbs it
+        self.emit_event("attack.drop", role=self.role, flow=packet.flow_id)
 
     def _rreq_forward_jitter(self) -> Optional[bool]:
         return False  # react as fast as possible
@@ -179,6 +186,7 @@ class RushingNode(AODVNode):
             )
             return
         self.metrics.dropped_by_attacker += 1  # rushed route leads nowhere
+        self.emit_event("attack.drop", role=self.role, flow=packet.flow_id)
 
 
 class CryptanalystBlackHoleNode(BlackHoleNode):
@@ -248,6 +256,9 @@ class GrayHoleNode(BlackHoleNode):
             return
         if self.sim.rng("grayhole").random() < self.drop_probability:
             self.metrics.dropped_by_attacker += 1
+            self.emit_event(
+                "attack.drop", role=self.role, flow=packet.flow_id
+            )
             return
         # Forward honestly this time (maintains the victim's trust).  The
         # fake RREP that attracted this packet promised a route the gray
@@ -338,6 +349,7 @@ class WormholeNode(AODVNode):
             )
             return
         self.metrics.dropped_by_attacker += 1  # the wormhole eats it
+        self.emit_event("attack.drop", role=self.role, flow=packet.flow_id)
 
 
 class InsiderBlackHoleNode(CryptanalystBlackHoleNode):

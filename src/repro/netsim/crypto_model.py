@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.obs.registry import get_registry
 from repro.pairing.bn import BNCurve
 from repro.pairing.pairing import pairing as _pairing
 
@@ -127,13 +128,37 @@ class CryptoTimingModel:
         """Seconds of CPU one signing operation costs."""
         if not self.enabled:
             return 0.0
+        self._record("sign")
         return SCHEME_MIXES[self.scheme]["sign"].cost(self.costs)
 
     def verify_delay(self) -> float:
         """Seconds of CPU one verification costs (warm caches)."""
         if not self.enabled:
             return 0.0
+        self._record("verify")
         return SCHEME_MIXES[self.scheme]["verify"].cost(self.costs)
+
+    def _record(self, operation: str) -> None:
+        """Count one modelled operation (and its primitive mix) into the
+        active obs registry, so modelled-crypto simulations still report
+        how many pairings/mults the simulated hardware would execute."""
+        registry = get_registry()
+        if not registry.active:
+            return
+        registry.counter(f"crypto.{operation}", scheme=self.scheme).inc()
+        mix = SCHEME_MIXES[self.scheme][operation]
+        if mix.pairings:
+            registry.counter("crypto.modelled_pairings").inc(mix.pairings)
+        if mix.scalar_mults:
+            registry.counter("crypto.modelled_scalar_mults").inc(
+                mix.scalar_mults
+            )
+        if mix.gt_exps:
+            registry.counter("crypto.modelled_gt_exps").inc(mix.gt_exps)
+        if mix.group_hashes:
+            registry.counter("crypto.modelled_group_hashes").inc(
+                mix.group_hashes
+            )
 
 
 def calibrate_from_curve(curve: BNCurve, samples: int = 3) -> OperationCosts:

@@ -17,6 +17,7 @@ import random
 from typing import Any, Callable, Dict, Optional
 
 from repro.errors import SimulationError
+from repro.obs.events import EventSink, NULL_EVENT_SINK
 
 
 class EventHandle:
@@ -49,6 +50,14 @@ class Simulator:
         self._sequence = itertools.count()
         self._rngs: Dict[str, random.Random] = {}
         self._events_executed = 0
+        #: structured-event sink shared by every component of this
+        #: simulation (nodes, radio, tracer); the no-op default costs
+        #: emitters one ``enabled`` check
+        self.events: EventSink = NULL_EVENT_SINK
+
+    def attach_events(self, sink: Optional[EventSink]) -> None:
+        """Install the structured-event sink (None restores the no-op)."""
+        self.events = sink if sink is not None else NULL_EVENT_SINK
 
     # -- randomness -------------------------------------------------------------
     def rng(self, stream: str) -> random.Random:

@@ -79,9 +79,15 @@ class MetricsCollector:
             "data_forwarded": float(self.data_forwarded),
             "dropped_by_attacker": float(self.dropped_by_attacker),
             "dropped_no_route": float(self.dropped_no_route),
+            "dropped_buffer_overflow": float(self.dropped_buffer_overflow),
+            "dropped_ttl": float(self.dropped_ttl),
             "rreq_initiated": float(self.rreq_initiated),
             "rreq_forwarded": float(self.rreq_forwarded),
             "rreq_retried": float(self.rreq_retried),
+            "rrep_sent": float(self.rrep_sent),
+            "rrep_forwarded": float(self.rrep_forwarded),
+            "rerr_sent": float(self.rerr_sent),
+            "discovery_failures": float(self.discovery_failures),
             "auth_rejected": float(self.auth_rejected),
             "fake_rreps_sent": float(self.fake_rreps_sent),
             "control_bytes_sent": float(self.control_bytes_sent),

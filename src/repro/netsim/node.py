@@ -70,6 +70,14 @@ class NetworkNode:
             return  # not addressed to us; NICs are not promiscuous here
         self.receive(frame)
 
+    # -- observability -----------------------------------------------------------
+    def emit_event(self, event: str, **fields) -> None:
+        """Emit a structured event (sim time and node id attached) to the
+        simulator's event sink; free when tracing is disabled."""
+        events = self.sim.events
+        if events.enabled:
+            events.emit(event, t=self.sim.now, node=self.node_id, **fields)
+
     # -- CPU model -----------------------------------------------------------------
     def cpu_process(self, cost_s: float, callback: Callable, *args) -> None:
         """Run ``callback`` after ``cost_s`` seconds of (serialised) CPU time."""

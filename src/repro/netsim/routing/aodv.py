@@ -133,6 +133,7 @@ class AODVNode(NetworkNode):
             )
             self._pending[packet.destination] = pending
             pending.buffer.append(packet)
+            self.emit_event("discovery.start", destination=packet.destination)
             self._send_rreq(pending, retry=False)
         else:
             if len(pending.buffer) >= MAX_BUFFERED_PACKETS:
@@ -194,6 +195,12 @@ class AODVNode(NetworkNode):
         )
         if retry:
             self.metrics.rreq_retried += 1
+            self.emit_event(
+                "discovery.retry",
+                destination=pending.destination,
+                ttl=pending.ttl,
+                retries_left=pending.retries_left,
+            )
         else:
             self.metrics.rreq_initiated += 1
         self.cpu_process(
@@ -220,6 +227,11 @@ class AODVNode(NetworkNode):
         else:
             self.metrics.discovery_failures += 1
             self.metrics.dropped_no_route += len(pending.buffer)
+            self.emit_event(
+                "discovery.failed",
+                destination=destination,
+                dropped=len(pending.buffer),
+            )
             del self._pending[destination]
             _, failures = self._discovery_backoff.get(destination, (0.0, 0))
             failures += 1
@@ -239,6 +251,12 @@ class AODVNode(NetworkNode):
         if route is None:  # pragma: no cover - raced with expiry
             self.metrics.dropped_no_route += len(pending.buffer)
             return
+        self.emit_event(
+            "discovery.complete",
+            destination=destination,
+            hop_count=route.hop_count,
+            buffered=len(pending.buffer),
+        )
         for packet in pending.buffer:
             self._forward_data(packet, route.next_hop, originating=True)
 
@@ -421,6 +439,9 @@ class AODVNode(NetworkNode):
     def _handle_link_break(self, next_hop: int, packet: DataPacket) -> None:
         broken = self.table.invalidate_via(next_hop)
         self.metrics.dropped_no_route += 1
+        self.emit_event(
+            "route.link_break", next_hop=next_hop, routes_lost=len(broken)
+        )
         if broken:
             self.metrics.rerr_sent += 1
             self.broadcast(

@@ -154,26 +154,35 @@ class McCLSAODVNode(AODVNode):
         fields = ("hop",) + message.signed_fields() + (frame.sender,)
         return self._auth_valid(message.hop_auth, frame.sender, fields)
 
+    def _auth_reject(self, kind: str, frame: Frame, reason: str) -> None:
+        """Count one rejected control message and trace why."""
+        self.metrics.auth_rejected += 1
+        self.emit_event(
+            "auth.reject", kind=kind, sender=frame.sender, reason=reason
+        )
+
     def _rreq_accept(self, frame: Frame, rreq: RouteRequest) -> bool:
         if not self._auth_valid(rreq.auth, rreq.originator, rreq.signed_fields()):
-            self.metrics.auth_rejected += 1
+            self._auth_reject("RREQ", frame, "originator-signature")
             return False
         if not self._hop_auth_valid(rreq, frame):
-            self.metrics.auth_rejected += 1
+            self._auth_reject("RREQ", frame, "hop-signature")
             return False
+        self.emit_event("auth.accept", kind="RREQ", sender=frame.sender)
         return True
 
     def _rrep_accept(self, frame: Frame, rrep: RouteReply) -> bool:
         # Only the destination itself may vouch for its sequence number.
         if rrep.responder != rrep.destination:
-            self.metrics.auth_rejected += 1
+            self._auth_reject("RREP", frame, "non-destination-responder")
             return False
         if not self._auth_valid(rrep.auth, rrep.destination, rrep.signed_fields()):
-            self.metrics.auth_rejected += 1
+            self._auth_reject("RREP", frame, "destination-signature")
             return False
         if not self._hop_auth_valid(rrep, frame):
-            self.metrics.auth_rejected += 1
+            self._auth_reject("RREP", frame, "hop-signature")
             return False
+        self.emit_event("auth.accept", kind="RREP", sender=frame.sender)
         return True
 
     # -- per-hop re-signing -------------------------------------------------------

@@ -32,7 +32,10 @@ from repro.netsim.routing.secure_aodv import (
     McCLSAODVNode,
     identity_of,
 )
+from repro.netsim.trace import PacketTracer
 from repro.netsim.traffic import CBRFlow, FlowSpec
+from repro.obs.events import EventSink
+from repro.obs.registry import get_registry
 from repro.pairing.bn import bn254, toy_curve
 from repro.pairing.groups import PairingContext
 
@@ -231,10 +234,59 @@ def _connected_components(
     return components
 
 
-def build_scenario(config: ScenarioConfig):
-    """Construct (simulator, nodes, flows, metrics, attacker_ids)."""
+#: simulated seconds between queue-depth samples (sim.sample events and the
+#: netsim.* registry histograms)
+QUEUE_SAMPLE_INTERVAL_S = 1.0
+
+
+def _schedule_queue_sampler(
+    sim: Simulator, nodes: Dict[int, AODVNode], stop_s: float
+) -> None:
+    """Periodically sample scheduler and buffer depths over sim time.
+
+    Emits ``sim.sample`` structured events and feeds the
+    ``netsim.pending_events`` / ``netsim.buffered_packets`` registry
+    histograms.  Scheduled only when at least one consumer (event sink or
+    active registry) exists, so unobserved runs pay nothing.
+    """
+    registry = get_registry()
+    if not registry.active and not sim.events.enabled:
+        return
+
+    def sample() -> None:
+        pending = sim.pending_events()
+        buffered = sum(
+            len(discovery.buffer)
+            for node in nodes.values()
+            for discovery in getattr(node, "_pending", {}).values()
+        )
+        if registry.active:
+            registry.histogram("netsim.pending_events").observe(pending)
+            registry.histogram("netsim.buffered_packets").observe(buffered)
+        if sim.events.enabled:
+            sim.events.emit(
+                "sim.sample",
+                t=sim.now,
+                pending_events=pending,
+                buffered_packets=buffered,
+            )
+        if sim.now + QUEUE_SAMPLE_INTERVAL_S <= stop_s:
+            sim.schedule(QUEUE_SAMPLE_INTERVAL_S, sample)
+
+    sim.schedule(QUEUE_SAMPLE_INTERVAL_S, sample)
+
+
+def build_scenario(config: ScenarioConfig, event_sink: Optional[EventSink] = None):
+    """Construct (simulator, nodes, flows, metrics, attacker_ids).
+
+    ``event_sink`` (optional) receives the structured JSONL event stream:
+    routing/attack/auth events from the nodes, ``radio.tx`` per observed
+    transmission, and periodic ``sim.sample`` queue-depth samples.
+    """
     config.validate()
     sim = Simulator(seed=config.seed)
+    if event_sink is not None:
+        sim.attach_events(event_sink)
     metrics = MetricsCollector()
     radio = RadioMedium(
         sim,
@@ -387,12 +439,25 @@ def build_scenario(config: ScenarioConfig):
             left.pair_with(right)
 
     flows = [CBRFlow(sim, spec, nodes[spec.source]) for spec in flow_specs]
+    if event_sink is not None and event_sink.enabled:
+        # Mirror every transmission as a radio.tx event (the tracer is kept
+        # alive by the radio's observer list).
+        PacketTracer(radio, max_records=0, event_sink=event_sink)
+    _schedule_queue_sampler(sim, nodes, stop_s=config.sim_time_s)
     return sim, nodes, flows, metrics, attacker_ids
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build and run one scenario to completion."""
-    sim, nodes, flows, metrics, attacker_ids = build_scenario(config)
+def run_scenario(
+    config: ScenarioConfig, event_sink: Optional[EventSink] = None
+) -> ScenarioResult:
+    """Build and run one scenario to completion.
+
+    ``event_sink`` (optional) streams the structured events of the run;
+    see :func:`build_scenario`.
+    """
+    sim, nodes, flows, metrics, attacker_ids = build_scenario(
+        config, event_sink=event_sink
+    )
     # Let queued deliveries/drain events settle a little past traffic stop.
     sim.run(until=config.sim_time_s + 5.0)
     return ScenarioResult(

@@ -27,6 +27,7 @@ from repro.netsim.packets import (
     RouteRequest,
 )
 from repro.netsim.radio import RadioMedium
+from repro.obs.events import EventSink, NULL_EVENT_SINK
 
 _KIND_NAMES = {
     RouteRequest: "RREQ",
@@ -77,17 +78,35 @@ class TraceRecord:
 class PacketTracer:
     """Records every transmission on a radio medium."""
 
-    def __init__(self, radio: RadioMedium, max_records: int = 100_000):
+    def __init__(
+        self,
+        radio: RadioMedium,
+        max_records: int = 100_000,
+        event_sink: Optional[EventSink] = None,
+    ):
         self.records: List[TraceRecord] = []
         self.max_records = max_records
         self.dropped_records = 0
+        #: structured-event sink mirroring every observed transmission as a
+        #: ``radio.tx`` event (no-op by default)
+        self.event_sink = event_sink if event_sink is not None else NULL_EVENT_SINK
         radio.add_observer(self._observe)
 
     def _observe(self, now: float, frame: Frame, receivers: Tuple[int, ...]) -> None:
+        payload = frame.payload
+        if self.event_sink.enabled:
+            self.event_sink.emit(
+                "radio.tx",
+                t=now,
+                node=frame.sender,
+                dst=frame.link_destination,
+                kind=packet_kind(payload),
+                bytes=frame.size_bytes,
+                receivers=len(receivers),
+            )
         if len(self.records) >= self.max_records:
             self.dropped_records += 1
             return
-        payload = frame.payload
         authenticated = getattr(payload, "auth", None) is not None
         self.records.append(
             TraceRecord(
@@ -147,5 +166,10 @@ class PacketTracer:
         return "\n".join(lines)
 
     def render(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
-        """Render as aligned human-readable text."""
-        return "\n".join(r.render() for r in (records or self.records))
+        """Render as aligned human-readable text.
+
+        ``records=None`` renders everything recorded; an explicit (possibly
+        empty) iterable renders exactly those records.
+        """
+        chosen = records if records is not None else self.records
+        return "\n".join(r.render() for r in chosen)

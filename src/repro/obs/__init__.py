@@ -1,0 +1,75 @@
+"""repro.obs - unified instrumentation: op-profiling, tracing, reporting.
+
+Three pieces, designed to be zero-cost when disabled (the default):
+
+* :mod:`repro.obs.registry` - a process-wide registry of counters, timers
+  and histograms with label support.  The pairing stack reports Fp/Fp2/
+  Fp12 multiplications, inversions, point operations and full pairings
+  into it; ``phase("...")`` blocks attribute those ops to labelled
+  counters (Miller loop vs final exponentiation, per-scheme sign/verify).
+* :mod:`repro.obs.events` - pluggable :class:`~repro.obs.events.EventSink`
+  for structured JSONL event traces from the network simulator (route
+  discovery, signature accept/reject, attacker drops, queue samples).
+* :mod:`repro.obs.report` - renders any registry snapshot as aligned text
+  or machine-readable JSON (the ``--json`` CLI output).
+
+Quick profile::
+
+    from repro import obs
+
+    with obs.collecting() as registry:
+        with obs.phase("mccls.verify"):
+            scheme.verify(message, sig, identity, public_key)
+    print(obs.render_text(registry.snapshot()))
+"""
+
+from repro.obs.events import (
+    EventSink,
+    JsonlEventSink,
+    ListEventSink,
+    NULL_EVENT_SINK,
+    NullEventSink,
+    open_sink,
+)
+from repro.obs.registry import (
+    Counter,
+    Histogram,
+    NULL_REGISTRY,
+    NullRegistry,
+    Registry,
+    Timer,
+    collecting,
+    disable,
+    enable,
+    get_registry,
+    phase,
+    set_registry,
+)
+from repro.obs.report import parse_json, render_json, render_text
+from repro.obs.runtime import OP_NAMES, FieldOpTally
+
+__all__ = [
+    "Counter",
+    "EventSink",
+    "FieldOpTally",
+    "Histogram",
+    "JsonlEventSink",
+    "ListEventSink",
+    "NULL_EVENT_SINK",
+    "NULL_REGISTRY",
+    "NullEventSink",
+    "NullRegistry",
+    "OP_NAMES",
+    "Registry",
+    "Timer",
+    "collecting",
+    "disable",
+    "enable",
+    "get_registry",
+    "open_sink",
+    "parse_json",
+    "phase",
+    "render_json",
+    "render_text",
+    "set_registry",
+]

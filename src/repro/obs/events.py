@@ -1,0 +1,111 @@
+"""Structured event sinks: JSONL tracing for the network simulator.
+
+An :class:`EventSink` receives dict-shaped events (``emit("auth.reject",
+t=1.25, node=3, kind="RREP")``).  The simulator, nodes and the packet
+tracer all write through the sink attached to the
+:class:`~repro.netsim.engine.Simulator`; the default is
+:data:`NULL_EVENT_SINK`, whose ``enabled`` flag lets emit sites skip even
+building the event dict::
+
+    events = self.sim.events
+    if events.enabled:
+        events.emit("discovery.start", t=self.sim.now, node=self.node_id)
+
+Event schema: every event is one JSON object with an ``event`` name field;
+simulator events carry ``t`` (simulated seconds) and ``node`` where
+meaningful, plus event-specific fields.  The emitted names are documented
+in README.md ("Observability").
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TextIO, Union
+
+
+class EventSink:
+    """Interface: receives structured events; ``enabled`` gates emit sites."""
+
+    #: emit sites skip dict construction entirely when this is False
+    enabled: bool = True
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Record one event (name plus arbitrary JSON-ready fields)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any underlying resources (idempotent)."""
+
+
+class NullEventSink(EventSink):
+    """The disabled default sink: drops everything, advertises disabled."""
+
+    enabled = False
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Discard the event."""
+
+
+class ListEventSink(EventSink):
+    """Collects events in memory (tests, notebook analysis)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Append the event dict to :attr:`events`."""
+        record: Dict[str, object] = {"event": event}
+        record.update(fields)
+        self.events.append(record)
+
+    def of_kind(self, event: str) -> List[Dict[str, object]]:
+        """The collected events with the given name."""
+        return [record for record in self.events if record["event"] == event]
+
+
+class JsonlEventSink(EventSink):
+    """Streams events as JSON Lines to a file path or open text handle."""
+
+    def __init__(self, target: Union[str, TextIO]):
+        if isinstance(target, str):
+            self._fp: Optional[TextIO] = open(target, "w", encoding="utf-8")
+            self._owns_fp = True
+        else:
+            self._fp = target
+            self._owns_fp = False
+        self.emitted = 0
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Write the event as one JSON line."""
+        if self._fp is None:
+            return
+        record: Dict[str, object] = {"event": event}
+        record.update(fields)
+        self._fp.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        """Flush, and close the file if this sink opened it."""
+        if self._fp is None:
+            return
+        self._fp.flush()
+        if self._owns_fp:
+            self._fp.close()
+        self._fp = None
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+#: the process-wide disabled sink (default on every Simulator)
+NULL_EVENT_SINK = NullEventSink()
+
+
+def open_sink(path: Optional[str]) -> EventSink:
+    """A JSONL sink for ``path``, or the null sink when path is None/empty."""
+    if not path:
+        return NULL_EVENT_SINK
+    return JsonlEventSink(path)

@@ -1,0 +1,414 @@
+"""Process-wide instrumentation registry: counters, timers, histograms.
+
+One :class:`Registry` holds every instrument created while it is active,
+keyed by ``(name, labels)``.  A process has exactly one *active* registry
+at a time; the default is the :data:`NULL_REGISTRY`, whose instruments are
+shared no-ops, so uninstrumented runs pay nothing beyond an attribute
+check (see :mod:`repro.obs.runtime` for the hot-path contract).
+
+Typical use::
+
+    from repro import obs
+
+    with obs.collecting() as registry:
+        with registry.phase("mccls.verify"):
+            scheme.verify(...)
+    registry.counter_value("ops.pairings", phase="mccls.verify")  # -> 1
+
+Phases attribute the pairing stack's low-level operation tally (Fp/Fp2/
+Fp12 multiplications, point operations, pairings) to labelled counters and
+time the enclosed block; nested phases each receive the full delta of
+their own span, so an outer ``mccls.verify`` phase includes the ops of an
+inner ``pairing.miller_loop`` phase.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import runtime as _rt
+
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _label_key(name: str, labels: Dict[str, object]) -> LabelKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(key: LabelKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+class Timer:
+    """Accumulates wall-clock durations: call count and total seconds."""
+
+    __slots__ = ("count", "total_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration measured externally."""
+        self.count += 1
+        self.total_s += seconds
+
+    def time(self) -> "_TimerSpan":
+        """Context manager timing the with-block into this timer."""
+        return _TimerSpan(self)
+
+    @property
+    def mean_s(self) -> float:
+        """Mean seconds per recorded duration (0 when empty)."""
+        return self.total_s / self.count if self.count else 0.0
+
+
+class _TimerSpan:
+    """Context manager recording a wall-clock span into a Timer."""
+
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer):
+        self._timer = timer
+
+    def __enter__(self) -> "_TimerSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.observe(time.perf_counter() - self._start)
+
+
+class Histogram:
+    """Summary statistics over observed values (count/sum/min/max/mean).
+
+    Keeps a bounded reservoir of raw values (the first ``max_samples``)
+    so snapshots can report percentiles of short runs exactly without
+    unbounded memory on long ones.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "max_samples", "_samples")
+
+    def __init__(self, max_samples: int = 4096):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100) of the stored sample reservoir."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(
+            len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/min/max/mean/p50/p95 as a JSON-ready dict."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class Registry:
+    """A live instrument store: every (name, labels) pair maps to one
+    counter, timer or histogram, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[LabelKey, Counter] = {}
+        self._timers: Dict[LabelKey, Timer] = {}
+        self._histograms: Dict[LabelKey, Histogram] = {}
+        #: cumulative pairing-stack tally; live (hot-path mutated) while
+        #: this registry is active
+        self.field_ops = _rt.FieldOpTally()
+
+    #: whether instruments actually record (False only on NullRegistry)
+    active = True
+
+    # -- instruments -----------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter registered under (name, labels), created on demand."""
+        key = _label_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def timer(self, name: str, **labels: object) -> Timer:
+        """The timer registered under (name, labels), created on demand."""
+        key = _label_key(name, labels)
+        instrument = self._timers.get(key)
+        if instrument is None:
+            instrument = self._timers[key] = Timer()
+        return instrument
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The histogram registered under (name, labels), created on demand."""
+        key = _label_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    # -- phases ----------------------------------------------------------------
+    def phase(self, label: str) -> "_Phase":
+        """Context manager attributing pairing-stack op deltas and wall
+        time of the with-block to counters labelled ``phase=label``."""
+        return _Phase(self, label)
+
+    # -- queries ---------------------------------------------------------------
+    def counter_value(self, name: str, **labels: object) -> int:
+        """Current value of one counter (0 if never incremented)."""
+        instrument = self._counters.get(_label_key(name, labels))
+        return instrument.value if instrument is not None else 0
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter across every label combination."""
+        return sum(
+            counter.value
+            for (key_name, _), counter in self._counters.items()
+            if key_name == name
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """The whole registry as a JSON-serialisable dict.
+
+        Keys render labels Prometheus-style (``name{k=v}``); the ``ops``
+        section is the cumulative pairing-stack tally.
+        """
+        return {
+            "counters": {
+                _render_key(key): counter.value
+                for key, counter in sorted(self._counters.items())
+            },
+            "timers": {
+                _render_key(key): {
+                    "count": timer.count,
+                    "total_s": timer.total_s,
+                    "mean_s": timer.mean_s,
+                }
+                for key, timer in sorted(self._timers.items())
+            },
+            "histograms": {
+                _render_key(key): histogram.summary()
+                for key, histogram in sorted(self._histograms.items())
+            },
+            "ops": self.field_ops.snapshot(),
+        }
+
+
+class _Phase:
+    """Implementation of :meth:`Registry.phase`."""
+
+    __slots__ = ("_registry", "_label", "_before", "_start")
+
+    def __init__(self, registry: Registry, label: str):
+        self._registry = registry
+        self._label = label
+
+    def __enter__(self) -> "_Phase":
+        self._before = self._registry.field_ops.snapshot()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        registry = self._registry
+        delta = registry.field_ops.diff(self._before)
+        for op_name, count in delta.items():
+            if count:
+                registry.counter(f"ops.{op_name}", phase=self._label).inc(
+                    count
+                )
+        registry.timer("phase", phase=self._label).observe(elapsed)
+
+
+class _NullCounter(Counter):
+    """Counter that discards increments (shared by NullRegistry)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        """Discard the increment."""
+
+
+class _NullTimer(Timer):
+    """Timer that discards observations (shared by NullRegistry)."""
+
+    __slots__ = ()
+
+    def observe(self, seconds: float) -> None:
+        """Discard the observation."""
+
+    def time(self) -> nullcontext:
+        """A reusable no-op context manager."""
+        return _NULL_CONTEXT
+
+
+class _NullHistogram(Histogram):
+    """Histogram that discards observations (shared by NullRegistry)."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+
+_NULL_CONTEXT = nullcontext()
+_NULL_COUNTER = _NullCounter()
+_NULL_TIMER = _NullTimer()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(Registry):
+    """The disabled default: every instrument is a shared no-op.
+
+    All accessor methods stay allocation-free so instrumented call sites
+    cost one method call when observability is off; the pairing hot path
+    avoids even that via :mod:`repro.obs.runtime`.
+    """
+
+    active = False
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The shared no-op counter."""
+        return _NULL_COUNTER
+
+    def timer(self, name: str, **labels: object) -> Timer:
+        """The shared no-op timer."""
+        return _NULL_TIMER
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The shared no-op histogram."""
+        return _NULL_HISTOGRAM
+
+    def phase(self, label: str) -> nullcontext:
+        """A reusable no-op context manager."""
+        return _NULL_CONTEXT
+
+    def counter_value(self, name: str, **labels: object) -> int:
+        """Always 0."""
+        return 0
+
+    def counter_total(self, name: str) -> int:
+        """Always 0."""
+        return 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """An empty snapshot (all sections present, nothing recorded)."""
+        return {
+            "counters": {},
+            "timers": {},
+            "histograms": {},
+            "ops": self.field_ops.snapshot(),
+        }
+
+
+#: the process-wide disabled registry (the default active registry)
+NULL_REGISTRY = NullRegistry()
+
+_active: Registry = NULL_REGISTRY
+
+
+def get_registry() -> Registry:
+    """The currently active registry (the no-op NULL_REGISTRY by default)."""
+    return _active
+
+
+def set_registry(registry: Optional[Registry]) -> Registry:
+    """Install ``registry`` (None means NULL_REGISTRY) as the active one.
+
+    Also points the pairing stack's hot-path tally hook at the new
+    registry (or back to ``None`` when disabling).  Returns the previously
+    active registry so callers can restore it.
+    """
+    global _active
+    previous = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    _rt.tally = _active.field_ops if _active.active else None
+    return previous
+
+
+def enable() -> Registry:
+    """Install and return a fresh live registry."""
+    registry = Registry()
+    set_registry(registry)
+    return registry
+
+
+def disable() -> None:
+    """Restore the no-op default registry."""
+    set_registry(NULL_REGISTRY)
+
+
+class collecting:
+    """Context manager installing a fresh registry for the with-block.
+
+    Yields the registry; the previously active registry (usually the
+    no-op default) is restored on exit, so nesting and test isolation
+    work::
+
+        with collecting() as registry:
+            ...instrumented code...
+        snapshot = registry.snapshot()
+    """
+
+    def __init__(self) -> None:
+        self.registry = Registry()
+
+    def __enter__(self) -> Registry:
+        self._previous = set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_registry(self._previous)
+
+
+def phase(label: str):
+    """Shorthand for ``get_registry().phase(label)``."""
+    return _active.phase(label)

@@ -1,0 +1,67 @@
+"""Rendering of registry snapshots: aligned text and machine JSON.
+
+A snapshot (from :meth:`~repro.obs.registry.Registry.snapshot`) is a plain
+dict of JSON types, so :func:`render_json` round-trips losslessly through
+``json.loads``; :func:`render_text` is the human view the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+
+def render_json(snapshot: Dict[str, object], indent: int = 2) -> str:
+    """The snapshot as a JSON document (round-trips via json.loads)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def parse_json(text: str) -> Dict[str, object]:
+    """Inverse of :func:`render_json`."""
+    return json.loads(text)
+
+
+def render_text(snapshot: Dict[str, object]) -> str:
+    """The snapshot as aligned human-readable text (skips empty sections)."""
+    lines = []
+    ops = {
+        name: count
+        for name, count in snapshot.get("ops", {}).items()
+        if count
+    }
+    if ops:
+        lines.append("pairing-stack ops:")
+        width = max(len(name) for name in ops)
+        for name, count in ops.items():
+            lines.append(f"  {name:<{width}} {count:>12}")
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(key) for key in counters)
+        for key, value in counters.items():
+            lines.append(f"  {key:<{width}} {value:>12}")
+    timers = snapshot.get("timers", {})
+    if timers:
+        lines.append("timers:")
+        width = max(len(key) for key in timers)
+        for key, stats in timers.items():
+            lines.append(
+                f"  {key:<{width}} {stats['count']:>8}x"
+                f"  total {stats['total_s']:.6f}s"
+                f"  mean {stats['mean_s']:.6f}s"
+            )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(key) for key in histograms)
+        for key, stats in histograms.items():
+            lines.append(
+                f"  {key:<{width}} n={stats['count']:<8}"
+                f" mean={stats['mean']:.4f}"
+                f" min={stats['min']:.4f}"
+                f" p95={stats['p95']:.4f}"
+                f" max={stats['max']:.4f}"
+            )
+    if not lines:
+        return "(no observations recorded)"
+    return "\n".join(lines)

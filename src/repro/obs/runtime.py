@@ -1,0 +1,71 @@
+"""The hot-path hook the pairing stack increments (nanosecond budget).
+
+The field and curve layers execute millions of multiplications per
+pairing, so they cannot afford a registry lookup - or even a method call -
+per operation.  Instead they do::
+
+    from repro.obs import runtime as _rt
+    ...
+    tally = _rt.tally
+    if tally is not None:
+        tally.fp_mul += 1
+
+``tally`` is ``None`` by default (instrumentation disabled: one attribute
+load and an identity check per operation) and is swapped for a
+:class:`FieldOpTally` while a :class:`~repro.obs.registry.Registry` is
+active.  The registry reads the cumulative tally at phase boundaries and
+attributes deltas to labelled counters; nothing in this module ever
+allocates on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: names of the low-level operations the pairing stack reports, in the
+#: order they appear in snapshots
+OP_NAMES = (
+    "fp_mul",
+    "fp_inv",
+    "fp2_mul",
+    "fp2_inv",
+    "fp12_mul",
+    "fp12_inv",
+    "point_add",
+    "point_double",
+    "point_mul",
+    "pairings",
+    "miller_loops",
+    "final_exps",
+)
+
+
+class FieldOpTally:
+    """Cumulative plain-integer counters for pairing-stack operations.
+
+    Deliberately *not* a dict and *not* label-aware: incrementing a slot
+    attribute is the cheapest mutation Python offers, which is what the
+    Fp/Fp2/Fp12 hot loops need.  Label attribution happens at phase
+    boundaries by diffing snapshots (see ``Registry.phase``).
+    """
+
+    __slots__ = OP_NAMES
+
+    def __init__(self) -> None:
+        for name in OP_NAMES:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """The current cumulative counts as a plain dict."""
+        return {name: getattr(self, name) for name in OP_NAMES}
+
+    def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Counts accumulated since an earlier :meth:`snapshot`."""
+        return {
+            name: getattr(self, name) - earlier[name] for name in OP_NAMES
+        }
+
+
+#: the active tally, or None while instrumentation is disabled.  Only
+#: :func:`repro.obs.registry.set_registry` assigns this.
+tally = None

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import CurveError
+from repro.obs import runtime as _rt
 
 
 class EllipticCurve:
@@ -105,6 +106,9 @@ class CurvePoint:
             if self.y == other.y:
                 return self._double()
             return self.curve.infinity()
+        tally = _rt.tally
+        if tally is not None:
+            tally.point_add += 1
         slope = (other.y - self.y) / (other.x - self.x)
         x3 = slope * slope - self.x - other.x
         y3 = slope * (self.x - x3) - self.y
@@ -115,6 +119,9 @@ class CurvePoint:
             return self
         if self.y == self.y - self.y:  # y == 0: vertical tangent
             return self.curve.infinity()
+        tally = _rt.tally
+        if tally is not None:
+            tally.point_double += 1
         slope = (self.x * self.x * 3) / (self.y * 2)
         x3 = slope * slope - self.x - self.x
         y3 = slope * (self.x - x3) - self.y
@@ -143,6 +150,9 @@ class CurvePoint:
             return (-self) * (-scalar)
         if scalar == 0 or self.infinity:
             return self.curve.infinity()
+        tally = _rt.tally
+        if tally is not None:
+            tally.point_mul += 1
         if scalar < 8:
             result = self.curve.infinity()
             addend = self

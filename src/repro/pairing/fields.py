@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Sequence, Tuple, Union
 
 from repro.errors import FieldError
+from repro.obs import runtime as _rt
 from repro.pairing.numbers import inverse_mod, legendre_symbol, sqrt_mod
 
 IntLike = Union[int, "Fp"]
@@ -117,6 +118,9 @@ class Fp:
         return Fp(self.spec, _coerce_int(other) - self.value)
 
     def __mul__(self, other: IntLike) -> "Fp":
+        tally = _rt.tally
+        if tally is not None:
+            tally.fp_mul += 1
         if isinstance(other, Fp):
             self._check(other)
             return Fp(self.spec, self.value * other.value)
@@ -128,6 +132,10 @@ class Fp:
         return Fp(self.spec, -self.value)
 
     def __truediv__(self, other: IntLike) -> "Fp":
+        tally = _rt.tally
+        if tally is not None:
+            tally.fp_inv += 1
+            tally.fp_mul += 1
         div = other.value if isinstance(other, Fp) else _coerce_int(other)
         return Fp(self.spec, self.value * inverse_mod(div, self.spec.p))
 
@@ -141,6 +149,9 @@ class Fp:
 
     def inverse(self) -> "Fp":
         """The multiplicative inverse (raises FieldError on zero)."""
+        tally = _rt.tally
+        if tally is not None:
+            tally.fp_inv += 1
         return Fp(self.spec, inverse_mod(self.value, self.spec.p))
 
     def is_zero(self) -> bool:
@@ -195,6 +206,9 @@ class Fp2:
         return Fp2(self.spec, -self.c0, -self.c1)
 
     def __mul__(self, other: Union["Fp2", int]) -> "Fp2":
+        tally = _rt.tally
+        if tally is not None:
+            tally.fp2_mul += 1
         if isinstance(other, int):
             return Fp2(self.spec, self.c0 * other, self.c1 * other)
         self._check(other)
@@ -226,6 +240,9 @@ class Fp2:
 
     def inverse(self) -> "Fp2":
         """The multiplicative inverse (raises FieldError on zero)."""
+        tally = _rt.tally
+        if tally is not None:
+            tally.fp2_inv += 1
         p = self.spec.p
         norm = (self.c0 * self.c0 + self.c1 * self.c1) % p
         if norm == 0:
@@ -338,6 +355,9 @@ class Fp12:
         return Fp12(self.spec, [-a for a in self.coeffs])
 
     def __mul__(self, other: Union["Fp12", int]) -> "Fp12":
+        tally = _rt.tally
+        if tally is not None:
+            tally.fp12_mul += 1
         if isinstance(other, int):
             return Fp12(self.spec, [a * other for a in self.coeffs])
         self._check(other)
@@ -386,6 +406,9 @@ class Fp12:
 
     def inverse(self) -> "Fp12":
         """Inverse via the extended Euclidean algorithm on polynomials."""
+        tally = _rt.tally
+        if tally is not None:
+            tally.fp12_inv += 1
         p = self.spec.p
         # Modulus polynomial m(w) = w^12 - c6 w^6 - c0.
         modulus = [(-self.spec.fp12_mod_c0) % p, 0, 0, 0, 0, 0,

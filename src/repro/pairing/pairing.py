@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.errors import CurveError
+from repro.obs import runtime as _rt
+from repro.obs.registry import get_registry
 from repro.pairing.bn import BNCurve
 from repro.pairing.curve import CurvePoint
 from repro.pairing.fields import Fp2, Fp12, FieldSpec
@@ -84,6 +86,9 @@ def miller_loop(curve: BNCurve, p_point: CurvePoint, q_point: CurvePoint) -> Fp1
     spec = curve.spec
     if p_point.is_infinity() or q_point.is_infinity():
         return spec.fp12_one()
+    tally = _rt.tally
+    if tally is not None:
+        tally.miller_loops += 1
     px, py = p_point.x.value, p_point.y.value
 
     f = spec.fp12_one()
@@ -153,6 +158,9 @@ def final_exponentiation(curve: BNCurve, f: Fp12) -> Fp12:
 
     Equality with the naive single exponentiation is covered by tests.
     """
+    tally = _rt.tally
+    if tally is not None:
+        tally.final_exps += 1
     # Easy part 1: f^(p^6 - 1) = frob^6(f) * f^(-1).
     f = fp12_frobenius(curve, f, 6) * f.inverse()
     # Easy part 2: f^(p^2 + 1) = frob^2(f) * f.
@@ -180,7 +188,14 @@ def pairing(
             raise CurveError("first pairing argument is not in G1")
         if not curve.in_g2(q_point):
             raise CurveError("second pairing argument is not in G2")
-    return final_exponentiation(curve, miller_loop(curve, p_point, q_point))
+    tally = _rt.tally
+    if tally is not None:
+        tally.pairings += 1
+    registry = get_registry()
+    with registry.phase("pairing.miller_loop"):
+        f = miller_loop(curve, p_point, q_point)
+    with registry.phase("pairing.final_exp"):
+        return final_exponentiation(curve, f)
 
 
 class PairingEngine:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 from repro.errors import KeyError_
+from repro.obs.registry import get_registry
 from repro.pairing.curve import CurvePoint
 from repro.pairing.groups import OpCount, PairingContext
 
@@ -148,9 +149,15 @@ class CertificatelessScheme(abc.ABC):
         return self.ctx.hash_g2(self._h1_domain(), normalize_identity(identity))
 
     def measure_sign(self, message: Message, keys: UserKeyPair):
-        """Return (signature, OpCount) for one signing operation."""
-        with self.ctx.measure() as meter:
-            sig = self.sign(message, keys)
+        """Return (signature, OpCount) for one signing operation.
+
+        The call also runs inside an obs phase ``<scheme>.sign``, so an
+        active :mod:`repro.obs` registry additionally receives the
+        field-level operation counts under that label.
+        """
+        with get_registry().phase(f"{self.name}.sign"):
+            with self.ctx.measure() as meter:
+                sig = self.sign(message, keys)
         return sig, meter.delta
 
     def measure_verify(
@@ -160,15 +167,20 @@ class CertificatelessScheme(abc.ABC):
         keys: UserKeyPair,
     ) -> Tuple[bool, OpCount]:
         """Return (ok, OpCount) for one verification (cold caches unless
-        the caller pre-warmed them)."""
-        with self.ctx.measure() as meter:
-            ok = self.verify(
-                message,
-                signature,
-                keys.identity,
-                keys.public_key,
-                keys.public_key_extra,
-            )
+        the caller pre-warmed them).
+
+        Runs inside an obs phase ``<scheme>.verify`` (see
+        :meth:`measure_sign`).
+        """
+        with get_registry().phase(f"{self.name}.verify"):
+            with self.ctx.measure() as meter:
+                ok = self.verify(
+                    message,
+                    signature,
+                    keys.identity,
+                    keys.public_key,
+                    keys.public_key_extra,
+                )
         return ok, meter.delta
 
     # Expected Table 1 profiles, as (pairings, scalar_mults, exponentiations).

@@ -1,8 +1,10 @@
 """CLI tests (python -m repro ...)."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
 
 
 class TestCLI:
@@ -55,3 +57,104 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestObservabilityFlags:
+    def test_scenario_json_output(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "--protocol",
+                    "mccls",
+                    "--attack",
+                    "blackhole",
+                    "--time",
+                    "10",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "scenario"
+        assert payload["protocol"] == "mccls"
+        for metric in (
+            "packet_delivery_ratio",
+            "rreq_ratio",
+            "end_to_end_delay",
+            "packet_drop_ratio",
+        ):
+            assert metric in payload["metrics"]
+        assert payload["ops"]["modelled_pairings"] > 0
+        assert payload["ops"]["modelled_scalar_mults"] > 0
+        assert len(payload["attacker_ids"]) == 2
+
+    def test_scenario_trace_out_writes_jsonl(self, capsys, tmp_path):
+        trace_path = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "scenario",
+                    "--protocol",
+                    "mccls",
+                    "--time",
+                    "10",
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        lines = trace_path.read_text().strip().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        kinds = {event["event"] for event in events}
+        assert "radio.tx" in kinds
+        assert "sim.sample" in kinds
+
+    def test_scenario_text_mode_prints_ops(self, capsys):
+        assert main(["scenario", "--protocol", "mccls", "--time", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "ops:" in out
+        assert "modelled_pairings" in out
+
+    def test_table1_json_output(self, capsys):
+        assert main(["table1", "--bits", "32", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "table1"
+        rows = {row["scheme"]: row for row in payload["rows"]}
+        assert rows["mccls"]["sign"]["pairings"] == 0
+        assert rows["mccls"]["verify_warm"]["pairings"] == 1
+        assert rows["mccls"]["executed_pairings"]["sign"] == 0
+        assert rows["mccls"]["executed_pairings"]["verify"] >= 1
+
+    def test_sweep_accepts_cryptanalyst_attack(self):
+        args = build_parser().parse_args(
+            ["sweep", "--attack", "blackhole-cryptanalyst"]
+        )
+        assert args.attack == "blackhole-cryptanalyst"
+        assert args.func.__name__ == "cmd_sweep"
+
+    @pytest.mark.slow
+    def test_sweep_json_output(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--time",
+                    "10",
+                    "--metric",
+                    "packet_delivery_ratio",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "sweep"
+        assert len(payload["rows"]) == 5
+        assert all(
+            set(row) == {"speed", "aodv", "mccls"} for row in payload["rows"]
+        )

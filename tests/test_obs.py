@@ -1,0 +1,357 @@
+"""Tests for the unified instrumentation layer (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.pairing.bn import toy_curve
+from repro.pairing.groups import PairingContext
+from repro.pairing.pairing import pairing
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = obs.Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_registry_returns_same_instrument_per_key(self):
+        registry = obs.Registry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc()
+        assert registry.counter_value("hits") == 2
+
+    def test_labels_distinguish_instruments(self):
+        registry = obs.Registry()
+        registry.counter("verify", scheme="mccls").inc(3)
+        registry.counter("verify", scheme="ap").inc(1)
+        assert registry.counter_value("verify", scheme="mccls") == 3
+        assert registry.counter_value("verify", scheme="ap") == 1
+        assert registry.counter_value("verify") == 0  # unlabelled is distinct
+        assert registry.counter_total("verify") == 4
+
+    def test_label_order_is_irrelevant(self):
+        registry = obs.Registry()
+        registry.counter("x", a=1, b=2).inc()
+        assert registry.counter_value("x", b=2, a=1) == 1
+
+
+class TestTimer:
+    def test_observe_accumulates(self):
+        timer = obs.Timer()
+        timer.observe(0.5)
+        timer.observe(1.5)
+        assert timer.count == 2
+        assert timer.total_s == pytest.approx(2.0)
+        assert timer.mean_s == pytest.approx(1.0)
+
+    def test_time_context_manager_records_positive_span(self):
+        registry = obs.Registry()
+        with registry.timer("work").time():
+            sum(range(1000))
+        timer = registry.timer("work")
+        assert timer.count == 1
+        assert timer.total_s > 0.0
+
+    def test_empty_timer_mean_is_zero(self):
+        assert obs.Timer().mean_s == 0.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = obs.Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(10.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["p50"] in (2.0, 3.0)
+
+    def test_reservoir_bounds_memory_but_counts_everything(self):
+        histogram = obs.Histogram(max_samples=10)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert len(histogram._samples) == 10
+        assert histogram.max == 99.0
+
+    def test_empty_histogram_summary(self):
+        summary = obs.Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+
+
+class TestNoOpDefault:
+    def test_default_registry_is_inactive(self):
+        registry = obs.get_registry()
+        assert registry is obs.NULL_REGISTRY
+        assert not registry.active
+
+    def test_null_instruments_discard_everything(self):
+        registry = obs.NULL_REGISTRY
+        registry.counter("x").inc(100)
+        registry.timer("t").observe(1.0)
+        registry.histogram("h").observe(1.0)
+        with registry.phase("p"):
+            pass
+        assert registry.counter_value("x") == 0
+        assert registry.counter_total("x") == 0
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert all(count == 0 for count in snapshot["ops"].values())
+
+    def test_hot_path_tally_is_none_by_default(self):
+        from repro.obs import runtime
+
+        assert runtime.tally is None
+
+    def test_collecting_restores_previous_registry(self):
+        assert obs.get_registry() is obs.NULL_REGISTRY
+        with obs.collecting() as registry:
+            assert obs.get_registry() is registry
+            assert registry.active
+            from repro.obs import runtime
+
+            assert runtime.tally is registry.field_ops
+        assert obs.get_registry() is obs.NULL_REGISTRY
+        from repro.obs import runtime
+
+        assert runtime.tally is None
+
+
+class TestPhases:
+    def test_phase_attributes_field_ops(self, toy_ctx):
+        scheme, keys = toy_ctx
+        with obs.collecting() as registry:
+            with registry.phase("sign"):
+                sig = scheme.sign(b"msg", keys)
+        assert registry.counter_value("ops.point_mul", phase="sign") > 0
+        assert registry.counter_value("ops.pairings", phase="sign") == 0
+        timer = registry.timer("phase", phase="sign")
+        assert timer.count == 1 and timer.total_s > 0
+        assert sig is not None
+
+    def test_nested_phases_each_get_full_span(self, toy_ctx):
+        scheme, keys = toy_ctx
+        sig = scheme.sign(b"msg", keys)
+        with obs.collecting() as registry:
+            with registry.phase("outer"):
+                assert scheme.verify(
+                    b"msg", sig, keys.identity, keys.public_key
+                )
+        outer = registry.counter_value("ops.pairings", phase="outer")
+        miller = registry.counter_value(
+            "ops.miller_loops", phase="pairing.miller_loop"
+        )
+        assert outer >= 1
+        assert miller >= 1  # inner pairing phases recorded too
+
+    def test_module_level_phase_shorthand(self):
+        with obs.collecting() as registry:
+            with obs.phase("noop"):
+                pass
+        assert registry.timer("phase", phase="noop").count == 1
+
+
+class TestPairingInvariants:
+    """The headline op-count claims, measured on the real pairing stack."""
+
+    def test_mccls_sign_executes_zero_pairings(self, toy_ctx):
+        scheme, keys = toy_ctx
+        with obs.collecting() as registry:
+            scheme.sign(b"invariant", keys)
+        assert registry.field_ops.pairings == 0
+
+    def test_mccls_warm_verify_executes_exactly_one_pairing(self, toy_ctx):
+        scheme, keys = toy_ctx
+        sig = scheme.sign(b"invariant", keys)
+        # Warm the per-identity caches (constant pairing e(P_pub, Q_ID)).
+        assert scheme.verify(b"invariant", sig, keys.identity, keys.public_key)
+        with obs.collecting() as registry:
+            assert scheme.verify(
+                b"invariant", sig, keys.identity, keys.public_key
+            )
+        assert registry.field_ops.pairings == 1
+        assert registry.field_ops.miller_loops == 1
+        assert registry.field_ops.final_exps == 1
+
+    def test_raw_pairing_counts_miller_and_final_exp(self):
+        curve = toy_curve(32)
+        with obs.collecting() as registry:
+            pairing(curve, curve.g1, curve.g2)
+        assert registry.field_ops.pairings == 1
+        assert registry.field_ops.fp2_mul > 0
+        assert registry.counter_value(
+            "ops.miller_loops", phase="pairing.miller_loop"
+        ) == 1
+        assert registry.counter_value(
+            "ops.final_exps", phase="pairing.final_exp"
+        ) == 1
+
+
+class TestSnapshotAndReport:
+    def test_snapshot_round_trips_through_json(self):
+        with obs.collecting() as registry:
+            registry.counter("events", kind="drop").inc(7)
+            registry.timer("span").observe(0.25)
+            registry.histogram("depth").observe(3.0)
+        snapshot = registry.snapshot()
+        restored = obs.parse_json(obs.render_json(snapshot))
+        assert restored == json.loads(json.dumps(snapshot))
+        assert restored["counters"]["events{kind=drop}"] == 7
+        assert restored["timers"]["span"]["count"] == 1
+        assert restored["histograms"]["depth"]["count"] == 1
+
+    def test_render_text_sections(self):
+        with obs.collecting() as registry:
+            registry.counter("hits").inc(2)
+            registry.timer("span").observe(0.5)
+            registry.histogram("depth").observe(1.0)
+        text = obs.render_text(registry.snapshot())
+        assert "counters:" in text
+        assert "hits" in text
+        assert "timers:" in text
+        assert "histograms:" in text
+
+    def test_render_text_empty(self):
+        assert (
+            obs.render_text(obs.NULL_REGISTRY.snapshot())
+            == "(no observations recorded)"
+        )
+
+
+class TestEventSinks:
+    def test_null_sink_is_disabled(self):
+        assert not obs.NULL_EVENT_SINK.enabled
+        obs.NULL_EVENT_SINK.emit("anything", x=1)  # no-op, no error
+        obs.NULL_EVENT_SINK.close()
+
+    def test_list_sink_collects_and_filters(self):
+        sink = obs.ListEventSink()
+        sink.emit("a", t=1.0)
+        sink.emit("b", t=2.0)
+        sink.emit("a", t=3.0)
+        assert len(sink.events) == 3
+        assert [event["t"] for event in sink.of_kind("a")] == [1.0, 3.0]
+
+    def test_jsonl_sink_writes_parseable_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.JsonlEventSink(str(path)) as sink:
+            sink.emit("auth.reject", t=1.25, node=3, kind="RREP")
+            sink.emit("sim.sample", t=2.0, pending_events=5)
+        assert sink.emitted == 2
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0] == {
+            "event": "auth.reject",
+            "t": 1.25,
+            "node": 3,
+            "kind": "RREP",
+        }
+        assert records[1]["event"] == "sim.sample"
+
+    def test_jsonl_sink_accepts_open_handle(self):
+        buffer = io.StringIO()
+        sink = obs.JsonlEventSink(buffer)
+        sink.emit("x", value=1)
+        sink.close()  # must not close a handle it does not own
+        assert json.loads(buffer.getvalue()) == {"event": "x", "value": 1}
+
+    def test_emit_after_close_is_ignored(self, tmp_path):
+        sink = obs.JsonlEventSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.emit("late", t=1.0)  # silently dropped
+        assert sink.emitted == 0
+
+    def test_open_sink_helper(self, tmp_path):
+        assert obs.open_sink(None) is obs.NULL_EVENT_SINK
+        assert obs.open_sink("") is obs.NULL_EVENT_SINK
+        sink = obs.open_sink(str(tmp_path / "s.jsonl"))
+        assert sink.enabled
+        sink.close()
+
+
+class TestSimulatorEventStream:
+    """End-to-end: scenario runs feed the sink and the registry."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        from repro.netsim.scenario import ScenarioConfig, run_scenario
+
+        sink = obs.ListEventSink()
+        config = ScenarioConfig(
+            protocol="mccls",
+            attack="blackhole",
+            sim_time_s=10.0,
+            max_speed=5.0,
+            seed=3,
+        )
+        with obs.collecting() as registry:
+            result = run_scenario(config, event_sink=sink)
+        return sink, registry, result
+
+    def test_discovery_lifecycle_events(self, traced_run):
+        sink, _, _ = traced_run
+        starts = sink.of_kind("discovery.start")
+        completes = sink.of_kind("discovery.complete")
+        assert starts
+        assert completes
+        assert all("destination" in event for event in starts)
+        assert all(event["hop_count"] >= 1 for event in completes)
+        assert all("t" in event and "node" in event for event in starts)
+
+    def test_auth_and_attack_events(self, traced_run):
+        sink, _, result = traced_run
+        accepts = sink.of_kind("auth.accept")
+        rejects = sink.of_kind("auth.reject")
+        fakes = sink.of_kind("attack.fake_rrep")
+        assert accepts  # honest signatures verified
+        # every fake RREP the black hole sent was rejected somewhere
+        if fakes:
+            assert rejects
+            assert all(
+                event["node"] in result.attacker_ids for event in fakes
+            )
+
+    def test_queue_depth_samples(self, traced_run):
+        sink, registry, _ = traced_run
+        samples = sink.of_kind("sim.sample")
+        assert len(samples) >= 9  # one per simulated second
+        assert all("pending_events" in event for event in samples)
+        histogram = registry.histogram("netsim.pending_events")
+        assert histogram.count == len(samples)
+        assert registry.histogram("netsim.buffered_packets").count >= 1
+
+    def test_modelled_crypto_counted(self, traced_run):
+        _, registry, _ = traced_run
+        assert registry.counter_total("crypto.modelled_pairings") > 0
+        assert registry.counter_total("crypto.modelled_scalar_mults") > 0
+        assert registry.counter_value("crypto.verify", scheme="mccls") > 0
+
+    def test_untraced_run_pays_nothing(self):
+        from repro.netsim.scenario import ScenarioConfig, run_scenario
+
+        config = ScenarioConfig(sim_time_s=6.0, seed=3)
+        result = run_scenario(config)  # no sink, no registry
+        assert result.events_executed > 0
+        assert obs.get_registry() is obs.NULL_REGISTRY
+
+
+@pytest.fixture
+def toy_ctx():
+    """A McCLS scheme + user keys on the 32-bit toy curve."""
+    import random
+
+    from repro.core.mccls import McCLS
+
+    ctx = PairingContext(toy_curve(32), random.Random(7))
+    scheme = McCLS(ctx)
+    keys = scheme.generate_user_keys("obs@test")
+    return scheme, keys

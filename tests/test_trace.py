@@ -80,6 +80,55 @@ class TestTracer:
         rendered = tracer.render(tracer.records[:3])
         assert rendered.count("\n") == 2
 
+    def test_render_explicit_empty_selection_is_empty(self):
+        # Regression: an explicit empty selection must render nothing,
+        # not fall back to rendering every record.
+        sim, nodes, tracer = build()
+        nodes[0].send_data(DataPacket(0, 0, 0, 2, 64, 0.0))
+        sim.run(until=3.0)
+        assert tracer.records  # the fallback would be non-empty
+        assert tracer.render(records=[]) == ""
+        assert tracer.render() != ""
+
+    def test_event_sink_mirrors_transmissions(self):
+        from repro.obs import ListEventSink
+
+        sim = Simulator(seed=9)
+        metrics = MetricsCollector()
+        radio = RadioMedium(sim, range_m=150.0, broadcast_jitter_s=0.001)
+        sink = ListEventSink()
+        tracer = PacketTracer(radio, event_sink=sink)
+        nodes = {
+            i: AODVNode(i, sim, radio, StaticPosition((i * 100.0, 0.0)), metrics)
+            for i in range(3)
+        }
+        nodes[0].send_data(DataPacket(0, 0, 0, 2, 64, 0.0))
+        sim.run(until=3.0)
+        transmissions = sink.of_kind("radio.tx")
+        assert len(transmissions) == len(tracer.records)
+        first = transmissions[0]
+        assert first["kind"] == "RREQ"
+        assert first["node"] == 0
+        assert first["bytes"] > 0
+
+    def test_event_sink_emits_even_past_record_cap(self):
+        from repro.obs import ListEventSink
+
+        sim = Simulator(seed=9)
+        metrics = MetricsCollector()
+        radio = RadioMedium(sim, range_m=150.0, broadcast_jitter_s=0.001)
+        sink = ListEventSink()
+        tracer = PacketTracer(radio, max_records=0, event_sink=sink)
+        nodes = {
+            i: AODVNode(i, sim, radio, StaticPosition((i * 100.0, 0.0)), metrics)
+            for i in range(3)
+        }
+        nodes[0].send_data(DataPacket(0, 0, 0, 2, 64, 0.0))
+        sim.run(until=3.0)
+        assert not tracer.records
+        assert tracer.dropped_records > 0
+        assert sink.of_kind("radio.tx")
+
     def test_record_cap(self):
         sim, nodes, tracer = build()
         tracer.max_records = 2
