@@ -4,8 +4,17 @@ Commands:
 
 * ``scenario`` - run one MANET simulation and print the paper's metrics.
 * ``sweep``    - run the Figures 1-5 speed sweep and print the series.
+* ``campaign`` - run one scenario across many seeds with statistics,
+  run isolation (per-seed failures become records, not aborts) and an
+  auditable campaign-end fault/failure summary.
 * ``table1``   - print the Table 1 scheme comparison (measured).
 * ``games``    - run the security-game battery (McCLS vs McCLS+).
+
+Fault injection (scenario/sweep/campaign): ``--faults SPEC`` attaches a
+deterministic :class:`~repro.netsim.faults.FaultPlan`; SPEC is inline JSON
+(``'{"crashes": [{"at": 20, "count": 2, "recover_at": 40}]}'``) or the
+path of a JSON file.  Injected faults are reported after the run and
+stream through ``--trace-out`` as ``fault.*`` events.
 
 Observability flags (scenario/sweep/table1):
 
@@ -23,11 +32,14 @@ and notebooks can do the same programmatically.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import Dict, List, Optional
 
 from repro import obs
+from repro.errors import SimulationError
+from repro.netsim.faults import FaultPlan
 from repro.netsim.scenario import ScenarioConfig, paper_speed_sweep, run_scenario
 
 #: attack choices shared by the scenario and sweep subcommands
@@ -46,6 +58,39 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument("--hello", type=float, default=0.0)
     parser.add_argument("--real-crypto", action="store_true")
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="fault plan: inline JSON or the path of a JSON file",
+    )
+
+
+def _parse_fault_plan(spec: Optional[str]) -> Optional[FaultPlan]:
+    """Parse the --faults argument (inline JSON or a JSON file path)."""
+    if not spec:
+        return None
+    text = spec
+    if not spec.lstrip().startswith("{"):
+        try:
+            with open(spec, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise SimulationError(f"cannot read fault spec file: {exc}") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SimulationError(f"fault spec is not valid JSON: {exc}") from None
+    return FaultPlan.from_spec(payload)
+
+
+def _print_fault_summary(fault_counts: Dict[str, int]) -> None:
+    if not fault_counts:
+        return
+    injected = " ".join(
+        f"{name}={count}" for name, count in sorted(fault_counts.items())
+    )
+    print(f"faults injected: {injected}")
 
 
 def _add_output_args(
@@ -76,6 +121,7 @@ def _config_from(args: argparse.Namespace) -> ScenarioConfig:
         seed=args.seed,
         hello_interval=args.hello,
         real_crypto=args.real_crypto,
+        faults=_parse_fault_plan(args.faults),
     )
 
 
@@ -133,6 +179,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
             "attacker_ids": result.attacker_ids,
             "metrics": report,
             "ops": ops,
+            "faults": result.fault_summary,
         }
         print(obs.render_json(payload))
         return 0
@@ -142,6 +189,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     )
     if result.attacker_ids:
         print(f"attacker nodes: {result.attacker_ids}")
+    _print_fault_summary(result.fault_summary)
     for key in (
         "packet_delivery_ratio",
         "rreq_ratio",
@@ -160,8 +208,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     """Run the Figures 1-5 speed sweep for one metric."""
     attack = None if args.attack == "none" else args.attack
     metric = args.metric
+    fault_plan = _parse_fault_plan(args.faults)
     sink = obs.open_sink(args.trace_out)
     rows: List[Dict[str, float]] = []
+    fault_counts: Dict[str, int] = {}
     try:
         with obs.collecting() as registry:
             for speed in paper_speed_sweep():
@@ -180,11 +230,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                         max_speed=speed,
                         sim_time_s=args.time,
                         seed=args.seed,
+                        faults=fault_plan,
                     )
                     result = run_scenario(
                         config, event_sink=sink if sink.enabled else None
                     )
                     row[protocol] = result.report()[metric]
+                    for name, count in result.fault_summary.items():
+                        fault_counts[name] = fault_counts.get(name, 0) + count
                 rows.append(row)
     finally:
         sink.close()
@@ -197,6 +250,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "rows": rows,
             "ops": _ops_section(registry),
+            "faults": fault_counts,
         }
         print(obs.render_json(payload))
         return 0
@@ -206,6 +260,55 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"{row['speed']:6.1f} {row['aodv']:10.4f} {row['mccls']:10.4f}"
         )
+    _print_fault_summary(fault_counts)
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run one scenario across many seeds with statistics + run isolation."""
+    from repro.netsim.campaign import run_campaign
+
+    config = _config_from(args)
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    result = run_campaign(
+        config, seeds, failure_budget=args.failure_budget
+    )
+    if args.json:
+        payload = {
+            "command": "campaign",
+            "protocol": args.protocol,
+            "attack": args.attack,
+            "seeds": seeds,
+            "completed_seeds": result.completed_seeds,
+            "failure_budget": args.failure_budget,
+            "metrics": {
+                key: {
+                    "mean": summary.mean,
+                    "std": summary.std,
+                    "ci_low": summary.ci_low,
+                    "ci_high": summary.ci_high,
+                    "samples": list(summary.samples),
+                }
+                for key, summary in result.metrics.items()
+            },
+            "failures": [
+                {
+                    "seed": failure.seed,
+                    "error_type": failure.error_type,
+                    "message": failure.message,
+                }
+                for failure in result.failures
+            ],
+            "faults": result.fault_counts,
+        }
+        print(obs.render_json(payload))
+        return 0
+    print(
+        f"protocol={args.protocol} attack={args.attack} "
+        f"seeds={seeds[0]}..{seeds[-1]} time={args.time}s"
+    )
+    print(result.table_text())
+    print(result.summary_line())
     return 0
 
 
@@ -299,8 +402,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--attack", choices=ATTACK_CHOICES, default="none")
     sweep.add_argument("--time", type=float, default=60.0)
     sweep.add_argument("--seed", type=int, default=3)
+    sweep.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="fault plan: inline JSON or the path of a JSON file",
+    )
     _add_output_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    campaign = sub.add_parser(
+        "campaign", help="multi-seed campaign with statistics"
+    )
+    _add_scenario_args(campaign)
+    campaign.add_argument(
+        "--seeds",
+        type=int,
+        default=5,
+        help="number of consecutive seeds starting at --seed",
+    )
+    campaign.add_argument(
+        "--failure-budget",
+        type=float,
+        default=0.5,
+        help="tolerated failed fraction of per-seed runs before the "
+        "campaign itself fails",
+    )
+    _add_output_args(campaign, trace=False)
+    campaign.set_defaults(func=cmd_campaign)
 
     table1 = sub.add_parser("table1", help="scheme op-count comparison")
     table1.add_argument("--bits", type=int, default=48)

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import SignatureError
+from repro.errors import ReproError, SignatureError
 from repro.pairing.curve import CurvePoint
 from repro.pairing.groups import PairingContext
 from repro.schemes.base import (
@@ -112,22 +112,32 @@ class McCLS(CertificatelessScheme):
         public_key: CurvePoint,
         public_key_extra: Optional[CurvePoint] = None,
     ) -> bool:
-        """CL-Verify: the co-DH tuple check with the cached constant pairing."""
+        """CL-Verify: the co-DH tuple check with the cached constant pairing.
+
+        Total over hostile input: a structurally wrong *type* still raises
+        :class:`SignatureError` (a programming error at the call site), but
+        any failure while *checking* a candidate signature - wrong curve,
+        degenerate scalars, arithmetic blow-ups from mangled wire bytes -
+        means the signature is invalid and returns a clean ``False``.
+        """
         msg = normalize_message(message)
         if not isinstance(signature, McCLSSignature):
             raise SignatureError("expected a McCLSSignature")
         v, s_point, big_r = signature.components()
         curve = self.ctx.curve
-        if not (0 < v < curve.n):
-            return False
-        if not curve.g1_curve.contains(big_r):
-            return False
-        if s_point.is_infinity() or not curve.g2_curve.contains(s_point):
-            return False
+        try:
+            if not (0 < v < curve.n):
+                return False
+            if not curve.g1_curve.contains(big_r):
+                return False
+            if s_point.is_infinity() or not curve.g2_curve.contains(s_point):
+                return False
 
-        h = self.ctx.hash_scalar(b"H2/mccls", msg, big_r, public_key)
-        left_g1 = self.ctx.g1_mul(self.ctx.g1, v) - self.ctx.g1_mul(big_r, h)
-        right_g2 = self.ctx.g2_mul(s_point, self.ctx.scalar_inverse(h))
-        q_id = self.q_of(identity)
-        constant = self.ctx.pair_cached(self.p_pub_g1, q_id)
-        return self.ctx.pair(left_g1, right_g2) == constant
+            h = self.ctx.hash_scalar(b"H2/mccls", msg, big_r, public_key)
+            left_g1 = self.ctx.g1_mul(self.ctx.g1, v) - self.ctx.g1_mul(big_r, h)
+            right_g2 = self.ctx.g2_mul(s_point, self.ctx.scalar_inverse(h))
+            q_id = self.q_of(identity)
+            constant = self.ctx.pair_cached(self.p_pub_g1, q_id)
+            return self.ctx.pair(left_g1, right_g2) == constant
+        except (ReproError, ValueError, ZeroDivisionError, ArithmeticError):
+            return False

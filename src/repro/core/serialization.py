@@ -160,10 +160,22 @@ def encode_identity(identity: str) -> bytes:
 
 
 def decode_identity(data: bytes) -> Tuple[str, bytes]:
-    """Decode a length-prefixed identity, returning the remainder."""
+    """Decode a length-prefixed identity, returning the remainder.
+
+    Total over arbitrary bytes: every malformed input (truncation, bad
+    UTF-8) raises :class:`SerializationError`, never a raw decoder error -
+    corrupted frames must be rejected, not crash the receiver.
+    """
     if len(data) < 2:
         raise SerializationError("truncated identity")
-    (length,) = struct.unpack(">H", data[:2])
+    try:
+        (length,) = struct.unpack(">H", data[:2])
+    except struct.error as exc:  # pragma: no cover - length check above
+        raise SerializationError(f"bad identity length prefix: {exc}") from None
     if len(data) < 2 + length:
         raise SerializationError("truncated identity body")
-    return data[2 : 2 + length].decode("utf-8"), data[2 + length :]
+    try:
+        identity = data[2 : 2 + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SerializationError(f"identity is not valid UTF-8: {exc}") from None
+    return identity, data[2 + length :]

@@ -8,9 +8,19 @@ Public surface for reproducing the paper's evaluation:
 * :mod:`repro.netsim.routing.aodv` - plain AODV.
 * :mod:`repro.netsim.routing.secure_aodv` - McCLS-authenticated AODV.
 * :mod:`repro.netsim.attacks` - black hole and rushing attacker nodes.
+* :mod:`repro.netsim.faults` - deterministic fault injection (node churn,
+  radio degradation, frame corruption, KGC outages).
 """
 
 from repro.netsim.engine import Simulator
+from repro.netsim.faults import (
+    CorruptionWindow,
+    CrashSpec,
+    FaultInjector,
+    FaultPlan,
+    KGCOutage,
+    RadioWindow,
+)
 from repro.netsim.metrics import MetricsCollector
 from repro.netsim.scenario import (
     ScenarioConfig,
@@ -26,4 +36,10 @@ __all__ = [
     "ScenarioResult",
     "run_scenario",
     "paper_speed_sweep",
+    "FaultPlan",
+    "FaultInjector",
+    "CrashSpec",
+    "RadioWindow",
+    "CorruptionWindow",
+    "KGCOutage",
 ]

@@ -5,6 +5,13 @@ MANET result) average several.  :func:`run_campaign` executes a scenario
 across seeds and returns per-metric mean, standard deviation and a
 confidence interval (Student-t via :mod:`scipy` when the sample is small),
 plus the raw samples for custom analysis.
+
+Runs are *isolated*: a seed whose simulation raises mid-run becomes a
+structured :class:`RunFailure` record (seed, exception type, message)
+instead of aborting the sweep, and summaries are computed over the
+surviving samples.  A configurable failure budget bounds how much of a
+campaign may fail before the whole campaign is declared broken - chaos
+campaigns tolerate some losses, figure sweeps should tolerate none.
 """
 
 from __future__ import annotations
@@ -12,10 +19,11 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from scipy import stats as scipy_stats
 
+from repro.errors import SimulationError
 from repro.netsim.scenario import ScenarioConfig, run_scenario
 
 
@@ -31,11 +39,50 @@ class MetricSummary:
         return f"{self.mean:.4f} +/- {(self.ci_high - self.mean):.4f}"
 
 
+@dataclass(frozen=True)
+class RunFailure:
+    """One per-seed run that raised instead of completing."""
+
+    seed: int
+    error_type: str
+    message: str
+    fault_plan: Optional[str] = None  # compact spec of the injected plan
+
+    def __str__(self) -> str:
+        return f"seed {self.seed}: {self.error_type}: {self.message}"
+
+
 @dataclass
 class CampaignResult:
     config: ScenarioConfig
     seeds: List[int]
     metrics: Dict[str, MetricSummary] = field(default_factory=dict)
+    #: per-seed runs that raised (run isolation keeps the sweep alive)
+    failures: List[RunFailure] = field(default_factory=list)
+    #: injected-fault totals summed over the surviving runs
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def completed_seeds(self) -> List[int]:
+        """The seeds whose runs completed and contributed samples."""
+        failed = {failure.seed for failure in self.failures}
+        return [seed for seed in self.seeds if seed not in failed]
+
+    def summary_line(self) -> str:
+        """One auditable line: run survival, failures, injected faults."""
+        parts = [
+            f"campaign: {len(self.completed_seeds)}/{len(self.seeds)} runs ok"
+        ]
+        if self.failures:
+            detail = "; ".join(str(failure) for failure in self.failures)
+            parts.append(f"failures: {detail}")
+        if self.fault_counts:
+            injected = " ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.fault_counts.items())
+            )
+            parts.append(f"faults injected: {injected}")
+        return " | ".join(parts)
 
     def table_text(self, keys: Sequence[str] = ()) -> str:
         """Render the chosen metrics as an aligned text table."""
@@ -77,12 +124,59 @@ def run_campaign(
     config: ScenarioConfig,
     seeds: Sequence[int],
     confidence: float = 0.95,
+    failure_budget: float = 0.0,
 ) -> CampaignResult:
-    """Run ``config`` once per seed and aggregate every reported metric."""
+    """Run ``config`` once per seed and aggregate every reported metric.
+
+    A per-seed run that raises is recorded as a :class:`RunFailure` and the
+    sweep continues; metrics are summarized over the surviving samples.
+    ``failure_budget`` is the tolerated failed fraction of the campaign
+    (0.0 = any failure is fatal, the right default for figure sweeps;
+    chaos campaigns typically pass 0.5).  Exceeding the budget - or losing
+    every run - raises :class:`~repro.errors.SimulationError` listing the
+    recorded failures.
+    """
     if not seeds:
         raise ValueError("a campaign needs at least one seed")
-    reports = [run_scenario(config.with_(seed=seed)).report() for seed in seeds]
-    result = CampaignResult(config=config, seeds=list(seeds))
+    if not 0.0 <= failure_budget <= 1.0:
+        raise ValueError("failure_budget must be in [0, 1]")
+    plan = config.faults
+    plan_text = repr(plan.to_spec()) if plan is not None else None
+    reports: List[Dict[str, float]] = []
+    failures: List[RunFailure] = []
+    fault_counts: Dict[str, int] = {}
+    for seed in seeds:
+        try:
+            run = run_scenario(config.with_(seed=seed))
+        except Exception as exc:  # run isolation: record, keep sweeping
+            failures.append(
+                RunFailure(
+                    seed=seed,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    fault_plan=plan_text,
+                )
+            )
+            continue
+        reports.append(run.report())
+        for name, count in run.fault_summary.items():
+            fault_counts[name] = fault_counts.get(name, 0) + count
+    if not reports:
+        raise SimulationError(
+            f"all {len(seeds)} campaign runs failed; first: {failures[0]}"
+        )
+    if len(failures) > failure_budget * len(seeds):
+        detail = "; ".join(str(failure) for failure in failures)
+        raise SimulationError(
+            f"campaign failure budget exceeded: {len(failures)}/{len(seeds)} "
+            f"runs failed (budget {failure_budget:.2f}): {detail}"
+        )
+    result = CampaignResult(
+        config=config,
+        seeds=list(seeds),
+        failures=failures,
+        fault_counts=fault_counts,
+    )
     for key in reports[0]:
         result.metrics[key] = summarize(
             [report[key] for report in reports], confidence

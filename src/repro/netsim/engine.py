@@ -54,6 +54,10 @@ class Simulator:
         #: simulation (nodes, radio, tracer); the no-op default costs
         #: emitters one ``enabled`` check
         self.events: EventSink = NULL_EVENT_SINK
+        #: the run's :class:`~repro.netsim.faults.FaultInjector`, when a
+        #: fault plan is attached (set by the scenario builder; None in
+        #: healthy runs) - carries injected-fault counts and the event log
+        self.faults = None
 
     def attach_events(self, sink: Optional[EventSink]) -> None:
         """Install the structured-event sink (None restores the no-op)."""

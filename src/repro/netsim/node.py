@@ -38,11 +38,16 @@ class NetworkNode:
         self.metrics = metrics
         self.crypto = crypto if crypto is not None else CryptoTimingModel("none")
         self._cpu_busy_until = 0.0
+        #: set while the node is powered off (fault injection); callbacks
+        #: scheduled before the crash may still fire but transmit nothing
+        self.crashed = False
         radio.attach(node_id, mobility, self._on_frame)
 
     # -- radio helpers -------------------------------------------------------------
     def broadcast(self, payload: object, jitter: Optional[bool] = None) -> None:
         """Transmit a payload to every radio in range."""
+        if not self.radio.is_attached(self.node_id):
+            return  # powered off: the transmission silently never happens
         frame = Frame(
             sender=self.node_id, link_destination=BROADCAST, payload=payload
         )
@@ -51,6 +56,8 @@ class NetworkNode:
 
     def unicast(self, destination: int, payload: object) -> None:
         """Transmit a payload link-addressed to one neighbour."""
+        if not self.radio.is_attached(self.node_id):
+            return  # powered off: the transmission silently never happens
         frame = Frame(
             sender=self.node_id, link_destination=destination, payload=payload
         )
@@ -66,9 +73,34 @@ class NetworkNode:
             self.metrics.control_bytes_sent += frame.size_bytes
 
     def _on_frame(self, node_id: int, frame: Frame, now: float) -> None:
+        if self.crashed:
+            return  # powered off; nothing reaches the network layer
         if not frame.is_broadcast and frame.link_destination != self.node_id:
             return  # not addressed to us; NICs are not promiscuous here
         self.receive(frame)
+
+    # -- failure model -----------------------------------------------------------
+    def crash(self) -> None:
+        """Power the node off: detach from the radio.
+
+        Already-scheduled callbacks (CPU-queued signatures, discovery
+        timers) may still fire while crashed, but the transmit guards make
+        them no-ops on the air.
+        """
+        if self.radio.is_attached(self.node_id):
+            self.radio.detach(self.node_id)
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Power the node back on with volatile protocol state wiped."""
+        if not self.radio.is_attached(self.node_id):
+            self.radio.attach(self.node_id, self.mobility, self._on_frame)
+        self.crashed = False
+        self._cpu_busy_until = self.sim.now
+        self._on_recover()
+
+    def _on_recover(self) -> None:
+        """Protocol hook: reset state that would not survive a reboot."""
 
     # -- observability -----------------------------------------------------------
     def emit_event(self, event: str, **fields) -> None:

@@ -43,7 +43,9 @@ class AuthTag:
     signer: str
     size_bytes: int
     signature: object = field(default=None, compare=False)
-    forged: bool = False  # set by attackers that cannot actually sign
+    #: the tag can never verify: attackers that cannot actually sign,
+    #: quarantined nodes lacking a partial key, and in-flight corruption
+    forged: bool = False
 
 
 @dataclass(frozen=True)

@@ -45,8 +45,9 @@ class RadioMedium:
     ):
         if range_m <= 0 or bitrate_bps <= 0:
             raise SimulationError("radio range and bitrate must be positive")
-        if not 0.0 <= loss_rate < 1.0:
-            raise SimulationError("loss_rate must be in [0, 1)")
+        # loss_rate == 1.0 is a valid total-outage/jamming channel.
+        if not 0.0 <= loss_rate <= 1.0:
+            raise SimulationError("loss_rate must be in [0, 1]")
         self.sim = sim
         self.range_m = range_m
         self.bitrate_bps = bitrate_bps
@@ -56,9 +57,29 @@ class RadioMedium:
         self._receivers: Dict[int, DeliveryCallback] = {}
         self._busy_until: Dict[int, float] = {}
         self._observers = []
+        #: optional per-receiver delivery hook ``(receiver_id, frame) ->
+        #: frame | None``; returning None drops the copy (counted as lost),
+        #: returning a different frame delivers that instead.  The fault
+        #: injector uses this for frame bit-corruption.
+        self.frame_filter: Optional[Callable[[int, Frame], Optional[Frame]]] = None
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_lost = 0
+
+    def set_conditions(
+        self,
+        loss_rate: Optional[float] = None,
+        range_m: Optional[float] = None,
+    ) -> None:
+        """Change channel conditions mid-run (fading windows, jamming)."""
+        if loss_rate is not None:
+            if not 0.0 <= loss_rate <= 1.0:
+                raise SimulationError("loss_rate must be in [0, 1]")
+            self.loss_rate = loss_rate
+        if range_m is not None:
+            if range_m <= 0:
+                raise SimulationError("radio range must be positive")
+            self.range_m = range_m
 
     def add_observer(self, observer) -> None:
         """Register a callback(now, frame, receiver_ids) fired per
@@ -137,11 +158,17 @@ class RadioMedium:
             if self.loss_rate > 0 and loss_rng.random() < self.loss_rate:
                 self.frames_lost += 1
                 continue
+            delivered = frame
+            if self.frame_filter is not None:
+                delivered = self.frame_filter(node_id, frame)
+                if delivered is None:  # corrupted beyond the link checksum
+                    self.frames_lost += 1
+                    continue
             propagation = span / SPEED_OF_LIGHT
             self.frames_delivered += 1
             receivers.append(node_id)
             self.sim.schedule(
-                propagation, self._deliver, node_id, frame
+                propagation, self._deliver, node_id, delivered
             )
         for observer in self._observers:
             observer(self.sim.now, frame, tuple(receivers))

@@ -103,9 +103,10 @@ class AODVNode(NetworkNode):
         # HELLO-based neighbour monitoring (off unless hello_interval > 0).
         self.hello_interval = hello_interval
         self._last_hello_from: Dict[int, float] = {}
+        self._hello_timer: Optional[EventHandle] = None
         if hello_interval > 0:
             offset = sim.rng("hello").uniform(0, hello_interval)
-            sim.schedule(offset, self._hello_tick)
+            self._hello_timer = sim.schedule(offset, self._hello_tick)
 
     # ------------------------------------------------------------------ data path
     def send_data(self, packet: DataPacket) -> None:
@@ -495,7 +496,7 @@ class AODVNode(NetworkNode):
             self.crypto.sign_delay() if hello.auth else 0.0, self.broadcast, hello
         )
         self._expire_silent_neighbors()
-        self.sim.schedule(self.hello_interval, self._hello_tick)
+        self._hello_timer = self.sim.schedule(self.hello_interval, self._hello_tick)
 
     def _expire_silent_neighbors(self) -> None:
         deadline = self.sim.now - ALLOWED_HELLO_LOSS * self.hello_interval
@@ -528,6 +529,29 @@ class AODVNode(NetworkNode):
             hello.lifetime,
             self.sim.now,
         )
+
+    # ------------------------------------------------------------------ reboot
+    def _on_recover(self) -> None:
+        """Reboot: routing state is volatile, so a recovered node starts cold.
+
+        Packets buffered behind in-flight discoveries died with the RAM and
+        count as routing drops; the fresh routing table forces the node to
+        relearn its neighbourhood (via HELLO and/or the next flood).
+        """
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+            self.metrics.dropped_no_route += len(pending.buffer)
+        self._pending.clear()
+        self.table = RoutingTable()
+        self._seen_rreqs.clear()
+        self._discovery_backoff.clear()
+        self._last_hello_from.clear()
+        if self.hello_interval > 0:
+            if self._hello_timer is not None:
+                self._hello_timer.cancel()
+            offset = self.sim.rng("hello").uniform(0, self.hello_interval)
+            self._hello_timer = self.sim.schedule(offset, self._hello_tick)
 
     # ------------------------------------------------------------------ dispatch
     def receive(self, frame: Frame) -> None:

@@ -95,15 +95,38 @@ class McCLSAODVNode(AODVNode):
         self.rushing_defense = rushing_defense
         #: optional shared RevocationChecker (repro.core.revocation)
         self.revocation = revocation
+        #: set while the node lacks a partial key (rejoined during a KGC
+        #: outage): it emits unverifiable tags, so authenticated peers
+        #: reject everything it originates until the KGC re-issues its key
+        self.quarantined = False
         # (originator, rreq_id) -> {sender: lowest hop count heard}
         self._candidates: Dict[Tuple[int, int], Dict[int, int]] = {}
         self._candidate_expiry: Dict[Tuple[int, int], float] = {}
         self._my_flood_hop: Dict[Tuple[int, int], int] = {}
         self._latest_flood: Dict[int, Tuple[int, int]] = {}
 
+    # -- degraded modes -----------------------------------------------------------
+    def enter_quarantine(self) -> None:
+        """Run unauthenticated until the KGC re-issues a partial key."""
+        self.quarantined = True
+        self.emit_event("node.quarantine_enter")
+
+    def exit_quarantine(self) -> None:
+        """The KGC re-issued this node's partial key; resume signing."""
+        self.quarantined = False
+        self.emit_event("node.quarantine_exit")
+
     # -- signing ------------------------------------------------------------------
     def _make_auth(self, fields: tuple) -> AuthTag:
         material = self.material
+        if self.quarantined:
+            # No partial key: the tag still occupies its wire bytes but can
+            # never verify, exactly like an unenrolled sender's.
+            return AuthTag(
+                signer=identity_of(self.node_id),
+                size_bytes=material.signature_bytes,
+                forged=True,
+            )
         if material.real:
             signature = material.scheme.sign(repr(fields).encode(), material.keys)
             return AuthTag(
@@ -293,6 +316,13 @@ class McCLSAODVNode(AODVNode):
             if eligible:
                 return self.sim.rng("rushing-defense").choice(eligible)
         return super()._reverse_next_hop(rrep)
+
+    def _on_recover(self) -> None:
+        super()._on_recover()
+        self._candidates.clear()
+        self._candidate_expiry.clear()
+        self._my_flood_hop.clear()
+        self._latest_flood.clear()
 
     def _prune_candidates(self) -> None:
         now = self.sim.now

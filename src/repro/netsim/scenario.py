@@ -23,6 +23,7 @@ from repro.errors import SimulationError
 from repro.netsim.attacks import ATTACK_ROLES
 from repro.netsim.crypto_model import CryptoTimingModel, OperationCosts
 from repro.netsim.engine import Simulator
+from repro.netsim.faults import FaultInjector, FaultPlan
 from repro.netsim.metrics import MetricsCollector
 from repro.netsim.mobility import RandomWaypoint
 from repro.netsim.radio import RadioMedium
@@ -89,6 +90,9 @@ class ScenarioConfig:
     crypto_speedup: float = 1.0
     crypto_costs: OperationCosts = field(default_factory=OperationCosts)
     real_crypto: bool = False
+    #: declarative fault-injection plan (crash churn, radio degradation,
+    #: frame corruption, KGC outages); None runs the healthy network
+    faults: Optional[FaultPlan] = None
     # reproducibility
     seed: int = 1
 
@@ -100,6 +104,8 @@ class ScenarioConfig:
             raise SimulationError(f"unknown attack {self.attack!r}")
         if self.n_nodes < 2:
             raise SimulationError("need at least two nodes")
+        if self.faults is not None:
+            self.faults.validate()
         attackers = self.n_attackers if self.attack else 0
         if 2 * self.n_flows > self.n_nodes - attackers:
             raise SimulationError(
@@ -117,6 +123,10 @@ class ScenarioResult:
     metrics: MetricsCollector
     events_executed: int
     attacker_ids: List[int]
+    #: injected-fault totals by event name (empty for healthy runs)
+    fault_summary: Dict[str, int] = field(default_factory=dict)
+    #: the ordered fault-event sequence the injector recorded
+    fault_events: List[Dict[str, object]] = field(default_factory=list)
 
     def report(self) -> Dict[str, float]:
         """The metric report of the completed run."""
@@ -438,6 +448,16 @@ def build_scenario(config: ScenarioConfig, event_sink: Optional[EventSink] = Non
         for left, right in zip(endpoints[0::2], endpoints[1::2]):
             left.pair_with(right)
 
+    if config.faults is not None and not config.faults.empty:
+        curve = None
+        if config.real_crypto and config.protocol == "mccls" and materials:
+            curve = next(iter(materials.values())).scheme.ctx.curve
+        injector = FaultInjector(
+            sim, radio, nodes, honest_ids, config.faults, curve=curve
+        )
+        injector.install()
+        sim.faults = injector
+
     flows = [CBRFlow(sim, spec, nodes[spec.source]) for spec in flow_specs]
     if event_sink is not None and event_sink.enabled:
         # Mirror every transmission as a radio.tx event (the tracer is kept
@@ -465,6 +485,8 @@ def run_scenario(
         metrics=metrics,
         events_executed=sim.events_executed,
         attacker_ids=attacker_ids,
+        fault_summary=sim.faults.summary() if sim.faults is not None else {},
+        fault_events=list(sim.faults.log) if sim.faults is not None else [],
     )
 
 

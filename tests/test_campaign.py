@@ -1,11 +1,25 @@
-"""Campaign (multi-seed statistics) tests."""
+"""Campaign (multi-seed statistics and run isolation) tests."""
 
 import pytest
 
+from repro.errors import SimulationError
+from repro.netsim import campaign as campaign_mod
 from repro.netsim.campaign import compare_protocols, run_campaign, summarize
-from repro.netsim.scenario import ScenarioConfig
+from repro.netsim.faults import CrashSpec, FaultPlan
+from repro.netsim.scenario import ScenarioConfig, run_scenario
 
 FAST = dict(sim_time_s=15.0, n_flows=3, n_nodes=14)
+
+
+def failing_on(bad_seeds):
+    """A run_scenario stand-in that raises for the chosen seeds."""
+
+    def run(config):
+        if config.seed in bad_seeds:
+            raise RuntimeError(f"injected failure for seed {config.seed}")
+        return run_scenario(config)
+
+    return run
 
 
 class TestSummarize:
@@ -52,6 +66,10 @@ class TestCampaign:
         assert "packet_delivery_ratio" in table
         assert "95% CI" in table
 
+    def test_invalid_failure_budget_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(ScenarioConfig(**FAST), seeds=[1], failure_budget=1.5)
+
     def test_compare_protocols(self):
         comparison = compare_protocols(
             ScenarioConfig(**FAST), seeds=[1, 2], protocols=("aodv", "mccls")
@@ -59,3 +77,65 @@ class TestCampaign:
         assert set(comparison) == {"aodv", "mccls"}
         # Both deliver in the same band (the Figure 1 claim, with CIs).
         assert abs(comparison["aodv"].mean - comparison["mccls"].mean) < 0.15
+
+
+class TestRunIsolation:
+    def test_failed_seed_recorded_and_sweep_survives(self, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "run_scenario", failing_on({2}))
+        result = run_campaign(
+            ScenarioConfig(**FAST), seeds=[1, 2, 3], failure_budget=0.5
+        )
+        assert result.completed_seeds == [1, 3]
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.seed == 2
+        assert failure.error_type == "RuntimeError"
+        assert "seed 2" in str(failure)
+        # Summaries are computed over the surviving samples only.
+        assert len(result.metrics["packet_delivery_ratio"].samples) == 2
+        assert "2/3 runs ok" in result.summary_line()
+        assert "RuntimeError" in result.summary_line()
+
+    def test_budget_exceeded_raises(self, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "run_scenario", failing_on({2, 3}))
+        with pytest.raises(SimulationError, match="failure budget exceeded"):
+            run_campaign(
+                ScenarioConfig(**FAST), seeds=[1, 2, 3], failure_budget=0.4
+            )
+
+    def test_all_runs_failing_raises(self, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "run_scenario", failing_on({1, 2}))
+        with pytest.raises(SimulationError, match="all 2 campaign runs"):
+            run_campaign(
+                ScenarioConfig(**FAST), seeds=[1, 2], failure_budget=1.0
+            )
+
+    def test_default_budget_tolerates_nothing(self, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "run_scenario", failing_on({2}))
+        with pytest.raises(SimulationError):
+            run_campaign(ScenarioConfig(**FAST), seeds=[1, 2, 3])
+
+    def test_failure_records_the_fault_plan(self, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "run_scenario", failing_on({1}))
+        plan = FaultPlan(crashes=(CrashSpec(at_s=2.0, count=1),))
+        result = run_campaign(
+            ScenarioConfig(faults=plan, **FAST),
+            seeds=[1, 2],
+            failure_budget=0.5,
+        )
+        assert result.failures[0].fault_plan == repr(plan.to_spec())
+
+
+class TestFaultAggregation:
+    def test_fault_counts_summed_over_runs(self):
+        plan = FaultPlan(crashes=(CrashSpec(at_s=2.0, count=1),))
+        result = run_campaign(
+            ScenarioConfig(faults=plan, **FAST), seeds=[1, 2, 3]
+        )
+        assert result.fault_counts["fault.node_crash"] == 3
+        assert "faults injected" in result.summary_line()
+
+    def test_healthy_campaign_reports_no_faults(self):
+        result = run_campaign(ScenarioConfig(**FAST), seeds=[1, 2])
+        assert result.fault_counts == {}
+        assert result.summary_line() == "campaign: 2/2 runs ok"

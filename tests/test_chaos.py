@@ -1,0 +1,106 @@
+"""Chaos invariants: randomized fault plans must never break the physics.
+
+Each case draws a random :class:`FaultPlan` from a seeded generator and
+runs a small scenario under it.  Whatever the plan does, the simulation
+must terminate, conservation must hold (delivered <= sent, ratios in
+[0, 1]) and the run must be exactly reproducible from ``(seed, plan)``.
+"""
+
+import random
+
+import pytest
+
+from repro.netsim.faults import (
+    CrashSpec,
+    CorruptionWindow,
+    FaultPlan,
+    KGCOutage,
+    RadioWindow,
+)
+from repro.netsim.scenario import ScenarioConfig, run_scenario
+
+SIM_TIME = 12.0
+BASE = dict(sim_time_s=SIM_TIME, n_flows=2, n_nodes=12)
+
+
+def random_plan(rng: random.Random) -> FaultPlan:
+    """Draw a small but adversarial plan: every fault class may appear."""
+
+    def window(cls, **extra):
+        start = rng.uniform(0.0, SIM_TIME * 0.7)
+        stop = start + rng.uniform(0.5, SIM_TIME * 0.5)
+        return cls(start, stop, **extra)
+
+    crashes = tuple(
+        CrashSpec(
+            at_s=rng.uniform(0.5, SIM_TIME * 0.8),
+            count=rng.randint(1, 2),
+            recover_at_s=(
+                rng.uniform(SIM_TIME * 0.85, SIM_TIME)
+                if rng.random() < 0.5
+                else None
+            ),
+        )
+        for _ in range(rng.randint(0, 2))
+    )
+    radio = tuple(
+        window(
+            RadioWindow,
+            loss_rate=rng.choice([None, rng.random(), 1.0]),
+            range_scale=rng.uniform(0.3, 1.0),
+        )
+        for _ in range(rng.randint(0, 2))
+    )
+    corruption = tuple(
+        window(CorruptionWindow, probability=rng.random())
+        for _ in range(rng.randint(0, 2))
+    )
+    outages = tuple(window(KGCOutage) for _ in range(rng.randint(0, 1)))
+    plan = FaultPlan(
+        crashes=crashes,
+        radio_windows=radio,
+        corruption_windows=corruption,
+        kgc_outages=outages,
+    )
+    plan.validate()
+    return plan
+
+
+def check_invariants(chaos_seed: int, protocol: str) -> None:
+    """One chaos draw: run under a random plan, assert the invariants."""
+    rng = random.Random(chaos_seed)
+    plan = random_plan(rng)
+    config = ScenarioConfig(
+        seed=chaos_seed, protocol=protocol, faults=plan, **BASE
+    )
+    result = run_scenario(config)  # invariant 1: terminates without raising
+    report = result.report()
+    # Invariant 2: conservation - nothing is delivered out of thin air.
+    assert report["data_received"] <= report["data_sent"]
+    assert 0.0 <= report["packet_delivery_ratio"] <= 1.0
+    assert 0.0 <= report["packet_drop_ratio"] <= 1.0
+    assert report["end_to_end_delay"] >= 0.0
+    # Invariant 3: the same (seed, plan) reproduces the run exactly.
+    again = run_scenario(config)
+    assert again.report() == report
+    assert again.fault_events == result.fault_events
+
+
+class TestChaosSmoke:
+    @pytest.mark.parametrize("chaos_seed", [101, 202, 303])
+    def test_aodv_invariants(self, chaos_seed):
+        check_invariants(chaos_seed, "aodv")
+
+    @pytest.mark.parametrize("chaos_seed", [404, 505, 606])
+    def test_mccls_invariants(self, chaos_seed):
+        check_invariants(chaos_seed, "mccls")
+
+
+@pytest.mark.slow
+class TestChaosMatrix:
+    """The heavier sweep: more draws, every protocol."""
+
+    @pytest.mark.parametrize("protocol", ["aodv", "mccls", "pki"])
+    @pytest.mark.parametrize("chaos_seed", range(1000, 1010))
+    def test_invariants(self, protocol, chaos_seed):
+        check_invariants(chaos_seed, protocol)

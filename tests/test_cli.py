@@ -137,6 +137,172 @@ class TestObservabilityFlags:
         assert args.attack == "blackhole-cryptanalyst"
         assert args.func.__name__ == "cmd_sweep"
 
+FAULT_SPEC = (
+    '{"crashes": [{"at": 3, "count": 2, "recover_at": 8}],'
+    ' "corruption": [{"start": 2, "stop": 9, "probability": 0.3}]}'
+)
+
+
+class TestFaultFlags:
+    def test_scenario_faults_text_summary(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "--protocol",
+                    "mccls",
+                    "--time",
+                    "10",
+                    "--faults",
+                    FAULT_SPEC,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "faults injected:" in out
+        assert "fault.node_crash=2" in out
+
+    def test_scenario_faults_json_field(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "--protocol",
+                    "mccls",
+                    "--time",
+                    "10",
+                    "--faults",
+                    FAULT_SPEC,
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["faults"]["fault.node_crash"] == 2
+        assert payload["faults"]["fault.frame_corrupt"] > 0
+
+    def test_scenario_faults_from_file(self, capsys, tmp_path):
+        spec_path = tmp_path / "plan.json"
+        spec_path.write_text(FAULT_SPEC)
+        assert (
+            main(
+                ["scenario", "--time", "10", "--faults", str(spec_path), "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["faults"]["fault.node_crash"] == 2
+
+    def test_scenario_fault_events_traced(self, capsys, tmp_path):
+        trace_path = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "scenario",
+                    "--time",
+                    "10",
+                    "--faults",
+                    FAULT_SPEC,
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().strip().splitlines()
+        ]
+        kinds = {event["event"] for event in events}
+        assert "fault.node_crash" in kinds
+        assert "fault.frame_corrupt" in kinds
+
+    def test_bad_fault_spec_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            main(["scenario", "--time", "10", "--faults", '{"crashs": []}'])
+        with pytest.raises(SimulationError):
+            main(["scenario", "--time", "10", "--faults", "not json {"])
+        with pytest.raises(SimulationError):
+            main(["scenario", "--time", "10", "--faults", "/no/such/file.json"])
+
+
+class TestCampaignCommand:
+    def test_campaign_text_summary(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--time",
+                    "10",
+                    "--nodes",
+                    "14",
+                    "--flows",
+                    "3",
+                    "--seeds",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "packet_delivery_ratio" in out
+        assert "campaign: 2/2 runs ok" in out
+
+    def test_campaign_json_output(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--time",
+                    "10",
+                    "--nodes",
+                    "14",
+                    "--flows",
+                    "3",
+                    "--seeds",
+                    "2",
+                    "--faults",
+                    FAULT_SPEC,
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "campaign"
+        assert payload["completed_seeds"] == payload["seeds"]
+        assert payload["failures"] == []
+        assert payload["faults"]["fault.node_crash"] == 4  # 2 per seed
+        pdr = payload["metrics"]["packet_delivery_ratio"]
+        assert len(pdr["samples"]) == 2
+        assert 0.0 <= pdr["mean"] <= 1.0
+
+
+class TestSweepFaults:
+    @pytest.mark.slow
+    def test_sweep_faults_aggregated(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--time",
+                    "10",
+                    "--faults",
+                    FAULT_SPEC,
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        # 5 speeds x 2 protocols x 2 crashes per run
+        assert payload["faults"]["fault.node_crash"] == 20
+
     @pytest.mark.slow
     def test_sweep_json_output(self, capsys):
         assert (

@@ -55,11 +55,14 @@ class TestDecoderFuzz:
         try:
             ident, rest = ser.decode_identity(blob)
         except SerializationError:
-            return
-        except UnicodeDecodeError:
-            return  # non-UTF8 payload: acceptable loud failure
+            return  # the only permitted failure - raw decoder errors leak
         assert isinstance(ident, str)
         assert isinstance(rest, bytes)
+
+    def test_identity_bad_utf8_raises_serialization_error(self):
+        blob = ser.encode_identity("node-7")[:-1] + b"\xff"
+        with pytest.raises(SerializationError):
+            ser.decode_identity(blob)
 
     @given(st.binary(max_size=32))
     @settings(max_examples=40)
@@ -89,6 +92,59 @@ class TestBitflipFuzz:
         if mutated == sig:  # flip landed in ignored padding? not possible,
             pytest.skip("mutation produced the identical signature")
         assert not scheme.verify(b"payload", mutated, keys.identity, keys.public_key)
+
+
+class TestCorruptionCorpus:
+    """In-flight corruption corpus: every way a valid wire signature can be
+    damaged (bit flips, truncation, extension, byte stomps, reordering)
+    must end in a SerializationError from the decoder or a clean False
+    from the verifier - never any other exception and never acceptance."""
+
+    SCHEME = McCLS(PairingContext(CURVE, random.Random(0xC0)), precompute_s=True)
+    KEYS = SCHEME.generate_user_keys("corpus@manet")
+    SIG = SCHEME.sign(b"corpus payload", KEYS)
+    BLOB = ser.encode_mccls_signature(CURVE, SIG)
+
+    @staticmethod
+    def corpus(blob, rng):
+        yield blob[: len(blob) // 2]  # truncation
+        yield blob + b"\x00" * 7  # extension
+        yield b""  # empty wire
+        yield bytes(len(blob))  # all zeros
+        yield bytes(255 - b for b in blob)  # inverted
+        yield blob[::-1]  # reversed
+        for _ in range(24):  # random byte stomps
+            mutated = bytearray(blob)
+            for _ in range(rng.randint(1, 4)):
+                mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+            yield bytes(mutated)
+        for _ in range(24):  # random multi-bit flips
+            mutated = bytearray(blob)
+            for _ in range(rng.randint(1, 8)):
+                bit = rng.randrange(len(mutated) * 8)
+                mutated[bit // 8] ^= 1 << (bit % 8)
+            yield bytes(mutated)
+
+    def test_mutated_wire_signatures_rejected_never_crash(self):
+        rng = random.Random(0xDEAD)
+        accepted = 0
+        for blob in self.corpus(self.BLOB, rng):
+            if blob == self.BLOB:
+                continue  # a stomp may rewrite a byte to its old value
+            try:
+                sig = ser.decode_mccls_signature(CURVE, blob)
+            except SerializationError:
+                continue  # rejected on the wire: fine
+            accepted += self.SCHEME.verify(
+                b"corpus payload", sig, self.KEYS.identity, self.KEYS.public_key
+            )
+        assert accepted == 0  # no mutation ever verified
+
+    def test_unmutated_signature_still_verifies(self):
+        sig = ser.decode_mccls_signature(CURVE, self.BLOB)
+        assert self.SCHEME.verify(
+            b"corpus payload", sig, self.KEYS.identity, self.KEYS.public_key
+        )
 
 
 class TestVerifierGarbageTolerance:

@@ -133,10 +133,42 @@ class TestLoss:
         assert len(h.received) < 40
         assert h.radio.frames_lost > 50
 
+    def test_total_jamming_delivers_nothing(self):
+        """loss_rate=1.0 is a legal, total-jamming medium: PDR is zero."""
+        h = Harness({0: (0, 0), 1: (10, 0)}, loss_rate=1.0)
+        for _ in range(50):
+            h.radio.transmit(data_frame(0, BROADCAST))
+        h.sim.run()
+        assert h.received == []
+        assert h.radio.frames_lost == 50
+
     def test_invalid_loss_rate(self):
         sim = Simulator()
         with pytest.raises(SimulationError):
             RadioMedium(sim, loss_rate=1.5)
+        with pytest.raises(SimulationError):
+            RadioMedium(sim, loss_rate=-0.1)
+
+    def test_set_conditions(self):
+        h = Harness({0: (0, 0), 1: (10, 0)})
+        h.radio.set_conditions(loss_rate=0.5, range_m=42.0)
+        assert h.radio.loss_rate == 0.5
+        assert h.radio.range_m == 42.0
+        with pytest.raises(SimulationError):
+            h.radio.set_conditions(loss_rate=2.0)
+        with pytest.raises(SimulationError):
+            h.radio.set_conditions(range_m=-1.0)
+
+    def test_frame_filter_can_drop_and_substitute(self):
+        h = Harness({0: (0, 0), 1: (10, 0), 2: (20, 0)})
+        replacement = data_frame(0, BROADCAST, payload_bytes=7)
+        h.radio.frame_filter = (
+            lambda nid, frame: None if nid == 1 else replacement
+        )
+        h.radio.transmit(data_frame(0, BROADCAST))
+        h.sim.run()
+        assert [(r[0], r[1]) for r in h.received] == [(2, replacement)]
+        assert h.radio.frames_lost == 1
 
 
 class TestAttachment:
