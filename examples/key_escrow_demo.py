@@ -44,7 +44,7 @@ def pki_certificates(curve) -> None:
     alice = enroll_identity("alice@manet", sub, seed=4)
     authorities = {"root-ca": root, "regional-ca": sub}
     sig = sub.ecdsa.sign(b"hello", alice.keys)
-    ok = sub.ecdsa.verify(b"hello", sig, alice.keys.public_key)
+    ok = sub.ecdsa.verify(b"hello", sig, None, alice.keys.public_key)
     verify_chain(alice.chain, authorities)
     print(
         f"   signature valid: {ok}; but trusting the key needed a "

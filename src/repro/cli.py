@@ -271,7 +271,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     config = _config_from(args)
     seeds = list(range(args.seed, args.seed + args.seeds))
     result = run_campaign(
-        config, seeds, failure_budget=args.failure_budget
+        config,
+        seeds,
+        failure_budget=args.failure_budget,
+        workers=args.workers,
     )
     if args.json:
         payload = {
@@ -427,6 +430,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="tolerated failed fraction of per-seed runs before the "
         "campaign itself fails",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for per-seed runs (1 = serial); results "
+        "are identical regardless of worker count",
     )
     _add_output_args(campaign, trace=False)
     campaign.set_defaults(func=cmd_campaign)

@@ -1,0 +1,27 @@
+"""Deprecation shims for the pre-unification public API.
+
+The scheme surface was unified around
+``verify(message, signature, identity, public_key, ...)``; the old
+positional shapes (BLS/ECDSA taking the public key third) keep working
+through shims that warn **once per process per message** and then
+delegate, so long-running simulations are not drowned in warnings.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_emitted: set = set()
+
+
+def warn_deprecated(message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` once per distinct message."""
+    if message in _emitted:
+        return
+    _emitted.add(message)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which warnings fired (test isolation hook)."""
+    _emitted.clear()

@@ -35,11 +35,41 @@ BatchItem = Tuple[Message, McCLSSignature]
 
 
 class McCLSBatchVerifier:
-    """Same-signer batch verification (one pairing per batch)."""
+    """Same-signer batch verification (one pairing per batch).
+
+    Also conforms to :class:`repro.schemes.base.SchemeProtocol` by
+    delegating the single-signature surface to the wrapped scheme, so the
+    wrapper can stand anywhere a scheme is expected (the batching is an
+    extra capability, not a different API).
+    """
+
+    name = "mccls-batch"
 
     def __init__(self, scheme: McCLS):
         self.scheme = scheme
         self.ctx: PairingContext = scheme.ctx
+
+    # -- SchemeProtocol surface (delegated) -----------------------------------
+    def generate_user_keys(self, identity) -> UserKeyPair:
+        """Delegates to the wrapped scheme."""
+        return self.scheme.generate_user_keys(identity)
+
+    def sign(self, message: Message, keys: UserKeyPair) -> McCLSSignature:
+        """Delegates to the wrapped scheme."""
+        return self.scheme.sign(message, keys)
+
+    def verify(
+        self,
+        message: Message,
+        signature: McCLSSignature,
+        identity,
+        public_key=None,
+        public_key_extra=None,
+    ) -> bool:
+        """Delegates single-signature verification to the wrapped scheme."""
+        return self.scheme.verify(
+            message, signature, identity, public_key, public_key_extra
+        )
 
     def verify_same_signer(
         self,
@@ -94,3 +124,7 @@ class McCLSBatchVerifier:
     ) -> Sequence[BatchItem]:
         """Convenience: sign many messages with one key."""
         return [(msg, self.scheme.sign(msg, keys)) for msg in messages]
+
+
+#: Unified-API name (the class predates the SchemeProtocol naming).
+BatchVerifier = McCLSBatchVerifier

@@ -63,7 +63,7 @@ class McCLSPlus(McCLS):
     ):
         super().__init__(ctx, master_secret, precompute_s=precompute_s)
         s = self.master_secret
-        self.t_pub = ctx.curve.g1 * ((s * s) % ctx.order)
+        self.t_pub = ctx.fixed_base(ctx.curve.g1 * ((s * s) % ctx.order))
 
     def verify(
         self,
@@ -95,6 +95,11 @@ class McCLSPlus(McCLS):
         return super().verify(
             msg, signature, identity, public_key, public_key_extra
         )
+
+
+#: Unified-API name for the hardened variant (the class predates the
+#: SchemeProtocol naming; both stay importable).
+HardenedMcCLS = McCLSPlus
 
 
 class KGCSignatureReplayForger(Adversary):

@@ -12,19 +12,30 @@ instead of aborting the sweep, and summaries are computed over the
 surviving samples.  A configurable failure budget bounds how much of a
 campaign may fail before the whole campaign is declared broken - chaos
 campaigns tolerate some losses, figure sweeps should tolerate none.
+
+Runs are also *independent* (each seeds its own RNG streams), so a
+campaign can fan them out to worker processes: ``workers=N`` (or the CLI's
+``--workers N``) executes seeds on a :class:`~concurrent.futures.
+ProcessPoolExecutor` and merges per-run reports, fault counts, failures
+and obs-registry snapshots back in seed order, so the aggregated result
+is byte-identical to a serial run.  A crashed worker only costs time:
+seeds whose worker died are transparently re-run in-process.
 """
 
 from __future__ import annotations
 
 import math
 import statistics
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from scipy import stats as scipy_stats
 
 from repro.errors import SimulationError
 from repro.netsim.scenario import ScenarioConfig, run_scenario
+from repro.obs import collecting as obs_collecting
+from repro.obs import get_registry
 
 
 @dataclass(frozen=True)
@@ -50,6 +61,37 @@ class RunFailure:
 
     def __str__(self) -> str:
         return f"seed {self.seed}: {self.error_type}: {self.message}"
+
+
+@dataclass(frozen=True, kw_only=True)
+class CampaignConfig:
+    """A full campaign specification: scenario, seeds, statistics, fan-out.
+
+    Keyword-only by design (a campaign has too many scalar knobs for
+    positional calls to stay readable).  :meth:`validate` checks the
+    cross-field constraints; :func:`run_campaign` calls it for you.
+    """
+
+    scenario: ScenarioConfig
+    seeds: Tuple[int, ...]
+    confidence: float = 0.95
+    failure_budget: float = 0.0
+    #: worker processes; 1 = serial in-process execution
+    workers: int = 1
+
+    def validate(self) -> "CampaignConfig":
+        """Check cross-field constraints; returns self for chaining."""
+        if not self.seeds:
+            raise ValueError("a campaign needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError("campaign seeds must be distinct")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        if not 0.0 <= self.failure_budget <= 1.0:
+            raise ValueError("failure_budget must be in [0, 1]")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        return self
 
 
 @dataclass
@@ -120,13 +162,89 @@ def summarize(samples: Sequence[float], confidence: float = 0.95) -> MetricSumma
     )
 
 
+#: one per-seed run as shipped between processes: ("ok", report,
+#: fault_summary) or ("error", error_type, message)
+_Outcome = Tuple[str, object, object]
+
+
+def _seed_worker(
+    config: ScenarioConfig, seed: int, collect_obs: bool
+) -> Tuple[int, _Outcome, Optional[Dict[str, object]]]:
+    """Run one seed in a worker process and return a picklable outcome.
+
+    When the parent has a live obs registry, the worker collects into a
+    fresh registry of its own and ships the snapshot back for merging
+    (instrument state does not cross process boundaries by itself).
+    """
+    try:
+        if collect_obs:
+            with obs_collecting() as registry:
+                run = run_scenario(config.with_(seed=seed))
+            snapshot = registry.snapshot()
+        else:
+            run = run_scenario(config.with_(seed=seed))
+            snapshot = None
+        return seed, ("ok", run.report(), dict(run.fault_summary)), snapshot
+    except Exception as exc:  # run isolation: ship the failure home
+        return seed, ("error", type(exc).__name__, str(exc)), None
+
+
+def _run_seeds_parallel(
+    config: ScenarioConfig, seeds: Sequence[int], workers: int
+) -> Dict[int, _Outcome]:
+    """Fan seeds out to worker processes; return outcomes keyed by seed.
+
+    Seeds missing from the returned mapping (worker process died, result
+    failed to unpickle, executor broke) are the caller's to re-run
+    serially - parallelism degrades to the serial path, never to a lost
+    sample.  Worker obs snapshots are merged into the parent registry in
+    seed order so instrumented parallel campaigns aggregate exactly like
+    serial ones.
+    """
+    parent_registry = get_registry()
+    collect_obs = parent_registry.active
+    outcomes: Dict[int, _Outcome] = {}
+    snapshots: Dict[int, Dict[str, object]] = {}
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(seeds))
+        ) as pool:
+            futures = [
+                pool.submit(_seed_worker, config, seed, collect_obs)
+                for seed in seeds
+            ]
+            for future in futures:
+                try:
+                    seed, outcome, snapshot = future.result()
+                except Exception:
+                    # This worker died (BrokenProcessPool reports the
+                    # crash on every pending future); keep harvesting -
+                    # completed results may still be retrievable.
+                    continue
+                outcomes[seed] = outcome
+                if snapshot is not None:
+                    snapshots[seed] = snapshot
+    except Exception:
+        # Executor setup/teardown failure: whatever was harvested stands,
+        # the rest re-runs serially in the caller.
+        pass
+    for seed in sorted(snapshots):
+        parent_registry.merge_snapshot(snapshots[seed])
+    return outcomes
+
+
 def run_campaign(
-    config: ScenarioConfig,
-    seeds: Sequence[int],
+    config: Union[ScenarioConfig, CampaignConfig],
+    seeds: Optional[Sequence[int]] = None,
     confidence: float = 0.95,
     failure_budget: float = 0.0,
+    workers: int = 1,
 ) -> CampaignResult:
-    """Run ``config`` once per seed and aggregate every reported metric.
+    """Run a campaign (one scenario x many seeds) and aggregate metrics.
+
+    Accepts either a :class:`CampaignConfig` (the one-object form; leave
+    the other arguments at their defaults) or the classic
+    ``(ScenarioConfig, seeds, ...)`` call.
 
     A per-seed run that raises is recorded as a :class:`RunFailure` and the
     sweep continues; metrics are summarized over the surviving samples.
@@ -135,51 +253,90 @@ def run_campaign(
     chaos campaigns typically pass 0.5).  Exceeding the budget - or losing
     every run - raises :class:`~repro.errors.SimulationError` listing the
     recorded failures.
+
+    ``workers > 1`` executes seeds on a process pool.  Results are
+    aggregated in seed order through the same code path as a serial run,
+    so summaries are byte-identical regardless of worker count; a crashed
+    worker's seeds are re-run in-process automatically.
     """
-    if not seeds:
-        raise ValueError("a campaign needs at least one seed")
-    if not 0.0 <= failure_budget <= 1.0:
-        raise ValueError("failure_budget must be in [0, 1]")
-    plan = config.faults
+    if isinstance(config, CampaignConfig):
+        if seeds is not None:
+            raise TypeError(
+                "pass seeds inside CampaignConfig, not as a second argument"
+            )
+        campaign = config
+    else:
+        campaign = CampaignConfig(
+            scenario=config,
+            seeds=tuple(seeds if seeds is not None else ()),
+            confidence=confidence,
+            failure_budget=failure_budget,
+            workers=workers,
+        )
+    campaign.validate()
+    scenario = campaign.scenario
+    plan = scenario.faults
     plan_text = repr(plan.to_spec()) if plan is not None else None
+
+    outcomes: Dict[int, _Outcome] = {}
+    if campaign.workers > 1 and len(campaign.seeds) > 1:
+        outcomes = _run_seeds_parallel(
+            scenario, campaign.seeds, campaign.workers
+        )
+    for seed in campaign.seeds:
+        if seed in outcomes:
+            continue
+        # Serial path - and the fallback for seeds a worker never
+        # delivered.  Calls the module-global run_scenario so tests can
+        # monkeypatch it.
+        try:
+            run = run_scenario(scenario.with_(seed=seed))
+        except Exception as exc:  # run isolation: record, keep sweeping
+            outcomes[seed] = ("error", type(exc).__name__, str(exc))
+            continue
+        outcomes[seed] = ("ok", run.report(), dict(run.fault_summary))
+
+    # Aggregation walks seeds in order through this one path for serial
+    # and parallel runs alike - determinism by construction.
     reports: List[Dict[str, float]] = []
     failures: List[RunFailure] = []
     fault_counts: Dict[str, int] = {}
-    for seed in seeds:
-        try:
-            run = run_scenario(config.with_(seed=seed))
-        except Exception as exc:  # run isolation: record, keep sweeping
+    for seed in campaign.seeds:
+        status, first, second = outcomes[seed]
+        if status == "ok":
+            reports.append(first)
+            for name, count in second.items():
+                fault_counts[name] = fault_counts.get(name, 0) + count
+        else:
             failures.append(
                 RunFailure(
                     seed=seed,
-                    error_type=type(exc).__name__,
-                    message=str(exc),
+                    error_type=first,
+                    message=second,
                     fault_plan=plan_text,
                 )
             )
-            continue
-        reports.append(run.report())
-        for name, count in run.fault_summary.items():
-            fault_counts[name] = fault_counts.get(name, 0) + count
     if not reports:
         raise SimulationError(
-            f"all {len(seeds)} campaign runs failed; first: {failures[0]}"
+            f"all {len(campaign.seeds)} campaign runs failed; "
+            f"first: {failures[0]}"
         )
-    if len(failures) > failure_budget * len(seeds):
+    if len(failures) > campaign.failure_budget * len(campaign.seeds):
         detail = "; ".join(str(failure) for failure in failures)
         raise SimulationError(
-            f"campaign failure budget exceeded: {len(failures)}/{len(seeds)} "
-            f"runs failed (budget {failure_budget:.2f}): {detail}"
+            f"campaign failure budget exceeded: "
+            f"{len(failures)}/{len(campaign.seeds)} "
+            f"runs failed (budget {campaign.failure_budget:.2f}): {detail}"
         )
     result = CampaignResult(
-        config=config,
-        seeds=list(seeds),
+        config=scenario,
+        seeds=list(campaign.seeds),
         failures=failures,
         fault_counts=fault_counts,
     )
     for key in reports[0]:
         result.metrics[key] = summarize(
-            [report[key] for report in reports], confidence
+            [report[key] for report in reports], campaign.confidence
         )
     return result
 
@@ -189,11 +346,12 @@ def compare_protocols(
     seeds: Sequence[int],
     protocols: Sequence[str] = ("aodv", "mccls"),
     metric: str = "packet_delivery_ratio",
+    workers: int = 1,
 ) -> Dict[str, MetricSummary]:
     """Same-seeds comparison of protocols on one metric (paired design)."""
     return {
-        protocol: run_campaign(base.with_(protocol=protocol), seeds).metrics[
-            metric
-        ]
+        protocol: run_campaign(
+            base.with_(protocol=protocol), seeds, workers=workers
+        ).metrics[metric]
         for protocol in protocols
     }

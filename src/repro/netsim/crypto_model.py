@@ -109,15 +109,18 @@ class CryptoTimingModel:
 
     def __init__(
         self,
-        scheme: str = "none",
+        scheme="none",
         costs: OperationCosts = OperationCosts(),
         speedup: float = 1.0,
     ):
-        if scheme not in SCHEME_MIXES:
+        # Accept either a registry name or any SchemeProtocol object (the
+        # unified surface guarantees a ``name``); no type special-casing.
+        name = scheme if isinstance(scheme, str) else getattr(scheme, "name", None)
+        if name not in SCHEME_MIXES:
             raise KeyError(
-                f"unknown scheme {scheme!r}; choose from {sorted(SCHEME_MIXES)}"
+                f"unknown scheme {name!r}; choose from {sorted(SCHEME_MIXES)}"
             )
-        self.scheme = scheme
+        self.scheme = name
         self.costs = costs.scaled(speedup)
 
     @property

@@ -120,7 +120,9 @@ class PKIAODVNode(AODVNode):
             except Exception:
                 return False
             return material.ecdsa.verify(
-                repr(fields).encode(), auth.signature, certified.keys.public_key
+                repr(fields).encode(),
+                auth.signature,
+                public_key=certified.keys.public_key,
             )
         return True
 

@@ -45,10 +45,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.mccls import McCLS
 from repro.netsim.packets import AuthTag, Frame, RouteReply, RouteRequest
 from repro.netsim.routing.aodv import MY_ROUTE_TIMEOUT, AODVNode
-from repro.schemes.base import UserKeyPair
+from repro.schemes.base import SchemeProtocol, UserKeyPair
 
 #: seconds the destination waits after the first authenticated RREQ copy
 #: before answering, so late (honest) copies become reply-target candidates
@@ -64,10 +63,15 @@ def identity_of(node_id: int) -> str:
 
 @dataclass
 class CryptoMaterial:
-    """Key material + shared scheme handle given to every legitimate node."""
+    """Key material + shared scheme handle given to every legitimate node.
+
+    The scheme slot accepts any :class:`~repro.schemes.base.SchemeProtocol`
+    object — the node only ever calls the unified sign/verify surface, so
+    no concrete scheme type is special-cased here.
+    """
 
     signature_bytes: int
-    scheme: Optional[McCLS] = None  # None in modelled mode
+    scheme: Optional[SchemeProtocol] = None  # None in modelled mode
     keys: Optional[UserKeyPair] = None
     resolve_public_key: Optional[Callable[[str], object]] = None
 

@@ -17,7 +17,6 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
-from repro.core.mccls import McCLS
 from repro.core.serialization import mccls_signature_size
 from repro.errors import SimulationError
 from repro.netsim.attacks import ATTACK_ROLES
@@ -39,6 +38,7 @@ from repro.obs.events import EventSink
 from repro.obs.registry import get_registry
 from repro.pairing.bn import bn254, toy_curve
 from repro.pairing.groups import PairingContext
+from repro.schemes.registry import create_scheme
 
 PROTOCOLS = ("aodv", "mccls", "pki")
 ATTACKS = (
@@ -52,9 +52,15 @@ ATTACKS = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ScenarioConfig:
-    """Everything that defines one simulation run."""
+    """Everything that defines one simulation run.
+
+    Construction is keyword-only (every field has a validated default);
+    consistency checks live in :meth:`validate`, which run entry points
+    call before building a simulator, so partially-formed configs can
+    still be constructed and inspected in tests and sweeps.
+    """
 
     # topology / mobility (paper defaults)
     n_nodes: int = 20
@@ -152,7 +158,7 @@ def _build_crypto_material(config: ScenarioConfig, n_honest_ids: List[int]):
     if config.real_crypto:
         curve = toy_curve(64)
         ctx = PairingContext(curve, random.Random(config.seed ^ 0xC0DE))
-        scheme = McCLS(ctx, precompute_s=True)
+        scheme = create_scheme("mccls", ctx, precompute_s=True)
         directory = {}
         materials = {}
         signature_bytes = mccls_signature_size(bn254())  # honest wire size

@@ -45,6 +45,18 @@ def _render_key(key: LabelKey) -> str:
     return f"{name}{{{inner}}}"
 
 
+def _parse_rendered_key(rendered: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`_render_key`: ``name{k=v,...}`` -> (name, labels)."""
+    name, brace, rest = rendered.partition("{")
+    if not brace:
+        return rendered, {}
+    labels: Dict[str, str] = {}
+    for pair in rest.rstrip("}").split(","):
+        key, _, value = pair.partition("=")
+        labels[key] = value
+    return name, labels
+
+
 class Counter:
     """A monotonically increasing integer."""
 
@@ -241,6 +253,46 @@ class Registry:
             "ops": self.field_ops.snapshot(),
         }
 
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by parallel campaign runs: each worker process collects into
+        its own registry and ships the snapshot back; the parent merges
+        them in a deterministic (seed) order.  Counters add, timers add
+        count/total, histograms add count/sum and widen min/max; the
+        sample reservoir cannot be reconstructed from a summary, so
+        merged-in observations do not contribute to percentiles.
+        """
+        for rendered, value in snapshot.get("counters", {}).items():
+            name, labels = _parse_rendered_key(rendered)
+            self.counter(name, **labels).inc(int(value))
+        for rendered, data in snapshot.get("timers", {}).items():
+            name, labels = _parse_rendered_key(rendered)
+            timer = self.timer(name, **labels)
+            timer.count += int(data.get("count", 0))
+            timer.total_s += float(data.get("total_s", 0.0))
+        for rendered, data in snapshot.get("histograms", {}).items():
+            count = int(data.get("count", 0))
+            if not count:
+                continue
+            name, labels = _parse_rendered_key(rendered)
+            histogram = self.histogram(name, **labels)
+            histogram.count += count
+            histogram.total += float(data.get("sum", 0.0))
+            low = float(data.get("min", 0.0))
+            high = float(data.get("max", 0.0))
+            if histogram.min is None or low < histogram.min:
+                histogram.min = low
+            if histogram.max is None or high > histogram.max:
+                histogram.max = high
+        for op_name, count in snapshot.get("ops", {}).items():
+            if op_name in _rt.OP_NAMES and count:
+                setattr(
+                    self.field_ops,
+                    op_name,
+                    getattr(self.field_ops, op_name) + int(count),
+                )
+
 
 class _Phase:
     """Implementation of :meth:`Registry.phase`."""
@@ -347,6 +399,9 @@ class NullRegistry(Registry):
             "histograms": {},
             "ops": self.field_ops.snapshot(),
         }
+
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Discard the snapshot (instrumentation is off)."""
 
 
 #: the process-wide disabled registry (the default active registry)

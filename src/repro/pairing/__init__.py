@@ -12,6 +12,7 @@ paper's authors would have used (MIRACL/charm-style).  Public surface:
 """
 
 from repro.pairing.bn import BNCurve, bn254, default_test_curve, toy_curve
+from repro.pairing.curve import PrecomputedPoint, point_key
 from repro.pairing.groups import PairingContext
 from repro.pairing.pairing import PairingEngine, pairing
 
@@ -23,4 +24,6 @@ __all__ = [
     "pairing",
     "PairingEngine",
     "PairingContext",
+    "PrecomputedPoint",
+    "point_key",
 ]

@@ -162,6 +162,8 @@ class CurvePoint:
                 addend = addend._double()
                 scalar >>= 1
             return result
+        if scalar.bit_length() >= 64:
+            return _wnaf_scalar_mult(self, scalar)
         return _jacobian_scalar_mult(self, scalar)
 
     __rmul__ = __mul__
@@ -202,14 +204,19 @@ def _jacobian_scalar_mult(point: CurvePoint, scalar: int) -> CurvePoint:
             result = _jacobian_double(result)
         if (scalar >> bit_index) & 1:
             result = base if result is None else _jacobian_add(result, base)
+    return _jacobian_to_affine(point.curve, result)
+
+
+def _jacobian_to_affine(curve: EllipticCurve, result) -> CurvePoint:
+    """Normalise a Jacobian triple (or None) to an affine :class:`CurvePoint`."""
     if result is None:
-        return point.curve.infinity()
+        return curve.infinity()
     big_x, big_y, big_z = result
     if big_z == big_z * 0:  # Z == 0: the point at infinity
-        return point.curve.infinity()
+        return curve.infinity()
     z_inv = big_z.inverse()
     z_inv2 = z_inv * z_inv
-    return CurvePoint(point.curve, big_x * z_inv2, big_y * z_inv2 * z_inv)
+    return CurvePoint(curve, big_x * z_inv2, big_y * z_inv2 * z_inv)
 
 
 def _field_one(sample):
@@ -268,3 +275,178 @@ def _jacobian_add(p, q):
     y3 = r * (v - x3) - s1 * j * 2
     z3 = z1 * z2 * h * 2
     return (x3, y3, z3)
+
+
+def _wnaf_digits(scalar: int, width: int):
+    """Width-w non-adjacent form of ``scalar`` (little-endian digit list).
+
+    Digits are either zero or odd with |d| < 2^(w-1); any two non-zero
+    digits are at least ``width`` positions apart, so a length-l scalar
+    needs ~l/(w+1) point additions instead of l/2.
+    """
+    digits = []
+    modulus = 1 << width
+    half = modulus >> 1
+    while scalar > 0:
+        if scalar & 1:
+            digit = scalar & (modulus - 1)
+            if digit >= half:
+                digit -= modulus
+            scalar -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        scalar >>= 1
+    return digits
+
+
+def _wnaf_scalar_mult(point: CurvePoint, scalar: int, width: int = 5) -> CurvePoint:
+    """Windowed-NAF scalar multiplication in Jacobian coordinates.
+
+    Precomputes the odd multiples P, 3P, ..., (2^(w-1)-1)P once, then walks
+    the signed-digit recoding of the scalar: same doubling count as the
+    plain ladder but roughly half the additions the binary expansion would
+    pay, with negation nearly free (Y -> -Y).  Semantics match ``__mul__``:
+    the scalar is NOT reduced modulo the curve order.
+    """
+    base = (point.x, point.y, _field_one(point.x))
+    double_base = _jacobian_double(base)
+    # odds[i] holds (2i+1) * P; None encodes infinity, which small-order
+    # points (cofactor components on toy curves) can genuinely reach.
+    odds = [base]
+    for _ in range((1 << (width - 2)) - 1):
+        previous = odds[-1]
+        if previous is None:
+            odds.append(double_base)
+        elif double_base is None:
+            odds.append(previous)
+        else:
+            odds.append(_jacobian_add(previous, double_base))
+    result = None  # Jacobian infinity
+    for digit in reversed(_wnaf_digits(scalar, width)):
+        result = _jacobian_double(result)
+        if digit:
+            entry = odds[(abs(digit) - 1) // 2]
+            if entry is None:
+                continue
+            if digit < 0:
+                entry = (entry[0], -entry[1], entry[2])
+            result = entry if result is None else _jacobian_add(result, entry)
+    return _jacobian_to_affine(point.curve, result)
+
+
+class PrecomputedPoint:
+    """Fixed-base comb tables for a point multiplied many times.
+
+    The comb splits a ``bits``-wide scalar into ``width`` rows of
+    ``d = ceil(bits / width)`` columns; the table holds every row-subset sum
+    of the basis points 2^(i*d) * P, so one multiplication costs d-1
+    Jacobian doublings plus at most d mixed additions — versus ~bits
+    doublings for the generic ladder.  Built once per (context, point);
+    worth it only for bases reused across many signatures (P, P_pub, Q_ID).
+
+    The handle is transparent: ``mul`` returns ordinary affine
+    :class:`CurvePoint` values identical to ``point * scalar``, and falls
+    back to the generic path for scalars it does not cover (negative, zero,
+    or wider than ``bits``), preserving the unreduced-scalar semantics that
+    order/membership checks rely on.
+    """
+
+    __slots__ = ("point", "width", "bits", "columns", "uses", "_table")
+
+    def __init__(self, point: CurvePoint, width: int = 4, bits: Optional[int] = None):
+        if point.is_infinity():
+            raise CurveError("cannot precompute the point at infinity")
+        if width < 2 or width > 8:
+            raise CurveError(f"comb width {width} out of range [2, 8]")
+        self.point = point
+        self.width = width
+        if bits is None:
+            order = point.curve.order
+            bits = order.bit_length() if order else 257
+        self.bits = bits
+        self.columns = -(-bits // width)  # ceil
+        self.uses = 0
+        self._table = None
+
+    @property
+    def built(self) -> bool:
+        """Whether the comb table has been materialised yet."""
+        return self._table is not None
+
+    def covers(self, scalar) -> bool:
+        """True iff ``scalar`` can take the comb fast path."""
+        return (
+            isinstance(scalar, int)
+            and scalar > 0
+            and scalar.bit_length() <= self.bits
+        )
+
+    def build(self) -> None:
+        """Materialise the basis and subset-sum tables (idempotent)."""
+        if self._table is not None:
+            return
+        basis = [self.point]
+        for _ in range(self.width - 1):
+            basis.append(basis[-1] * (1 << self.columns))
+        table = [None] * (1 << self.width)
+        for index in range(1, 1 << self.width):
+            low_bit = index & -index
+            rest = index ^ low_bit
+            entry = basis[low_bit.bit_length() - 1]
+            if rest:
+                entry = table[rest] + entry
+            table[index] = entry
+        self._table = table
+
+    def mul(self, scalar: int) -> CurvePoint:
+        """``point * scalar`` through the comb (generic fallback if needed)."""
+        if not self.covers(scalar):
+            return self.point * scalar
+        self.build()
+        tally = _rt.tally
+        if tally is not None:
+            tally.point_mul += 1
+        one = None
+        table = self._table
+        d = self.columns
+        width = self.width
+        result = None  # Jacobian infinity
+        for col in range(d - 1, -1, -1):
+            result = _jacobian_double(result)
+            index = 0
+            for row in range(width):
+                if (scalar >> (row * d + col)) & 1:
+                    index |= 1 << row
+            if index:
+                entry = table[index]
+                if entry.infinity:
+                    continue
+                if one is None:
+                    one = _field_one(entry.x)
+                mixed = (entry.x, entry.y, one)
+                result = mixed if result is None else _jacobian_add(result, mixed)
+        return _jacobian_to_affine(self.point.curve, result)
+
+
+def point_key(point: CurvePoint):
+    """A representation-independent hashable key for a curve point.
+
+    Extracts the raw affine coordinate integers (Fp value, Fp2 coefficient
+    pair, or Fp12 coefficient tuple), so two :class:`CurvePoint` objects
+    describing the same group element — however they were produced — map to
+    the same key.  Used by the pairing cache and the fixed-base registry.
+    """
+    if point.infinity:
+        return ("inf",)
+    return (_coord_key(point.x), _coord_key(point.y))
+
+
+def _coord_key(value):
+    inner = getattr(value, "value", None)
+    if inner is not None:
+        return inner
+    coeffs = getattr(value, "coeffs", None)
+    if coeffs is not None:
+        return tuple(coeffs)
+    return (value.c0, value.c1)

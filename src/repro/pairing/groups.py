@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
 from repro.pairing.bn import BNCurve, default_test_curve
-from repro.pairing.curve import CurvePoint
+from repro.pairing.curve import CurvePoint, PrecomputedPoint, point_key
 from repro.pairing.fields import Fp12
 from repro.pairing.hashing import (
     Encodable,
@@ -24,6 +24,8 @@ from repro.pairing.hashing import (
 )
 from repro.pairing.numbers import inverse_mod
 from repro.pairing.pairing import pairing
+
+from repro.obs.registry import get_registry
 
 
 @dataclass
@@ -63,15 +65,24 @@ class OpCount:
 class PairingContext:
     """Bundle of curve + RNG + counters used by all signature schemes."""
 
+    #: A registered fixed base takes the comb fast path from its Nth
+    #: multiplication on; the first N-1 stay on the generic ladder so that
+    #: one-shot points (e.g. Q_ID during a single key extraction) never pay
+    #: for a table they will not amortise.
+    PRECOMP_BUILD_THRESHOLD = 2
+
     def __init__(
         self,
         curve: Optional[BNCurve] = None,
         rng: Optional[random.Random] = None,
+        precompute: bool = True,
     ):
         self.curve = curve if curve is not None else default_test_curve()
         self.rng = rng if rng is not None else random.Random()
         self.ops = OpCount()
-        self._pairing_cache: Dict[Tuple[CurvePoint, CurvePoint], Fp12] = {}
+        self.precompute_enabled = precompute
+        self._pairing_cache: Dict[tuple, Fp12] = {}
+        self._fixed_bases: Dict[tuple, PrecomputedPoint] = {}
 
     # -- basic accessors -------------------------------------------------------
     @property
@@ -94,18 +105,57 @@ class PairingContext:
         """k^-1 modulo the group order."""
         return inverse_mod(k, self.curve.n)
 
+    # -- fixed-base precomputation ---------------------------------------------
+    def fixed_base(self, point: CurvePoint) -> CurvePoint:
+        """Register ``point`` as a fixed base for comb precomputation.
+
+        Returns the point unchanged, so call sites keep ordinary
+        :class:`CurvePoint` values; subsequent :meth:`g1_mul`/:meth:`g2_mul`
+        calls on the same group element (matched by affine coordinates, not
+        object identity) route through a :class:`PrecomputedPoint` comb
+        table once the point has been multiplied often enough to amortise
+        the build.  No-op when precomputation is disabled for this context.
+        """
+        if not self.precompute_enabled or point.is_infinity():
+            return point
+        key = point_key(point)
+        if key not in self._fixed_bases:
+            self._fixed_bases[key] = PrecomputedPoint(
+                point, bits=self.curve.n.bit_length()
+            )
+        return point
+
+    def precomputed(self, point: CurvePoint) -> Optional[PrecomputedPoint]:
+        """The comb handle registered for ``point``, if any."""
+        return self._fixed_bases.get(point_key(point))
+
+    def _mul(self, point: CurvePoint, scalar: int) -> CurvePoint:
+        """Scalar multiplication, taking the comb fast path when available."""
+        if self._fixed_bases:
+            handle = self._fixed_bases.get(point_key(point))
+            if handle is not None and handle.covers(scalar):
+                handle.uses += 1
+                if handle.built or handle.uses >= self.PRECOMP_BUILD_THRESHOLD:
+                    registry = get_registry()
+                    if not handle.built:
+                        registry.counter("precomp.table_builds").inc()
+                        handle.build()
+                    registry.counter("precomp.fast_mults").inc()
+                    return handle.mul(scalar)
+        return point * scalar
+
     # -- counted operations ----------------------------------------------------
     def g1_mul(self, point: CurvePoint, scalar: int) -> CurvePoint:
         """Counted G1 scalar multiplication."""
         self.ops.scalar_mults += 1
         self.ops.g1_mults += 1
-        return point * scalar
+        return self._mul(point, scalar)
 
     def g2_mul(self, point: CurvePoint, scalar: int) -> CurvePoint:
         """Counted G2 scalar multiplication."""
         self.ops.scalar_mults += 1
         self.ops.g2_mults += 1
-        return point * scalar
+        return self._mul(point, scalar)
 
     def pair(self, p_point: CurvePoint, q_point: CurvePoint) -> Fp12:
         """Counted pairing e(P, Q)."""
@@ -119,8 +169,14 @@ class PairingContext:
         needs the constant pairing e(P_pub, Q_ID), which a verifier computes
         once per identity.  Cache hits are counted separately so benchmarks
         can report both cold and warm verification costs.
+
+        Keys are the *normalized* affine coordinates (via
+        :func:`~repro.pairing.curve.point_key`), so two point objects
+        describing the same group element — e.g. one straight from a hash
+        and one normalised out of Jacobian coordinates — share one cache
+        entry instead of silently re-running the Miller loop.
         """
-        key = (p_point, q_point)
+        key = (point_key(p_point), point_key(q_point))
         cached = self._pairing_cache.get(key)
         if cached is not None:
             self.ops.cached_pairing_hits += 1

@@ -121,7 +121,9 @@ class CertificateAuthority:
             raise CertificateError(f"certificate {cert.serial} is revoked")
         if not cert.not_before <= now <= cert.not_after:
             raise CertificateError("certificate outside its validity window")
-        if not self.ecdsa.verify(cert.tbs_bytes(), cert.signature, self.keys.public_key):
+        if not self.ecdsa.verify(
+            cert.tbs_bytes(), cert.signature, public_key=self.keys.public_key
+        ):
             raise CertificateError("certificate signature does not verify")
 
 

@@ -11,19 +11,27 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
+from repro.compat import warn_deprecated
 from repro.errors import SignatureError
 from repro.pairing.bn import BNCurve, default_test_curve
 from repro.pairing.curve import CurvePoint
+from repro.pairing.groups import PairingContext
 from repro.pairing.numbers import inverse_mod
-from repro.schemes.base import Message, normalize_message
+from repro.schemes.base import (
+    Identity,
+    Message,
+    normalize_identity,
+    normalize_message,
+)
 
 
 @dataclass(frozen=True)
 class ECDSAKeyPair:
     secret: int
     public_key: CurvePoint
+    identity: str = ""
 
 
 @dataclass(frozen=True)
@@ -33,13 +41,32 @@ class ECDSASignature:
 
 
 class ECDSA:
-    """Textbook ECDSA with deterministic-width SHA-256 message digests."""
+    """Textbook ECDSA with deterministic-width SHA-256 message digests.
+
+    Conforms to :class:`repro.schemes.base.SchemeProtocol`: construct it
+    from a shared :class:`~repro.pairing.groups.PairingContext` (preferred —
+    base-point multiplications then share the context's fixed-base comb
+    tables and operation counters) or from a bare :class:`BNCurve` as
+    before.  ECDSA has no identity binding; ``verify`` accepts and ignores
+    the identity argument.
+    """
 
     name = "ecdsa"
 
-    def __init__(self, curve: Optional[BNCurve] = None, rng: Optional[random.Random] = None):
-        self.curve = curve if curve is not None else default_test_curve()
-        self.rng = rng if rng is not None else random.Random()
+    def __init__(
+        self,
+        curve: Union[BNCurve, PairingContext, None] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if isinstance(curve, PairingContext):
+            self.ctx = curve
+            self.curve = curve.curve
+            self.rng = rng if rng is not None else curve.rng
+        else:
+            self.curve = curve if curve is not None else default_test_curve()
+            self.rng = rng if rng is not None else random.Random()
+            self.ctx = PairingContext(self.curve, self.rng)
+        self.ctx.fixed_base(self.curve.g1)
 
     def _digest_scalar(self, message: bytes) -> int:
         digest = hashlib.sha256(b"ecdsa:" + message).digest()
@@ -56,7 +83,15 @@ class ECDSA:
         d = secret % n if secret else self.rng.randrange(1, n)
         if d == 0:
             raise SignatureError("ECDSA secret must be non-zero")
-        return ECDSAKeyPair(secret=d, public_key=self.curve.g1 * d)
+        return ECDSAKeyPair(secret=d, public_key=self.ctx.g1_mul(self.curve.g1, d))
+
+    def generate_user_keys(self, identity: Identity) -> ECDSAKeyPair:
+        """Protocol-shaped key generation: a fresh pair tagged with ``identity``."""
+        ident = normalize_identity(identity)
+        pair = self.generate_keys()
+        return ECDSAKeyPair(
+            secret=pair.secret, public_key=pair.public_key, identity=ident
+        )
 
     def sign(self, message: Message, keys: ECDSAKeyPair) -> ECDSASignature:
         """Textbook ECDSA signature over SHA-256 of the message."""
@@ -65,7 +100,7 @@ class ECDSA:
         z = self._digest_scalar(msg)
         while True:
             k = self.rng.randrange(1, n)
-            point = self.curve.g1 * k
+            point = self.ctx.g1_mul(self.curve.g1, k)
             r = point.x.value % n
             if r == 0:
                 continue
@@ -75,9 +110,28 @@ class ECDSA:
             return ECDSASignature(r=r, s=s)
 
     def verify(
-        self, message: Message, signature: ECDSASignature, public_key: CurvePoint
+        self,
+        message: Message,
+        signature: ECDSASignature,
+        identity: Optional[Identity] = None,
+        public_key: Optional[CurvePoint] = None,
+        public_key_extra: Optional[CurvePoint] = None,
     ) -> bool:
-        """Textbook ECDSA verification with full range checks."""
+        """Textbook ECDSA verification with full range checks.
+
+        Unified protocol shape; the identity is accepted for uniformity and
+        ignored.  The pre-unification ``verify(message, signature,
+        public_key)`` call still works through a deprecation shim.
+        """
+        if public_key is None and isinstance(identity, CurvePoint):
+            warn_deprecated(
+                "ECDSA.verify(message, signature, public_key) is deprecated; "
+                "call verify(message, signature, identity, public_key) "
+                "(identity may be None)"
+            )
+            public_key, identity = identity, None
+        if public_key is None:
+            raise SignatureError("ECDSA.verify requires a public key")
         msg = normalize_message(message)
         n = self.curve.n
         if not isinstance(signature, ECDSASignature):
@@ -90,7 +144,7 @@ class ECDSA:
         w = inverse_mod(signature.s, n)
         u1 = (z * w) % n
         u2 = (signature.r * w) % n
-        point = self.curve.g1 * u1 + public_key * u2
+        point = self.ctx.g1_mul(self.curve.g1, u1) + public_key * u2
         if point.is_infinity():
             return False
         return point.x.value % n == signature.r

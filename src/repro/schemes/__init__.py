@@ -15,16 +15,24 @@ from repro.schemes.ap import APScheme, APSignature
 from repro.schemes.base import (
     CertificatelessScheme,
     PartialPrivateKey,
+    SchemeProtocol,
     UserKeyPair,
 )
 from repro.schemes.bls import BLSScheme, BLSSignature
 from repro.schemes.ibs import ChaCheonIBS, IBSSignature, PrivateKeyGenerator
-from repro.schemes.registry import all_scheme_classes, scheme_class, scheme_names
+from repro.schemes.registry import (
+    all_scheme_classes,
+    all_scheme_names,
+    create_scheme,
+    scheme_class,
+    scheme_names,
+)
 from repro.schemes.yhg import YHGScheme, YHGSignature
 from repro.schemes.zwxf import ZWXFScheme, ZWXFSignature
 
 __all__ = [
     "CertificatelessScheme",
+    "SchemeProtocol",
     "PartialPrivateKey",
     "UserKeyPair",
     "APScheme",
@@ -39,6 +47,8 @@ __all__ = [
     "BLSScheme",
     "BLSSignature",
     "all_scheme_classes",
+    "all_scheme_names",
+    "create_scheme",
     "scheme_class",
     "scheme_names",
 ]

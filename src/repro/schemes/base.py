@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Optional, Protocol, Tuple, Union, runtime_checkable
 
 from repro.errors import KeyError_
 from repro.obs.registry import get_registry
@@ -28,6 +28,44 @@ from repro.pairing.groups import OpCount, PairingContext
 
 Message = Union[bytes, str]
 Identity = Union[bytes, str]
+
+
+@runtime_checkable
+class SchemeProtocol(Protocol):
+    """The unified signature-scheme surface.
+
+    Everything the simulator, the benchmarks, and the registry touch speaks
+    this protocol — the certificateless schemes, the hardened variant, the
+    batch-verifier wrapper, and the IBS/BLS/ECDSA baselines alike:
+
+    * ``name`` — short registry name (drives the crypto timing model).
+    * ``generate_user_keys(identity)`` — all per-user key material, as an
+      object with at least ``identity`` and ``public_key`` attributes.
+    * ``sign(message, keys)`` — signature over the message.
+    * ``verify(message, signature, identity, public_key, ...)`` — boolean
+      check from public information only.  Schemes that do not bind
+      identities (BLS, ECDSA) accept and ignore the identity argument;
+      schemes without standalone public keys (IBS) accept ``public_key=None``.
+    """
+
+    name: str
+
+    def generate_user_keys(self, identity: Identity):
+        """All per-user key material (has identity + public_key attrs)."""
+
+    def sign(self, message: Message, keys):
+        """A signature over ``message`` under ``keys``."""
+
+    def verify(
+        self,
+        message: Message,
+        signature,
+        identity: Identity,
+        public_key=None,
+        public_key_extra=None,
+    ) -> bool:
+        """Check a signature from public information only."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -110,6 +148,12 @@ class CertificatelessScheme(abc.ABC):
         # P_pub on both sides of the pairing: schemes pick what they need.
         self.p_pub_g1 = curve.g1 * self.master_secret
         self.p_pub_g2 = curve.g2 * self.master_secret
+        # The generators and P_pub are multiplied on every sign/verify, so
+        # they are the canonical fixed bases for comb precomputation.
+        ctx.fixed_base(curve.g1)
+        ctx.fixed_base(curve.g2)
+        ctx.fixed_base(self.p_pub_g1)
+        ctx.fixed_base(self.p_pub_g2)
 
     # -- stage 2: KGC ---------------------------------------------------------
     def _h1_domain(self) -> bytes:
@@ -118,7 +162,7 @@ class CertificatelessScheme(abc.ABC):
     def extract_partial_key(self, identity: Identity) -> PartialPrivateKey:
         """D_ID = s * H1(ID).  Run by the KGC over a secure channel."""
         ident = normalize_identity(identity)
-        q_id = self.ctx.hash_g2(self._h1_domain(), ident)
+        q_id = self.ctx.fixed_base(self.ctx.hash_g2(self._h1_domain(), ident))
         d_id = self.ctx.g2_mul(q_id, self.master_secret)
         return PartialPrivateKey(identity=ident, q_id=q_id, d_id=d_id)
 
@@ -146,7 +190,9 @@ class CertificatelessScheme(abc.ABC):
     # -- shared helpers --------------------------------------------------------
     def q_of(self, identity: Identity) -> CurvePoint:
         """Public recomputation of Q_ID = H1(ID) (not counted as secret)."""
-        return self.ctx.hash_g2(self._h1_domain(), normalize_identity(identity))
+        return self.ctx.fixed_base(
+            self.ctx.hash_g2(self._h1_domain(), normalize_identity(identity))
+        )
 
     def measure_sign(self, message: Message, keys: UserKeyPair):
         """Return (signature, OpCount) for one signing operation.

@@ -15,16 +15,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.compat import warn_deprecated
 from repro.errors import SignatureError
 from repro.pairing.curve import CurvePoint
 from repro.pairing.groups import PairingContext
-from repro.schemes.base import Message, normalize_message
+from repro.schemes.base import (
+    Identity,
+    Message,
+    normalize_identity,
+    normalize_message,
+)
 
 
 @dataclass(frozen=True)
 class BLSKeyPair:
     secret: int
     public_key: CurvePoint  # in G2
+    identity: str = ""
 
 
 @dataclass(frozen=True)
@@ -33,12 +40,17 @@ class BLSSignature:
 
 
 class BLSScheme:
-    """Plain BLS over the shared pairing context."""
+    """Plain BLS over the shared pairing context.
+
+    Conforms to :class:`repro.schemes.base.SchemeProtocol`; BLS has no
+    identity binding, so ``verify`` accepts and ignores the identity slot.
+    """
 
     name = "bls"
 
     def __init__(self, ctx: PairingContext):
         self.ctx = ctx
+        ctx.fixed_base(ctx.g2)
 
     def generate_keys(self, secret: Optional[int] = None) -> BLSKeyPair:
         """Fresh (or deterministic, given ``secret``) BLS key pair."""
@@ -47,6 +59,14 @@ class BLSScheme:
             raise SignatureError("BLS secret must be non-zero")
         return BLSKeyPair(secret=z, public_key=self.ctx.g2_mul(self.ctx.g2, z))
 
+    def generate_user_keys(self, identity: Identity) -> BLSKeyPair:
+        """Protocol-shaped key generation: a fresh pair tagged with ``identity``."""
+        ident = normalize_identity(identity)
+        pair = self.generate_keys()
+        return BLSKeyPair(
+            secret=pair.secret, public_key=pair.public_key, identity=ident
+        )
+
     def sign(self, message: Message, keys: BLSKeyPair) -> BLSSignature:
         """sigma = z * H(M): one hash-to-G1 and one multiplication."""
         msg = normalize_message(message)
@@ -54,9 +74,28 @@ class BLSScheme:
         return BLSSignature(sigma=self.ctx.g1_mul(h, keys.secret))
 
     def verify(
-        self, message: Message, signature: BLSSignature, public_key: CurvePoint
+        self,
+        message: Message,
+        signature: BLSSignature,
+        identity: Optional[Identity] = None,
+        public_key: Optional[CurvePoint] = None,
+        public_key_extra: Optional[CurvePoint] = None,
     ) -> bool:
-        """Check e(sigma, P2) == e(H(M), PK)."""
+        """Check e(sigma, P2) == e(H(M), PK).
+
+        Unified protocol shape; the identity is accepted for uniformity and
+        ignored.  The pre-unification ``verify(message, signature,
+        public_key)`` call still works through a deprecation shim.
+        """
+        if public_key is None and isinstance(identity, CurvePoint):
+            warn_deprecated(
+                "BLSScheme.verify(message, signature, public_key) is "
+                "deprecated; call verify(message, signature, identity, "
+                "public_key) (identity may be None)"
+            )
+            public_key, identity = identity, None
+        if public_key is None:
+            raise SignatureError("BLS.verify requires a public key")
         msg = normalize_message(message)
         if not isinstance(signature, BLSSignature):
             raise SignatureError("expected a BLSSignature")

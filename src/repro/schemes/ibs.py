@@ -46,6 +46,9 @@ class IBSPrivateKey:
     identity: str
     q_id: CurvePoint  # H1(ID) in G2
     d_id: CurvePoint  # s * Q_ID in G2
+    # Identity-based schemes have no standalone user public key (the
+    # identity IS the key); kept None for SchemeProtocol uniformity.
+    public_key: Optional[CurvePoint] = None
 
 
 @dataclass(frozen=True)
@@ -57,7 +60,12 @@ class IBSSignature:
 
 
 class ChaCheonIBS:
-    """The identity-based signature McCLS descends from."""
+    """The identity-based signature McCLS descends from.
+
+    Conforms to :class:`repro.schemes.base.SchemeProtocol`;
+    ``generate_user_keys`` is the PKG's ``extract`` (there is no user
+    secret beyond the escrowed D_ID), and ``verify`` needs no public key.
+    """
 
     name = "ibs"
 
@@ -66,11 +74,14 @@ class ChaCheonIBS:
         self.master_secret = (
             master_secret % ctx.order if master_secret else ctx.random_scalar()
         )
-        self.p_pub_g1 = ctx.g1 * self.master_secret
+        self.p_pub_g1 = ctx.fixed_base(ctx.g1 * self.master_secret)
+        ctx.fixed_base(ctx.g1)
 
     def q_of(self, identity: Identity) -> CurvePoint:
         """Q_ID = H1(ID) in G2."""
-        return self.ctx.hash_g2(b"H1/ibs", normalize_identity(identity))
+        return self.ctx.fixed_base(
+            self.ctx.hash_g2(b"H1/ibs", normalize_identity(identity))
+        )
 
     def extract(self, identity: Identity) -> IBSPrivateKey:
         """Issue the identity's private key D_ID = s * Q_ID (escrowed!)."""
@@ -82,6 +93,10 @@ class ChaCheonIBS:
             d_id=self.ctx.g2_mul(q_id, self.master_secret),
         )
 
+    def generate_user_keys(self, identity: Identity) -> IBSPrivateKey:
+        """Protocol-shaped key generation (delegates to :meth:`extract`)."""
+        return self.extract(identity)
+
     def sign(self, message: Message, key: IBSPrivateKey) -> IBSSignature:
         """Cha-Cheon signing: (U, V) = (r*Q_ID, (r+h)*D_ID)."""
         msg = normalize_message(message)
@@ -92,9 +107,18 @@ class ChaCheonIBS:
         return IBSSignature(u=u, v=v)
 
     def verify(
-        self, message: Message, signature: IBSSignature, identity: Identity
+        self,
+        message: Message,
+        signature: IBSSignature,
+        identity: Identity,
+        public_key: Optional[CurvePoint] = None,
+        public_key_extra: Optional[CurvePoint] = None,
     ) -> bool:
-        """Check e(P, V) == e(P_pub, U + h*Q_ID)."""
+        """Check e(P, V) == e(P_pub, U + h*Q_ID).
+
+        Identity-based: the ``public_key`` slots exist only for
+        SchemeProtocol uniformity and are ignored.
+        """
         msg = normalize_message(message)
         if not isinstance(signature, IBSSignature):
             raise SignatureError("expected an IBSSignature")

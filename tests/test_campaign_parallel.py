@@ -1,0 +1,165 @@
+"""Parallel campaign execution: determinism, fallback, snapshot merging.
+
+The contract is strict: ``workers=N`` must produce byte-identical
+summaries to the serial path (runs are independently seeded, aggregation
+walks seeds in order), and a broken worker pool degrades to in-process
+execution instead of losing samples.
+"""
+
+import pytest
+
+from repro import obs
+from repro.netsim import campaign as campaign_mod
+from repro.netsim.campaign import CampaignConfig, run_campaign
+from repro.netsim.scenario import ScenarioConfig
+
+FAST = dict(sim_time_s=15.0, n_flows=3, n_nodes=14)
+
+
+def result_bytes(result):
+    """Everything user-visible about a campaign result, as one string."""
+    metrics = {
+        key: (s.mean, s.std, s.ci_low, s.ci_high, s.samples)
+        for key, s in sorted(result.metrics.items())
+    }
+    return "\n".join(
+        [result.summary_line(), result.table_text(), repr(metrics)]
+    )
+
+
+class TestDeterminism:
+    def test_workers_do_not_change_the_result(self):
+        config = ScenarioConfig(**FAST)
+        serial = run_campaign(config, seeds=[1, 2, 3, 4])
+        parallel = run_campaign(config, seeds=[1, 2, 3, 4], workers=4)
+        assert result_bytes(serial) == result_bytes(parallel)
+        assert serial.metrics == parallel.metrics
+        assert serial.fault_counts == parallel.fault_counts
+
+    def test_campaign_config_form(self):
+        scenario = ScenarioConfig(**FAST)
+        via_config = run_campaign(
+            CampaignConfig(scenario=scenario, seeds=(1, 2), workers=2)
+        )
+        classic = run_campaign(scenario, seeds=[1, 2])
+        assert result_bytes(via_config) == result_bytes(classic)
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_campaign(ScenarioConfig(**FAST), seeds=[1], workers=0)
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            run_campaign(ScenarioConfig(**FAST), seeds=[1, 1])
+
+    def test_confidence_bounds(self):
+        with pytest.raises(ValueError, match="confidence"):
+            CampaignConfig(
+                scenario=ScenarioConfig(**FAST), seeds=(1,), confidence=1.0
+            ).validate()
+
+    def test_config_plus_seeds_rejected(self):
+        config = CampaignConfig(scenario=ScenarioConfig(**FAST), seeds=(1,))
+        with pytest.raises(TypeError):
+            run_campaign(config, seeds=[1])
+
+
+class _DyingFuture:
+    def result(self):
+        raise RuntimeError("worker process died")
+
+
+class _FlakyPool:
+    """An executor whose every future reports a dead worker."""
+
+    def __init__(self, max_workers):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, *args):
+        return _DyingFuture()
+
+
+class _UnbuildablePool:
+    """An executor that cannot even start (e.g. fork failure)."""
+
+    def __init__(self, max_workers):
+        raise OSError("cannot fork")
+
+
+class TestGracefulDegradation:
+    @pytest.mark.parametrize("pool", [_FlakyPool, _UnbuildablePool])
+    def test_broken_pool_falls_back_to_serial(self, monkeypatch, pool):
+        serial = run_campaign(ScenarioConfig(**FAST), seeds=[1, 2])
+        monkeypatch.setattr(campaign_mod, "ProcessPoolExecutor", pool)
+        degraded = run_campaign(ScenarioConfig(**FAST), seeds=[1, 2], workers=2)
+        assert result_bytes(degraded) == result_bytes(serial)
+        assert degraded.completed_seeds == [1, 2]
+
+    def test_fallback_respects_monkeypatched_run_scenario(self, monkeypatch):
+        calls = []
+        real = campaign_mod.run_scenario
+
+        def spy(config):
+            calls.append(config.seed)
+            return real(config)
+
+        monkeypatch.setattr(campaign_mod, "run_scenario", spy)
+        monkeypatch.setattr(campaign_mod, "ProcessPoolExecutor", _FlakyPool)
+        run_campaign(ScenarioConfig(**FAST), seeds=[3, 4], workers=2)
+        assert calls == [3, 4]
+
+
+class TestSnapshotMerge:
+    def test_merge_counters_timers_histograms_ops(self):
+        with obs.collecting() as source:
+            source.counter("hits", phase="sign").inc(3)
+            source.counter("plain").inc(2)
+            source.timer("span", phase="sign").observe(1.5)
+            source.histogram("delay").observe(2.0)
+            source.histogram("delay").observe(6.0)
+            source.field_ops.fp_mul += 7
+            snapshot = source.snapshot()
+        with obs.collecting() as target:
+            target.counter("hits", phase="sign").inc(1)
+            target.histogram("delay").observe(10.0)
+            target.merge_snapshot(snapshot)
+            target.merge_snapshot(snapshot)
+        assert target.counter_value("hits", phase="sign") == 7
+        assert target.counter_value("plain") == 4
+        timer = target.timer("span", phase="sign")
+        assert timer.count == 2 and timer.total_s == pytest.approx(3.0)
+        histogram = target.histogram("delay")
+        assert histogram.count == 5
+        assert histogram.min == 2.0 and histogram.max == 10.0
+        assert target.field_ops.fp_mul == 14
+
+    def test_null_registry_discards(self):
+        with obs.collecting() as source:
+            source.counter("x").inc()
+            snapshot = source.snapshot()
+        obs.NULL_REGISTRY.merge_snapshot(snapshot)
+        assert obs.NULL_REGISTRY.counter_value("x") == 0
+
+    def test_parallel_campaign_merges_worker_instrumentation(self):
+        config = ScenarioConfig(protocol="mccls", **FAST)
+        # Warm process-wide caches (curve derivation, hash constants)
+        # outside instrumentation so both blocks see only per-run ops.
+        run_campaign(config, seeds=[1])
+        with obs.collecting() as serial_registry:
+            run_campaign(config, seeds=[1, 2])
+        with obs.collecting() as parallel_registry:
+            run_campaign(config, seeds=[1, 2], workers=2)
+        serial_snap = serial_registry.snapshot()
+        parallel_snap = parallel_registry.snapshot()
+        assert serial_snap["counters"] == parallel_snap["counters"]
+        assert serial_snap["ops"] == parallel_snap["ops"]
+        # The runs model crypto ops, so the merge must carry real content.
+        assert serial_snap["counters"].get("crypto.verify{scheme=mccls}", 0) > 0

@@ -1,12 +1,29 @@
 """The shipped examples must run clean end-to-end (they are documentation)."""
 
+import importlib.util
 import subprocess
 import sys
+import warnings
 from pathlib import Path
 
 import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "path", sorted(EXAMPLES.glob("*.py")), ids=lambda p: p.stem
+)
+def test_examples_import_without_deprecation_warnings(path):
+    """Examples are the migration reference: importing one must not trip
+    any deprecation shim (they all carry ``__main__`` guards)."""
+    spec = importlib.util.spec_from_file_location(
+        f"_example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        spec.loader.exec_module(module)
 
 
 def run_example(name, *args, timeout=300):

@@ -143,16 +143,16 @@ class TestBLS:
         bls = BLSScheme(ctx)
         kp = bls.generate_keys()
         sig = bls.sign(b"m", kp)
-        assert bls.verify(b"m", sig, kp.public_key)
+        assert bls.verify(b"m", sig, None, kp.public_key)
 
     def test_reject(self):
         ctx = PairingContext(CURVE, random.Random(5))
         bls = BLSScheme(ctx)
         kp = bls.generate_keys()
         sig = bls.sign(b"m", kp)
-        assert not bls.verify(b"other", sig, kp.public_key)
+        assert not bls.verify(b"other", sig, None, kp.public_key)
         other = bls.generate_keys()
-        assert not bls.verify(b"m", sig, other.public_key)
+        assert not bls.verify(b"m", sig, None, other.public_key)
 
     def test_deterministic_signature(self):
         ctx = PairingContext(CURVE, random.Random(5))
@@ -171,4 +171,4 @@ class TestBLS:
         bls = BLSScheme(ctx)
         kp = bls.generate_keys()
         with pytest.raises(SignatureError):
-            bls.verify(b"m", 42, kp.public_key)
+            bls.verify(b"m", 42, None, kp.public_key)

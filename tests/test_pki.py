@@ -32,37 +32,37 @@ class TestECDSA:
     def test_sign_verify(self, ecdsa):
         keys = ecdsa.generate_keys()
         sig = ecdsa.sign(b"payload", keys)
-        assert ecdsa.verify(b"payload", sig, keys.public_key)
+        assert ecdsa.verify(b"payload", sig, None, keys.public_key)
 
     def test_reject_wrong_message(self, ecdsa):
         keys = ecdsa.generate_keys()
         sig = ecdsa.sign(b"payload", keys)
-        assert not ecdsa.verify(b"other", sig, keys.public_key)
+        assert not ecdsa.verify(b"other", sig, None, keys.public_key)
 
     def test_reject_wrong_key(self, ecdsa):
         keys = ecdsa.generate_keys()
         other = ecdsa.generate_keys()
         sig = ecdsa.sign(b"payload", keys)
-        assert not ecdsa.verify(b"payload", sig, other.public_key)
+        assert not ecdsa.verify(b"payload", sig, None, other.public_key)
 
     def test_tampered_signature(self, ecdsa):
         keys = ecdsa.generate_keys()
         sig = ecdsa.sign(b"payload", keys)
         bad = dataclasses.replace(sig, s=(sig.s + 1) % CURVE.n)
-        assert not ecdsa.verify(b"payload", bad, keys.public_key)
+        assert not ecdsa.verify(b"payload", bad, None, keys.public_key)
 
     def test_range_checks(self, ecdsa):
         keys = ecdsa.generate_keys()
-        assert not ecdsa.verify(b"m", ECDSASignature(0, 1), keys.public_key)
-        assert not ecdsa.verify(b"m", ECDSASignature(1, 0), keys.public_key)
+        assert not ecdsa.verify(b"m", ECDSASignature(0, 1), None, keys.public_key)
+        assert not ecdsa.verify(b"m", ECDSASignature(1, 0), None, keys.public_key)
         assert not ecdsa.verify(
-            b"m", ECDSASignature(CURVE.n, 1), keys.public_key
+            b"m", ECDSASignature(CURVE.n, 1), None, keys.public_key
         )
 
     def test_infinity_key_rejected(self, ecdsa):
         keys = ecdsa.generate_keys()
         sig = ecdsa.sign(b"m", keys)
-        assert not ecdsa.verify(b"m", sig, CURVE.g1_curve.infinity())
+        assert not ecdsa.verify(b"m", sig, None, CURVE.g1_curve.infinity())
 
     def test_deterministic_keys(self):
         a = ECDSA(CURVE).generate_keys(secret=777)
@@ -72,13 +72,13 @@ class TestECDSA:
     def test_wrong_type_raises(self, ecdsa):
         keys = ecdsa.generate_keys()
         with pytest.raises(SignatureError):
-            ecdsa.verify(b"m", "sig", keys.public_key)
+            ecdsa.verify(b"m", "sig", None, keys.public_key)
 
     def test_many_messages(self, ecdsa):
         keys = ecdsa.generate_keys()
         for i in range(10):
             msg = f"packet {i}".encode()
-            assert ecdsa.verify(msg, ecdsa.sign(msg, keys), keys.public_key)
+            assert ecdsa.verify(msg, ecdsa.sign(msg, keys), None, keys.public_key)
 
     def test_signature_serialization(self, ecdsa):
         keys = ecdsa.generate_keys()
