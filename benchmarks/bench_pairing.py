@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Pairing-core micro-benchmark: optimised pipeline vs the affine reference.
+
+Run:  PYTHONPATH=src python benchmarks/bench_pairing.py [--curves toy48,bn254]
+
+For each curve this measures, via the :mod:`repro.obs` field-op tally,
+
+* a single ``pairing()`` through the optimised path (sparse projective
+  Miller loop + cyclotomic final exponentiation) against the retained
+  naive reference (:mod:`repro.pairing.naive`), in base-field
+  multiplications and wall-clock seconds;
+* a COLD McCLS verify routed through the shared-final-exponentiation
+  co-DH check (asserting it executes exactly ONE final exponentiation);
+* a warm ZWXF verify, whose three live pairings share one final
+  exponentiation through ``multi_pair``.
+
+Results land in ``benchmarks/results/BENCH_pairing.json``.  The script
+exits non-zero unless the optimised single pairing costs at most half the
+naive reference's base-field multiplications on every measured curve —
+the PR's headline >=2x op-count reduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(SRC))
+
+from repro import obs
+from repro.core.mccls import McCLS
+from repro.pairing.bn import bn254, toy_curve
+from repro.pairing.groups import PairingContext
+from repro.pairing.naive import pairing_naive
+from repro.pairing.pairing import pairing
+from repro.schemes.zwxf import ZWXFScheme
+
+RESULTS = Path(__file__).parent / "results" / "BENCH_pairing.json"
+
+CURVES = {
+    "toy48": lambda: toy_curve(48),
+    "toy64": lambda: toy_curve(64),
+    "bn254": bn254,
+}
+
+
+def _measure(fn):
+    """Run ``fn`` once under a fresh registry -> (field_ops, seconds, out)."""
+    with obs.collecting() as registry:
+        start = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - start
+    return registry.field_ops, elapsed, out
+
+
+def bench_curve(name: str, factory) -> dict:
+    """All pairing-core measurements for one curve."""
+    curve = factory()
+    report: dict = {"curve": name, "bits": curve.p.bit_length()}
+
+    fast_ops, fast_time, fast_val = _measure(
+        lambda: pairing(curve, curve.g1, curve.g2)
+    )
+    naive_ops, naive_time, naive_val = _measure(
+        lambda: pairing_naive(curve, curve.g1, curve.g2)
+    )
+    if fast_val != naive_val:
+        raise SystemExit(f"{name}: optimised pairing != naive reference")
+    report["single_pairing"] = {
+        "optimized": {"fp_mul": fast_ops.fp_mul, "seconds": fast_time},
+        "naive": {"fp_mul": naive_ops.fp_mul, "seconds": naive_time},
+        "fp_mul_ratio": naive_ops.fp_mul / fast_ops.fp_mul,
+        "speedup": naive_time / fast_time if fast_time else float("inf"),
+    }
+
+    ctx = PairingContext(curve, random.Random(0xBE7C4))
+    scheme = McCLS(ctx)
+    keys = scheme.generate_user_keys("bench@pairing")
+    sig = scheme.sign(b"bench", keys)
+    cold_ops, cold_time, ok = _measure(
+        lambda: scheme.verify(b"bench", sig, keys.identity, keys.public_key)
+    )
+    assert ok, f"{name}: cold McCLS verify failed"
+    if cold_ops.final_exps != 1:
+        raise SystemExit(
+            f"{name}: cold McCLS verify ran {cold_ops.final_exps} final "
+            "exponentiations (expected exactly 1 shared one)"
+        )
+    report["mccls_cold_verify"] = {
+        "fp_mul": cold_ops.fp_mul,
+        "seconds": cold_time,
+        "miller_loops": cold_ops.miller_loops,
+        "final_exps": cold_ops.final_exps,
+    }
+
+    zwxf = ZWXFScheme(ctx)
+    zkeys = zwxf.generate_user_keys("bench@pairing")
+    zsig = zwxf.sign(b"bench", zkeys)
+    assert zwxf.verify(b"bench", zsig, zkeys.identity, zkeys.public_key)
+    multi_ops, multi_time, ok = _measure(
+        lambda: zwxf.verify(b"bench", zsig, zkeys.identity, zkeys.public_key)
+    )
+    assert ok, f"{name}: warm ZWXF verify failed"
+    report["zwxf_warm_multi_pairing_verify"] = {
+        "fp_mul": multi_ops.fp_mul,
+        "seconds": multi_time,
+        "miller_loops": multi_ops.miller_loops,
+        "final_exps": multi_ops.final_exps,
+    }
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--curves",
+        default="toy48,bn254",
+        help="comma-separated subset of: " + ",".join(CURVES),
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=2.0,
+        help="required naive/optimized fp_mul ratio for a single pairing",
+    )
+    args = parser.parse_args()
+
+    reports = []
+    failures = []
+    for name in args.curves.split(","):
+        name = name.strip()
+        if name not in CURVES:
+            raise SystemExit(f"unknown curve {name!r}")
+        report = bench_curve(name, CURVES[name])
+        reports.append(report)
+        ratio = report["single_pairing"]["fp_mul_ratio"]
+        status = "ok" if ratio >= args.min_ratio else "TOO SLOW"
+        print(
+            f"{name:>6}: pairing fp_mul "
+            f"{report['single_pairing']['optimized']['fp_mul']} optimized vs "
+            f"{report['single_pairing']['naive']['fp_mul']} naive "
+            f"({ratio:.2f}x, need >={args.min_ratio:.1f}x) [{status}]"
+        )
+        print(
+            f"        cold mccls verify: {report['mccls_cold_verify']['fp_mul']}"
+            f" fp_mul, {report['mccls_cold_verify']['miller_loops']} Miller"
+            f" loops, {report['mccls_cold_verify']['final_exps']} final exp"
+        )
+        if ratio < args.min_ratio:
+            failures.append(name)
+
+    RESULTS.parent.mkdir(exist_ok=True)
+    RESULTS.write_text(json.dumps({"results": reports}, indent=2) + "\n")
+    print(f"wrote {RESULTS}")
+    if failures:
+        print(f"FAIL: fp_mul reduction below threshold on: {failures}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,3 +101,57 @@ def test_cold_verify_includes_cache_fill(executed):
     """Cold verification pays the per-identity constant pairing once."""
     _, cold, warm = executed["mccls"]
     assert cold == warm + 1
+
+
+def _executed_detail(name: str):
+    """(cold, warm) full field-op diffs for one scheme's verify path."""
+    ctx = PairingContext(bench_curve(), random.Random(0x0B5))
+    scheme = scheme_class(name)(ctx)
+    keys = scheme.generate_user_keys("obs@bench")
+    with obs.collecting() as registry:
+        ops = registry.field_ops
+        sig = scheme.sign(MESSAGE, keys)
+
+        before = ops.snapshot()
+        assert scheme.verify(
+            MESSAGE, sig, keys.identity, keys.public_key, keys.public_key_extra
+        )
+        cold = ops.diff(before)
+
+        before = ops.snapshot()
+        assert scheme.verify(
+            MESSAGE, sig, keys.identity, keys.public_key, keys.public_key_extra
+        )
+        warm = ops.diff(before)
+    return cold, warm
+
+
+def test_mccls_cold_verify_shares_one_final_exponentiation():
+    """The multi-pairing path: a COLD verify runs both Miller loops under a
+    single shared final exponentiation (the tentpole acceptance check)."""
+    cold, warm = _executed_detail("mccls")
+    assert cold["miller_loops"] == 2
+    assert cold["final_exps"] == 1
+    assert warm["miller_loops"] == 1
+    assert warm["final_exps"] == 1
+
+
+def test_zwxf_warm_verify_shares_one_final_exponentiation():
+    """ZWXF's three live pairings also collapse onto one final exp."""
+    _, warm = _executed_detail("zwxf")
+    assert warm["miller_loops"] == 3
+    assert warm["final_exps"] == 1
+
+
+def test_optimized_pairing_emits_fast_path_counters():
+    """The sparse/cyclotomic kernels actually run inside a verify."""
+    ctx = PairingContext(bench_curve(), random.Random(0x0B5))
+    scheme = scheme_class("mccls")(ctx)
+    keys = scheme.generate_user_keys("obs@bench")
+    sig = scheme.sign(MESSAGE, keys)
+    with obs.collecting() as registry:
+        assert scheme.verify(MESSAGE, sig, keys.identity, keys.public_key)
+    assert registry.counter_value("pairing.sparse_mults") > 0
+    assert registry.counter_value("pairing.cyclo_squares") > 0
+    assert registry.field_ops.fp12_sparse_mul > 0
+    assert registry.field_ops.fp12_cyclo_sq > 0

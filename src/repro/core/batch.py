@@ -114,9 +114,12 @@ class McCLSBatchVerifier:
             weight_sum = (weight_sum + weight) % n
 
         q_id = self.scheme.q_of(identity)
-        constant = self.ctx.pair_cached(self.scheme.p_pub_g1, q_id)
-        return self.ctx.pair(aggregate, first_s) == self.ctx.gt_exp(
-            constant, weight_sum
+        # e(aggregate, S) == e(P_pub, Q_ID)^weight_sum sharing the same
+        # Miller-value cache as single verifies: warm batches cost exactly
+        # one pairing regardless of k, cold batches two Miller loops and
+        # one final exponentiation.
+        return self.ctx.codh_check_cached(
+            aggregate, first_s, self.scheme.p_pub_g1, q_id, weight=weight_sum
         )
 
     def sign_batch(

@@ -137,7 +137,12 @@ class McCLS(CertificatelessScheme):
             left_g1 = self.ctx.g1_mul(self.ctx.g1, v) - self.ctx.g1_mul(big_r, h)
             right_g2 = self.ctx.g2_mul(s_point, self.ctx.scalar_inverse(h))
             q_id = self.q_of(identity)
-            constant = self.ctx.pair_cached(self.p_pub_g1, q_id)
-            return self.ctx.pair(left_g1, right_g2) == constant
+            # e(left, right) == e(P_pub, Q_ID) with the constant side
+            # cached as a Miller value: cold verifies share ONE final
+            # exponentiation across both Miller loops, warm verifies run
+            # exactly one pairing (the paper's headline claim).
+            return self.ctx.codh_check_cached(
+                left_g1, right_g2, self.p_pub_g1, q_id
+            )
         except (ReproError, ValueError, ZeroDivisionError, ArithmeticError):
             return False

@@ -28,8 +28,12 @@ OP_NAMES = (
     "fp_mul",
     "fp_inv",
     "fp2_mul",
+    "fp2_sq",
     "fp2_inv",
     "fp12_mul",
+    "fp12_sq",
+    "fp12_sparse_mul",
+    "fp12_cyclo_sq",
     "fp12_inv",
     "point_add",
     "point_double",

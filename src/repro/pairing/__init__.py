@@ -14,7 +14,7 @@ paper's authors would have used (MIRACL/charm-style).  Public surface:
 from repro.pairing.bn import BNCurve, bn254, default_test_curve, toy_curve
 from repro.pairing.curve import PrecomputedPoint, point_key
 from repro.pairing.groups import PairingContext
-from repro.pairing.pairing import PairingEngine, pairing
+from repro.pairing.pairing import PairingEngine, multi_pairing, pairing
 
 __all__ = [
     "BNCurve",
@@ -22,6 +22,7 @@ __all__ = [
     "toy_curve",
     "default_test_curve",
     "pairing",
+    "multi_pairing",
     "PairingEngine",
     "PairingContext",
     "PrecomputedPoint",

@@ -52,6 +52,9 @@ class BNCurve:
     twist_cofactor: int
     ate_loop_count: int
     final_exp_power: int
+    # Hard part of the final exponentiation, (p^4 - p^2 + 1) // n, cached
+    # here so final_exponentiation never recomputes it per call.
+    final_exp_hard: int = 0
     # Frobenius constants on the twist: gamma2 = xi^((p-1)/3),
     # gamma3 = xi^((p-1)/2), both in Fp2.
     frob_gamma2: Fp2 = field(repr=False, default=None)  # type: ignore[assignment]
@@ -195,6 +198,7 @@ def derive_bn_curve(t: int, name: str = "") -> BNCurve:
         twist_cofactor=2 * p - n,
         ate_loop_count=6 * t + 2,
         final_exp_power=(p**12 - 1) // n,
+        final_exp_hard=(p**4 - p**2 + 1) // n,
         frob_gamma2=gamma2,
         frob_gamma3=gamma3,
         name=name or f"bn-t{t}",
@@ -245,6 +249,7 @@ def bn254() -> BNCurve:
         twist_cofactor=2 * p - n,
         ate_loop_count=6 * t + 2,
         final_exp_power=(p**12 - 1) // n,
+        final_exp_hard=(p**4 - p**2 + 1) // n,
         frob_gamma2=gamma2,
         frob_gamma3=gamma3,
         name="bn254",

@@ -110,7 +110,7 @@ class CurvePoint:
         if tally is not None:
             tally.point_add += 1
         slope = (other.y - self.y) / (other.x - self.x)
-        x3 = slope * slope - self.x - other.x
+        x3 = slope.square() - self.x - other.x
         y3 = slope * (self.x - x3) - self.y
         return CurvePoint(self.curve, x3, y3)
 
@@ -122,8 +122,8 @@ class CurvePoint:
         tally = _rt.tally
         if tally is not None:
             tally.point_double += 1
-        slope = (self.x * self.x * 3) / (self.y * 2)
-        x3 = slope * slope - self.x - self.x
+        slope = (self.x.square() * 3) / (self.y * 2)
+        x3 = slope.square() - self.x - self.x
         y3 = slope * (self.x - x3) - self.y
         return CurvePoint(self.curve, x3, y3)
 
@@ -215,7 +215,7 @@ def _jacobian_to_affine(curve: EllipticCurve, result) -> CurvePoint:
     if big_z == big_z * 0:  # Z == 0: the point at infinity
         return curve.infinity()
     z_inv = big_z.inverse()
-    z_inv2 = z_inv * z_inv
+    z_inv2 = z_inv.square()
     return CurvePoint(curve, big_x * z_inv2, big_y * z_inv2 * z_inv)
 
 
@@ -238,13 +238,13 @@ def _jacobian_double(p):
     x1, y1, z1 = p
     if y1 == y1 * 0:
         return None  # vertical tangent: the point at infinity
-    a = x1 * x1
-    b = y1 * y1
-    c = b * b
+    a = x1.square()
+    b = y1.square()
+    c = b.square()
     t = x1 + b
-    d = (t * t - a - c) * 2
+    d = (t.square() - a - c) * 2
     e = a * 3
-    f = e * e
+    f = e.square()
     x3 = f - d * 2
     y3 = e * (d - x3) - c * 8
     z3 = y1 * z1 * 2
@@ -255,8 +255,8 @@ def _jacobian_add(p, q):
     """General Jacobian addition (q has Z = 1 when coming from `base`)."""
     x1, y1, z1 = p
     x2, y2, z2 = q
-    z1z1 = z1 * z1
-    z2z2 = z2 * z2
+    z1z1 = z1.square()
+    z2z2 = z2.square()
     u1 = x1 * z2z2
     u2 = x2 * z1z1
     s1 = y1 * z2z2 * z2
@@ -267,11 +267,11 @@ def _jacobian_add(p, q):
         return None  # p == -q: the point at infinity
     h = u2 - u1
     hh = h + h
-    i = hh * hh
+    i = hh.square()
     j = h * i
     r = (s2 - s1) * 2
     v = u1 * i
-    x3 = r * r - j - v * 2
+    x3 = r.square() - j - v * 2
     y3 = r * (v - x3) - s1 * j * 2
     z3 = z1 * z2 * h * 2
     return (x3, y3, z3)

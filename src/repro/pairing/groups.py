@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.obs import runtime as _rt
 
 from repro.pairing.bn import BNCurve, default_test_curve
 from repro.pairing.curve import CurvePoint, PrecomputedPoint, point_key
@@ -23,7 +25,13 @@ from repro.pairing.hashing import (
     hash_to_scalar,
 )
 from repro.pairing.numbers import inverse_mod
-from repro.pairing.pairing import pairing
+from repro.pairing.pairing import (
+    cyclotomic_exp,
+    final_exponentiation,
+    miller_loop,
+    multi_pairing,
+    pairing,
+)
 
 from repro.obs.registry import get_registry
 
@@ -82,6 +90,11 @@ class PairingContext:
         self.ops = OpCount()
         self.precompute_enabled = precompute
         self._pairing_cache: Dict[tuple, Fp12] = {}
+        # Inverted raw Miller values of constant pairs, for the co-DH
+        # equality check (see codh_check_cached): warm checks then cost one
+        # Miller loop + one shared final exponentiation, with no GT value
+        # ever materialised for the constant side.
+        self._miller_cache: Dict[tuple, Fp12] = {}
         self._fixed_bases: Dict[tuple, PrecomputedPoint] = {}
 
     # -- basic accessors -------------------------------------------------------
@@ -175,20 +188,115 @@ class PairingContext:
         describing the same group element — e.g. one straight from a hash
         and one normalised out of Jacobian coordinates — share one cache
         entry instead of silently re-running the Miller loop.
+
+        A cache fill also stores the pair's inverted raw Miller value, so
+        a verifier warmed through :meth:`pair_cached` is equally warm for
+        :meth:`codh_check_cached` (and vice-versa-adjacent paths) without
+        a second Miller loop.
         """
         key = (point_key(p_point), point_key(q_point))
         cached = self._pairing_cache.get(key)
         if cached is not None:
             self.ops.cached_pairing_hits += 1
             return cached
-        value = self.pair(p_point, q_point)
+        curve = self.curve
+        registry = get_registry()
+        tally = _rt.tally
+        self.ops.pairings += 1
+        if tally is not None:
+            tally.pairings += 1
+        with registry.phase("pairing.miller_loop"):
+            raw = miller_loop(curve, p_point, q_point)
+        with registry.phase("pairing.final_exp"):
+            value = final_exponentiation(curve, raw)
+        self._miller_cache[key] = raw.inverse()
         self._pairing_cache[key] = value
         return value
 
+    def multi_pair(self, pairs: Sequence[Tuple[CurvePoint, CurvePoint]]) -> Fp12:
+        """Counted multi-pairing: prod e(P_i, Q_i), ONE final exponentiation.
+
+        Each pair counts as one requested pairing (the Table 1 unit); the
+        shared final exponentiation is what makes a k-pairing verify
+        cheaper than k independent :meth:`pair` calls.
+        """
+        self.ops.pairings += len(pairs)
+        return multi_pairing(self.curve, pairs)
+
+    def multi_pair_check(
+        self, pairs: Sequence[Tuple[CurvePoint, CurvePoint]]
+    ) -> bool:
+        """True iff prod e(P_i, Q_i) == 1 (one shared final exponentiation).
+
+        The natural form for product-of-pairings verification equations:
+        move every factor to one side, negate the G1 argument of the moved
+        factors, and test against the identity.
+        """
+        return self.multi_pair(pairs).is_one()
+
+    def codh_check_cached(
+        self,
+        left_g1: CurvePoint,
+        right_g2: CurvePoint,
+        base_g1: CurvePoint,
+        target_g2: CurvePoint,
+        weight: int = 1,
+    ) -> bool:
+        """e(left, right) == e(base, target)^weight, caching the constant side.
+
+        The constant pair (base, target) — e(P_pub, Q_ID) in the paper —
+        is cached as an *inverted raw Miller value*, not a GT value.  A
+        cold check therefore runs two Miller loops and exactly ONE final
+        exponentiation (of the ratio); a warm check runs one Miller loop
+        plus the shared final exponentiation and counts a cached-pairing
+        hit, preserving the paper's "one pairing to verify" accounting.
+
+        ``weight`` folds a known exponent on the constant side into the
+        same shared final exponentiation (the batch verifier's weighted
+        small-exponent test); the raw Miller value is exponentiated with
+        the generic ladder since it is not yet cyclotomic.
+        """
+        curve = self.curve
+        key = (point_key(base_g1), point_key(target_g2))
+        registry = get_registry()
+        tally = _rt.tally
+        m2_inv = self._miller_cache.get(key)
+        if m2_inv is not None:
+            self.ops.pairings += 1
+            self.ops.cached_pairing_hits += 1
+            if tally is not None:
+                tally.pairings += 1
+            with registry.phase("pairing.miller_loop"):
+                m1 = miller_loop(curve, left_g1, right_g2)
+        else:
+            self.ops.pairings += 2
+            if tally is not None:
+                tally.pairings += 2
+            with registry.phase("pairing.miller_loop"):
+                m1 = miller_loop(curve, left_g1, right_g2)
+                m2_inv = miller_loop(curve, base_g1, target_g2).inverse()
+            self._miller_cache[key] = m2_inv
+        if weight != 1:
+            m2_inv = m2_inv ** (weight % self.order)
+        with registry.phase("pairing.final_exp"):
+            return final_exponentiation(curve, m1 * m2_inv).is_one()
+
+    def cached_gt(
+        self, p_point: CurvePoint, q_point: CurvePoint
+    ) -> Optional[Fp12]:
+        """The memoised GT value for (P, Q), if :meth:`pair_cached` built one."""
+        return self._pairing_cache.get((point_key(p_point), point_key(q_point)))
+
     def gt_exp(self, value: Fp12, scalar: int) -> Fp12:
-        """Counted GT exponentiation."""
+        """Counted GT exponentiation (cyclotomic ladder).
+
+        GT lies inside the cyclotomic subgroup of Fp12, so squarings use
+        the Granger-Scott formulas and negative exponents cost only a
+        conjugation.  ``value`` must be a pairing output (or other
+        cyclotomic-subgroup element); anything else produces garbage.
+        """
         self.ops.gt_exps += 1
-        return value ** scalar
+        return cyclotomic_exp(value, scalar)
 
     def hash_g1(self, domain: bytes, *items: Encodable) -> CurvePoint:
         """Counted hash onto G1."""
@@ -214,8 +322,9 @@ class PairingContext:
         return _OpMeter(self)
 
     def clear_pairing_cache(self) -> None:
-        """Forget memoised constant pairings."""
+        """Forget memoised constant pairings (GT and Miller-value caches)."""
         self._pairing_cache.clear()
+        self._miller_cache.clear()
 
 
 class _OpMeter:

@@ -1,0 +1,136 @@
+"""Textbook reference implementation of the optimal-ate pairing.
+
+This module preserves the pre-optimisation pairing path verbatim: affine
+Miller-loop coordinates (one Fp2 inversion per doubling), dense Fp12 line
+values multiplied with the generic schoolbook product, and a final
+exponentiation whose hard part is a plain square-and-multiply of the
+cached ``(p^4 - p^2 + 1) // n`` exponent.
+
+It exists for two reasons:
+
+* **Ground truth.**  The optimised projective/sparse/cyclotomic path in
+  :mod:`repro.pairing.pairing` is property-tested to be value-identical
+  to these functions on every test curve.
+* **Fallback.**  The projective Miller loop raises on degenerate steps
+  (vertical chords, points of small order) that only hostile non-subgroup
+  inputs can produce; :func:`repro.pairing.pairing.miller_loop` then
+  re-runs the affine reference, which handles verticals explicitly, so
+  adversarial-input behaviour is unchanged from the pre-optimisation code.
+
+None of these functions update the obs tally's pairing counters (the
+public entry points in :mod:`repro.pairing.pairing` do); field-level
+operation counts still accrue through the shared Fp/Fp2/Fp12 classes,
+which is what lets benchmarks compare fp_mul honestly between the two
+paths.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.pairing.bn import BNCurve
+from repro.pairing.curve import CurvePoint
+from repro.pairing.fields import Fp2, Fp12, FieldSpec
+
+
+def embed_fp2(spec: FieldSpec, z: Fp2, power: int) -> Fp12:
+    """Embed z * w^power into Fp12 for z in Fp2 (power in 0..5).
+
+    Uses w^6 = xi = xi_a + i, so  z0 + z1*i = (z0 - xi_a*z1) + z1*w^6.
+    """
+    coeffs = [0] * 12
+    coeffs[power] = (z.c0 - spec.xi_a * z.c1) % spec.p
+    coeffs[power + 6] = z.c1
+    return Fp12(spec, coeffs)
+
+
+def line_eval_affine(
+    curve: BNCurve,
+    r: CurvePoint,
+    s: CurvePoint,
+    px: int,
+    py: int,
+) -> Tuple[Fp12, CurvePoint]:
+    """Line through twist points r, s evaluated at the G1 point (px, py).
+
+    Returns the dense Fp12 line value and the twist point r + s.  All three
+    cases (chord, tangent, vertical) are handled, matching the classic
+    Miller-loop line function.
+    """
+    spec = curve.spec
+    xr, yr = r.x, r.y
+    xs, ys = s.x, s.y
+    if xr != xs:
+        slope = (ys - yr) / (xs - xr)
+    elif yr == ys and not yr.is_zero():
+        slope = (xr * xr * 3) / (yr * 2)
+    else:
+        # Vertical line x = xr: value is px - xr * w^2.
+        coeffs = [0] * 12
+        coeffs[0] = px
+        value = Fp12(spec, coeffs) - embed_fp2(spec, xr, 2)
+        return value, curve.g2_curve.infinity()
+
+    # l(P) = slope*w*px - w^3*(slope*xr - yr) - py
+    # (slope, coordinates in Fp2; evaluation point in Fp).
+    term_w1 = embed_fp2(spec, slope * px, 1)
+    term_w3 = embed_fp2(spec, slope * xr - yr, 3)
+    const = [0] * 12
+    const[0] = -py
+    value = term_w1 - term_w3 + Fp12(spec, const)
+    return value, r + s
+
+
+def miller_loop_naive(
+    curve: BNCurve, p_point: CurvePoint, q_point: CurvePoint
+) -> Fp12:
+    """Affine/dense Miller loop f_{6t+2,Q}(P) with the two BN extra lines."""
+    from repro.pairing.pairing import twist_frobenius
+
+    spec = curve.spec
+    if p_point.is_infinity() or q_point.is_infinity():
+        return spec.fp12_one()
+    px, py = p_point.x.value, p_point.y.value
+
+    f = spec.fp12_one()
+    r = q_point
+    loop = curve.ate_loop_count
+    for i in range(loop.bit_length() - 2, -1, -1):
+        line, r = line_eval_affine(curve, r, r, px, py)
+        f = f * f * line
+        if (loop >> i) & 1:
+            line, r = line_eval_affine(curve, r, q_point, px, py)
+            f = f * line
+
+    q1 = twist_frobenius(curve, q_point)
+    q2 = -twist_frobenius(curve, q1)
+    line, r = line_eval_affine(curve, r, q1, px, py)
+    f = f * line
+    line, _ = line_eval_affine(curve, r, q2, px, py)
+    f = f * line
+    return f
+
+
+def final_exponentiation_naive(curve: BNCurve, f: Fp12) -> Fp12:
+    """Reference final exponentiation: Frobenius easy part, generic hard part.
+
+    The hard part is a plain square-and-multiply by the cached
+    ``curve.final_exp_hard`` exponent — no cyclotomic structure exploited.
+    """
+    from repro.pairing.pairing import fp12_frobenius
+
+    # Easy part 1: f^(p^6 - 1) = frob^6(f) * f^(-1).
+    f = fp12_frobenius(curve, f, 6) * f.inverse()
+    # Easy part 2: f^(p^2 + 1) = frob^2(f) * f.
+    f = fp12_frobenius(curve, f, 2) * f
+    # Hard part.
+    return f ** curve.final_exp_hard
+
+
+def pairing_naive(
+    curve: BNCurve, p_point: CurvePoint, q_point: CurvePoint
+) -> Fp12:
+    """Reference pairing: naive Miller loop + naive final exponentiation."""
+    return final_exponentiation_naive(
+        curve, miller_loop_naive(curve, p_point, q_point)
+    )

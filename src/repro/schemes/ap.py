@@ -104,9 +104,10 @@ class APScheme(CertificatelessScheme):
             return False
 
         # Key-consistency check (the certificateless stand-in for a cert):
-        # e(X_A, P_pub2) == e(Y_A, P2)  <=>  Y_A = s * X_A.
-        if self.ctx.pair(public_key, self.p_pub_g2) != self.ctx.pair(
-            public_key_extra, self.ctx.g2
+        # e(X_A, P_pub2) == e(Y_A, P2)  <=>  Y_A = s * X_A, evaluated as a
+        # 2-term multi-pairing sharing one final exponentiation.
+        if not self.ctx.multi_pair_check(
+            [(public_key, self.p_pub_g2), (-public_key_extra, self.ctx.g2)]
         ):
             return False
 

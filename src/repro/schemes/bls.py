@@ -102,6 +102,9 @@ class BLSScheme:
         if not self.ctx.curve.g1_curve.contains(signature.sigma):
             return False
         h = self.ctx.hash_g1(b"H/bls", msg)
-        return self.ctx.pair(signature.sigma, self.ctx.g2) == self.ctx.pair(
-            h, public_key
+        # e(sigma, P2) == e(H(M), PK) evaluated as a 2-term multi-pairing
+        # sharing one final exponentiation; the honest hash point is the
+        # side that gets negated.
+        return self.ctx.multi_pair_check(
+            [(signature.sigma, self.ctx.g2), (-h, public_key)]
         )

@@ -130,8 +130,11 @@ class ChaCheonIBS:
         q_id = self.q_of(identity)
         h = self.ctx.hash_scalar(b"H/ibs", msg, signature.u)
         rhs_g2 = signature.u + self.ctx.g2_mul(q_id, h)
-        return self.ctx.pair(self.ctx.g1, signature.v) == self.ctx.pair(
-            self.p_pub_g1, rhs_g2
+        # e(P, V) == e(P_pub, U + h*Q_ID) as a 2-term multi-pairing sharing
+        # one final exponentiation; the honest generator-side G1 point is
+        # the one that gets negated.
+        return self.ctx.multi_pair_check(
+            [(self.ctx.g1, signature.v), (-self.p_pub_g1, rhs_g2)]
         )
 
     def batch_verify(
@@ -161,8 +164,8 @@ class ChaCheonIBS:
             sum_v = sum_v + self.ctx.g2_mul(signature.v, weight)
             rhs = signature.u + self.ctx.g2_mul(q_id, h)
             sum_rhs = sum_rhs + self.ctx.g2_mul(rhs, weight)
-        return self.ctx.pair(self.ctx.g1, sum_v) == self.ctx.pair(
-            self.p_pub_g1, sum_rhs
+        return self.ctx.multi_pair_check(
+            [(self.ctx.g1, sum_v), (-self.p_pub_g1, sum_rhs)]
         )
 
 

@@ -97,5 +97,8 @@ class YHGScheme(CertificatelessScheme):
         h = self.ctx.hash_scalar(b"H/yhg", msg, ident, signature.u, public_key)
         left_g1 = signature.u + self.ctx.g1_mul(public_key, h)
         q_id = self.q_of(ident)
-        constant = self.ctx.pair_cached(self.p_pub_g1, q_id)
-        return self.ctx.pair(left_g1, signature.v) == constant
+        # Miller-cached co-DH check: cold = 2 Miller loops + 1 shared final
+        # exponentiation; warm = 1 pairing against the cached constant.
+        return self.ctx.codh_check_cached(
+            left_g1, signature.v, self.p_pub_g1, q_id
+        )

@@ -208,3 +208,58 @@ class TestFp12:
         assert SPEC.fp12_one() == 1
         assert fp12([5] + [0] * 11) == 5
         assert fp12([5, 1] + [0] * 10) != 5
+
+
+class TestDedicatedSquarings:
+    """The fast-pairing squaring/sparse-mul kernels against the generic ops."""
+
+    @given(fp2_elements)
+    @settings(max_examples=60)
+    def test_fp2_square_matches_mul(self, x):
+        assert x.square() == x * x
+
+    @given(fp_values)
+    def test_fp_square_matches_mul(self, a):
+        x = fp(a)
+        assert x.square() == x * x
+
+    @given(fp12_elements)
+    @settings(max_examples=25)
+    def test_fp12_square_matches_mul(self, x):
+        assert x.square() == x * x
+
+    @given(fp12_elements, st.integers(min_value=0, max_value=5), fp_values, fp_values)
+    @settings(max_examples=25)
+    def test_sparse_mul_single_term_matches_dense(self, z, power, a, b):
+        coeff = fp2(a, b)
+        sparse = z.mul_sparse([(power, coeff)])
+        dense_factor = Fp12.from_tower_components(
+            SPEC, [coeff if i == power else fp2(0) for i in range(6)]
+        )
+        assert sparse == z * dense_factor
+
+    @given(fp12_elements, fp_values, fp_values, fp_values, fp_values)
+    @settings(max_examples=25)
+    def test_sparse_mul_line_shape_matches_dense(self, z, a0, a1, b0, b1):
+        # The Miller-loop line shape: tower coefficients at w^0, w^1, w^3.
+        terms = [(0, fp2(a0, a1)), (1, fp2(b0, b1)), (3, fp2(a1, b0))]
+        dense_factor = Fp12.from_tower_components(
+            SPEC,
+            [
+                terms[0][1],
+                terms[1][1],
+                fp2(0),
+                terms[2][1],
+                fp2(0),
+                fp2(0),
+            ],
+        )
+        assert z.mul_sparse(terms) == z * dense_factor
+
+    @given(fp12_elements.filter(lambda e: not e.is_zero()))
+    @settings(max_examples=15, deadline=None)
+    def test_cyclotomic_square_matches_generic(self, x):
+        # Project into the cyclotomic subgroup (order p^4 - p^2 + 1) with
+        # the easy-part exponent, where the Granger-Scott formulas apply.
+        cyclo = x ** ((P ** 6 - 1) * (P ** 2 + 1))
+        assert cyclo.cyclotomic_square() == cyclo * cyclo

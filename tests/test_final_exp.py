@@ -5,6 +5,7 @@ import pytest
 from repro.pairing.bn import bn254, toy_curve
 from repro.pairing.fields import Fp12, FieldSpec
 from repro.pairing.pairing import (
+    cyclotomic_exp,
     final_exponentiation,
     fp12_frobenius,
     miller_loop,
@@ -48,7 +49,7 @@ class TestFrobenius:
         value = sample_fp12()
         assert fp12_frobenius(CURVE, value, 1) == value ** CURVE.p
 
-    @pytest.mark.parametrize("power", [2, 3, 6])
+    @pytest.mark.parametrize("power", [2, 3, 4, 5, 6, 7, 11])
     def test_matches_higher_powers(self, power):
         value = sample_fp12()
         assert fp12_frobenius(CURVE, value, power) == value ** (CURVE.p ** power)
@@ -56,6 +57,12 @@ class TestFrobenius:
     def test_twelfth_power_is_identity(self):
         value = sample_fp12()
         assert fp12_frobenius(CURVE, value, 12) == value
+
+    def test_power_six_is_conjugation(self):
+        # p^6 acts as w -> -w on the tower, so the sixth Frobenius power is
+        # exactly the cheap coefficient conjugation.
+        value = sample_fp12()
+        assert fp12_frobenius(CURVE, value, 6) == value.conjugate()
 
     def test_is_ring_homomorphism(self):
         a = sample_fp12()
@@ -88,6 +95,13 @@ class TestFinalExponentiation:
             raw = miller_loop(curve, curve.g1, curve.g2)
             assert final_exponentiation(curve, raw) == raw ** curve.final_exp_power
 
+    def test_hard_part_exponent_is_cached_on_curve(self):
+        p, n = CURVE.p, CURVE.n
+        assert CURVE.final_exp_hard == (p ** 4 - p ** 2 + 1) // n
+        assert CURVE.final_exp_power == (
+            (p ** 6 - 1) * (p ** 2 + 1) * CURVE.final_exp_hard
+        )
+
     @pytest.mark.slow
     def test_bn254_matches_naive(self):
         curve = bn254()
@@ -104,3 +118,25 @@ class TestFinalExponentiation:
         # Frobenius-optimised final exp keeps pure-Python BN254 well under
         # a second on any modern machine.
         assert time.perf_counter() - start < 2.0
+
+
+class TestCyclotomicExp:
+    """NAF cyclotomic exponentiation against the generic power operator."""
+
+    def gt_element(self):
+        return final_exponentiation(CURVE, sample_fp12())
+
+    @pytest.mark.parametrize("exponent", [0, 1, 2, 5, 31337, -1, -17])
+    def test_matches_generic_pow(self, exponent):
+        value = self.gt_element()
+        assert cyclotomic_exp(value, exponent) == value ** exponent
+
+    def test_order_n_exponent_is_identity(self):
+        value = self.gt_element()
+        assert cyclotomic_exp(value, CURVE.n).is_one()
+
+    def test_conjugate_is_inverse_in_gt(self):
+        # On the cyclotomic subgroup (unitary elements) conjugation IS
+        # inversion — the identity the negative-digit NAF steps rely on.
+        value = self.gt_element()
+        assert value.conjugate() == value.inverse()

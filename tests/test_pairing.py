@@ -6,13 +6,19 @@ from hypothesis import strategies as st
 
 from repro.errors import CurveError
 from repro.pairing.bn import bn254, toy_curve
+from repro.pairing.naive import (
+    final_exponentiation_naive,
+    miller_loop_naive,
+    pairing_naive,
+)
 from repro.pairing.pairing import (
     PairingEngine,
-    _twist_frobenius,
     final_exponentiation,
     is_valid_codh_tuple,
     miller_loop,
+    multi_pairing,
     pairing,
+    twist_frobenius,
 )
 
 CURVE = toy_curve(32)
@@ -70,19 +76,19 @@ class TestBilinearity:
 
 class TestFrobenius:
     def test_eigenvalue_is_p(self):
-        pi = _twist_frobenius(CURVE, CURVE.g2)
+        pi = twist_frobenius(CURVE, CURVE.g2)
         assert pi == CURVE.g2 * (CURVE.p % CURVE.n)
 
     def test_twelfth_power_is_identity(self):
         point = CURVE.g2 * 7
         current = point
         for _ in range(12):
-            current = _twist_frobenius(CURVE, current)
+            current = twist_frobenius(CURVE, current)
         assert current == point
 
     def test_infinity(self):
         inf = CURVE.g2_curve.infinity()
-        assert _twist_frobenius(CURVE, inf).is_infinity()
+        assert twist_frobenius(CURVE, inf).is_infinity()
 
 
 class TestCoDHTuple:
@@ -100,6 +106,94 @@ class TestCoDHTuple:
         assert not is_valid_codh_tuple(
             CURVE, CURVE.g1, CURVE.g1 * 2, CURVE.g2 * 3, CURVE.g2 * 7
         )
+
+
+class TestNaiveAgreement:
+    """The optimised pipeline is value-identical to the affine reference."""
+
+    def test_pairing_matches_naive_on_generators(self):
+        assert pairing(CURVE, CURVE.g1, CURVE.g2) == pairing_naive(
+            CURVE, CURVE.g1, CURVE.g2
+        )
+
+    @given(scalars, scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_pairing_matches_naive_randomized(self, a, b):
+        p_point, q_point = CURVE.g1 * a, CURVE.g2 * b
+        assert pairing(CURVE, p_point, q_point) == pairing_naive(
+            CURVE, p_point, q_point
+        )
+
+    @given(scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_final_exponentiation_matches_naive(self, a):
+        raw = miller_loop(CURVE, CURVE.g1 * a, CURVE.g2)
+        assert final_exponentiation(CURVE, raw) == final_exponentiation_naive(
+            CURVE, raw
+        )
+
+    def test_projective_and_affine_miller_agree_after_final_exp(self):
+        # Raw Miller values differ by the projective line scalings, which
+        # live in subfields and are erased by the easy part of the final
+        # exponentiation — so only the exponentiated values are comparable.
+        p_point, q_point = CURVE.g1 * 17, CURVE.g2 * 29
+        fast = final_exponentiation(CURVE, miller_loop(CURVE, p_point, q_point))
+        slow = final_exponentiation(
+            CURVE, miller_loop_naive(CURVE, p_point, q_point)
+        )
+        assert fast == slow
+
+    def test_second_toy_curve(self):
+        curve = toy_curve(48)
+        assert pairing(curve, curve.g1, curve.g2) == pairing_naive(
+            curve, curve.g1, curve.g2
+        )
+
+
+class TestMultiPairing:
+    """prod e(P_i, Q_i) under one shared final exponentiation."""
+
+    def test_empty_product_is_one(self):
+        assert multi_pairing(CURVE, []).is_one()
+
+    def test_single_pair_matches_pairing(self):
+        assert multi_pairing(CURVE, [(CURVE.g1, CURVE.g2)]) == E
+
+    @given(scalars, scalars, scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_matches_product_of_pairings(self, a, b, c):
+        pairs = [
+            (CURVE.g1 * a, CURVE.g2),
+            (CURVE.g1 * b, CURVE.g2 * c),
+            (-CURVE.g1, CURVE.g2 * a),
+        ]
+        product = CURVE.spec.fp12_one()
+        for p_point, q_point in pairs:
+            product = product * pairing(CURVE, p_point, q_point)
+        assert multi_pairing(CURVE, pairs) == product
+
+    def test_inverse_pair_cancels(self):
+        pairs = [(CURVE.g1 * 5, CURVE.g2 * 7), (-(CURVE.g1 * 5), CURVE.g2 * 7)]
+        assert multi_pairing(CURVE, pairs).is_one()
+
+    def test_infinity_pairs_are_neutral(self):
+        pairs = [
+            (CURVE.g1_curve.infinity(), CURVE.g2),
+            (CURVE.g1, CURVE.g2),
+        ]
+        assert multi_pairing(CURVE, pairs) == E
+
+    def test_membership_check(self):
+        with pytest.raises(CurveError):
+            multi_pairing(
+                CURVE, [(CURVE.g2, CURVE.g2)], check_membership=True
+            )
+
+    def test_engine_multi_pair_counts_requested_pairings(self):
+        engine = PairingEngine(CURVE)
+        value = engine.multi_pair([(CURVE.g1, CURVE.g2), (-CURVE.g1, CURVE.g2)])
+        assert value.is_one()
+        assert engine.pairing_count == 2
 
 
 class TestEngine:
