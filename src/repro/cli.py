@@ -275,6 +275,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         seeds,
         failure_budget=args.failure_budget,
         workers=args.workers,
+        calibrate=args.calibrate,
     )
     if args.json:
         payload = {
@@ -379,6 +380,70 @@ def cmd_games(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the verification gateway until interrupted."""
+    import asyncio
+
+    from repro.pairing.bn import toy_curve
+    from repro.service.server import VerificationGateway
+
+    gateway = VerificationGateway(
+        curve=toy_curve(args.bits),
+        seed=args.seed,
+        cache_size=args.cache_size,
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        max_batch=args.max_batch,
+    )
+
+    async def _serve() -> None:
+        await gateway.start()
+        print(
+            f"gateway listening on {gateway.host}:{gateway.port} "
+            f"(curve bn-toy{args.bits}, cache {args.cache_size}, "
+            f"queue {args.queue_size}, batch {args.max_batch})"
+        )
+        await gateway._server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("gateway stopped")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a load run against the gateway; write BENCH_service.json."""
+    from repro.service.loadgen import LoadgenConfig, run_loadgen, summary_lines
+
+    config = LoadgenConfig(
+        requests=args.requests,
+        identities=args.identities,
+        connections=args.connections,
+        burst=args.burst,
+        window=args.window,
+        bits=args.bits,
+        cache_size=args.cache_size,
+        queue_size=args.queue_size,
+        max_batch=args.max_batch,
+        seed=args.seed,
+        rekey_check=not args.no_rekey_check,
+        out=args.out,
+        host=args.host,
+        port=args.port,
+    )
+    result = run_loadgen(config)
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        for line in summary_lines(result):
+            print(line)
+        if config.out:
+            print(f"wrote {config.out}")
+    return 0 if result["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The complete argument parser (separate from main for testability)."""
     parser = argparse.ArgumentParser(
@@ -438,6 +503,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for per-seed runs (1 = serial); results "
         "are identical regardless of worker count",
     )
+    campaign.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="measure this machine's pairing/mult costs once (in the "
+        "parent) and price all runs' modelled crypto with them",
+    )
     _add_output_args(campaign, trace=False)
     campaign.set_defaults(func=cmd_campaign)
 
@@ -449,6 +520,65 @@ def build_parser() -> argparse.ArgumentParser:
     games = sub.add_parser("games", help="security-game battery")
     games.add_argument("--bits", type=int, default=32)
     games.set_defaults(func=cmd_games)
+
+    serve = sub.add_parser(
+        "serve", help="run the McCLS verification gateway"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7754)
+    serve.add_argument("--bits", type=int, default=64)
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="bound on each pairing/Miller/comb-table LRU cache",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=256,
+        help="bounded request queue; overflow is answered BUSY",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="micro-batcher drain limit per consumer cycle",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive load at a gateway, write BENCH_service.json"
+    )
+    loadgen.add_argument("--requests", type=int, default=10_000)
+    loadgen.add_argument("--identities", type=int, default=1_000)
+    loadgen.add_argument("--connections", type=int, default=8)
+    loadgen.add_argument("--burst", type=int, default=16)
+    loadgen.add_argument("--window", type=int, default=64)
+    loadgen.add_argument("--bits", type=int, default=32)
+    loadgen.add_argument("--cache-size", type=int, default=512)
+    loadgen.add_argument("--queue-size", type=int, default=4096)
+    loadgen.add_argument("--max-batch", type=int, default=32)
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument(
+        "--no-rekey-check",
+        action="store_true",
+        help="skip the post-rekey cache-invalidation probe",
+    )
+    loadgen.add_argument(
+        "--out",
+        default="benchmarks/results/BENCH_service.json",
+        help="result file path ('' disables writing)",
+    )
+    loadgen.add_argument(
+        "--host",
+        default=None,
+        help="target an external gateway (default: in-process)",
+    )
+    loadgen.add_argument("--port", type=int, default=7754)
+    loadgen.add_argument("--json", action="store_true")
+    loadgen.set_defaults(func=cmd_loadgen)
     return parser
 
 

@@ -70,6 +70,13 @@ class McCLS(CertificatelessScheme):
         self._precompute_s = precompute_s
         self._s_cache = {}
 
+    def _on_rekey(self) -> None:
+        """Master rekey invalidation: every cached S = x^{-1}*D_ID was
+        derived from a partial key the old master secret issued, so a
+        signer reusing it after re-enrolment would emit signatures that
+        can never verify."""
+        self._s_cache.clear()
+
     def generate_user_keys(self, identity: Identity) -> UserKeyPair:
         """Stage 3: pick the secret value x and derive P_ID = x*P_pub."""
         ident = normalize_identity(identity)

@@ -50,10 +50,14 @@ class KeyGenerationCenter:
         curve: Optional[BNCurve] = None,
         seed: Optional[int] = None,
         master_secret: Optional[int] = None,
+        cache_size: Optional[int] = None,
     ):
         curve = curve if curve is not None else default_test_curve()
         rng = random.Random(seed)
-        self.ctx = PairingContext(curve, rng)
+        if cache_size is None:
+            self.ctx = PairingContext(curve, rng)
+        else:
+            self.ctx = PairingContext(curve, rng, cache_size=cache_size)
         self.scheme = scheme_cls(self.ctx, master_secret=master_secret)
         self._issued: Dict[str, UserKeyPair] = {}
 
@@ -68,6 +72,24 @@ class KeyGenerationCenter:
             p_pub_g2=self.scheme.p_pub_g2,
             order=self.ctx.order,
         )
+
+    def rekey(self, new_secret: Optional[int] = None) -> PublicParams:
+        """Rotate the master secret and re-issue every enrolled identity.
+
+        Models the operational KGC rekey (e.g. after a suspected
+        compromise or an outage): a fresh master secret invalidates every
+        outstanding partial key, so all issued users are re-enrolled under
+        the new one.  The scheme-level rotation also purges every cache
+        derived from the old P_pub - memoised constant pairings, stale
+        fixed-base comb tables, scheme-private signer caches - so the
+        first verify after a rekey runs cold *exactly once* per identity
+        instead of reading stale material.  Returns the new public params
+        (verifiers must refresh theirs).
+        """
+        self.scheme.rotate_master_secret(new_secret)
+        for identity in self.issued_identities():
+            self._issued[identity] = self.scheme.generate_user_keys(identity)
+        return self.public_params()
 
     def enroll(self, identity: Identity) -> UserKeyPair:
         """Full enrollment: partial key extraction + user key generation.

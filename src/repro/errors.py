@@ -39,3 +39,8 @@ class SimulationError(ReproError):
 
 class CertificateError(ReproError):
     """Certificate validation failed (bad chain, expired, revoked, forged)."""
+
+
+class ServiceError(ReproError):
+    """Verification-gateway protocol or server failure (ERR/BUSY replies,
+    malformed frames, calls against a client that never fetched params)."""

@@ -33,7 +33,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from scipy import stats as scipy_stats
 
 from repro.errors import SimulationError
+from repro.netsim.crypto_model import calibrated_costs
 from repro.netsim.scenario import ScenarioConfig, run_scenario
+from repro.pairing.bn import bn254, toy_curve
 from repro.obs import collecting as obs_collecting
 from repro.obs import get_registry
 
@@ -78,6 +80,11 @@ class CampaignConfig:
     failure_budget: float = 0.0
     #: worker processes; 1 = serial in-process execution
     workers: int = 1
+    #: measure this machine's actual pairing/mult costs once (in the
+    #: parent process) and price every run's modelled crypto with them;
+    #: workers receive the measured OperationCosts inside the scenario
+    #: config instead of re-timing per process
+    calibrate: bool = False
 
     def validate(self) -> "CampaignConfig":
         """Check cross-field constraints; returns self for chaining."""
@@ -239,6 +246,7 @@ def run_campaign(
     confidence: float = 0.95,
     failure_budget: float = 0.0,
     workers: int = 1,
+    calibrate: bool = False,
 ) -> CampaignResult:
     """Run a campaign (one scenario x many seeds) and aggregate metrics.
 
@@ -272,9 +280,18 @@ def run_campaign(
             confidence=confidence,
             failure_budget=failure_budget,
             workers=workers,
+            calibrate=calibrate,
         )
     campaign.validate()
     scenario = campaign.scenario
+    if campaign.calibrate:
+        # Calibrate ONCE, here in the parent, and ship the measured costs
+        # inside the scenario config.  Workers unpickle the costs instead
+        # of each re-timing the pairing on their own (possibly loaded)
+        # core, so simulated crypto delays are identical across workers
+        # and across worker counts.
+        curve = toy_curve(64) if scenario.real_crypto else bn254()
+        scenario = scenario.with_(crypto_costs=calibrated_costs(curve))
     plan = scenario.faults
     plan_text = repr(plan.to_spec()) if plan is not None else None
 

@@ -164,6 +164,25 @@ class CryptoTimingModel:
             )
 
 
+#: process-wide memo behind :func:`calibrated_costs`, keyed by curve name
+_CALIBRATED: Dict[str, OperationCosts] = {}
+
+
+def calibrated_costs(curve: BNCurve, samples: int = 3) -> OperationCosts:
+    """Memoised :func:`calibrate_from_curve`: one measurement per curve.
+
+    Campaigns call this in the parent process and ship the resulting
+    :class:`OperationCosts` to workers inside the scenario config, so a
+    ``workers=N`` fan-out never re-times the pairing N times (and never
+    skews a run's simulated delays by timing on a loaded core mid-sweep).
+    """
+    costs = _CALIBRATED.get(curve.name)
+    if costs is None:
+        costs = calibrate_from_curve(curve, samples=samples)
+        _CALIBRATED[curve.name] = costs
+    return costs
+
+
 def calibrate_from_curve(curve: BNCurve, samples: int = 3) -> OperationCosts:
     """Measure this machine's pure-Python pairing/mult costs on ``curve``."""
     g1, g2 = curve.g1, curve.g2

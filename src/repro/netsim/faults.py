@@ -127,10 +127,20 @@ class CorruptionWindow:
 
 @dataclass(frozen=True)
 class KGCOutage:
-    """An interval during which the KGC issues no partial keys."""
+    """An interval during which the KGC issues no partial keys.
+
+    ``rekey=True`` models the operational response to the outage (assume
+    compromise): on recovery the KGC rotates its master secret and
+    re-issues every honest node's key material.  In real-crypto runs the
+    rotation also invalidates every cache the old P_pub fed - memoised
+    e(P_pub, Q_ID) pairings, stale fixed-base comb tables, signer-side
+    S-component caches - so post-rekey verifies run cold exactly once per
+    identity instead of reading stale entries.
+    """
 
     start_s: float
     stop_s: float
+    rekey: bool = False
 
     def validate(self) -> None:
         """Raise SimulationError on inconsistent outage bounds."""
@@ -243,8 +253,12 @@ class FaultPlan:
                 )
             ),
             kgc_outages=tuple(
-                KGCOutage(start_s=float(row["start"]), stop_s=float(row["stop"]))
-                for row in entries("kgc_outages", ("start", "stop"))
+                KGCOutage(
+                    start_s=float(row["start"]),
+                    stop_s=float(row["stop"]),
+                    rekey=bool(row.get("rekey", False)),
+                )
+                for row in entries("kgc_outages", ("start", "stop", "rekey"))
             ),
         )
         plan.validate()
@@ -280,7 +294,8 @@ class FaultPlan:
             ]
         if self.kgc_outages:
             spec["kgc_outages"] = [
-                {"start": o.start_s, "stop": o.stop_s} for o in self.kgc_outages
+                {"start": o.start_s, "stop": o.stop_s, "rekey": o.rekey}
+                for o in self.kgc_outages
             ]
         return spec
 
@@ -353,7 +368,7 @@ class FaultInjector:
             self.sim.schedule_at(window.stop_s, self._restore_radio, window)
         for outage in self.plan.kgc_outages:
             self.sim.schedule_at(outage.start_s, self._kgc_fail)
-            self.sim.schedule_at(outage.stop_s, self._kgc_recover)
+            self.sim.schedule_at(outage.stop_s, self._kgc_recover, outage)
         if self.plan.corruption_windows:
             self.radio.frame_filter = self._filter_frame
 
@@ -423,11 +438,15 @@ class FaultInjector:
         self._kgc_down = True
         self._record("fault.kgc_down")
 
-    def _kgc_recover(self) -> None:
+    def _kgc_recover(self, outage: Optional[KGCOutage] = None) -> None:
         if not self._kgc_down:
             return
         self._kgc_down = False
         self._record("fault.kgc_up")
+        # A rekeying recovery rotates the master secret FIRST, so nodes
+        # leaving quarantine below resume signing under the new key.
+        if outage is not None and outage.rekey:
+            self._master_rekey()
         # The recovered KGC re-issues partial keys to everyone queued up.
         for node_id in self._awaiting_rekey:
             node = self.nodes[node_id]
@@ -435,6 +454,34 @@ class FaultInjector:
                 node.exit_quarantine()
                 self._record("fault.rekey", node=node_id)
         self._awaiting_rekey.clear()
+
+    def _master_rekey(self) -> None:
+        """Rotate the KGC master secret and refresh every honest node.
+
+        Real-crypto runs rotate the shared scheme exactly once (which
+        drops the old P_pub's pairing-cache entries and comb tables) and
+        re-issue each node's key material under the new secret, updating
+        the shared public-key directory.  Modelled runs have no key
+        material to rotate but still record the event so plans behave
+        identically across crypto modes.
+        """
+        rotated = set()
+        refreshed = 0
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            material = getattr(node, "material", None)
+            if material is None or not getattr(material, "real", False):
+                continue
+            scheme = material.scheme
+            if id(scheme) not in rotated:
+                scheme.rotate_master_secret()
+                rotated.add(id(scheme))
+            new_keys = scheme.generate_user_keys(material.keys.identity)
+            material.keys = new_keys
+            if material.directory is not None:
+                material.directory[new_keys.identity] = new_keys.public_key
+            refreshed += 1
+        self._record("fault.kgc_rekey", refreshed=refreshed)
 
     # -- frame corruption ---------------------------------------------------
     def _corruption_probability(self, now: float) -> float:

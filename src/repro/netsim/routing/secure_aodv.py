@@ -74,6 +74,10 @@ class CryptoMaterial:
     scheme: Optional[SchemeProtocol] = None  # None in modelled mode
     keys: Optional[UserKeyPair] = None
     resolve_public_key: Optional[Callable[[str], object]] = None
+    #: the shared identity -> public-key directory behind
+    #: ``resolve_public_key``, kept reachable so a KGC rekey can publish
+    #: re-issued public keys to every verifier at once
+    directory: Optional[Dict[str, object]] = None
 
     @property
     def real(self) -> bool:

@@ -170,6 +170,7 @@ def _build_crypto_material(config: ScenarioConfig, n_honest_ids: List[int]):
                 scheme=scheme,
                 keys=keys,
                 resolve_public_key=directory.get,
+                directory=directory,
             )
         return materials, signature_bytes
     signature_bytes = mccls_signature_size(bn254())

@@ -18,6 +18,7 @@ from repro.obs import runtime as _rt
 from repro.pairing.bn import BNCurve, default_test_curve
 from repro.pairing.curve import CurvePoint, PrecomputedPoint, point_key
 from repro.pairing.fields import Fp12
+from repro.pairing.lru import LRUCache
 from repro.pairing.hashing import (
     Encodable,
     hash_to_g1,
@@ -34,6 +35,21 @@ from repro.pairing.pairing import (
 )
 
 from repro.obs.registry import get_registry
+
+#: default bound of the per-context pairing caches (GT values and inverted
+#: Miller values each).  Generous for a single node - a MANET node meets
+#: tens of neighbours, a gateway thousands of identities per window - but
+#: a bound, so an unbounded identity population can no longer grow the
+#: process without limit (the serving-layer leak this replaces).
+DEFAULT_CACHE_SIZE = 4096
+
+
+def _count_pairing_eviction() -> None:
+    get_registry().counter("pairing.cache_evictions").inc()
+
+
+def _count_table_eviction() -> None:
+    get_registry().counter("precomp.table_evictions").inc()
 
 
 @dataclass
@@ -84,18 +100,35 @@ class PairingContext:
         curve: Optional[BNCurve] = None,
         rng: Optional[random.Random] = None,
         precompute: bool = True,
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ):
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
         self.curve = curve if curve is not None else default_test_curve()
         self.rng = rng if rng is not None else random.Random()
         self.ops = OpCount()
         self.precompute_enabled = precompute
-        self._pairing_cache: Dict[tuple, Fp12] = {}
+        self.cache_size = cache_size
+        # Both memo caches are LRU-bounded: with more distinct identities
+        # than cache_size the oldest constant pairings are evicted (counted
+        # as pairing.cache_evictions) and simply re-verify cold - memory
+        # stays bounded, correctness does not depend on residency.
+        self._pairing_cache: LRUCache = LRUCache(
+            cache_size, on_evict=_count_pairing_eviction
+        )
         # Inverted raw Miller values of constant pairs, for the co-DH
         # equality check (see codh_check_cached): warm checks then cost one
         # Miller loop + one shared final exponentiation, with no GT value
         # ever materialised for the constant side.
-        self._miller_cache: Dict[tuple, Fp12] = {}
-        self._fixed_bases: Dict[tuple, PrecomputedPoint] = {}
+        self._miller_cache: LRUCache = LRUCache(
+            cache_size, on_evict=_count_pairing_eviction
+        )
+        # Fixed-base comb tables grow one entry per registered base (and
+        # q_of registers every identity it hashes), so they get the same
+        # bound; evicting a hot base only costs a table rebuild.
+        self._fixed_bases: LRUCache = LRUCache(
+            cache_size, on_evict=_count_table_eviction
+        )
 
     # -- basic accessors -------------------------------------------------------
     @property
@@ -195,12 +228,14 @@ class PairingContext:
         a second Miller loop.
         """
         key = (point_key(p_point), point_key(q_point))
+        registry = get_registry()
         cached = self._pairing_cache.get(key)
         if cached is not None:
             self.ops.cached_pairing_hits += 1
+            registry.counter("pairing.cache_hits").inc()
             return cached
+        registry.counter("pairing.cache_misses").inc()
         curve = self.curve
-        registry = get_registry()
         tally = _rt.tally
         self.ops.pairings += 1
         if tally is not None:
@@ -264,11 +299,13 @@ class PairingContext:
         if m2_inv is not None:
             self.ops.pairings += 1
             self.ops.cached_pairing_hits += 1
+            registry.counter("pairing.cache_hits").inc()
             if tally is not None:
                 tally.pairings += 1
             with registry.phase("pairing.miller_loop"):
                 m1 = miller_loop(curve, left_g1, right_g2)
         else:
+            registry.counter("pairing.cache_misses").inc()
             self.ops.pairings += 2
             if tally is not None:
                 tally.pairings += 2
@@ -325,6 +362,25 @@ class PairingContext:
         """Forget memoised constant pairings (GT and Miller-value caches)."""
         self._pairing_cache.clear()
         self._miller_cache.clear()
+
+    def drop_fixed_base(self, point: CurvePoint) -> None:
+        """Forget the comb table registered for ``point`` (if any).
+
+        Called on KGC rekey for the old P_pub: its table would otherwise
+        stay alive (and non-evictable while it keeps winning LRU
+        freshness) even though nothing will ever multiply that base again.
+        """
+        if point.is_infinity():
+            return
+        self._fixed_bases.pop(point_key(point))
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Size/peak/hit/miss/eviction accounting of every bounded cache."""
+        return {
+            "pairing": self._pairing_cache.stats(),
+            "miller": self._miller_cache.stats(),
+            "fixed_bases": self._fixed_bases.stats(),
+        }
 
 
 class _OpMeter:

@@ -155,6 +155,45 @@ class CertificatelessScheme(abc.ABC):
         ctx.fixed_base(self.p_pub_g1)
         ctx.fixed_base(self.p_pub_g2)
 
+    # -- rekey ----------------------------------------------------------------
+    def rotate_master_secret(self, new_secret: Optional[int] = None) -> int:
+        """Replace the master secret (and P_pub) with a fresh one.
+
+        The operational response to a suspected KGC compromise: every
+        previously issued partial key and every signature made under it
+        stops verifying, so the caller must re-issue user key material
+        afterwards (see ``KeyGenerationCenter.rekey``).
+
+        Crucially this also invalidates every derived artifact of the old
+        P_pub, which would otherwise stay alive (or worse, keep being
+        *used*): the memoised e(P_pub, Q_ID) GT/Miller cache entries, the
+        old P_pub fixed-base comb tables, and any scheme-private caches
+        (via the :meth:`_on_rekey` hook).  Returns the new master secret.
+        """
+        curve = self.ctx.curve
+        old_p_pub_g1, old_p_pub_g2 = self.p_pub_g1, self.p_pub_g2
+        secret = (
+            new_secret % curve.n if new_secret else self.ctx.random_scalar()
+        )
+        if secret == 0:
+            raise KeyError_("master secret must be non-zero")
+        self.master_secret = secret
+        self.p_pub_g1 = curve.g1 * secret
+        self.p_pub_g2 = curve.g2 * secret
+        self.ctx.drop_fixed_base(old_p_pub_g1)
+        self.ctx.drop_fixed_base(old_p_pub_g2)
+        self.ctx.fixed_base(self.p_pub_g1)
+        self.ctx.fixed_base(self.p_pub_g2)
+        # Old e(P_pub, Q_ID) entries are dead weight at best (the cache key
+        # includes P_pub, so they can never match again) - drop them all.
+        self.ctx.clear_pairing_cache()
+        self._on_rekey()
+        get_registry().counter("kgc.rekeys").inc()
+        return self.master_secret
+
+    def _on_rekey(self) -> None:
+        """Hook for scheme-private cache invalidation on master rekey."""
+
     # -- stage 2: KGC ---------------------------------------------------------
     def _h1_domain(self) -> bytes:
         return b"H1/" + (self.h1_compat_name or self.name).encode()

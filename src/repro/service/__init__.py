@@ -1,0 +1,46 @@
+"""The McCLS verification gateway: an asyncio signing/verify service.
+
+A deployment-shaped front-end over the library: one process owns the KGC
+role (partial-key issuance, master rekey) and verifies signatures on
+behalf of constrained clients, over a length-prefixed binary protocol
+that reuses :mod:`repro.core.serialization` for every point, scalar and
+identity on the wire.
+
+* :mod:`repro.service.protocol` - framing and request/reply codec.
+* :mod:`repro.service.server`   - the gateway: bounded request queue with
+  explicit BUSY load-shed, and a micro-batcher that folds same-signer
+  verify bursts into one batch pairing.
+* :mod:`repro.service.client`   - client library (pipelining, local
+  signing through a verifier-view scheme).
+* :mod:`repro.service.loadgen`  - load harness behind ``python -m repro
+  loadgen``; writes BENCH_service.json.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.loadgen import LoadgenConfig, run_loadgen
+from repro.service.protocol import (
+    MAX_FRAME,
+    Opcode,
+    Status,
+    decode_reply,
+    decode_request,
+    encode_frame,
+    encode_reply,
+    encode_request,
+)
+from repro.service.server import VerificationGateway
+
+__all__ = [
+    "MAX_FRAME",
+    "Opcode",
+    "Status",
+    "ServiceClient",
+    "VerificationGateway",
+    "LoadgenConfig",
+    "run_loadgen",
+    "decode_reply",
+    "decode_request",
+    "encode_frame",
+    "encode_reply",
+    "encode_request",
+]

@@ -1,0 +1,228 @@
+"""Client library for the verification gateway.
+
+:class:`ServiceClient` speaks the frame protocol over one TCP connection.
+Replies arrive strictly in request order, so :meth:`verify_many`
+pipelines a whole burst (write all frames, then read all replies) - the
+path the server's same-signer micro-batcher is built for.
+
+Signing stays **client-side**: after :meth:`params` the client holds a
+*verifier view* of the scheme - the public parameters grafted onto a
+local :class:`~repro.core.mccls.McCLS` instance whose own master secret
+is never used.  ``CL-Sign`` touches only the client's key material and
+the group generator, so signatures minted locally verify at the gateway
+under the real master public key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.mccls import McCLS, McCLSSignature
+from repro.errors import ServiceError
+from repro.pairing.curve import CurvePoint
+from repro.pairing.groups import PairingContext
+from repro.schemes.base import UserKeyPair
+from repro.service import protocol
+from repro.service.protocol import Opcode, Status
+
+#: one verify to pipeline: (identity, public_key, message, signature)
+VerifyItem = Tuple[str, CurvePoint, bytes, McCLSSignature]
+
+
+@dataclass(frozen=True)
+class VerifyOutcome:
+    """One pipelined verify's result: OK verdict, BUSY, or ERR detail."""
+
+    status: Status
+    valid: Optional[bool] = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == Status.OK
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.VerificationGateway`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self.curve = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._view: Optional[McCLS] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    async def connect(self) -> "ServiceClient":
+        """Open the TCP connection to the gateway."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._reader = self._writer = None
+
+    # -- plumbing -----------------------------------------------------------
+    async def _send(self, opcode: Opcode, payload: bytes = b"") -> None:
+        if self._writer is None:
+            raise ServiceError("client is not connected")
+        self._writer.write(
+            protocol.encode_frame(protocol.encode_request(opcode, payload))
+        )
+        await self._writer.drain()
+
+    async def _read_reply(self) -> Tuple[Status, bytes]:
+        try:
+            header = await self._reader.readexactly(4)
+            body = await self._reader.readexactly(
+                protocol.frame_length(header)
+            )
+        except (asyncio.IncompleteReadError, ConnectionError) as exc:
+            raise ServiceError(f"connection lost: {exc}") from None
+        return protocol.decode_reply(body)
+
+    async def _call(self, opcode: Opcode, payload: bytes = b"") -> bytes:
+        """One request/reply round trip; ERR and BUSY raise ServiceError."""
+        await self._send(opcode, payload)
+        status, reply = await self._read_reply()
+        if status == Status.BUSY:
+            raise ServiceError("gateway is busy (bounded queue full)")
+        if status == Status.ERR:
+            raise ServiceError(reply.decode("utf-8", "replace"))
+        return reply
+
+    # -- the protocol surface ----------------------------------------------
+    async def ping(self) -> bool:
+        """Liveness round trip; True unless the call raised."""
+        await self._call(Opcode.PING)
+        return True
+
+    async def params(self) -> dict:
+        """Fetch public params and (re)build the local verifier view."""
+        document = protocol.decode_json_payload(
+            await self._call(Opcode.PARAMS)
+        )
+        self._install_params(document)
+        return document
+
+    async def enroll(self, identity: str) -> UserKeyPair:
+        """Have the KGC issue full key material for ``identity``."""
+        await self._ensure_params()
+        payload = await self._call(
+            Opcode.ENROLL, protocol.encode_enroll_payload(identity)
+        )
+        return protocol.decode_user_keys(self.curve, payload)
+
+    async def verify(
+        self,
+        identity: str,
+        public_key: CurvePoint,
+        message: bytes,
+        signature: McCLSSignature,
+    ) -> bool:
+        """One verification round trip; raises ServiceError on ERR/BUSY."""
+        await self._ensure_params()
+        payload = await self._call(
+            Opcode.VERIFY,
+            protocol.encode_verify_payload(
+                self.curve, identity, public_key, message, signature
+            ),
+        )
+        return protocol.decode_verify_verdict(payload)
+
+    async def verify_many(
+        self, items: Sequence[VerifyItem]
+    ) -> List[VerifyOutcome]:
+        """Pipeline a burst of verifies; outcomes in request order.
+
+        Unlike :meth:`verify`, BUSY and ERR become per-item outcomes
+        instead of exceptions, so one shed request does not discard the
+        rest of the burst.
+        """
+        await self._ensure_params()
+        for identity, public_key, message, signature in items:
+            self._writer.write(
+                protocol.encode_frame(
+                    protocol.encode_request(
+                        Opcode.VERIFY,
+                        protocol.encode_verify_payload(
+                            self.curve, identity, public_key, message, signature
+                        ),
+                    )
+                )
+            )
+        await self._writer.drain()
+        outcomes: List[VerifyOutcome] = []
+        for _ in items:
+            status, payload = await self._read_reply()
+            if status == Status.OK:
+                outcomes.append(
+                    VerifyOutcome(
+                        status, valid=protocol.decode_verify_verdict(payload)
+                    )
+                )
+            else:
+                outcomes.append(
+                    VerifyOutcome(
+                        status, detail=payload.decode("utf-8", "replace")
+                    )
+                )
+        return outcomes
+
+    async def rekey(self) -> dict:
+        """Ask the KGC to rotate its master secret; refreshes the view.
+
+        Every previously issued key pair is invalid afterwards - re-enrol.
+        """
+        document = protocol.decode_json_payload(await self._call(Opcode.REKEY))
+        self._install_params(document)
+        return document
+
+    async def stats(self) -> dict:
+        """Fetch the gateway's counters and cache accounting."""
+        return protocol.decode_json_payload(await self._call(Opcode.STATS))
+
+    # -- local signing ------------------------------------------------------
+    def sign(self, message: bytes, keys: UserKeyPair) -> McCLSSignature:
+        """CL-Sign locally under the gateway's public parameters."""
+        if self._view is None:
+            raise ServiceError("fetch params before signing")
+        return self._view.sign(message, keys)
+
+    def scheme_view(self) -> McCLS:
+        """The local verifier-view scheme (for client-side verification)."""
+        if self._view is None:
+            raise ServiceError("fetch params before using the scheme view")
+        return self._view
+
+    # -- internals ----------------------------------------------------------
+    async def _ensure_params(self) -> None:
+        if self._view is None:
+            await self.params()
+
+    def _install_params(self, document: dict) -> None:
+        curve = protocol.curve_from_params(document)
+        p_pub_g1, p_pub_g2 = protocol.p_pub_from_params(curve, document)
+        ctx = PairingContext(curve, random.Random(0))
+        # A verifier view: the placeholder master secret below is never
+        # exercised - P_pub is overridden with the gateway's real one, and
+        # CL-Sign/CL-Verify only ever read P_pub, never the secret.
+        view = McCLS(ctx, master_secret=1)
+        view.p_pub_g1 = p_pub_g1
+        view.p_pub_g2 = p_pub_g2
+        ctx.fixed_base(p_pub_g1)
+        ctx.fixed_base(p_pub_g2)
+        self.curve = curve
+        self._view = view

@@ -1,0 +1,347 @@
+"""Load harness for the verification gateway (``python -m repro loadgen``).
+
+Starts an in-process gateway on a loopback port (or targets an external
+one), enrolls K identities, and drives N verify requests across M
+pipelined connections in same-signer bursts - the traffic shape the
+server's micro-batcher exists for.  A fraction of requests carry a
+tampered message (signature valid, message mismatched) so the invalid
+path is exercised under load.  BUSY replies are retried, connection
+errors are not tolerated.
+
+After the main phase the harness rekeys the KGC, re-enrolls a probe
+identity and checks - through the STATS endpoint's cache accounting -
+that the first post-rekey verify misses the pairing cache exactly once
+and the second hits it: the bounded caches were invalidated, not leaked.
+
+Results (throughput, latency percentiles, cache/eviction accounting) are
+written to ``benchmarks/results/BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.pairing.bn import toy_curve
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.protocol import Opcode, Status
+from repro.service.server import VerificationGateway
+
+#: default output location, next to BENCH_pairing.json
+DEFAULT_OUT = "benchmarks/results/BENCH_service.json"
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load run, fully specified."""
+
+    requests: int = 10_000
+    identities: int = 1_000
+    connections: int = 8
+    burst: int = 16  # consecutive same-signer requests (batcher feed)
+    invalid_every: int = 53  # every k-th request carries a tampered message
+    window: int = 64  # per-connection pipelining depth
+    bits: int = 32  # toy-curve size for the in-process gateway
+    cache_size: int = 512  # pairing-cache bound (< identities -> evictions)
+    queue_size: int = 4096
+    max_batch: int = 32
+    message_bytes: int = 48
+    seed: int = 7
+    rekey_check: bool = True
+    out: Optional[str] = DEFAULT_OUT
+    #: target an already-running gateway instead of an in-process one
+    host: Optional[str] = None
+    port: int = 0
+
+
+@dataclass
+class _Job:
+    """One pre-encoded verify request and its expectation."""
+
+    frame: bytes
+    expect_valid: bool
+
+
+@dataclass
+class _WorkerStats:
+    latencies: List[float] = field(default_factory=list)
+    valid: int = 0
+    invalid: int = 0
+    busy: int = 0
+    errors: List[str] = field(default_factory=list)
+    mismatches: int = 0  # verdict != expectation
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def _drive_connection(
+    host: str, port: int, jobs: deque, stats: _WorkerStats, window: int
+) -> None:
+    """Pipeline one connection's share of the load, retrying BUSY sheds."""
+    reader, writer = await asyncio.open_connection(host, port)
+    outstanding: deque = deque()
+
+    async def pump(count: int) -> None:
+        for _ in range(count):
+            header = await reader.readexactly(4)
+            body = await reader.readexactly(protocol.frame_length(header))
+            started, job = outstanding.popleft()
+            stats.latencies.append(time.perf_counter() - started)
+            status, payload = protocol.decode_reply(body)
+            if status == Status.BUSY:
+                stats.busy += 1
+                jobs.append(job)  # shed cleanly: retry later
+            elif status == Status.ERR:
+                stats.errors.append(payload.decode("utf-8", "replace"))
+            else:
+                valid = protocol.decode_verify_verdict(payload)
+                if valid:
+                    stats.valid += 1
+                else:
+                    stats.invalid += 1
+                if valid != job.expect_valid:
+                    stats.mismatches += 1
+
+    try:
+        while jobs or outstanding:
+            while jobs and len(outstanding) < window:
+                job = jobs.popleft()
+                outstanding.append((time.perf_counter(), job))
+                writer.write(job.frame)
+            await writer.drain()
+            await pump(min(len(outstanding), max(1, window // 2)))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def _run(config: LoadgenConfig) -> Dict:
+    gateway = None
+    if config.host is None:
+        gateway = VerificationGateway(
+            curve=toy_curve(config.bits),
+            seed=config.seed,
+            cache_size=config.cache_size,
+            queue_size=config.queue_size,
+            max_batch=config.max_batch,
+        )
+        await gateway.start()
+        host, port = gateway.host, gateway.port
+    else:
+        host, port = config.host, config.port
+
+    client = ServiceClient(host, port)
+    await client.connect()
+    try:
+        await client.params()
+
+        # -- enrollment phase ---------------------------------------------
+        enroll_started = time.perf_counter()
+        identities = [f"node-{i:05d}" for i in range(config.identities)]
+        keys = {}
+        for identity in identities:
+            keys[identity] = await client.enroll(identity)
+        enroll_seconds = time.perf_counter() - enroll_started
+
+        # -- pre-sign and pre-encode the request stream -------------------
+        curve = client.curve
+        message = b"M" * config.message_bytes
+        tampered = b"X" * config.message_bytes
+        signatures = {
+            identity: client.sign(message, keys[identity])
+            for identity in identities
+        }
+        jobs: List[_Job] = []
+        index = 0
+        # Cap the burst length so the request budget still cycles through
+        # every identity at least once (the cache-bounding demo needs all
+        # K distinct (P_pub, Q_ID) pairs to hit the verifier).
+        burst = max(1, min(config.burst, config.requests // config.identities))
+        while len(jobs) < config.requests:
+            identity = identities[index % len(identities)]
+            index += 1
+            for _ in range(min(burst, config.requests - len(jobs))):
+                bad = (len(jobs) + 1) % config.invalid_every == 0
+                payload = protocol.encode_verify_payload(
+                    curve,
+                    identity,
+                    keys[identity].public_key,
+                    tampered if bad else message,
+                    signatures[identity],
+                )
+                frame = protocol.encode_frame(
+                    protocol.encode_request(Opcode.VERIFY, payload)
+                )
+                jobs.append(_Job(frame=frame, expect_valid=not bad))
+
+        # -- main phase: M pipelined connections --------------------------
+        shares = [deque() for _ in range(config.connections)]
+        chunk = (len(jobs) + config.connections - 1) // config.connections
+        for i, job in enumerate(jobs):
+            shares[i // chunk].append(job)
+        workers = [_WorkerStats() for _ in shares]
+        main_started = time.perf_counter()
+        await asyncio.gather(
+            *(
+                _drive_connection(host, port, share, stats, config.window)
+                for share, stats in zip(shares, workers)
+            )
+        )
+        main_seconds = time.perf_counter() - main_started
+
+        latencies = sorted(
+            lat for stats in workers for lat in stats.latencies
+        )
+        errors = [err for stats in workers for err in stats.errors]
+        mismatches = sum(stats.mismatches for stats in workers)
+        busy = sum(stats.busy for stats in workers)
+        valid = sum(stats.valid for stats in workers)
+        invalid = sum(stats.invalid for stats in workers)
+
+        # -- rekey invalidation check -------------------------------------
+        rekey_report = None
+        if config.rekey_check:
+            rekey_report = await _rekey_check(client)
+
+        stats_doc = await client.stats()
+        cache = stats_doc["cache"]
+        result = {
+            "config": asdict(config),
+            "enroll": {
+                "identities": config.identities,
+                "seconds": round(enroll_seconds, 3),
+                "per_second": round(config.identities / enroll_seconds, 1),
+            },
+            "verify": {
+                "requests": config.requests,
+                "seconds": round(main_seconds, 3),
+                "throughput_rps": round(config.requests / main_seconds, 1),
+                "valid": valid,
+                "invalid": invalid,
+                "busy_retries": busy,
+                "verdict_mismatches": mismatches,
+                "connection_errors": len(errors),
+                "error_samples": errors[:5],
+                "latency_ms": {
+                    "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
+                    "p90": round(_percentile(latencies, 0.90) * 1e3, 3),
+                    "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
+                    "max": round(latencies[-1] * 1e3, 3) if latencies else 0.0,
+                },
+            },
+            "cache": cache,
+            "server_counters": stats_doc["counters"],
+            "rekey": rekey_report,
+            "ok": (
+                not errors
+                and mismatches == 0
+                and valid + invalid == config.requests
+                and cache["pairing"]["peak_size"] <= config.cache_size
+                and cache["miller"]["peak_size"] <= config.cache_size
+                and (
+                    config.identities <= config.cache_size
+                    or cache["miller"]["evictions"] > 0
+                )
+                and (rekey_report is None or rekey_report["ok"])
+            ),
+        }
+        return result
+    finally:
+        await client.close()
+        if gateway is not None:
+            await gateway.stop()
+
+
+async def _rekey_check(client: ServiceClient) -> Dict:
+    """Post-rekey, a fresh verify must miss the cache once, then hit."""
+    await client.rekey()
+    probe_keys = await client.enroll("rekey-probe")
+    message = b"post-rekey probe"
+    signature = client.sign(message, probe_keys)
+
+    def misses(doc):
+        return doc["cache"]["miller"]["misses"] + doc["cache"]["pairing"]["misses"]
+
+    def hits(doc):
+        return doc["cache"]["miller"]["hits"] + doc["cache"]["pairing"]["hits"]
+
+    before = await client.stats()
+    first_ok = await client.verify(
+        "rekey-probe", probe_keys.public_key, message, signature
+    )
+    after_first = await client.stats()
+    second_ok = await client.verify(
+        "rekey-probe", probe_keys.public_key, message, signature
+    )
+    after_second = await client.stats()
+
+    first_misses = misses(after_first) - misses(before)
+    first_hits = hits(after_first) - hits(before)
+    second_misses = misses(after_second) - misses(after_first)
+    second_hits = hits(after_second) - hits(after_first)
+    return {
+        "post_rekey_verify_ok": bool(first_ok and second_ok),
+        "first_verify": {"misses": first_misses, "hits": first_hits},
+        "second_verify": {"misses": second_misses, "hits": second_hits},
+        "ok": bool(
+            first_ok
+            and second_ok
+            and first_misses == 1
+            and first_hits == 0
+            and second_misses == 0
+            and second_hits == 1
+        ),
+    }
+
+
+def run_loadgen(config: LoadgenConfig) -> Dict:
+    """Execute one load run and (optionally) write the BENCH file."""
+    result = asyncio.run(_run(config))
+    if config.out:
+        path = Path(config.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def summary_lines(result: Dict) -> List[str]:
+    """Human-readable digest of one load run."""
+    verify = result["verify"]
+    cache = result["cache"]
+    lines = [
+        f"verify: {verify['requests']} requests in {verify['seconds']}s "
+        f"({verify['throughput_rps']} req/s)",
+        f"latency ms: p50={verify['latency_ms']['p50']} "
+        f"p90={verify['latency_ms']['p90']} p99={verify['latency_ms']['p99']}",
+        f"verdicts: {verify['valid']} valid, {verify['invalid']} invalid, "
+        f"{verify['busy_retries']} busy retries, "
+        f"{verify['connection_errors']} connection errors",
+        f"miller cache: peak {cache['miller']['peak_size']}/"
+        f"{result['config']['cache_size']}, "
+        f"{cache['miller']['evictions']} evictions",
+    ]
+    if result.get("rekey"):
+        rekey = result["rekey"]
+        lines.append(
+            "rekey: first verify "
+            f"misses={rekey['first_verify']['misses']} "
+            f"hits={rekey['first_verify']['hits']}; second verify "
+            f"misses={rekey['second_verify']['misses']} "
+            f"hits={rekey['second_verify']['hits']}"
+        )
+    lines.append(f"result: {'OK' if result['ok'] else 'FAILED'}")
+    return lines

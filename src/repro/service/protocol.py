@@ -1,0 +1,321 @@
+"""Wire protocol of the verification gateway.
+
+Framing: every message (request or reply) is one frame -
+
+    [4-byte big-endian body length][body]
+
+capped at :data:`MAX_FRAME`.  A request body is ``[opcode][payload]``, a
+reply body is ``[status][payload]``.  Requests on one connection are
+answered strictly in order, so clients may pipeline without tagging.
+
+Payloads reuse :mod:`repro.core.serialization` wherever key material
+crosses the wire (identities, points, scalars, signatures); the
+parameter-shaped replies (PARAMS/REKEY/STATS) are UTF-8 JSON, mirroring
+the keystore's curve document so a client can reconstruct the exact
+curve.  Every decoder in this module is *total* over hostile bytes:
+malformed input raises :class:`~repro.errors.SerializationError`, never
+an unhandled decoder error - the server turns those into clean ERR
+replies and keeps the connection alive.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.mccls import McCLSSignature
+from repro.core.serialization import (
+    decode_g1,
+    decode_g2,
+    decode_identity,
+    decode_mccls_signature,
+    decode_scalar,
+    encode_g1,
+    encode_g2,
+    encode_identity,
+    encode_mccls_signature,
+    encode_scalar,
+)
+from repro.errors import SerializationError
+from repro.pairing.bn import BNCurve, bn254, derive_bn_curve
+from repro.pairing.curve import CurvePoint
+from repro.schemes.base import PartialPrivateKey, UserKeyPair
+
+#: hard cap on one frame's body (requests and replies alike)
+MAX_FRAME = 1 << 20
+
+_LEN = struct.Struct("!I")
+_MSGLEN = struct.Struct("!H")
+
+
+class Opcode(enum.IntEnum):
+    """Request kinds the gateway serves."""
+
+    PING = 1
+    PARAMS = 2
+    ENROLL = 3
+    VERIFY = 4
+    REKEY = 5
+    STATS = 6
+
+
+class Status(enum.IntEnum):
+    """First byte of every reply body."""
+
+    OK = 0
+    ERR = 1
+    BUSY = 2
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(body: bytes) -> bytes:
+    """Length-prefix one message body."""
+    if len(body) > MAX_FRAME:
+        raise SerializationError(
+            f"frame body of {len(body)} bytes exceeds the {MAX_FRAME} cap"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def frame_length(header: bytes) -> int:
+    """Parse the 4-byte length prefix; rejects oversized declarations."""
+    if len(header) != _LEN.size:
+        raise SerializationError("truncated frame header")
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise SerializationError(
+            f"declared frame of {length} bytes exceeds the {MAX_FRAME} cap"
+        )
+    return length
+
+
+# ---------------------------------------------------------------------------
+# Request / reply envelopes
+# ---------------------------------------------------------------------------
+
+
+def encode_request(opcode: Opcode, payload: bytes = b"") -> bytes:
+    """``[opcode][payload]`` request body."""
+    return bytes([opcode]) + payload
+
+
+def decode_request(body: bytes) -> Tuple[Opcode, bytes]:
+    """Split a request body; unknown opcodes are a decode error."""
+    if not body:
+        raise SerializationError("empty request body")
+    try:
+        opcode = Opcode(body[0])
+    except ValueError:
+        raise SerializationError(f"unknown opcode {body[0]}") from None
+    return opcode, body[1:]
+
+
+def encode_reply(status: Status, payload: bytes = b"") -> bytes:
+    """``[status][payload]`` reply body."""
+    return bytes([status]) + payload
+
+
+def decode_reply(body: bytes) -> Tuple[Status, bytes]:
+    """Split a reply body; unknown statuses are a decode error."""
+    if not body:
+        raise SerializationError("empty reply body")
+    try:
+        status = Status(body[0])
+    except ValueError:
+        raise SerializationError(f"unknown reply status {body[0]}") from None
+    return status, body[1:]
+
+
+def error_reply(message: str) -> bytes:
+    """An ERR reply carrying a UTF-8 diagnostic."""
+    return encode_reply(Status.ERR, message.encode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# VERIFY
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VerifyRequest:
+    """One decoded verification request."""
+
+    identity: str
+    public_key: CurvePoint
+    message: bytes
+    signature: McCLSSignature
+
+
+def encode_verify_payload(
+    curve: BNCurve,
+    identity: str,
+    public_key: CurvePoint,
+    message: bytes,
+    signature: McCLSSignature,
+) -> bytes:
+    """identity || P_ID || len(message) || message || sigma."""
+    if len(message) > 0xFFFF:
+        raise SerializationError("message too long for one verify request")
+    return (
+        encode_identity(identity)
+        + encode_g1(curve, public_key)
+        + _MSGLEN.pack(len(message))
+        + message
+        + encode_mccls_signature(curve, signature)
+    )
+
+
+def decode_verify_payload(curve: BNCurve, payload: bytes) -> VerifyRequest:
+    """Decode (and curve-validate) one verify request payload."""
+    identity, rest = decode_identity(payload)
+    public_key, rest = decode_g1(curve, rest)
+    if len(rest) < _MSGLEN.size:
+        raise SerializationError("truncated message length")
+    (msg_len,) = _MSGLEN.unpack(rest[: _MSGLEN.size])
+    rest = rest[_MSGLEN.size :]
+    if len(rest) < msg_len:
+        raise SerializationError("truncated message")
+    message, rest = rest[:msg_len], rest[msg_len:]
+    signature = decode_mccls_signature(curve, rest)  # rejects trailing bytes
+    return VerifyRequest(
+        identity=identity,
+        public_key=public_key,
+        message=message,
+        signature=signature,
+    )
+
+
+def verify_reply(valid: bool) -> bytes:
+    """OK reply carrying the boolean verdict."""
+    return encode_reply(Status.OK, b"\x01" if valid else b"\x00")
+
+
+def decode_verify_verdict(payload: bytes) -> bool:
+    """Parse an OK verify reply's verdict byte."""
+    if payload not in (b"\x00", b"\x01"):
+        raise SerializationError("malformed verify verdict")
+    return payload == b"\x01"
+
+
+# ---------------------------------------------------------------------------
+# ENROLL
+# ---------------------------------------------------------------------------
+
+
+def encode_enroll_payload(identity: str) -> bytes:
+    """The enroll request payload is just the identity."""
+    return encode_identity(identity)
+
+
+def decode_enroll_payload(payload: bytes) -> str:
+    """Decode an enroll payload; trailing bytes are a decode error."""
+    identity, rest = decode_identity(payload)
+    if rest:
+        raise SerializationError(
+            f"{len(rest)} trailing bytes after enroll identity"
+        )
+    return identity
+
+
+def encode_user_keys(curve: BNCurve, keys: UserKeyPair) -> bytes:
+    """Full issued key material: identity || x || P_ID || Q_ID || D_ID.
+
+    This is the KGC handing a client its private material - the paper
+    assumes out-of-band provisioning; a production gateway would wrap
+    this frame in an authenticated transport.
+    """
+    return (
+        encode_identity(keys.identity)
+        + encode_scalar(curve, keys.secret_value)
+        + encode_g1(curve, keys.public_key)
+        + encode_g2(curve, keys.partial.q_id)
+        + encode_g2(curve, keys.partial.d_id)
+    )
+
+
+def decode_user_keys(curve: BNCurve, payload: bytes) -> UserKeyPair:
+    """Decode an enroll reply back into a usable key pair."""
+    identity, rest = decode_identity(payload)
+    secret_value, rest = decode_scalar(curve, rest)
+    public_key, rest = decode_g1(curve, rest)
+    q_id, rest = decode_g2(curve, rest)
+    d_id, rest = decode_g2(curve, rest)
+    if rest:
+        raise SerializationError(
+            f"{len(rest)} trailing bytes after enrolled keys"
+        )
+    return UserKeyPair(
+        identity=identity,
+        secret_value=secret_value,
+        public_key=public_key,
+        partial=PartialPrivateKey(identity=identity, q_id=q_id, d_id=d_id),
+    )
+
+
+# ---------------------------------------------------------------------------
+# PARAMS / STATS (JSON payloads)
+# ---------------------------------------------------------------------------
+
+
+def encode_json_payload(document: dict) -> bytes:
+    """Compact UTF-8 JSON payload."""
+    return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+def decode_json_payload(payload: bytes) -> dict:
+    """Total JSON decode: malformed bytes raise SerializationError."""
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SerializationError(f"malformed JSON payload: {exc}") from None
+    if not isinstance(document, dict):
+        raise SerializationError("JSON payload must be an object")
+    return document
+
+
+def params_document(scheme_name: str, curve: BNCurve, p_pub_g1, p_pub_g2) -> dict:
+    """The PARAMS/REKEY reply: everything a verifier-view client needs."""
+    return {
+        "scheme": scheme_name,
+        "curve": {"name": curve.name, "t": str(curve.t)},
+        "order": hex(curve.n),
+        "p_pub_g1": encode_g1(curve, p_pub_g1).hex(),
+        "p_pub_g2": encode_g2(curve, p_pub_g2).hex(),
+    }
+
+
+def curve_from_params(document: dict) -> BNCurve:
+    """Reconstruct the gateway's curve from a PARAMS reply.
+
+    Mirrors the keystore's curve document: BN254 by name, generated test
+    curves by their BN parameter ``t``.
+    """
+    try:
+        spec = document["curve"]
+        name = spec.get("name", "")
+        if name == "bn254":
+            return bn254()
+        return derive_bn_curve(int(spec["t"]), name=name)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed curve document: {exc}") from None
+
+
+def p_pub_from_params(curve: BNCurve, document: dict):
+    """Decode (P_pub in G1, P_pub in G2) from a PARAMS reply."""
+    try:
+        g1_blob = bytes.fromhex(document["p_pub_g1"])
+        g2_blob = bytes.fromhex(document["p_pub_g2"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed P_pub encoding: {exc}") from None
+    p_pub_g1, rest1 = decode_g1(curve, g1_blob)
+    p_pub_g2, rest2 = decode_g2(curve, g2_blob)
+    if rest1 or rest2:
+        raise SerializationError("trailing bytes after P_pub point")
+    return p_pub_g1, p_pub_g2

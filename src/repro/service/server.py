@@ -1,0 +1,348 @@
+"""The verification gateway server.
+
+One asyncio process plays the KGC and verification front-end for a fleet
+of constrained clients:
+
+* **Per-connection framing with FIFO replies.**  Each connection gets a
+  reader loop and a writer task; every parsed frame claims a reply slot
+  *in arrival order* before it enters the shared queue, so clients can
+  pipeline requests without tagging and still match replies by position.
+  ``writer.drain()`` propagates TCP backpressure to slow readers.
+
+* **Bounded request queue with explicit load-shed.**  Requests are
+  admitted with ``put_nowait`` against a bounded queue; when it is full
+  the gateway answers ``BUSY`` immediately instead of buffering without
+  limit - the client owns the retry policy, the server owns its memory.
+
+* **Same-signer micro-batching.**  The consumer drains whatever is queued
+  (up to ``max_batch``), groups the VERIFY requests by (identity, public
+  key) and folds each group into
+  :meth:`~repro.core.batch.McCLSBatchVerifier.verify_same_signer` - a
+  warm same-signer burst of k signatures costs **one** pairing instead of
+  k.  A failed batch falls back to per-item verification so every request
+  still gets an exact verdict.
+
+* **Total error handling.**  Malformed payloads, unknown opcodes and
+  verification-time arithmetic failures become clean ``ERR`` replies on a
+  live connection.  The single unrecoverable case is an oversized length
+  prefix: after refusing to read the declared body the stream cannot be
+  re-synchronised, so the gateway sends ``ERR`` and closes that
+  connection (others are unaffected).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.batch import McCLSBatchVerifier
+from repro.core.mccls import McCLS
+from repro.core.params import KeyGenerationCenter
+from repro.core.serialization import encode_g1
+from repro.errors import ReproError, SerializationError
+from repro.obs.registry import get_registry
+from repro.pairing.bn import BNCurve, toy_curve
+from repro.service import protocol
+from repro.service.protocol import Opcode, Status
+
+#: (request body, reply future) as carried by the shared queue
+_Work = Tuple[bytes, "asyncio.Future[bytes]"]
+
+
+class VerificationGateway:
+    """KGC + verification front-end over the binary frame protocol."""
+
+    def __init__(
+        self,
+        kgc: Optional[KeyGenerationCenter] = None,
+        *,
+        curve: Optional[BNCurve] = None,
+        seed: Optional[int] = None,
+        cache_size: Optional[int] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_size: int = 256,
+        max_batch: int = 32,
+    ):
+        if kgc is None:
+            kgc = KeyGenerationCenter(
+                McCLS,
+                curve=curve if curve is not None else toy_curve(64),
+                seed=seed,
+                cache_size=cache_size,
+            )
+        self.kgc = kgc
+        self.batcher = McCLSBatchVerifier(kgc.scheme)
+        self.host = host
+        self.port = port
+        self.queue_size = queue_size
+        self.max_batch = max(1, max_batch)
+        self.counters: Dict[str, int] = {
+            "connections": 0,
+            "requests": 0,
+            "verify_requests": 0,
+            "verify_valid": 0,
+            "verify_invalid": 0,
+            "batches": 0,
+            "batched_requests": 0,
+            "batch_fallbacks": 0,
+            "enrollments": 0,
+            "rekeys": 0,
+            "busy_rejections": 0,
+            "protocol_errors": 0,
+        }
+        self._queue: Optional[asyncio.Queue] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._consumer: Optional[asyncio.Task] = None
+        self._connections: set = set()
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "VerificationGateway":
+        """Bind, start accepting connections and the batch consumer."""
+        self._queue = asyncio.Queue(self.queue_size)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._consumer = asyncio.create_task(self._consume())
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel the consumer, release the port."""
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+            self._connections.clear()
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+            self._consumer = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """start() and block until cancelled (the ``serve`` CLI command)."""
+        await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    # -- per-connection I/O -------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Shutdown cancelled this connection mid-teardown; end the
+            # task cleanly (asyncio's stream done-callback would re-raise
+            # a cancelled handler into the loop's exception handler).
+            pass
+        finally:
+            self._connections.discard(task)
+
+    async def _serve_connection(self, reader, writer) -> None:
+        self.counters["connections"] += 1
+        loop = asyncio.get_running_loop()
+        pending: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.create_task(self._write_replies(pending, writer))
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break  # clean EOF or mid-header truncation: just close
+                try:
+                    length = protocol.frame_length(header)
+                except SerializationError as exc:
+                    # Oversized declaration: refuse the body; the stream
+                    # cannot be re-synchronised, so reply ERR and close.
+                    self.counters["protocol_errors"] += 1
+                    future = loop.create_future()
+                    future.set_result(protocol.error_reply(str(exc)))
+                    await pending.put(future)
+                    break
+                try:
+                    body = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break  # truncated frame: sender vanished mid-body
+                future = loop.create_future()
+                await pending.put(future)
+                try:
+                    self._queue.put_nowait((body, future))
+                except asyncio.QueueFull:
+                    self.counters["busy_rejections"] += 1
+                    future.set_result(
+                        protocol.encode_reply(
+                            Status.BUSY, b"request queue full"
+                        )
+                    )
+        finally:
+            await pending.put(None)  # writer drains the backlog, then stops
+            await writer_task
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _write_replies(self, pending: asyncio.Queue, writer) -> None:
+        """Send replies strictly in request order (FIFO per connection)."""
+        while True:
+            future = await pending.get()
+            if future is None:
+                return
+            reply = await future
+            try:
+                writer.write(protocol.encode_frame(reply))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                # Peer is gone: keep consuming futures so the batch
+                # consumer never blocks on an abandoned connection.
+                continue
+
+    # -- batch consumer -----------------------------------------------------
+    async def _consume(self) -> None:
+        """Drain the shared queue, micro-batching whatever has piled up."""
+        while True:
+            first = await self._queue.get()
+            batch: List[_Work] = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                self._process(batch)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+            # Yield so connection tasks can refill the queue while the
+            # next batch accumulates.
+            await asyncio.sleep(0)
+
+    def _process(self, batch: List[_Work]) -> None:
+        """Decode and answer one drained batch (synchronous CPU work)."""
+        verifies: List[Tuple["asyncio.Future[bytes]", protocol.VerifyRequest]] = []
+        for body, future in batch:
+            if future.done():  # connection already answered (cannot happen
+                continue  # for queued work today, but stay defensive)
+            self.counters["requests"] += 1
+            try:
+                opcode, payload = protocol.decode_request(body)
+                if opcode == Opcode.VERIFY:
+                    request = protocol.decode_verify_payload(
+                        self.kgc.ctx.curve, payload
+                    )
+                    verifies.append((future, request))
+                    continue
+                future.set_result(self._answer(opcode, payload))
+            except SerializationError as exc:
+                self.counters["protocol_errors"] += 1
+                future.set_result(protocol.error_reply(str(exc)))
+            except ReproError as exc:
+                future.set_result(protocol.error_reply(str(exc)))
+            except Exception as exc:  # total: a bug must not kill the loop
+                future.set_result(
+                    protocol.error_reply(f"internal error: {exc}")
+                )
+        if verifies:
+            self._verify_grouped(verifies)
+
+    def _answer(self, opcode: Opcode, payload: bytes) -> bytes:
+        """One non-verify request -> one reply body."""
+        if opcode == Opcode.PING:
+            return protocol.encode_reply(Status.OK)
+        if opcode == Opcode.PARAMS:
+            return protocol.encode_reply(
+                Status.OK, protocol.encode_json_payload(self._params())
+            )
+        if opcode == Opcode.ENROLL:
+            identity = protocol.decode_enroll_payload(payload)
+            keys = self.kgc.enroll(identity)
+            self.counters["enrollments"] += 1
+            return protocol.encode_reply(
+                Status.OK,
+                protocol.encode_user_keys(self.kgc.ctx.curve, keys),
+            )
+        if opcode == Opcode.REKEY:
+            self.kgc.rekey()
+            self.counters["rekeys"] += 1
+            return protocol.encode_reply(
+                Status.OK, protocol.encode_json_payload(self._params())
+            )
+        if opcode == Opcode.STATS:
+            return protocol.encode_reply(
+                Status.OK, protocol.encode_json_payload(self.stats())
+            )
+        raise SerializationError(f"unhandled opcode {opcode}")
+
+    # -- verification -------------------------------------------------------
+    def _verify_grouped(self, verifies) -> None:
+        """Fold same-signer requests into one batch pairing each."""
+        curve = self.kgc.ctx.curve
+        groups: Dict[Tuple[str, bytes], list] = {}
+        for future, request in verifies:
+            key = (request.identity, encode_g1(curve, request.public_key))
+            groups.setdefault(key, []).append((future, request))
+        registry = get_registry()
+        for (identity, _pk_blob), members in groups.items():
+            self.counters["verify_requests"] += len(members)
+            verdicts = self._verify_group(identity, members)
+            for (future, _request), valid in zip(members, verdicts):
+                self.counters["verify_valid" if valid else "verify_invalid"] += 1
+                future.set_result(protocol.verify_reply(valid))
+            if registry.active:
+                registry.counter("service.verifies").inc(len(members))
+
+    def _verify_group(self, identity: str, members) -> List[bool]:
+        """Verdicts for one (identity, public key) group, in order."""
+        public_key = members[0][1].public_key
+        if len(members) == 1:
+            request = members[0][1]
+            return [self._verify_one(request)]
+        self.counters["batches"] += 1
+        self.counters["batched_requests"] += len(members)
+        items = [(req.message, req.signature) for _f, req in members]
+        try:
+            if self.batcher.verify_same_signer(items, identity, public_key):
+                return [True] * len(members)
+        except (ReproError, ValueError, ZeroDivisionError, ArithmeticError):
+            pass  # hostile batch content: settle per item below
+        # At least one member is bad (or the aggregate check could not
+        # run): fall back to exact per-item verification.
+        self.counters["batch_fallbacks"] += 1
+        return [self._verify_one(req) for _f, req in members]
+
+    def _verify_one(self, request: protocol.VerifyRequest) -> bool:
+        return self.kgc.scheme.verify(
+            request.message,
+            request.signature,
+            request.identity,
+            request.public_key,
+        )
+
+    # -- introspection ------------------------------------------------------
+    def _params(self) -> dict:
+        scheme = self.kgc.scheme
+        return protocol.params_document(
+            scheme.name, self.kgc.ctx.curve, scheme.p_pub_g1, scheme.p_pub_g2
+        )
+
+    def stats(self) -> dict:
+        """Counters + bounded-cache accounting (the STATS reply)."""
+        return {
+            "counters": dict(self.counters),
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "queue_size": self.queue_size,
+            "max_batch": self.max_batch,
+            "cache": self.kgc.ctx.cache_stats(),
+            "enrolled": len(self.kgc.issued_identities()),
+        }

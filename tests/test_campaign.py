@@ -4,8 +4,10 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.netsim import campaign as campaign_mod
+from repro.netsim import crypto_model
 from repro.netsim.campaign import compare_protocols, run_campaign, summarize
 from repro.netsim.faults import CrashSpec, FaultPlan
+from repro.netsim.crypto_model import OperationCosts
 from repro.netsim.scenario import ScenarioConfig, run_scenario
 
 FAST = dict(sim_time_s=15.0, n_flows=3, n_nodes=14)
@@ -139,3 +141,98 @@ class TestFaultAggregation:
         result = run_campaign(ScenarioConfig(**FAST), seeds=[1, 2])
         assert result.fault_counts == {}
         assert result.summary_line() == "campaign: 2/2 runs ok"
+
+
+class TestCalibration:
+    """``calibrate=True`` times the pairing ONCE in the parent and ships
+    the measured OperationCosts to every run - the per-worker re-timing
+    (which skewed simulated delays whenever a worker landed on a loaded
+    core) is gone."""
+
+    SENTINEL = OperationCosts(
+        pairing=0.123, scalar_mult=0.017, gt_exp=0.031, group_hash=0.005
+    )
+
+    def _patch_measurement(self, monkeypatch):
+        calls = []
+
+        def fake_calibrate(curve, samples=3):
+            calls.append(curve.name)
+            return self.SENTINEL
+
+        monkeypatch.setattr(crypto_model, "_CALIBRATED", {})
+        monkeypatch.setattr(
+            crypto_model, "calibrate_from_curve", fake_calibrate
+        )
+        return calls
+
+    def test_calibrates_once_and_prices_every_run(self, monkeypatch):
+        calls = self._patch_measurement(monkeypatch)
+        seen_costs = []
+
+        def spy_run_scenario(config):
+            seen_costs.append(config.crypto_costs)
+            return run_scenario(config)
+
+        monkeypatch.setattr(campaign_mod, "run_scenario", spy_run_scenario)
+        result = run_campaign(
+            ScenarioConfig(protocol="mccls", **FAST),
+            seeds=[1, 2, 3],
+            calibrate=True,
+        )
+        assert len(result.completed_seeds) == 3
+        assert calls == ["bn254"]  # measured exactly once, in the parent
+        assert seen_costs == [self.SENTINEL] * 3
+
+    def test_workers_receive_parent_costs(self, monkeypatch):
+        """The parallel fan-out ships the already-calibrated scenario;
+        no worker path can re-trigger a measurement."""
+        calls = self._patch_measurement(monkeypatch)
+        shipped = {}
+
+        def fake_parallel(config, seeds, workers):
+            shipped["costs"] = config.crypto_costs
+            # Deliver every seed so no serial fallback kicks in.
+            return {
+                seed: ("ok", {"packet_delivery_ratio": 1.0}, {})
+                for seed in seeds
+            }
+
+        monkeypatch.setattr(
+            campaign_mod, "_run_seeds_parallel", fake_parallel
+        )
+        run_campaign(
+            ScenarioConfig(protocol="mccls", **FAST),
+            seeds=[1, 2],
+            workers=2,
+            calibrate=True,
+        )
+        assert calls == ["bn254"]
+        assert shipped["costs"] == self.SENTINEL
+
+    def test_memoised_across_campaigns(self, monkeypatch):
+        calls = self._patch_measurement(monkeypatch)
+        config = ScenarioConfig(**FAST)
+        run_campaign(config, seeds=[1], calibrate=True)
+        run_campaign(config, seeds=[2], calibrate=True)
+        assert calls == ["bn254"]  # second campaign hits the memo
+
+    def test_real_crypto_calibrates_on_the_real_curve(self, monkeypatch):
+        calls = self._patch_measurement(monkeypatch)
+
+        def fake_run(config):
+            raise SimulationError("stop after calibration")
+
+        monkeypatch.setattr(campaign_mod, "run_scenario", fake_run)
+        with pytest.raises(SimulationError):
+            run_campaign(
+                ScenarioConfig(protocol="mccls", real_crypto=True, **FAST),
+                seeds=[1],
+                calibrate=True,
+            )
+        assert calls == ["bn-toy64"]
+
+    def test_disabled_by_default(self, monkeypatch):
+        calls = self._patch_measurement(monkeypatch)
+        run_campaign(ScenarioConfig(**FAST), seeds=[1])
+        assert calls == []

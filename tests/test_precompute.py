@@ -184,7 +184,7 @@ class TestContextFastPath:
     def test_disabled_context_registers_nothing(self):
         ctx = PairingContext(CURVE, precompute=False)
         assert ctx.fixed_base(CURVE.g1) is CURVE.g1
-        assert ctx._fixed_bases == {}
+        assert len(ctx._fixed_bases) == 0
 
 
 class TestPairCacheKeying:

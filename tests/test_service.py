@@ -1,0 +1,386 @@
+"""Verification gateway: protocol, batching, backpressure, rekey.
+
+Driven through ``asyncio.run`` from synchronous tests: each test builds
+an in-process gateway on a loopback port, runs one scripted exchange and
+tears everything down - no shared server state between tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import SerializationError, ServiceError
+from repro.pairing.bn import toy_curve
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.protocol import Opcode, Status
+from repro.service.server import VerificationGateway
+
+CURVE = toy_curve(32)
+MSG = b"route request 7"
+
+
+def gateway_test(coro_factory, **gateway_kwargs):
+    """Run one async test body against a fresh started gateway."""
+
+    async def main():
+        gateway_kwargs.setdefault("curve", CURVE)
+        gateway_kwargs.setdefault("seed", 5)
+        gateway = VerificationGateway(**gateway_kwargs)
+        await gateway.start()
+        try:
+            return await coro_factory(gateway)
+        finally:
+            await gateway.stop()
+
+    return asyncio.run(main())
+
+
+async def connected_client(gateway) -> ServiceClient:
+    client = ServiceClient(gateway.host, gateway.port)
+    await client.connect()
+    return client
+
+
+class TestProtocolCodec:
+    def test_frame_round_trip(self):
+        frame = protocol.encode_frame(b"hello")
+        assert protocol.frame_length(frame[:4]) == 5
+        assert frame[4:] == b"hello"
+
+    def test_oversized_frame_rejected_on_encode(self):
+        with pytest.raises(SerializationError):
+            protocol.encode_frame(b"x" * (protocol.MAX_FRAME + 1))
+
+    def test_oversized_declaration_rejected(self):
+        import struct
+
+        header = struct.pack("!I", protocol.MAX_FRAME + 1)
+        with pytest.raises(SerializationError):
+            protocol.frame_length(header)
+
+    def test_request_reply_envelopes(self):
+        opcode, payload = protocol.decode_request(
+            protocol.encode_request(Opcode.PING, b"abc")
+        )
+        assert (opcode, payload) == (Opcode.PING, b"abc")
+        status, payload = protocol.decode_reply(
+            protocol.encode_reply(Status.BUSY, b"full")
+        )
+        assert (status, payload) == (Status.BUSY, b"full")
+
+    def test_unknown_opcode_and_status_rejected(self):
+        with pytest.raises(SerializationError):
+            protocol.decode_request(bytes([250]) + b"x")
+        with pytest.raises(SerializationError):
+            protocol.decode_reply(bytes([250]))
+        with pytest.raises(SerializationError):
+            protocol.decode_request(b"")
+        with pytest.raises(SerializationError):
+            protocol.decode_reply(b"")
+
+    def test_verify_payload_round_trip(self):
+        from repro.core.mccls import McCLS
+        from repro.pairing.groups import PairingContext
+        import random
+
+        scheme = McCLS(PairingContext(CURVE, random.Random(1)))
+        keys = scheme.generate_user_keys("codec")
+        signature = scheme.sign(MSG, keys)
+        payload = protocol.encode_verify_payload(
+            CURVE, "codec", keys.public_key, MSG, signature
+        )
+        request = protocol.decode_verify_payload(CURVE, payload)
+        assert request.identity == "codec"
+        assert request.public_key == keys.public_key
+        assert request.message == MSG
+        assert request.signature == signature
+
+
+class TestGatewayBasics:
+    def test_ping_params_enroll_verify(self):
+        async def body(gateway):
+            client = await connected_client(gateway)
+            try:
+                assert await client.ping()
+                params = await client.params()
+                assert params["scheme"] == "mccls"
+                assert client.curve.name == CURVE.name
+
+                keys = await client.enroll("node-1")
+                signature = client.sign(MSG, keys)
+                assert await client.verify(
+                    "node-1", keys.public_key, MSG, signature
+                )
+                # Tampered message -> clean False, not an error.
+                assert not await client.verify(
+                    "node-1", keys.public_key, b"other", signature
+                )
+            finally:
+                await client.close()
+
+        gateway_test(body)
+
+    def test_enrolled_keys_verify_locally_too(self):
+        """The wire round trip preserves key material exactly: a local
+        verifier-view check agrees with the gateway."""
+
+        async def body(gateway):
+            client = await connected_client(gateway)
+            try:
+                keys = await client.enroll("node-2")
+                signature = client.sign(MSG, keys)
+                view = client.scheme_view()
+                assert view.verify(MSG, signature, "node-2", keys.public_key)
+            finally:
+                await client.close()
+
+        gateway_test(body)
+
+    def test_stats_shape(self):
+        async def body(gateway):
+            client = await connected_client(gateway)
+            try:
+                stats = await client.stats()
+                assert stats["counters"]["requests"] >= 1
+                assert set(stats["cache"]) == {
+                    "pairing",
+                    "miller",
+                    "fixed_bases",
+                }
+                assert stats["queue_size"] == gateway.queue_size
+            finally:
+                await client.close()
+
+        gateway_test(body)
+
+    def test_two_connections_are_independent(self):
+        async def body(gateway):
+            a = await connected_client(gateway)
+            b = await connected_client(gateway)
+            try:
+                keys = await a.enroll("shared")
+                signature = a.sign(MSG, keys)
+                # The other connection verifies what the first enrolled.
+                assert await b.verify("shared", keys.public_key, MSG, signature)
+            finally:
+                await a.close()
+                await b.close()
+
+        gateway_test(body)
+
+
+class TestMicroBatching:
+    def test_same_signer_burst_is_batched(self):
+        async def body(gateway):
+            client = await connected_client(gateway)
+            try:
+                keys = await client.enroll("burst")
+                items = []
+                for i in range(12):
+                    message = b"msg-%d" % i
+                    items.append(
+                        (
+                            "burst",
+                            keys.public_key,
+                            message,
+                            client.sign(message, keys),
+                        )
+                    )
+                outcomes = await client.verify_many(items)
+                assert all(o.ok and o.valid for o in outcomes)
+                assert gateway.counters["batches"] >= 1
+                assert gateway.counters["batched_requests"] >= 2
+                # A clean batch settles without the per-item fallback.
+                assert gateway.counters["batch_fallbacks"] == 0
+            finally:
+                await client.close()
+
+        gateway_test(body)
+
+    def test_bad_item_in_batch_gets_exact_verdict(self):
+        async def body(gateway):
+            client = await connected_client(gateway)
+            try:
+                keys = await client.enroll("mixed")
+                items = []
+                for i in range(8):
+                    message = b"msg-%d" % i
+                    items.append(
+                        (
+                            "mixed",
+                            keys.public_key,
+                            message,
+                            client.sign(message, keys),
+                        )
+                    )
+                # Tamper one message after signing: its verdict must be
+                # False while every other member stays True.
+                identity, pk, _msg, sig = items[3]
+                items[3] = (identity, pk, b"tampered", sig)
+                outcomes = await client.verify_many(items)
+                verdicts = [o.valid for o in outcomes]
+                assert verdicts == [
+                    True, True, True, False, True, True, True, True,
+                ]
+                assert gateway.counters["batch_fallbacks"] >= 1
+            finally:
+                await client.close()
+
+        gateway_test(body)
+
+    def test_replies_arrive_in_request_order(self):
+        async def body(gateway):
+            client = await connected_client(gateway)
+            try:
+                alice = await client.enroll("alice")
+                bob = await client.enroll("bob")
+                items = []
+                expected = []
+                for i in range(10):
+                    who = alice if i % 2 == 0 else bob
+                    message = b"m%d" % i
+                    good = i % 3 != 0
+                    signature = client.sign(
+                        message if good else b"forged", who
+                    )
+                    items.append(
+                        (who.identity, who.public_key, message, signature)
+                    )
+                    expected.append(good)
+                outcomes = await client.verify_many(items)
+                assert [o.valid for o in outcomes] == expected
+            finally:
+                await client.close()
+
+        gateway_test(body)
+
+
+class TestBackpressure:
+    def test_overflow_is_answered_busy(self):
+        """With the consumer paused, requests beyond the bounded queue get
+        an immediate BUSY verdict; queued ones complete after resume."""
+
+        async def body(gateway):
+            # Pause the batch consumer so the queue genuinely fills.
+            gateway._consumer.cancel()
+            try:
+                await gateway._consumer
+            except asyncio.CancelledError:
+                pass
+
+            client = await connected_client(gateway)
+            try:
+                keys_payload = protocol.encode_enroll_payload("x")
+                total = gateway.queue_size + 3
+                for _ in range(total):
+                    client._writer.write(
+                        protocol.encode_frame(
+                            protocol.encode_request(
+                                Opcode.ENROLL, keys_payload
+                            )
+                        )
+                    )
+                await client._writer.drain()
+                await asyncio.sleep(0.05)  # let the reader ingest frames
+                assert gateway.counters["busy_rejections"] == 3
+
+                # Resume the consumer; every admitted request completes
+                # and the shed ones surface as BUSY, all in order.
+                gateway._consumer = asyncio.create_task(gateway._consume())
+                statuses = []
+                for _ in range(total):
+                    status, _payload = await client._read_reply()
+                    statuses.append(status)
+                assert statuses.count(Status.BUSY) == 3
+                assert statuses.count(Status.OK) == gateway.queue_size
+                # FIFO: the shed requests were the LAST admitted.
+                assert statuses[-3:] == [Status.BUSY] * 3
+            finally:
+                await client.close()
+
+        gateway_test(body, queue_size=8)
+
+
+class TestRekeyOverTheWire:
+    def test_rekey_invalidates_and_reissues(self):
+        async def body(gateway):
+            client = await connected_client(gateway)
+            try:
+                old_params = await client.params()
+                keys = await client.enroll("node-r")
+                signature = client.sign(MSG, keys)
+                assert await client.verify(
+                    "node-r", keys.public_key, MSG, signature
+                )
+
+                new_params = await client.rekey()
+                assert new_params["p_pub_g1"] != old_params["p_pub_g1"]
+                # Old material is dead under the new master secret.
+                assert not await client.verify(
+                    "node-r", keys.public_key, MSG, signature
+                )
+                # The KGC re-issued the enrolled identity server-side.
+                fresh = gateway.kgc.keys_for("node-r")
+                fresh_sig = client.sign(MSG, fresh)
+                assert await client.verify(
+                    "node-r", fresh.public_key, MSG, fresh_sig
+                )
+            finally:
+                await client.close()
+
+        gateway_test(body)
+
+    def test_post_rekey_verify_misses_cache_once(self):
+        async def body(gateway):
+            client = await connected_client(gateway)
+            try:
+                await client.rekey()
+                keys = await client.enroll("probe")
+                signature = client.sign(MSG, keys)
+
+                def cache_totals(doc):
+                    miller = doc["cache"]["miller"]
+                    return miller["misses"], miller["hits"]
+
+                before = cache_totals(await client.stats())
+                assert await client.verify(
+                    "probe", keys.public_key, MSG, signature
+                )
+                after_first = cache_totals(await client.stats())
+                assert await client.verify(
+                    "probe", keys.public_key, MSG, signature
+                )
+                after_second = cache_totals(await client.stats())
+
+                # Exactly one cold miss, then a warm hit.
+                assert after_first[0] - before[0] == 1
+                assert after_first[1] - before[1] == 0
+                assert after_second[0] - after_first[0] == 0
+                assert after_second[1] - after_first[1] == 1
+            finally:
+                await client.close()
+
+        gateway_test(body)
+
+
+class TestClientErrors:
+    def test_err_reply_raises_service_error(self):
+        async def body(gateway):
+            client = await connected_client(gateway)
+            try:
+                with pytest.raises(ServiceError):
+                    await client._call(Opcode.ENROLL, b"\xff")  # bad payload
+                # The connection survives the error reply.
+                assert await client.ping()
+            finally:
+                await client.close()
+
+        gateway_test(body)
+
+    def test_sign_before_params_rejected(self):
+        client = ServiceClient()
+        with pytest.raises(ServiceError):
+            client.sign(MSG, None)

@@ -1,0 +1,309 @@
+"""Hostile-bytes fuzzing of the gateway protocol.
+
+The service decoder must be *total*: truncated frames, oversized length
+prefixes, garbage bodies and bit-corrupted signatures all end in a clean
+ERR reply or a clean False verdict on a live server - never a crashed
+connection, never an unhandled exception in the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import struct
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.pairing.bn import toy_curve
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.protocol import Opcode, Status
+from repro.service.server import VerificationGateway
+
+CURVE = toy_curve(32)
+MSG = b"fuzz target message"
+
+
+def gateway_test(coro_factory, **gateway_kwargs):
+    async def main():
+        gateway_kwargs.setdefault("curve", CURVE)
+        gateway_kwargs.setdefault("seed", 9)
+        gateway = VerificationGateway(**gateway_kwargs)
+        await gateway.start()
+        try:
+            return await coro_factory(gateway)
+        finally:
+            await gateway.stop()
+
+    return asyncio.run(main())
+
+
+async def raw_connection(gateway):
+    return await asyncio.open_connection(gateway.host, gateway.port)
+
+
+async def read_reply(reader):
+    header = await reader.readexactly(4)
+    body = await reader.readexactly(protocol.frame_length(header))
+    return protocol.decode_reply(body)
+
+
+async def server_still_serves(gateway) -> bool:
+    """A fresh connection gets a clean PING reply."""
+    client = ServiceClient(gateway.host, gateway.port)
+    await client.connect()
+    try:
+        return await client.ping()
+    finally:
+        await client.close()
+
+
+class TestCodecTotality:
+    """The sync codec never raises anything but SerializationError."""
+
+    def test_random_bodies(self):
+        rng = random.Random(0xF022)
+        for _ in range(500):
+            blob = rng.randbytes(rng.randrange(0, 64))
+            for decoder in (protocol.decode_request, protocol.decode_reply):
+                try:
+                    decoder(blob)
+                except SerializationError:
+                    pass
+
+    def test_random_verify_payloads(self):
+        rng = random.Random(42)
+        for _ in range(300):
+            blob = rng.randbytes(rng.randrange(0, 160))
+            try:
+                protocol.decode_verify_payload(CURVE, blob)
+            except SerializationError:
+                pass
+
+    def test_random_json_payloads(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            blob = rng.randbytes(rng.randrange(0, 40))
+            try:
+                protocol.decode_json_payload(blob)
+            except SerializationError:
+                pass
+
+    def test_truncated_valid_payload_every_length(self):
+        """Every prefix of a well-formed verify payload is rejected
+        cleanly (no slice is accidentally decodable)."""
+        import random as _random
+
+        from repro.core.mccls import McCLS
+        from repro.pairing.groups import PairingContext
+
+        scheme = McCLS(PairingContext(CURVE, _random.Random(3)))
+        keys = scheme.generate_user_keys("trunc")
+        payload = protocol.encode_verify_payload(
+            CURVE, "trunc", keys.public_key, MSG, scheme.sign(MSG, keys)
+        )
+        for cut in range(len(payload)):
+            with pytest.raises(SerializationError):
+                protocol.decode_verify_payload(CURVE, payload[:cut])
+
+
+class TestHostileFrames:
+    def test_truncated_header_then_server_alive(self):
+        async def body(gateway):
+            reader, writer = await raw_connection(gateway)
+            writer.write(b"\x00\x00")  # half a length prefix, then vanish
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            assert await server_still_serves(gateway)
+
+        gateway_test(body)
+
+    def test_truncated_body_then_server_alive(self):
+        async def body(gateway):
+            reader, writer = await raw_connection(gateway)
+            writer.write(struct.pack("!I", 100) + b"short")
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            assert await server_still_serves(gateway)
+
+        gateway_test(body)
+
+    def test_oversized_length_prefix_gets_err_then_close(self):
+        async def body(gateway):
+            reader, writer = await raw_connection(gateway)
+            writer.write(struct.pack("!I", protocol.MAX_FRAME + 1))
+            await writer.drain()
+            status, payload = await read_reply(reader)
+            assert status == Status.ERR
+            assert b"exceeds" in payload
+            # Framing cannot re-sync after a refused body: connection is
+            # closed by the server...
+            assert await reader.read(1) == b""
+            writer.close()
+            await writer.wait_closed()
+            # ...but the server itself keeps serving.
+            assert await server_still_serves(gateway)
+
+        gateway_test(body)
+
+    def test_max_u32_length_prefix(self):
+        async def body(gateway):
+            reader, writer = await raw_connection(gateway)
+            writer.write(struct.pack("!I", 0xFFFFFFFF))
+            await writer.drain()
+            status, _payload = await read_reply(reader)
+            assert status == Status.ERR
+            writer.close()
+            await writer.wait_closed()
+            assert await server_still_serves(gateway)
+
+        gateway_test(body)
+
+    def test_garbage_bodies_keep_connection_alive(self):
+        """A stream of well-framed garbage gets one ERR each, in order,
+        on a connection that still answers a valid request afterwards."""
+
+        async def body(gateway):
+            rng = random.Random(11)
+            reader, writer = await raw_connection(gateway)
+            count = 25
+            for _ in range(count):
+                writer.write(
+                    protocol.encode_frame(rng.randbytes(rng.randrange(0, 48)))
+                )
+            writer.write(
+                protocol.encode_frame(protocol.encode_request(Opcode.PING))
+            )
+            await writer.drain()
+            statuses = []
+            for _ in range(count + 1):
+                status, _payload = await read_reply(reader)
+                statuses.append(status)
+            assert statuses[-1] == Status.OK  # the PING survived the storm
+            assert all(s == Status.ERR for s in statuses[:-1])
+            writer.close()
+            await writer.wait_closed()
+
+        gateway_test(body)
+
+    def test_empty_body_and_unknown_opcode(self):
+        async def body(gateway):
+            reader, writer = await raw_connection(gateway)
+            writer.write(protocol.encode_frame(b""))
+            writer.write(protocol.encode_frame(bytes([123]) + b"payload"))
+            writer.write(
+                protocol.encode_frame(protocol.encode_request(Opcode.PING))
+            )
+            await writer.drain()
+            first = await read_reply(reader)
+            second = await read_reply(reader)
+            third = await read_reply(reader)
+            assert first[0] == Status.ERR
+            assert second[0] == Status.ERR
+            assert third[0] == Status.OK
+            writer.close()
+            await writer.wait_closed()
+
+        gateway_test(body)
+
+
+class TestCorruptedSignatures:
+    def test_every_bit_flip_is_handled_cleanly(self):
+        """Flip each byte of a valid verify request's signature region:
+        the reply is OK(False) or ERR - never True, never a dead socket."""
+
+        async def body(gateway):
+            client = ServiceClient(gateway.host, gateway.port)
+            await client.connect()
+            try:
+                keys = await client.enroll("victim")
+                signature = client.sign(MSG, keys)
+                payload = bytearray(
+                    protocol.encode_verify_payload(
+                        CURVE, "victim", keys.public_key, MSG, signature
+                    )
+                )
+                from repro.core.serialization import mccls_signature_size
+
+                sig_size = mccls_signature_size(CURVE)
+                sig_start = len(payload) - sig_size
+                rng = random.Random(99)
+
+                # One connection, every corrupted request pipelined on it.
+                flips = []
+                for offset in range(sig_start, len(payload)):
+                    bit = rng.randrange(8)
+                    mutated = bytearray(payload)
+                    mutated[offset] ^= 1 << bit
+                    flips.append(bytes(mutated))
+                for blob in flips:
+                    client._writer.write(
+                        protocol.encode_frame(
+                            protocol.encode_request(Opcode.VERIFY, blob)
+                        )
+                    )
+                await client._writer.drain()
+                accepted = 0
+                for _ in flips:
+                    status, reply = await client._read_reply()
+                    if status == Status.OK:
+                        assert reply == b"\x00"  # must never verify
+                    else:
+                        assert status == Status.ERR
+                        accepted += 1
+                # The untouched original still verifies on the very same
+                # connection: nothing crashed, nothing was poisoned.
+                assert await client.verify(
+                    "victim", keys.public_key, MSG, signature
+                )
+            finally:
+                await client.close()
+
+        gateway_test(body)
+
+    def test_corrupted_public_key_and_identity_fields(self):
+        async def body(gateway):
+            client = ServiceClient(gateway.host, gateway.port)
+            await client.connect()
+            try:
+                keys = await client.enroll("victim2")
+                signature = client.sign(MSG, keys)
+                payload = bytearray(
+                    protocol.encode_verify_payload(
+                        CURVE, "victim2", keys.public_key, MSG, signature
+                    )
+                )
+                rng = random.Random(5)
+                for _ in range(60):
+                    mutated = bytearray(payload)
+                    offset = rng.randrange(len(mutated))
+                    mutated[offset] ^= 1 << rng.randrange(8)
+                    client._writer.write(
+                        protocol.encode_frame(
+                            protocol.encode_request(
+                                Opcode.VERIFY, bytes(mutated)
+                            )
+                        )
+                    )
+                await client._writer.drain()
+                for _ in range(60):
+                    status, reply = await client._read_reply()
+                    if status == Status.OK:
+                        # A flipped identity/message byte can still be a
+                        # well-formed request - it just never verifies as
+                        # a *different* request than the signed one...
+                        # unless the flip was in a genuinely ignored bit
+                        # of nothing: there is none, so True means the
+                        # decode round-tripped to the original, which a
+                        # single bit flip cannot.
+                        assert reply == b"\x00"
+                    else:
+                        assert status == Status.ERR
+                assert await client.ping()
+            finally:
+                await client.close()
+
+        gateway_test(body)
