@@ -1,0 +1,337 @@
+"""``python -m repro benchdiff old.json new.json`` - bench regression gate.
+
+Schema-aware comparator over the committed ``benchmarks/results/
+BENCH_*.json`` documents.  It flattens both files into named metrics,
+prints a delta table, and exits nonzero when any **gated** metric moves
+in its bad direction by more than ``--fail-over`` percent (default 10).
+
+Gating policy:
+
+* service bench (``verify`` block): ``throughput_rps`` is higher-better
+  and gated; client/server latency percentiles are lower-better and
+  gated; verdict counts and cache accounting are informational.
+* pairing bench (``results`` list): deterministic ``fp_mul`` operation
+  counts are lower-better and gated (they cannot flake with machine
+  speed); wall-clock ``seconds`` are informational only.
+
+Informational metrics always print but never gate, so the CI job stays
+deterministic on shared runners.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: gating direction per metric
+HIGHER_BETTER = "higher"
+LOWER_BETTER = "lower"
+INFO = "info"
+
+
+class BenchDiffError(ReproError):
+    """A bench document could not be read or understood."""
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One comparable number extracted from a bench document."""
+
+    name: str
+    value: float
+    direction: str  # HIGHER_BETTER / LOWER_BETTER / INFO
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric compared across the two documents."""
+
+    name: str
+    old: float
+    new: float
+    direction: str
+
+    @property
+    def pct(self) -> float:
+        """Signed percent change (new vs old)."""
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return 100.0 * (self.new - self.old) / abs(self.old)
+
+    def regression_pct(self) -> float:
+        """How far the metric moved in its *bad* direction, in percent."""
+        if self.direction == HIGHER_BETTER:
+            return max(0.0, -self.pct)
+        if self.direction == LOWER_BETTER:
+            return max(0.0, self.pct)
+        return 0.0
+
+
+# ---------------------------------------------------------------------------
+# Extraction
+# ---------------------------------------------------------------------------
+
+
+def load_document(path: str) -> dict:
+    """Read one bench JSON document (total: errors become BenchDiffError)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise BenchDiffError(f"cannot read {path}: {exc}") from None
+    except ValueError as exc:
+        raise BenchDiffError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(document, dict):
+        raise BenchDiffError(f"{path} must hold a JSON object")
+    return document
+
+
+def detect_kind(document: dict) -> str:
+    """Which bench family a document belongs to."""
+    if "results" in document and isinstance(document["results"], list):
+        return "pairing"
+    if "verify" in document:
+        return "service"
+    raise BenchDiffError(
+        "unrecognised bench document (expected a service bench with a"
+        " 'verify' block or a pairing bench with a 'results' list)"
+    )
+
+
+def _number(value) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def extract_service_metrics(document: dict) -> List[Metric]:
+    """Flatten a service (loadgen) bench document into named metrics."""
+    metrics: List[Metric] = []
+    verify = document.get("verify") or {}
+    throughput = _number(verify.get("throughput_rps"))
+    if throughput is not None:
+        metrics.append(
+            Metric("verify.throughput_rps", throughput, HIGHER_BETTER)
+        )
+    for block, label, direction in (
+        (verify.get("latency_ms"), "verify.latency_ms", LOWER_BETTER),
+        (document.get("enroll"), "enroll", INFO),
+    ):
+        if not isinstance(block, dict):
+            continue
+        for key in sorted(block):
+            value = _number(block[key])
+            if value is not None:
+                metrics.append(Metric(f"{label}.{key}", value, direction))
+    # Server-side stage summaries (schema v2): gate the request percentiles,
+    # report the rest.
+    server = document.get("server_latency_ms")
+    if isinstance(server, dict):
+        for stage in sorted(server):
+            summary = server[stage]
+            if not isinstance(summary, dict):
+                continue
+            gated = stage == "request"
+            for key in sorted(summary):
+                value = _number(summary[key])
+                if value is None:
+                    continue
+                direction = (
+                    LOWER_BETTER
+                    if gated and key in ("p50", "p90", "p99")
+                    else INFO
+                )
+                metrics.append(
+                    Metric(f"server.{stage}_ms.{key}", value, direction)
+                )
+    for name, stats in sorted((document.get("cache") or {}).items()):
+        if isinstance(stats, dict):
+            for key in ("hits", "misses", "evictions"):
+                value = _number(stats.get(key))
+                if value is not None:
+                    metrics.append(Metric(f"cache.{name}.{key}", value, INFO))
+    for key in ("valid", "invalid", "busy_retries", "connection_errors"):
+        value = _number(verify.get(key))
+        if value is not None:
+            metrics.append(Metric(f"verify.{key}", value, INFO))
+    return metrics
+
+
+def extract_pairing_metrics(document: dict) -> List[Metric]:
+    """Flatten a pairing bench document into named metrics."""
+    metrics: List[Metric] = []
+    for row in document.get("results", []):
+        if not isinstance(row, dict):
+            continue
+        curve = row.get("curve", f"bits{row.get('bits', '?')}")
+        for block_name in ("mccls_cold_verify", "zwxf_warm_multi_pairing_verify"):
+            block = row.get(block_name)
+            if not isinstance(block, dict):
+                continue
+            for key in sorted(block):
+                value = _number(block[key])
+                if value is None:
+                    continue
+                direction = LOWER_BETTER if key == "fp_mul" else INFO
+                metrics.append(
+                    Metric(f"{curve}.{block_name}.{key}", value, direction)
+                )
+        single = row.get("single_pairing")
+        if isinstance(single, dict):
+            optimized = single.get("optimized")
+            if isinstance(optimized, dict):
+                value = _number(optimized.get("fp_mul"))
+                if value is not None:
+                    metrics.append(
+                        Metric(
+                            f"{curve}.single_pairing.optimized.fp_mul",
+                            value,
+                            LOWER_BETTER,
+                        )
+                    )
+                seconds = _number(optimized.get("seconds"))
+                if seconds is not None:
+                    metrics.append(
+                        Metric(
+                            f"{curve}.single_pairing.optimized.seconds",
+                            seconds,
+                            INFO,
+                        )
+                    )
+            speedup = _number(single.get("speedup"))
+            if speedup is not None:
+                metrics.append(
+                    Metric(f"{curve}.single_pairing.speedup", speedup, INFO)
+                )
+    return metrics
+
+
+def extract_metrics(document: dict) -> Tuple[str, List[Metric]]:
+    """Detect the bench family and extract its metrics."""
+    kind = detect_kind(document)
+    if kind == "service":
+        return kind, extract_service_metrics(document)
+    return kind, extract_pairing_metrics(document)
+
+
+# ---------------------------------------------------------------------------
+# Comparison + rendering
+# ---------------------------------------------------------------------------
+
+
+def compare(old: dict, new: dict) -> Tuple[str, List[Delta]]:
+    """Pair up metrics present in both documents."""
+    old_kind, old_metrics = extract_metrics(old)
+    new_kind, new_metrics = extract_metrics(new)
+    if old_kind != new_kind:
+        raise BenchDiffError(
+            f"cannot compare a {old_kind} bench against a {new_kind} bench"
+        )
+    new_by_name: Dict[str, Metric] = {m.name: m for m in new_metrics}
+    deltas = [
+        Delta(m.name, m.value, new_by_name[m.name].value, m.direction)
+        for m in old_metrics
+        if m.name in new_by_name
+    ]
+    if not deltas:
+        raise BenchDiffError("the two documents share no comparable metrics")
+    return old_kind, deltas
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_table(
+    kind: str, deltas: List[Delta], fail_over: float
+) -> Tuple[List[str], List[Delta]]:
+    """The delta table plus the regressions past the threshold."""
+    width = max(len(d.name) for d in deltas)
+    lines = [
+        f"benchdiff ({kind} bench, fail threshold {fail_over:g}% on gated"
+        " metrics)",
+        f"{'metric':<{width}}  {'old':>12}  {'new':>12}  {'delta':>9}  gate",
+    ]
+    regressions: List[Delta] = []
+    for delta in deltas:
+        over = delta.regression_pct() > fail_over
+        if delta.direction == INFO:
+            gate = "info"
+        elif over:
+            gate = "FAIL"
+        else:
+            gate = "ok"
+        if over and delta.direction != INFO:
+            regressions.append(delta)
+        pct = delta.pct
+        pct_text = "   inf%" if pct == float("inf") else f"{pct:+8.1f}%"
+        lines.append(
+            f"{delta.name:<{width}}  {_fmt(delta.old):>12}"
+            f"  {_fmt(delta.new):>12}  {pct_text:>9}  {gate}"
+        )
+    if regressions:
+        lines.append("")
+        lines.append(
+            f"REGRESSION: {len(regressions)} gated metric(s) moved more than"
+            f" {fail_over:g}% the wrong way:"
+        )
+        for delta in regressions:
+            lines.append(
+                f"  {delta.name}: {_fmt(delta.old)} -> {_fmt(delta.new)}"
+                f" ({delta.regression_pct():.1f}% worse,"
+                f" {delta.direction}-is-better)"
+            )
+    else:
+        lines.append("")
+        lines.append("no gated regressions")
+    return lines, regressions
+
+
+def run_benchdiff(
+    old_path: str,
+    new_path: str,
+    fail_over: float = 10.0,
+    out=print,
+) -> int:
+    """Compare two bench documents; nonzero exit on gated regression."""
+    try:
+        kind, deltas = compare(
+            load_document(old_path), load_document(new_path)
+        )
+    except BenchDiffError as exc:
+        out(f"benchdiff: {exc}")
+        return 2
+    lines, regressions = render_table(kind, deltas, fail_over)
+    out("\n".join(lines))
+    return 1 if regressions else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.benchdiff``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro benchdiff",
+        description="compare two BENCH_*.json documents and gate regressions",
+    )
+    parser.add_argument("old", help="baseline bench JSON")
+    parser.add_argument("new", help="candidate bench JSON")
+    parser.add_argument(
+        "--fail-over",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="fail when a gated metric regresses more than PCT%% (default 10)",
+    )
+    args = parser.parse_args(argv)
+    return run_benchdiff(args.old, args.new, args.fail_over)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,13 @@ Commands:
   auditable campaign-end fault/failure summary.
 * ``table1``   - print the Table 1 scheme comparison (measured).
 * ``games``    - run the security-game battery (McCLS vs McCLS+).
+* ``serve``    - run the verification gateway (``--trace-out`` streams
+  server-side request spans as JSONL).
+* ``loadgen``  - drive load at a gateway; ``--trace-out`` captures the
+  full client->queue->batch->pairing span trace of the run.
+* ``top``      - live terminal dashboard polling a gateway's STATS.
+* ``benchdiff`` - compare two BENCH_*.json files; nonzero exit when a
+  gated metric regresses past ``--fail-over`` percent.
 
 Fault injection (scenario/sweep/campaign): ``--faults SPEC`` attaches a
 deterministic :class:`~repro.netsim.faults.FaultPlan`; SPEC is inline JSON
@@ -387,6 +394,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.pairing.bn import toy_curve
     from repro.service.server import VerificationGateway
 
+    sink = obs.open_sink(args.trace_out)
     gateway = VerificationGateway(
         curve=toy_curve(args.bits),
         seed=args.seed,
@@ -395,6 +403,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         queue_size=args.queue_size,
         max_batch=args.max_batch,
+        sink=sink if sink.enabled else None,
     )
 
     async def _serve() -> None:
@@ -410,6 +419,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("gateway stopped")
+    finally:
+        sink.close()
     return 0
 
 
@@ -432,6 +443,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         out=args.out,
         host=args.host,
         port=args.port,
+        trace_out=args.trace_out,
     )
     result = run_loadgen(config)
     if args.json:
@@ -442,6 +454,25 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         if config.out:
             print(f"wrote {config.out}")
     return 0 if result["ok"] else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a gateway's STATS endpoint."""
+    from repro.service.top import run_top
+
+    return run_top(
+        host=args.host,
+        port=args.port,
+        interval_s=args.interval,
+        iterations=args.iterations,
+    )
+
+
+def cmd_benchdiff(args: argparse.Namespace) -> int:
+    """Compare two bench documents; gate on regressions."""
+    from repro.benchdiff import run_benchdiff
+
+    return run_benchdiff(args.old, args.new, fail_over=args.fail_over)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -546,6 +577,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=32,
         help="micro-batcher drain limit per consumer cycle",
     )
+    serve.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="stream server-side request spans to FILE (JSONL)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     loadgen = sub.add_parser(
@@ -577,8 +614,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="target an external gateway (default: in-process)",
     )
     loadgen.add_argument("--port", type=int, default=7754)
+    loadgen.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="stream the client+server span trace of the run to FILE (JSONL)",
+    )
     loadgen.add_argument("--json", action="store_true")
     loadgen.set_defaults(func=cmd_loadgen)
+
+    top = sub.add_parser(
+        "top", help="live dashboard polling a gateway's STATS"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7754)
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="poll interval seconds"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N polls (default: run until interrupted)",
+    )
+    top.set_defaults(func=cmd_top)
+
+    benchdiff = sub.add_parser(
+        "benchdiff",
+        help="compare two BENCH_*.json files and gate regressions",
+    )
+    benchdiff.add_argument("old", help="baseline bench JSON")
+    benchdiff.add_argument("new", help="candidate bench JSON")
+    benchdiff.add_argument(
+        "--fail-over",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="fail when a gated metric regresses more than PCT%% (default 10)",
+    )
+    benchdiff.set_defaults(func=cmd_benchdiff)
     return parser
 
 

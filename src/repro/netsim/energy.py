@@ -61,13 +61,15 @@ class EnergyMeter:
         for node_id, node in nodes.items():
             original = node.cpu_process
 
-            def metered(cost_s, callback, *args, _nid=node_id, _orig=original):
+            def metered(
+                cost_s, callback, *args, _nid=node_id, _orig=original, **kwargs
+            ):
                 if cost_s > 0:
                     self.cpu_joules[_nid] = (
                         self.cpu_joules.get(_nid, 0.0)
                         + cost_s * self.cpu_active_watts
                     )
-                _orig(cost_s, callback, *args)
+                _orig(cost_s, callback, *args, **kwargs)
 
             node.cpu_process = metered
 

@@ -111,14 +111,32 @@ class NetworkNode:
             events.emit(event, t=self.sim.now, node=self.node_id, **fields)
 
     # -- CPU model -----------------------------------------------------------------
-    def cpu_process(self, cost_s: float, callback: Callable, *args) -> None:
-        """Run ``callback`` after ``cost_s`` seconds of (serialised) CPU time."""
+    def cpu_process(
+        self, cost_s: float, callback: Callable, *args, op: str = None
+    ) -> None:
+        """Run ``callback`` after ``cost_s`` seconds of (serialised) CPU time.
+
+        An ``op`` label (e.g. ``"verify"``) turns the busy window into a
+        ``span`` event on the simulator's event sink - the sim-time
+        analogue of the service's wall-clock stage spans, so a trace can
+        attribute protocol latency to individual crypto operations.
+        Free when tracing is disabled.
+        """
         if cost_s <= 0:
             callback(*args)
             return
         start = max(self.sim.now, self._cpu_busy_until)
         finish = start + cost_s
         self._cpu_busy_until = finish
+        if op is not None and self.sim.events.enabled:
+            self.sim.events.emit(
+                "span",
+                name=f"crypto.{op}",
+                t=start,
+                node=self.node_id,
+                ms=round(cost_s * 1e3, 4),
+                queued_ms=round((start - self.sim.now) * 1e3, 4),
+            )
         self.sim.schedule_at(finish, callback, *args)
 
     # -- protocol hook ---------------------------------------------------------------

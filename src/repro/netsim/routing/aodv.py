@@ -208,6 +208,7 @@ class AODVNode(NetworkNode):
             self.crypto.sign_delay() if rreq.auth else 0.0,
             self.broadcast,
             rreq,
+            op="sign",
         )
         timeout = NET_TRAVERSAL_TIME * (1 + (RREQ_RETRIES - pending.retries_left))
         pending.timer = self.sim.schedule(
@@ -276,7 +277,9 @@ class AODVNode(NetworkNode):
         if len(self._seen_rreqs) > 4096:
             self._prune_seen_cache()
 
-        self.cpu_process(self._verify_cost(rreq), self._process_rreq, frame, rreq)
+        self.cpu_process(
+            self._verify_cost(rreq), self._process_rreq, frame, rreq, op="verify"
+        )
 
     def _process_rreq(self, frame: Frame, rreq: RouteRequest) -> None:
         now = self.sim.now
@@ -323,6 +326,7 @@ class AODVNode(NetworkNode):
             self.broadcast,
             forwarded,
             self._rreq_forward_jitter(),
+            op="sign",
         )
 
     def _send_rrep_as_destination(self, frame: Frame, rreq: RouteRequest) -> None:
@@ -350,6 +354,7 @@ class AODVNode(NetworkNode):
             self.unicast,
             frame.sender,
             rrep,
+            op="sign",
         )
 
     def _send_rrep_from_cache(self, frame, rreq: RouteRequest, route) -> None:
@@ -376,6 +381,7 @@ class AODVNode(NetworkNode):
             self.unicast,
             frame.sender,
             rrep,
+            op="sign",
         )
 
     # ------------------------------------------------------------------ RREP handling
@@ -384,9 +390,13 @@ class AODVNode(NetworkNode):
             return
         if rrep.originator == rrep.destination == rrep.responder:
             # HELLO beacon: consume, never forward.
-            self.cpu_process(self._verify_cost(rrep), self._handle_hello, frame, rrep)
+            self.cpu_process(
+                self._verify_cost(rrep), self._handle_hello, frame, rrep, op="verify"
+            )
             return
-        self.cpu_process(self._verify_cost(rrep), self._process_rrep, frame, rrep)
+        self.cpu_process(
+            self._verify_cost(rrep), self._process_rrep, frame, rrep, op="verify"
+        )
 
     def _process_rrep(self, frame: Frame, rrep: RouteReply) -> None:
         now = self.sim.now
@@ -413,7 +423,7 @@ class AODVNode(NetworkNode):
         self.table.add_precursor(rrep.destination, next_hop)
         self.metrics.rrep_forwarded += 1
         self.cpu_process(
-            self._forward_sign_cost(), self.unicast, next_hop, forwarded
+            self._forward_sign_cost(), self.unicast, next_hop, forwarded, op="sign"
         )
 
     def _reverse_next_hop(self, rrep: RouteReply) -> Optional[int]:
@@ -493,7 +503,10 @@ class AODVNode(NetworkNode):
             hop_auth=self._make_hop_auth(signed_fields),
         )
         self.cpu_process(
-            self.crypto.sign_delay() if hello.auth else 0.0, self.broadcast, hello
+            self.crypto.sign_delay() if hello.auth else 0.0,
+            self.broadcast,
+            hello,
+            op="sign",
         )
         self._expire_silent_neighbors()
         self._hello_timer = self.sim.schedule(self.hello_interval, self._hello_tick)

@@ -308,7 +308,9 @@ class McCLSAODVNode(AODVNode):
             hop_auth=self._make_hop_auth(signed_fields),
         )
         self.metrics.rrep_sent += 1
-        self.cpu_process(self.crypto.sign_delay(), self.unicast, target, rrep)
+        self.cpu_process(
+            self.crypto.sign_delay(), self.unicast, target, rrep, op="sign"
+        )
 
     def _reverse_next_hop(self, rrep) -> Optional[int]:
         if not self.rushing_defense:

@@ -12,6 +12,12 @@ Three pieces, designed to be zero-cost when disabled (the default):
   discovery, signature accept/reject, attacker drops, queue samples).
 * :mod:`repro.obs.report` - renders any registry snapshot as aligned text
   or machine-readable JSON (the ``--json`` CLI output).
+* :mod:`repro.obs.trace` - request-scoped spans (``span("verify",
+  trace_id=...)``) that time stages, nest under one trace id and emit to
+  an event sink; the service threads trace ids over the wire so one
+  verify is followable client -> queue -> batch -> pairing -> reply.
+* :mod:`repro.obs.exposition` - Prometheus text exposition of registry
+  snapshots (the gateway's METRICS opcode).
 
 Quick profile::
 
@@ -31,6 +37,7 @@ from repro.obs.events import (
     NullEventSink,
     open_sink,
 )
+from repro.obs.exposition import PrometheusRenderer, render_prometheus
 from repro.obs.registry import (
     Counter,
     Histogram,
@@ -47,6 +54,17 @@ from repro.obs.registry import (
 )
 from repro.obs.report import parse_json, render_json, render_text
 from repro.obs.runtime import OP_NAMES, FieldOpTally
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_trace_id,
+    get_tracer,
+    next_trace_id,
+    set_tracer,
+    span,
+    tracing,
+)
 
 __all__ = [
     "Counter",
@@ -57,19 +75,30 @@ __all__ = [
     "ListEventSink",
     "NULL_EVENT_SINK",
     "NULL_REGISTRY",
+    "NULL_TRACER",
     "NullEventSink",
     "NullRegistry",
+    "NullTracer",
     "OP_NAMES",
+    "PrometheusRenderer",
     "Registry",
     "Timer",
+    "Tracer",
     "collecting",
+    "current_trace_id",
     "disable",
     "enable",
     "get_registry",
+    "get_tracer",
+    "next_trace_id",
     "open_sink",
     "parse_json",
     "phase",
     "render_json",
+    "render_prometheus",
     "render_text",
     "set_registry",
+    "set_tracer",
+    "span",
+    "tracing",
 ]

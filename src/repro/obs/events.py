@@ -68,7 +68,11 @@ class JsonlEventSink(EventSink):
 
     def __init__(self, target: Union[str, TextIO]):
         if isinstance(target, str):
-            self._fp: Optional[TextIO] = open(target, "w", encoding="utf-8")
+            # Line-buffered so a killed process (e.g. SIGTERM to a traced
+            # gateway) keeps every event written so far.
+            self._fp: Optional[TextIO] = open(
+                target, "w", encoding="utf-8", buffering=1
+            )
             self._owns_fp = True
         else:
             self._fp = target

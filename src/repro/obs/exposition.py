@@ -1,0 +1,181 @@
+"""Prometheus text exposition of registry snapshots (the METRICS reply).
+
+Renders the version-0.0.4 text format scrapers understand: ``# TYPE``
+headers, ``name{label="value"} number`` samples, counters suffixed
+``_total``, histograms as summaries with ``quantile`` labels plus
+``_sum``/``_count``.  Metric names are sanitised to the Prometheus
+charset (dots become underscores) and label values are escaped, so any
+registry content renders parseably.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.registry import _parse_rendered_key
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def sanitize_metric_name(name: str, prefix: str = "") -> str:
+    """A legal Prometheus metric name for an instrument name."""
+    full = f"{prefix}_{name}" if prefix else name
+    full = _NAME_BAD.sub("_", full)
+    if not full or full[0].isdigit():
+        full = f"_{full}"
+    return full
+
+
+def escape_label_value(value: str) -> str:
+    """Backslash-escape a label value per the text exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_NAME_BAD.sub("_", key)}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Family:
+    """One metric family: a TYPE header plus its sample lines, rendered
+    once per name no matter how many label combinations feed it."""
+
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind
+        self.lines: List[str] = []
+
+    def sample(
+        self,
+        value: float,
+        labels: Optional[Dict[str, str]] = None,
+        suffix: str = "",
+    ) -> None:
+        self.lines.append(
+            f"{self.name}{suffix}{_render_labels(labels or {})} "
+            f"{_format_number(value)}"
+        )
+
+    def render(self) -> List[str]:
+        return [f"# TYPE {self.name} {self.kind}"] + self.lines
+
+
+class PrometheusRenderer:
+    """Accumulates metric families and renders one exposition document."""
+
+    def __init__(self, prefix: str = "repro"):
+        self.prefix = prefix
+        self._families: Dict[str, _Family] = {}
+
+    def _family(self, name: str, kind: str) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _Family(name, kind)
+        return family
+
+    def counter(
+        self, name: str, value: float, labels: Optional[Dict[str, str]] = None
+    ) -> None:
+        """One counter sample; ``_total`` is appended when missing."""
+        metric = sanitize_metric_name(name, self.prefix)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        self._family(metric, "counter").sample(value, labels)
+
+    def gauge(
+        self, name: str, value: float, labels: Optional[Dict[str, str]] = None
+    ) -> None:
+        """One gauge sample (queue depths, cache sizes, ...)."""
+        metric = sanitize_metric_name(name, self.prefix)
+        self._family(metric, "gauge").sample(value, labels)
+
+    def summary(
+        self,
+        name: str,
+        stats: Dict[str, float],
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """One histogram summary (the dict :meth:`Histogram.summary` makes):
+        quantile samples plus ``_sum`` and ``_count``."""
+        metric = sanitize_metric_name(name, self.prefix)
+        family = self._family(metric, "summary")
+        for quantile, key in _QUANTILES:
+            if key in stats:
+                merged = dict(labels or {})
+                merged["quantile"] = quantile
+                family.sample(stats[key], merged)
+        family.sample(stats.get("sum", 0.0), labels, suffix="_sum")
+        family.sample(int(stats.get("count", 0)), labels, suffix="_count")
+
+    def timer(
+        self,
+        name: str,
+        stats: Dict[str, float],
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """One timer as ``_seconds_sum``/``_seconds_count``."""
+        metric = sanitize_metric_name(name, self.prefix) + "_seconds"
+        family = self._family(metric, "summary")
+        family.sample(stats.get("total_s", 0.0), labels, suffix="_sum")
+        family.sample(int(stats.get("count", 0)), labels, suffix="_count")
+
+    def add_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Fold a whole :meth:`Registry.snapshot` into the document."""
+        for rendered, value in snapshot.get("counters", {}).items():
+            name, labels = _parse_rendered_key(rendered)
+            self.counter(name, value, labels)
+        for rendered, stats in snapshot.get("timers", {}).items():
+            name, labels = _parse_rendered_key(rendered)
+            self.timer(name, stats, labels)
+        for rendered, stats in snapshot.get("histograms", {}).items():
+            name, labels = _parse_rendered_key(rendered)
+            self.summary(name, stats, labels)
+        for op_name, count in snapshot.get("ops", {}).items():
+            if count:
+                self.counter(f"ops.{op_name}", count)
+
+    def render(self) -> str:
+        """The exposition document (families in name order, newline-final)."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            lines.extend(self._families[name].render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_prometheus(
+    snapshot: Optional[Dict[str, object]] = None,
+    *,
+    counters: Optional[Iterable[Tuple[str, Dict[str, str], float]]] = None,
+    gauges: Optional[Iterable[Tuple[str, Dict[str, str], float]]] = None,
+    prefix: str = "repro",
+) -> str:
+    """One-call rendering: a registry snapshot plus extra counter/gauge
+    samples given as ``(name, labels, value)`` triples."""
+    renderer = PrometheusRenderer(prefix)
+    if snapshot:
+        renderer.add_snapshot(snapshot)
+    for name, labels, value in counters or ():
+        renderer.counter(name, value, labels)
+    for name, labels, value in gauges or ():
+        renderer.gauge(name, value, labels)
+    return renderer.render()

@@ -154,17 +154,54 @@ class Histogram:
         )
         return ordered[index]
 
-    def summary(self) -> Dict[str, float]:
-        """count/sum/min/max/mean/p50/p95 as a JSON-ready dict."""
+    def quantiles(self) -> Dict[str, float]:
+        """The standard latency quantiles (p50/p90/p95/p99) in one dict."""
         return {
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/min/max/mean plus p50/p90/p95/p99, JSON-ready."""
+        summary: Dict[str, float] = {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
             "mean": self.mean,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
         }
+        summary.update(self.quantiles())
+        return summary
+
+    def state(self) -> Dict[str, object]:
+        """The summary plus the raw sample reservoir - the mergeable form
+        snapshots carry, so cross-process merges keep percentile data."""
+        state: Dict[str, object] = self.summary()
+        state["samples"] = list(self._samples)
+        return state
+
+    def absorb(self, state: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`state` (or summary) into this
+        one: counts and sums add, min/max widen, and any carried samples
+        refill this reservoir up to ``max_samples``."""
+        count = int(state.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(state.get("sum", 0.0))
+        low = float(state.get("min", 0.0))
+        high = float(state.get("max", 0.0))
+        if self.min is None or low < self.min:
+            self.min = low
+        if self.max is None or high > self.max:
+            self.max = high
+        samples = state.get("samples")
+        if samples:
+            room = self.max_samples - len(self._samples)
+            if room > 0:
+                self._samples.extend(float(v) for v in samples[:room])
 
 
 class Registry:
@@ -247,7 +284,7 @@ class Registry:
                 for key, timer in sorted(self._timers.items())
             },
             "histograms": {
-                _render_key(key): histogram.summary()
+                _render_key(key): histogram.state()
                 for key, histogram in sorted(self._histograms.items())
             },
             "ops": self.field_ops.snapshot(),
@@ -259,9 +296,9 @@ class Registry:
         Used by parallel campaign runs: each worker process collects into
         its own registry and ships the snapshot back; the parent merges
         them in a deterministic (seed) order.  Counters add, timers add
-        count/total, histograms add count/sum and widen min/max; the
-        sample reservoir cannot be reconstructed from a summary, so
-        merged-in observations do not contribute to percentiles.
+        count/total; histograms add count/sum, widen min/max and absorb
+        the shipped sample reservoir (bounded by ``max_samples``), so
+        merged percentiles reflect the workers' observations too.
         """
         for rendered, value in snapshot.get("counters", {}).items():
             name, labels = _parse_rendered_key(rendered)
@@ -272,19 +309,10 @@ class Registry:
             timer.count += int(data.get("count", 0))
             timer.total_s += float(data.get("total_s", 0.0))
         for rendered, data in snapshot.get("histograms", {}).items():
-            count = int(data.get("count", 0))
-            if not count:
+            if not int(data.get("count", 0)):
                 continue
             name, labels = _parse_rendered_key(rendered)
-            histogram = self.histogram(name, **labels)
-            histogram.count += count
-            histogram.total += float(data.get("sum", 0.0))
-            low = float(data.get("min", 0.0))
-            high = float(data.get("max", 0.0))
-            if histogram.min is None or low < histogram.min:
-                histogram.min = low
-            if histogram.max is None or high > histogram.max:
-                histogram.max = high
+            self.histogram(name, **labels).absorb(data)
         for op_name, count in snapshot.get("ops", {}).items():
             if op_name in _rt.OP_NAMES and count:
                 setattr(

@@ -1,0 +1,232 @@
+"""Request-scoped tracing spans riding the :class:`EventSink` stream.
+
+A *span* is one timed stage of a request: it has a name, a ``trace_id``
+shared by every stage of the same logical request, its own ``span_id``
+and an optional ``parent_id`` forming the stage tree.  Spans emit one
+``span`` event each to the tracer's sink and observe their duration into
+the active registry's ``span.ms{span=name}`` histogram, so a JSONL trace
+and server-side latency histograms come from the same instrumentation
+points.
+
+Two APIs, both zero-cost when tracing is disabled (the default):
+
+* the context-manager form for lexically nested stages - nesting and
+  trace-id inheritance are automatic via a :class:`~contextvars.ContextVar`,
+  so it works across ``await`` points::
+
+      with trace.span("verify", trace_id=7):
+          with trace.span("pairing"):      # child of verify, trace 7
+              ...
+
+* the explicit :meth:`Tracer.record` form for stages whose start and end
+  are observed in different places (a queue wait measured between an
+  enqueue in one task and a drain in another), with caller-chosen span
+  ids so cross-task parent links stay deterministic.
+
+The disabled path is the shared :data:`NULL_TRACER`, whose ``span()``
+returns one reusable no-op context manager and whose ``record()`` is a
+pass - instrumented call sites cost an attribute check and a method call,
+nothing more (asserted by tests/test_spans.py).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import nullcontext
+from contextvars import ContextVar
+from typing import Optional, Tuple
+
+from repro.obs.events import EventSink, NULL_EVENT_SINK
+from repro.obs.registry import get_registry
+
+#: (trace_id, span_id) of the innermost open span in this context, or None
+_current: ContextVar[Optional[Tuple[object, str]]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+_ids = itertools.count(1)
+
+
+def next_trace_id() -> int:
+    """A fresh process-unique trace id (fits the wire protocol's u64)."""
+    return next(_ids)
+
+
+def current_trace_id() -> Optional[object]:
+    """The trace id of the innermost open span, or None outside any span."""
+    current = _current.get()
+    return current[0] if current is not None else None
+
+
+class Tracer:
+    """Emits span events to one sink and duration histograms to the
+    active registry."""
+
+    __slots__ = ("sink",)
+
+    #: instrumented call sites gate on this before building spans
+    enabled = True
+
+    def __init__(self, sink: EventSink):
+        self.sink = sink
+
+    def span(
+        self,
+        name: str,
+        *,
+        trace_id: Optional[object] = None,
+        parent_id: Optional[str] = None,
+        **fields: object,
+    ) -> "_Span":
+        """Context manager timing the with-block as one span.
+
+        ``trace_id``/``parent_id`` default to the enclosing open span's,
+        so nested ``with`` blocks form a tree under one trace id.
+        """
+        return _Span(self, name, trace_id, parent_id, fields)
+
+    def record(
+        self,
+        name: str,
+        *,
+        trace_id: Optional[object] = None,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        start_s: float = 0.0,
+        dur_s: float = 0.0,
+        **fields: object,
+    ) -> str:
+        """Emit one already-measured span (start/duration observed by the
+        caller; used for stages that cross task boundaries).  Returns the
+        span id used."""
+        if span_id is None:
+            span_id = f"s{next(_ids)}"
+        sink = self.sink
+        if sink.enabled:
+            sink.emit(
+                "span",
+                name=name,
+                trace=trace_id,
+                id=span_id,
+                parent=parent_id,
+                start_s=round(start_s, 6),
+                ms=round(dur_s * 1e3, 4),
+                **fields,
+            )
+        registry = get_registry()
+        if registry.active:
+            registry.histogram("span.ms", span=name).observe(dur_s * 1e3)
+        return span_id
+
+
+class _Span:
+    """Implementation of :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "trace_id",
+        "parent_id",
+        "span_id",
+        "fields",
+        "_start",
+        "_token",
+    )
+
+    def __init__(self, tracer, name, trace_id, parent_id, fields):
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.fields = fields
+
+    def __enter__(self) -> "_Span":
+        enclosing = _current.get()
+        if enclosing is not None:
+            if self.trace_id is None:
+                self.trace_id = enclosing[0]
+            if self.parent_id is None:
+                self.parent_id = enclosing[1]
+        self.span_id = f"s{next(_ids)}"
+        self._token = _current.set((self.trace_id, self.span_id))
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur_s = time.perf_counter() - self._start
+        _current.reset(self._token)
+        self._tracer.record(
+            self.name,
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            start_s=self._start,
+            dur_s=dur_s,
+            **self.fields,
+        )
+
+
+_NULL_SPAN = nullcontext()
+
+
+class NullTracer(Tracer):
+    """The disabled default: one shared no-op span, record() discards."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name, **kwargs) -> nullcontext:  # type: ignore[override]
+        """The shared reusable no-op context manager."""
+        return _NULL_SPAN
+
+    def record(self, name, **kwargs) -> str:  # type: ignore[override]
+        """Discard the span."""
+        return ""
+
+
+#: the process-wide disabled tracer (the default active tracer)
+NULL_TRACER = NullTracer(NULL_EVENT_SINK)
+
+_active: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The currently active tracer (the no-op NULL_TRACER by default)."""
+    return _active
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` (None means NULL_TRACER); returns the previous."""
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def span(name: str, **kwargs):
+    """Shorthand for ``get_tracer().span(name, ...)``."""
+    return _active.span(name, **kwargs)
+
+
+class tracing:
+    """Context manager installing a :class:`Tracer` over ``sink``.
+
+    Yields the tracer; the previously active tracer is restored on exit::
+
+        sink = obs.ListEventSink()
+        with trace.tracing(sink) as tracer:
+            with tracer.span("verify", trace_id=1):
+                ...
+    """
+
+    def __init__(self, sink: EventSink):
+        self.tracer = Tracer(sink)
+
+    def __enter__(self) -> Tracer:
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_tracer(self._previous)

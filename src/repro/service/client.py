@@ -17,11 +17,13 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.mccls import McCLS, McCLSSignature
 from repro.errors import ServiceError
+from repro.obs import trace as obs_trace
 from repro.pairing.curve import CurvePoint
 from repro.pairing.groups import PairingContext
 from repro.schemes.base import UserKeyPair
@@ -75,11 +77,18 @@ class ServiceClient:
             self._reader = self._writer = None
 
     # -- plumbing -----------------------------------------------------------
-    async def _send(self, opcode: Opcode, payload: bytes = b"") -> None:
+    async def _send(
+        self,
+        opcode: Opcode,
+        payload: bytes = b"",
+        trace_id: Optional[int] = None,
+    ) -> None:
         if self._writer is None:
             raise ServiceError("client is not connected")
         self._writer.write(
-            protocol.encode_frame(protocol.encode_request(opcode, payload))
+            protocol.encode_frame(
+                protocol.encode_request(opcode, payload, trace_id)
+            )
         )
         await self._writer.drain()
 
@@ -93,9 +102,14 @@ class ServiceClient:
             raise ServiceError(f"connection lost: {exc}") from None
         return protocol.decode_reply(body)
 
-    async def _call(self, opcode: Opcode, payload: bytes = b"") -> bytes:
+    async def _call(
+        self,
+        opcode: Opcode,
+        payload: bytes = b"",
+        trace_id: Optional[int] = None,
+    ) -> bytes:
         """One request/reply round trip; ERR and BUSY raise ServiceError."""
-        await self._send(opcode, payload)
+        await self._send(opcode, payload, trace_id)
         status, reply = await self._read_reply()
         if status == Status.BUSY:
             raise ServiceError("gateway is busy (bounded queue full)")
@@ -131,16 +145,33 @@ class ServiceClient:
         public_key: CurvePoint,
         message: bytes,
         signature: McCLSSignature,
+        trace_id: Optional[int] = None,
     ) -> bool:
-        """One verification round trip; raises ServiceError on ERR/BUSY."""
+        """One verification round trip; raises ServiceError on ERR/BUSY.
+
+        With a ``trace_id`` the request carries it over the wire (the
+        gateway emits server-side stage spans under it) and the client
+        records the matching ``client.rtt`` root span when a tracer is
+        active.
+        """
         await self._ensure_params()
-        payload = await self._call(
-            Opcode.VERIFY,
-            protocol.encode_verify_payload(
-                self.curve, identity, public_key, message, signature
-            ),
+        payload = protocol.encode_verify_payload(
+            self.curve, identity, public_key, message, signature
         )
-        return protocol.decode_verify_verdict(payload)
+        tracer = obs_trace.get_tracer()
+        if trace_id is not None and tracer.enabled:
+            started = time.perf_counter()
+            reply = await self._call(Opcode.VERIFY, payload, trace_id)
+            tracer.record(
+                "client.rtt",
+                trace_id=trace_id,
+                span_id=f"t{trace_id}",
+                start_s=started,
+                dur_s=time.perf_counter() - started,
+            )
+        else:
+            reply = await self._call(Opcode.VERIFY, payload, trace_id)
+        return protocol.decode_verify_verdict(reply)
 
     async def verify_many(
         self, items: Sequence[VerifyItem]
@@ -191,8 +222,15 @@ class ServiceClient:
         return document
 
     async def stats(self) -> dict:
-        """Fetch the gateway's counters and cache accounting."""
+        """Fetch the gateway's counters, cache accounting and stage
+        latency summaries."""
         return protocol.decode_json_payload(await self._call(Opcode.STATS))
+
+    async def metrics(self) -> str:
+        """Fetch the gateway's Prometheus text exposition (METRICS)."""
+        return protocol.decode_metrics_payload(
+            await self._call(Opcode.METRICS)
+        )
 
     # -- local signing ------------------------------------------------------
     def sign(self, message: bytes, keys: UserKeyPair) -> McCLSSignature:

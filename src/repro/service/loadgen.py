@@ -13,13 +13,22 @@ identity and checks - through the STATS endpoint's cache accounting -
 that the first post-rekey verify misses the pairing cache exactly once
 and the second hits it: the bounded caches were invalidated, not leaked.
 
-Results (throughput, latency percentiles, cache/eviction accounting) are
-written to ``benchmarks/results/BENCH_service.json``.
+Results (throughput, latency percentiles, server-side stage latency,
+cache/eviction accounting) are written to
+``benchmarks/results/BENCH_service.json``, stamped with a schema version
+and run timestamp so ``python -m repro benchdiff`` can key on them.
+
+With ``trace_out`` set, every request carries a wire trace id and the
+run emits a JSONL span trace: the client's ``client.rtt`` root span plus
+the gateway's ``server.request``/``queue_wait``/``batch_fold``/
+``pairing``/``serialize`` stage spans, all nested under the request's
+trace id.
 """
 
 from __future__ import annotations
 
 import asyncio
+import datetime
 import json
 import time
 from collections import deque
@@ -27,6 +36,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.obs.events import NULL_EVENT_SINK, open_sink
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pairing.bn import toy_curve
 from repro.service import protocol
 from repro.service.client import ServiceClient
@@ -35,6 +46,10 @@ from repro.service.server import VerificationGateway
 
 #: default output location, next to BENCH_pairing.json
 DEFAULT_OUT = "benchmarks/results/BENCH_service.json"
+
+#: BENCH_service.json document version (bumped on shape changes so
+#: ``repro benchdiff`` can key its comparisons on it)
+BENCH_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -58,6 +73,8 @@ class LoadgenConfig:
     #: target an already-running gateway instead of an in-process one
     host: Optional[str] = None
     port: int = 0
+    #: JSONL span-trace output; enables wire trace ids on every request
+    trace_out: Optional[str] = None
 
 
 @dataclass
@@ -66,6 +83,7 @@ class _Job:
 
     frame: bytes
     expect_valid: bool
+    trace_id: Optional[int] = None
 
 
 @dataclass
@@ -86,7 +104,12 @@ def _percentile(sorted_values: List[float], q: float) -> float:
 
 
 async def _drive_connection(
-    host: str, port: int, jobs: deque, stats: _WorkerStats, window: int
+    host: str,
+    port: int,
+    jobs: deque,
+    stats: _WorkerStats,
+    window: int,
+    tracer: Tracer = NULL_TRACER,
 ) -> None:
     """Pipeline one connection's share of the load, retrying BUSY sheds."""
     reader, writer = await asyncio.open_connection(host, port)
@@ -97,7 +120,16 @@ async def _drive_connection(
             header = await reader.readexactly(4)
             body = await reader.readexactly(protocol.frame_length(header))
             started, job = outstanding.popleft()
-            stats.latencies.append(time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            stats.latencies.append(elapsed)
+            if job.trace_id is not None and tracer.enabled:
+                tracer.record(
+                    "client.rtt",
+                    trace_id=job.trace_id,
+                    span_id=f"t{job.trace_id}",
+                    start_s=started,
+                    dur_s=elapsed,
+                )
             status, payload = protocol.decode_reply(body)
             if status == Status.BUSY:
                 stats.busy += 1
@@ -130,6 +162,8 @@ async def _drive_connection(
 
 
 async def _run(config: LoadgenConfig) -> Dict:
+    sink = open_sink(config.trace_out)
+    tracer = Tracer(sink) if sink.enabled else NULL_TRACER
     gateway = None
     if config.host is None:
         gateway = VerificationGateway(
@@ -138,6 +172,7 @@ async def _run(config: LoadgenConfig) -> Dict:
             cache_size=config.cache_size,
             queue_size=config.queue_size,
             max_batch=config.max_batch,
+            sink=sink if sink.enabled else None,
         )
         await gateway.start()
         host, port = gateway.host, gateway.port
@@ -183,10 +218,17 @@ async def _run(config: LoadgenConfig) -> Dict:
                     tampered if bad else message,
                     signatures[identity],
                 )
+                trace_id = len(jobs) + 1 if tracer.enabled else None
                 frame = protocol.encode_frame(
-                    protocol.encode_request(Opcode.VERIFY, payload)
+                    protocol.encode_request(Opcode.VERIFY, payload, trace_id)
                 )
-                jobs.append(_Job(frame=frame, expect_valid=not bad))
+                jobs.append(
+                    _Job(
+                        frame=frame,
+                        expect_valid=not bad,
+                        trace_id=trace_id,
+                    )
+                )
 
         # -- main phase: M pipelined connections --------------------------
         shares = [deque() for _ in range(config.connections)]
@@ -197,7 +239,9 @@ async def _run(config: LoadgenConfig) -> Dict:
         main_started = time.perf_counter()
         await asyncio.gather(
             *(
-                _drive_connection(host, port, share, stats, config.window)
+                _drive_connection(
+                    host, port, share, stats, config.window, tracer
+                )
                 for share, stats in zip(shares, workers)
             )
         )
@@ -220,6 +264,10 @@ async def _run(config: LoadgenConfig) -> Dict:
         stats_doc = await client.stats()
         cache = stats_doc["cache"]
         result = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "generated_at": datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(timespec="seconds"),
             "config": asdict(config),
             "enroll": {
                 "identities": config.identities,
@@ -239,12 +287,19 @@ async def _run(config: LoadgenConfig) -> Dict:
                 "latency_ms": {
                     "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
                     "p90": round(_percentile(latencies, 0.90) * 1e3, 3),
+                    "p95": round(_percentile(latencies, 0.95) * 1e3, 3),
                     "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
                     "max": round(latencies[-1] * 1e3, 3) if latencies else 0.0,
                 },
             },
             "cache": cache,
             "server_counters": stats_doc["counters"],
+            "server_latency_ms": stats_doc.get("latency_ms"),
+            "trace": (
+                {"path": config.trace_out, "spans": sink.emitted}
+                if sink.enabled
+                else None
+            ),
             "rekey": rekey_report,
             "ok": (
                 not errors
@@ -264,6 +319,8 @@ async def _run(config: LoadgenConfig) -> Dict:
         await client.close()
         if gateway is not None:
             await gateway.stop()
+        if sink is not NULL_EVENT_SINK:
+            sink.close()
 
 
 async def _rekey_check(client: ServiceClient) -> Dict:
@@ -326,7 +383,9 @@ def summary_lines(result: Dict) -> List[str]:
         f"verify: {verify['requests']} requests in {verify['seconds']}s "
         f"({verify['throughput_rps']} req/s)",
         f"latency ms: p50={verify['latency_ms']['p50']} "
-        f"p90={verify['latency_ms']['p90']} p99={verify['latency_ms']['p99']}",
+        f"p90={verify['latency_ms']['p90']} "
+        f"p95={verify['latency_ms'].get('p95', 0.0)} "
+        f"p99={verify['latency_ms']['p99']}",
         f"verdicts: {verify['valid']} valid, {verify['invalid']} invalid, "
         f"{verify['busy_retries']} busy retries, "
         f"{verify['connection_errors']} connection errors",
@@ -334,6 +393,11 @@ def summary_lines(result: Dict) -> List[str]:
         f"{result['config']['cache_size']}, "
         f"{cache['miller']['evictions']} evictions",
     ]
+    if result.get("trace"):
+        lines.append(
+            f"trace: {result['trace']['spans']} spans -> "
+            f"{result['trace']['path']}"
+        )
     if result.get("rekey"):
         rekey = result["rekey"]
         lines.append(

@@ -24,7 +24,7 @@ import enum
 import json
 import struct
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core.mccls import McCLSSignature
 from repro.core.serialization import (
@@ -47,8 +47,12 @@ from repro.schemes.base import PartialPrivateKey, UserKeyPair
 #: hard cap on one frame's body (requests and replies alike)
 MAX_FRAME = 1 << 20
 
+#: opcode-byte flag marking a request that carries a trace id header
+TRACE_FLAG = 0x80
+
 _LEN = struct.Struct("!I")
 _MSGLEN = struct.Struct("!H")
+_TRACE = struct.Struct("!Q")
 
 
 class Opcode(enum.IntEnum):
@@ -60,6 +64,7 @@ class Opcode(enum.IntEnum):
     VERIFY = 4
     REKEY = 5
     STATS = 6
+    METRICS = 7
 
 
 class Status(enum.IntEnum):
@@ -101,20 +106,46 @@ def frame_length(header: bytes) -> int:
 # ---------------------------------------------------------------------------
 
 
-def encode_request(opcode: Opcode, payload: bytes = b"") -> bytes:
-    """``[opcode][payload]`` request body."""
-    return bytes([opcode]) + payload
+def encode_request(
+    opcode: Opcode, payload: bytes = b"", trace_id: Optional[int] = None
+) -> bytes:
+    """``[opcode][payload]`` request body.
+
+    With a ``trace_id``, the opcode byte carries :data:`TRACE_FLAG` and an
+    8-byte big-endian trace id header precedes the payload, so one verify
+    can be followed client -> queue -> batch -> pairing in span traces.
+    Requests without the flag are unchanged - old clients keep working.
+    """
+    if trace_id is None:
+        return bytes([opcode]) + payload
+    if not 0 < trace_id < 1 << 64:
+        raise SerializationError(f"trace id {trace_id} does not fit u64")
+    return bytes([opcode | TRACE_FLAG]) + _TRACE.pack(trace_id) + payload
 
 
-def decode_request(body: bytes) -> Tuple[Opcode, bytes]:
-    """Split a request body; unknown opcodes are a decode error."""
+def decode_request(body: bytes) -> Tuple[Opcode, bytes, Optional[int]]:
+    """Split a request body into (opcode, payload, trace id or None).
+
+    The trace-id header is tolerated-absent: bodies from clients that
+    never set :data:`TRACE_FLAG` decode exactly as before.  Unknown
+    opcodes and truncated trace headers are decode errors.
+    """
     if not body:
         raise SerializationError("empty request body")
+    first, rest, trace_id = body[0], body[1:], None
+    if first & TRACE_FLAG:
+        first ^= TRACE_FLAG
+        if len(rest) < _TRACE.size:
+            raise SerializationError("truncated trace id header")
+        (trace_id,) = _TRACE.unpack(rest[: _TRACE.size])
+        rest = rest[_TRACE.size :]
+        if trace_id == 0:
+            raise SerializationError("trace id 0 is reserved")
     try:
-        opcode = Opcode(body[0])
+        opcode = Opcode(first)
     except ValueError:
-        raise SerializationError(f"unknown opcode {body[0]}") from None
-    return opcode, body[1:]
+        raise SerializationError(f"unknown opcode {first}") from None
+    return opcode, rest, trace_id
 
 
 def encode_reply(status: Status, payload: bytes = b"") -> bytes:
@@ -278,6 +309,14 @@ def decode_json_payload(payload: bytes) -> dict:
     if not isinstance(document, dict):
         raise SerializationError("JSON payload must be an object")
     return document
+
+
+def decode_metrics_payload(payload: bytes) -> str:
+    """The METRICS reply body: UTF-8 Prometheus text exposition."""
+    try:
+        return payload.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SerializationError(f"malformed METRICS payload: {exc}") from None
 
 
 def params_document(scheme_name: str, curve: BNCurve, p_pub_g1, p_pub_g2) -> dict:

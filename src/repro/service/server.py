@@ -28,11 +28,22 @@ of constrained clients:
   prefix: after refusing to read the declared body the stream cannot be
   re-synchronised, so the gateway sends ``ERR`` and closes that
   connection (others are unaffected).
+
+* **Server-side stage accounting.**  Every request is timed through its
+  stages - queue wait, batch fold, the pairing itself, reply serialize -
+  into latency histograms on the gateway's own registry, reported by
+  STATS (JSON summaries) and METRICS (Prometheus text exposition).  A
+  request whose opcode byte carries :data:`~repro.service.protocol.TRACE_FLAG`
+  additionally emits one span event per stage (all under the request's
+  trace id) to the gateway's event sink, so a single slow verify can be
+  attributed to queueing vs folding vs the Miller loop.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.batch import McCLSBatchVerifier
@@ -40,13 +51,29 @@ from repro.core.mccls import McCLS
 from repro.core.params import KeyGenerationCenter
 from repro.core.serialization import encode_g1
 from repro.errors import ReproError, SerializationError
-from repro.obs.registry import get_registry
+from repro.obs.events import EventSink, NULL_EVENT_SINK
+from repro.obs.exposition import PrometheusRenderer
+from repro.obs.registry import Registry, get_registry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pairing.bn import BNCurve, toy_curve
 from repro.service import protocol
 from repro.service.protocol import Opcode, Status
 
-#: (request body, reply future) as carried by the shared queue
-_Work = Tuple[bytes, "asyncio.Future[bytes]"]
+#: STATS reply document version (benchdiff and dashboards key on it)
+STATS_SCHEMA_VERSION = 2
+
+#: (request body, reply future, perf_counter at enqueue) on the queue
+_Work = Tuple[bytes, "asyncio.Future[bytes]", float]
+
+
+@dataclass
+class _PendingVerify:
+    """One decoded VERIFY awaiting its (possibly batched) verdict."""
+
+    future: "asyncio.Future[bytes]"
+    request: protocol.VerifyRequest
+    trace_id: Optional[int]
+    enqueued: float
 
 
 class VerificationGateway:
@@ -63,6 +90,7 @@ class VerificationGateway:
         port: int = 0,
         queue_size: int = 256,
         max_batch: int = 32,
+        sink: Optional[EventSink] = None,
     ):
         if kgc is None:
             kgc = KeyGenerationCenter(
@@ -90,7 +118,14 @@ class VerificationGateway:
             "rekeys": 0,
             "busy_rejections": 0,
             "protocol_errors": 0,
+            "traced_requests": 0,
         }
+        #: the gateway's own instrument store for request-granularity
+        #: stage histograms (always on; never the process-wide registry,
+        #: so the pairing hot path stays untouched)
+        self.registry = Registry()
+        self.sink = sink if sink is not None else NULL_EVENT_SINK
+        self.tracer = Tracer(self.sink) if self.sink.enabled else NULL_TRACER
         self._queue: Optional[asyncio.Queue] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._consumer: Optional[asyncio.Task] = None
@@ -176,7 +211,7 @@ class VerificationGateway:
                 future = loop.create_future()
                 await pending.put(future)
                 try:
-                    self._queue.put_nowait((body, future))
+                    self._queue.put_nowait((body, future, time.perf_counter()))
                 except asyncio.QueueFull:
                     self.counters["busy_rejections"] += 1
                     future.set_result(
@@ -230,18 +265,37 @@ class VerificationGateway:
 
     def _process(self, batch: List[_Work]) -> None:
         """Decode and answer one drained batch (synchronous CPU work)."""
-        verifies: List[Tuple["asyncio.Future[bytes]", protocol.VerifyRequest]] = []
-        for body, future in batch:
+        drained = time.perf_counter()
+        registry = self.registry
+        registry.histogram("service.batch_size").observe(len(batch))
+        tracer = self.tracer
+        verifies: List[_PendingVerify] = []
+        for body, future, enqueued in batch:
             if future.done():  # connection already answered (cannot happen
                 continue  # for queued work today, but stay defensive)
             self.counters["requests"] += 1
+            wait_s = drained - enqueued
+            registry.histogram("service.queue_wait_ms").observe(wait_s * 1e3)
             try:
-                opcode, payload = protocol.decode_request(body)
+                opcode, payload, trace_id = protocol.decode_request(body)
+                if trace_id is not None:
+                    self.counters["traced_requests"] += 1
+                    if tracer.enabled:
+                        tracer.record(
+                            "server.queue_wait",
+                            trace_id=trace_id,
+                            span_id=f"{trace_id}/queue_wait",
+                            parent_id=f"{trace_id}/request",
+                            start_s=enqueued,
+                            dur_s=wait_s,
+                        )
                 if opcode == Opcode.VERIFY:
                     request = protocol.decode_verify_payload(
                         self.kgc.ctx.curve, payload
                     )
-                    verifies.append((future, request))
+                    verifies.append(
+                        _PendingVerify(future, request, trace_id, enqueued)
+                    )
                     continue
                 future.set_result(self._answer(opcode, payload))
             except SerializationError as exc:
@@ -258,6 +312,14 @@ class VerificationGateway:
 
     def _answer(self, opcode: Opcode, payload: bytes) -> bytes:
         """One non-verify request -> one reply body."""
+        if payload and opcode != Opcode.ENROLL:
+            # Payload-less opcodes must arrive bare: random bytes that
+            # happen to start with a valid (possibly trace-flagged)
+            # opcode byte stay protocol errors, not accidental requests.
+            raise SerializationError(
+                f"{opcode.name} request carries {len(payload)} unexpected"
+                " payload bytes"
+            )
         if opcode == Opcode.PING:
             return protocol.encode_reply(Status.OK)
         if opcode == Opcode.PARAMS:
@@ -282,44 +344,109 @@ class VerificationGateway:
             return protocol.encode_reply(
                 Status.OK, protocol.encode_json_payload(self.stats())
             )
+        if opcode == Opcode.METRICS:
+            return protocol.encode_reply(
+                Status.OK, self.metrics_text().encode("utf-8")
+            )
         raise SerializationError(f"unhandled opcode {opcode}")
 
     # -- verification -------------------------------------------------------
-    def _verify_grouped(self, verifies) -> None:
+    def _verify_grouped(self, verifies: List[_PendingVerify]) -> None:
         """Fold same-signer requests into one batch pairing each."""
         curve = self.kgc.ctx.curve
-        groups: Dict[Tuple[str, bytes], list] = {}
-        for future, request in verifies:
+        groups: Dict[Tuple[str, bytes], List[_PendingVerify]] = {}
+        for pending in verifies:
+            request = pending.request
             key = (request.identity, encode_g1(curve, request.public_key))
-            groups.setdefault(key, []).append((future, request))
-        registry = get_registry()
+            groups.setdefault(key, []).append(pending)
+        registry = self.registry
+        process_registry = get_registry()
+        tracer = self.tracer
         for (identity, _pk_blob), members in groups.items():
             self.counters["verify_requests"] += len(members)
-            verdicts = self._verify_group(identity, members)
-            for (future, _request), valid in zip(members, verdicts):
+            fold_started = time.perf_counter()
+            verdicts, pairing_s = self._verify_group(identity, members)
+            fold_s = time.perf_counter() - fold_started
+            serialize_started = time.perf_counter()
+            for pending, valid in zip(members, verdicts):
                 self.counters["verify_valid" if valid else "verify_invalid"] += 1
-                future.set_result(protocol.verify_reply(valid))
-            if registry.active:
-                registry.counter("service.verifies").inc(len(members))
+                pending.future.set_result(protocol.verify_reply(valid))
+            done = time.perf_counter()
+            serialize_s = done - serialize_started
+            registry.histogram("service.verify_ms").observe(pairing_s * 1e3)
+            registry.histogram("service.batch_fold_ms").observe(fold_s * 1e3)
+            registry.histogram("service.serialize_ms").observe(
+                serialize_s * 1e3
+            )
+            for pending in members:
+                registry.histogram("service.request_ms").observe(
+                    (done - pending.enqueued) * 1e3
+                )
+                if pending.trace_id is None or not tracer.enabled:
+                    continue
+                tid = pending.trace_id
+                # One stage tree per traced verify, all under its trace
+                # id; the fold/pairing durations are shared by the whole
+                # same-signer group (that sharing IS the batching win).
+                tracer.record(
+                    "server.request",
+                    trace_id=tid,
+                    span_id=f"{tid}/request",
+                    parent_id=f"t{tid}",
+                    start_s=pending.enqueued,
+                    dur_s=done - pending.enqueued,
+                )
+                tracer.record(
+                    "server.batch_fold",
+                    trace_id=tid,
+                    span_id=f"{tid}/batch_fold",
+                    parent_id=f"{tid}/request",
+                    start_s=fold_started,
+                    dur_s=fold_s,
+                    batch=len(members),
+                )
+                tracer.record(
+                    "server.pairing",
+                    trace_id=tid,
+                    span_id=f"{tid}/pairing",
+                    parent_id=f"{tid}/batch_fold",
+                    start_s=fold_started,
+                    dur_s=pairing_s,
+                )
+                tracer.record(
+                    "server.serialize",
+                    trace_id=tid,
+                    span_id=f"{tid}/serialize",
+                    parent_id=f"{tid}/request",
+                    start_s=serialize_started,
+                    dur_s=serialize_s,
+                )
+            if process_registry.active:
+                process_registry.counter("service.verifies").inc(len(members))
 
-    def _verify_group(self, identity: str, members) -> List[bool]:
-        """Verdicts for one (identity, public key) group, in order."""
-        public_key = members[0][1].public_key
+    def _verify_group(
+        self, identity: str, members: List[_PendingVerify]
+    ) -> Tuple[List[bool], float]:
+        """Verdicts for one (identity, public key) group, in order, plus
+        the crypto (pairing) seconds the group cost."""
+        public_key = members[0].request.public_key
+        started = time.perf_counter()
         if len(members) == 1:
-            request = members[0][1]
-            return [self._verify_one(request)]
+            verdicts = [self._verify_one(members[0].request)]
+            return verdicts, time.perf_counter() - started
         self.counters["batches"] += 1
         self.counters["batched_requests"] += len(members)
-        items = [(req.message, req.signature) for _f, req in members]
+        items = [(p.request.message, p.request.signature) for p in members]
         try:
             if self.batcher.verify_same_signer(items, identity, public_key):
-                return [True] * len(members)
+                return [True] * len(members), time.perf_counter() - started
         except (ReproError, ValueError, ZeroDivisionError, ArithmeticError):
             pass  # hostile batch content: settle per item below
         # At least one member is bad (or the aggregate check could not
         # run): fall back to exact per-item verification.
         self.counters["batch_fallbacks"] += 1
-        return [self._verify_one(req) for _f, req in members]
+        verdicts = [self._verify_one(p.request) for p in members]
+        return verdicts, time.perf_counter() - started
 
     def _verify_one(self, request: protocol.VerifyRequest) -> bool:
         return self.kgc.scheme.verify(
@@ -336,13 +463,60 @@ class VerificationGateway:
             scheme.name, self.kgc.ctx.curve, scheme.p_pub_g1, scheme.p_pub_g2
         )
 
+    #: the stage histograms STATS/METRICS report (stable metric names)
+    STAGE_HISTOGRAMS = (
+        "queue_wait",
+        "batch_fold",
+        "verify",
+        "serialize",
+        "request",
+    )
+
     def stats(self) -> dict:
-        """Counters + bounded-cache accounting (the STATS reply)."""
+        """Counters, bounded-cache accounting and server-side stage
+        latency summaries (the STATS reply)."""
+        registry = self.registry
         return {
+            "schema_version": STATS_SCHEMA_VERSION,
             "counters": dict(self.counters),
             "queue_depth": self._queue.qsize() if self._queue else 0,
             "queue_size": self.queue_size,
             "max_batch": self.max_batch,
             "cache": self.kgc.ctx.cache_stats(),
             "enrolled": len(self.kgc.issued_identities()),
+            "latency_ms": {
+                stage: registry.histogram(f"service.{stage}_ms").summary()
+                for stage in self.STAGE_HISTOGRAMS
+            },
+            "batch": {
+                "size": registry.histogram("service.batch_size").summary()
+            },
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of everything STATS reports."""
+        renderer = PrometheusRenderer("repro")
+        for name, value in sorted(self.counters.items()):
+            renderer.counter(f"service.{name}", value)
+        for stage in self.STAGE_HISTOGRAMS:
+            renderer.summary(
+                "service.stage_ms",
+                self.registry.histogram(f"service.{stage}_ms").summary(),
+                {"stage": stage},
+            )
+        renderer.summary(
+            "service.batch_size",
+            self.registry.histogram("service.batch_size").summary(),
+        )
+        renderer.gauge(
+            "service.queue_depth", self._queue.qsize() if self._queue else 0
+        )
+        renderer.gauge("service.queue_size", self.queue_size)
+        renderer.gauge("service.enrolled", len(self.kgc.issued_identities()))
+        for cache_name, stats in sorted(self.kgc.ctx.cache_stats().items()):
+            labels = {"cache": cache_name}
+            for key in ("hits", "misses", "evictions"):
+                renderer.counter(f"cache.{key}", stats.get(key, 0), labels)
+            for key in ("size", "peak_size", "maxsize"):
+                renderer.gauge(f"cache.{key}", stats.get(key, 0), labels)
+        return renderer.render()

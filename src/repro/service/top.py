@@ -1,0 +1,162 @@
+"""``python -m repro top`` - a live terminal dashboard for the gateway.
+
+Polls the STATS opcode on an interval and renders throughput (derived
+from counter deltas between polls), server-side latency percentiles,
+cache hit rates and queue depth.  Pure functions do the math and the
+rendering so tests can drive them from canned STATS documents; the
+async poller is a thin loop over :class:`~repro.service.client.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+
+#: ANSI "clear screen, cursor home" for the interactive refresh
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def poll_rates(
+    previous: Optional[Dict], current: Dict, interval_s: float
+) -> Dict[str, float]:
+    """Per-second rates from two consecutive STATS documents."""
+    if previous is None or interval_s <= 0:
+        return {"requests": 0.0, "verifies": 0.0}
+    prev_c, curr_c = previous["counters"], current["counters"]
+
+    def rate(name: str) -> float:
+        return (curr_c.get(name, 0) - prev_c.get(name, 0)) / interval_s
+
+    return {"requests": rate("requests"), "verifies": rate("verify_requests")}
+
+
+def _hit_rate(stats: Dict) -> str:
+    hits = stats.get("hits", 0)
+    misses = stats.get("misses", 0)
+    total = hits + misses
+    if not total:
+        return "    -"
+    return f"{100.0 * hits / total:4.1f}%"
+
+
+def render_dashboard(
+    current: Dict,
+    rates: Dict[str, float],
+    *,
+    target: str = "",
+    interval_s: float = 2.0,
+) -> List[str]:
+    """The dashboard as a list of lines (one STATS document + rates)."""
+    counters = current["counters"]
+    lines = [
+        f"repro top - gateway {target}  (refresh {interval_s:g}s)",
+        "",
+        f"requests  {counters.get('requests', 0):>9} total"
+        f"   {rates['requests']:8.1f} req/s"
+        f"   queue {current.get('queue_depth', 0)}/{current.get('queue_size', 0)}"
+        f"   busy {counters.get('busy_rejections', 0)}",
+        f"verify    {counters.get('verify_requests', 0):>9} total"
+        f"   {rates['verifies']:8.1f} verify/s"
+        f"   ok {counters.get('verify_valid', 0)}"
+        f"   bad {counters.get('verify_invalid', 0)}"
+        f"   batches {counters.get('batches', 0)}"
+        f" (fallbacks {counters.get('batch_fallbacks', 0)})",
+    ]
+    latency = current.get("latency_ms") or {}
+    for stage in ("request", "queue_wait", "verify", "serialize"):
+        summary = latency.get(stage)
+        if not summary or not summary.get("count"):
+            continue
+        lines.append(
+            f"{stage:<9} ms"
+            f"  p50 {summary['p50']:8.2f}"
+            f"  p90 {summary.get('p90', 0.0):8.2f}"
+            f"  p99 {summary.get('p99', 0.0):8.2f}"
+            f"  max {summary['max']:8.2f}"
+            f"  (n={summary['count']})"
+        )
+    batch = (current.get("batch") or {}).get("size")
+    if batch and batch.get("count"):
+        lines.append(
+            f"batch     size mean {batch['mean']:.1f}"
+            f"  p50 {batch['p50']:g}  max {batch['max']:g}"
+        )
+    cache = current.get("cache") or {}
+    if cache:
+        parts = [
+            f"{name} {_hit_rate(stats)} hit"
+            f" ({stats.get('size', 0)}/{stats.get('maxsize', 0)},"
+            f" {stats.get('evictions', 0)} evicted)"
+            for name, stats in sorted(cache.items())
+        ]
+        lines.append("cache     " + "   ".join(parts))
+    lines.append(
+        f"enrolled  {current.get('enrolled', 0)}"
+        f"   rekeys {counters.get('rekeys', 0)}"
+        f"   traced {counters.get('traced_requests', 0)}"
+        f"   protocol errors {counters.get('protocol_errors', 0)}"
+    )
+    return lines
+
+
+async def _poll_loop(
+    host: str,
+    port: int,
+    interval_s: float,
+    iterations: Optional[int],
+    clear: bool,
+    out: Callable[[str], None],
+) -> int:
+    client = ServiceClient(host, port)
+    await client.connect()
+    target = f"{host}:{port}"
+    previous: Optional[Dict] = None
+    polled = 0
+    try:
+        while iterations is None or polled < iterations:
+            current = await client.stats()
+            rates = poll_rates(previous, current, interval_s)
+            body = "\n".join(
+                render_dashboard(
+                    current, rates, target=target, interval_s=interval_s
+                )
+            )
+            out((_CLEAR if clear else "") + body)
+            previous = current
+            polled += 1
+            if iterations is not None and polled >= iterations:
+                break
+            await asyncio.sleep(interval_s)
+    finally:
+        await client.close()
+    return 0
+
+
+def run_top(
+    host: str = "127.0.0.1",
+    port: int = 7754,
+    interval_s: float = 2.0,
+    iterations: Optional[int] = None,
+    clear: Optional[bool] = None,
+    out: Callable[[str], None] = print,
+) -> int:
+    """Run the dashboard until interrupted (or for N polls).
+
+    ``clear`` defaults to "only when stdout is a terminal", so piping the
+    output captures plain text.
+    """
+    if clear is None:
+        clear = sys.stdout.isatty()
+    try:
+        return asyncio.run(
+            _poll_loop(host, port, interval_s, iterations, clear, out)
+        )
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, OSError, ServiceError) as exc:
+        out(f"repro top: cannot reach gateway at {host}:{port}: {exc}")
+        return 1

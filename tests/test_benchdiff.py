@@ -1,0 +1,173 @@
+"""The bench-regression gate: extraction, gating directions, exit codes."""
+
+import copy
+import json
+
+import pytest
+
+from repro.benchdiff import (
+    BenchDiffError,
+    HIGHER_BETTER,
+    INFO,
+    LOWER_BETTER,
+    compare,
+    detect_kind,
+    extract_metrics,
+    run_benchdiff,
+)
+
+SERVICE_DOC = {
+    "config": {"requests": 100},
+    "enroll": {"identities": 10, "seconds": 0.5, "per_second": 20.0},
+    "verify": {
+        "requests": 100,
+        "seconds": 2.0,
+        "throughput_rps": 50.0,
+        "valid": 98,
+        "invalid": 2,
+        "busy_retries": 0,
+        "connection_errors": 0,
+        "latency_ms": {"p50": 10.0, "p90": 20.0, "p95": 25.0, "p99": 30.0, "max": 40.0},
+    },
+    "server_latency_ms": {
+        "request": {"count": 100, "p50": 8.0, "p90": 15.0, "p99": 22.0, "max": 30.0},
+        "queue_wait": {"count": 100, "p50": 0.5, "p90": 1.0, "p99": 2.0, "max": 3.0},
+    },
+    "cache": {"miller": {"hits": 5, "misses": 3, "evictions": 0}},
+    "ok": True,
+}
+
+PAIRING_DOC = {
+    "results": [
+        {
+            "bits": 49,
+            "curve": "toy48",
+            "mccls_cold_verify": {"fp_mul": 20000, "seconds": 0.01},
+            "single_pairing": {
+                "optimized": {"fp_mul": 10000, "seconds": 0.005},
+                "speedup": 1.5,
+            },
+        }
+    ]
+}
+
+
+class TestExtraction:
+    def test_detect_kind(self):
+        assert detect_kind(SERVICE_DOC) == "service"
+        assert detect_kind(PAIRING_DOC) == "pairing"
+        with pytest.raises(BenchDiffError):
+            detect_kind({"something": "else"})
+
+    def test_service_gating_directions(self):
+        _, metrics = extract_metrics(SERVICE_DOC)
+        by_name = {m.name: m for m in metrics}
+        assert by_name["verify.throughput_rps"].direction == HIGHER_BETTER
+        assert by_name["verify.latency_ms.p50"].direction == LOWER_BETTER
+        assert by_name["server.request_ms.p99"].direction == LOWER_BETTER
+        # non-request server stages and cache accounting stay informational
+        assert by_name["server.queue_wait_ms.p50"].direction == INFO
+        assert by_name["cache.miller.hits"].direction == INFO
+        assert by_name["verify.valid"].direction == INFO
+
+    def test_pairing_gating_directions(self):
+        _, metrics = extract_metrics(PAIRING_DOC)
+        by_name = {m.name: m for m in metrics}
+        assert by_name["toy48.mccls_cold_verify.fp_mul"].direction == LOWER_BETTER
+        assert by_name["toy48.single_pairing.optimized.fp_mul"].direction == (
+            LOWER_BETTER
+        )
+        # wall-clock seconds never gate (machine-speed flake)
+        assert by_name["toy48.mccls_cold_verify.seconds"].direction == INFO
+        assert by_name["toy48.single_pairing.optimized.seconds"].direction == INFO
+
+    def test_mixed_kinds_refused(self):
+        with pytest.raises(BenchDiffError):
+            compare(SERVICE_DOC, PAIRING_DOC)
+
+
+class TestGate:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_self_compare_exits_zero(self, tmp_path):
+        path = self._write(tmp_path, "base.json", SERVICE_DOC)
+        lines = []
+        assert run_benchdiff(path, path, out=lines.append) == 0
+        assert "no gated regressions" in lines[0]
+
+    def test_synthetic_20pct_throughput_regression_fails(self, tmp_path):
+        regressed = copy.deepcopy(SERVICE_DOC)
+        regressed["verify"]["throughput_rps"] *= 0.8
+        old = self._write(tmp_path, "old.json", SERVICE_DOC)
+        new = self._write(tmp_path, "new.json", regressed)
+        lines = []
+        assert run_benchdiff(old, new, out=lines.append) == 1
+        assert "REGRESSION" in lines[0]
+        assert "verify.throughput_rps" in lines[0]
+
+    def test_throughput_improvement_passes(self, tmp_path):
+        improved = copy.deepcopy(SERVICE_DOC)
+        improved["verify"]["throughput_rps"] *= 1.5
+        old = self._write(tmp_path, "old.json", SERVICE_DOC)
+        new = self._write(tmp_path, "new.json", improved)
+        assert run_benchdiff(old, new, out=lambda _: None) == 0
+
+    def test_latency_regression_fails_and_threshold_respected(self, tmp_path):
+        slower = copy.deepcopy(SERVICE_DOC)
+        slower["verify"]["latency_ms"]["p50"] *= 1.15  # +15%
+        old = self._write(tmp_path, "old.json", SERVICE_DOC)
+        new = self._write(tmp_path, "new.json", slower)
+        assert run_benchdiff(old, new, fail_over=10.0, out=lambda _: None) == 1
+        assert run_benchdiff(old, new, fail_over=20.0, out=lambda _: None) == 0
+
+    def test_info_metrics_never_gate(self, tmp_path):
+        churned = copy.deepcopy(SERVICE_DOC)
+        churned["cache"]["miller"]["misses"] *= 10
+        churned["verify"]["seconds"] *= 5
+        old = self._write(tmp_path, "old.json", SERVICE_DOC)
+        new = self._write(tmp_path, "new.json", churned)
+        assert run_benchdiff(old, new, out=lambda _: None) == 0
+
+    def test_pairing_fp_mul_regression_fails(self, tmp_path):
+        worse = copy.deepcopy(PAIRING_DOC)
+        worse["results"][0]["mccls_cold_verify"]["fp_mul"] = 26000  # +30%
+        old = self._write(tmp_path, "old.json", PAIRING_DOC)
+        new = self._write(tmp_path, "new.json", worse)
+        lines = []
+        assert run_benchdiff(old, new, out=lines.append) == 1
+        assert "toy48.mccls_cold_verify.fp_mul" in lines[0]
+
+    def test_unreadable_inputs_exit_two(self, tmp_path):
+        good = self._write(tmp_path, "good.json", SERVICE_DOC)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert run_benchdiff(good, str(bad), out=lambda _: None) == 2
+        assert run_benchdiff(str(tmp_path / "missing.json"), good, out=lambda _: None) == 2
+
+    def test_committed_baselines_self_compare_clean(self):
+        from pathlib import Path
+
+        results = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+        for baseline in ("BENCH_service.json", "BENCH_pairing.json"):
+            path = str(results / baseline)
+            assert run_benchdiff(path, path, out=lambda _: None) == 0
+
+
+class TestCli:
+    def test_cli_wiring(self, tmp_path):
+        from repro.cli import main
+
+        doc = tmp_path / "doc.json"
+        doc.write_text(json.dumps(SERVICE_DOC))
+        assert main(["benchdiff", str(doc), str(doc)]) == 0
+        regressed = copy.deepcopy(SERVICE_DOC)
+        regressed["verify"]["throughput_rps"] *= 0.5
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(regressed))
+        assert main(["benchdiff", str(doc), str(worse)]) == 1
+        assert main(
+            ["benchdiff", str(doc), str(worse), "--fail-over", "60"]
+        ) == 0

@@ -87,6 +87,48 @@ class TestHistogram:
         assert summary["count"] == 0
         assert summary["mean"] == 0.0
 
+    def test_percentile_and_quantile_ladder(self):
+        histogram = obs.Histogram()
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert histogram.percentile(99) == pytest.approx(99.0, abs=1.0)
+        quantiles = histogram.quantiles()
+        assert set(quantiles) == {"p50", "p90", "p95", "p99"}
+        assert quantiles["p50"] <= quantiles["p90"] <= quantiles["p99"]
+        summary = histogram.summary()
+        for key, value in quantiles.items():
+            assert summary[key] == value
+
+    def test_empty_percentile_is_zero(self):
+        assert obs.Histogram().percentile(50) == 0.0
+
+    def test_absorb_merges_counts_bounds_and_samples(self):
+        a, b = obs.Histogram(), obs.Histogram()
+        for value in (1.0, 2.0, 3.0):
+            a.observe(value)
+        for value in (10.0, 20.0):
+            b.observe(value)
+        a.absorb(b.state())
+        assert a.count == 5
+        assert a.min == 1.0
+        assert a.max == 20.0
+        assert a.summary()["sum"] == pytest.approx(36.0)
+        # merged percentiles see the worker's samples, not just its bounds
+        assert a.percentile(99) == pytest.approx(20.0)
+
+    def test_absorb_respects_reservoir_cap(self):
+        a = obs.Histogram(max_samples=4)
+        b = obs.Histogram()
+        for value in (1.0, 2.0, 3.0):
+            a.observe(value)
+        for value in (4.0, 5.0, 6.0):
+            b.observe(value)
+        a.absorb(b.state())
+        assert a.count == 6
+        assert len(a._samples) == 4  # capped, not extended unboundedly
+        assert a.max == 6.0  # exact bounds survive the cap
+
 
 class TestNoOpDefault:
     def test_default_registry_is_inactive(self):
@@ -225,6 +267,27 @@ class TestSnapshotAndReport:
             obs.render_text(obs.NULL_REGISTRY.snapshot())
             == "(no observations recorded)"
         )
+
+    def test_merge_snapshot_merges_histogram_state(self):
+        # The campaign path: workers snapshot, the parent merges.
+        with obs.collecting() as worker_a:
+            for value in (1.0, 2.0, 3.0):
+                worker_a.histogram("lat", stage="verify").observe(value)
+        with obs.collecting() as worker_b:
+            for value in (10.0, 20.0):
+                worker_b.histogram("lat", stage="verify").observe(value)
+        with obs.collecting() as parent:
+            pass
+        parent.merge_snapshot(worker_a.snapshot())
+        parent.merge_snapshot(worker_b.snapshot())
+        merged = parent.histogram("lat", stage="verify")
+        assert merged.count == 5
+        assert merged.min == 1.0
+        assert merged.max == 20.0
+        # percentiles reflect both workers' observations (the old merge
+        # dropped the samples, leaving merged quantiles empty)
+        assert merged.percentile(99) == pytest.approx(20.0)
+        assert merged.summary()["sum"] == pytest.approx(36.0)
 
 
 class TestEventSinks:

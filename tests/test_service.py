@@ -62,14 +62,36 @@ class TestProtocolCodec:
             protocol.frame_length(header)
 
     def test_request_reply_envelopes(self):
-        opcode, payload = protocol.decode_request(
+        opcode, payload, trace_id = protocol.decode_request(
             protocol.encode_request(Opcode.PING, b"abc")
         )
-        assert (opcode, payload) == (Opcode.PING, b"abc")
+        assert (opcode, payload, trace_id) == (Opcode.PING, b"abc", None)
         status, payload = protocol.decode_reply(
             protocol.encode_reply(Status.BUSY, b"full")
         )
         assert (status, payload) == (Status.BUSY, b"full")
+
+    def test_traced_request_round_trip(self):
+        body = protocol.encode_request(Opcode.VERIFY, b"abc", trace_id=77)
+        assert body[0] == Opcode.VERIFY | protocol.TRACE_FLAG
+        opcode, payload, trace_id = protocol.decode_request(body)
+        assert (opcode, payload, trace_id) == (Opcode.VERIFY, b"abc", 77)
+
+    def test_trace_header_malformations_rejected(self):
+        # truncated 8-byte trace header
+        with pytest.raises(SerializationError):
+            protocol.decode_request(
+                bytes([Opcode.PING | protocol.TRACE_FLAG]) + b"\x00" * 4
+            )
+        # trace id 0 is reserved
+        with pytest.raises(SerializationError):
+            protocol.decode_request(
+                bytes([Opcode.PING | protocol.TRACE_FLAG]) + b"\x00" * 8
+            )
+        # out-of-range ids rejected at encode time
+        for bad in (0, -1, 1 << 64):
+            with pytest.raises(SerializationError):
+                protocol.encode_request(Opcode.PING, b"", trace_id=bad)
 
     def test_unknown_opcode_and_status_rejected(self):
         with pytest.raises(SerializationError):

@@ -1,0 +1,142 @@
+"""Tracing spans: nesting, trace-id inheritance, and the zero-cost path."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import trace as obs_trace
+from repro.obs.registry import NULL_REGISTRY
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+
+def _spans(sink):
+    return sink.of_kind("span")
+
+
+class TestSpans:
+    def test_span_emits_duration_and_ids(self):
+        sink = obs.ListEventSink()
+        tracer = Tracer(sink)
+        with tracer.span("verify", trace_id=7, cached=True):
+            pass
+        (span,) = _spans(sink)
+        assert span["name"] == "verify"
+        assert span["trace"] == 7
+        assert span["parent"] is None
+        assert span["cached"] is True
+        assert span["ms"] >= 0.0
+
+    def test_nested_spans_link_parent_and_inherit_trace(self):
+        sink = obs.ListEventSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer", trace_id=3):
+            with tracer.span("inner"):  # inherits trace 3, parents to outer
+                pass
+        inner, outer = _spans(sink)  # inner closes (and emits) first
+        assert (inner["name"], outer["name"]) == ("inner", "outer")
+        assert inner["trace"] == outer["trace"] == 3
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+
+    def test_sibling_spans_share_parent(self):
+        sink = obs.ListEventSink()
+        tracer = Tracer(sink)
+        with tracer.span("root", trace_id=1):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, root = _spans(sink)
+        assert a["parent"] == b["parent"] == root["id"]
+
+    def test_record_uses_caller_chosen_ids(self):
+        sink = obs.ListEventSink()
+        tracer = Tracer(sink)
+        tracer.record(
+            "queue_wait",
+            trace_id=9,
+            span_id="9/queue_wait",
+            parent_id="9/request",
+            start_s=0.0,
+            dur_s=0.0015,
+        )
+        (span,) = _spans(sink)
+        assert span["id"] == "9/queue_wait"
+        assert span["parent"] == "9/request"
+        assert span["ms"] == pytest.approx(1.5)
+
+    def test_next_trace_id_monotonic_and_nonzero(self):
+        first, second = obs_trace.next_trace_id(), obs_trace.next_trace_id()
+        assert 0 < first < second
+
+    def test_current_trace_id_follows_open_span(self):
+        tracer = Tracer(obs.ListEventSink())
+        assert obs_trace.current_trace_id() is None
+        with tracer.span("outer", trace_id=42):
+            assert obs_trace.current_trace_id() == 42
+        assert obs_trace.current_trace_id() is None
+
+    def test_tracing_context_installs_and_restores(self):
+        sink = obs.ListEventSink()
+        assert obs_trace.get_tracer() is NULL_TRACER
+        with obs_trace.tracing(sink) as tracer:
+            assert obs_trace.get_tracer() is tracer
+            with obs_trace.span("inside", trace_id=2):
+                pass
+        assert obs_trace.get_tracer() is NULL_TRACER
+        assert len(_spans(sink)) == 1
+
+    def test_span_histogram_when_registry_active(self):
+        sink = obs.ListEventSink()
+        with obs.collecting() as registry:
+            tracer = Tracer(sink)
+            with tracer.span("verify", trace_id=1):
+                pass
+        summary = registry.histogram("span.ms", span="verify").summary()
+        assert summary["count"] == 1
+
+
+class TestZeroCost:
+    def test_default_tracer_is_null(self):
+        assert obs_trace.get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_is_one_shared_object(self):
+        # No per-call allocation on the disabled path.
+        a = NULL_TRACER.span("verify", trace_id=1)
+        b = NullTracer(obs.NULL_EVENT_SINK).span("other")
+        assert a is b
+
+    def test_null_record_discards(self):
+        # Must neither raise nor emit anywhere.
+        assert (
+            NULL_TRACER.record(
+                "x", trace_id=1, span_id="s", start_s=0.0, dur_s=1.0
+            )
+            == ""
+        )
+
+    def test_disabled_path_adds_no_measurable_overhead(self):
+        """NULL_REGISTRY + no sink: instrumented code stays effectively free.
+
+        The bound is deliberately generous (well under the cost of one
+        field multiplication) - the point is catching an accidental
+        allocation-per-verify or sink write on the disabled path, not
+        micro-benchmarking.
+        """
+        assert not NULL_REGISTRY.active
+        tracer = NULL_TRACER
+        rounds = 20_000
+        start = time.perf_counter()
+        for i in range(rounds):
+            with tracer.span("verify", trace_id=i + 1):
+                pass
+            tracer.record(
+                "stage", trace_id=i + 1, span_id="s", start_s=0.0, dur_s=0.0
+            )
+            NULL_REGISTRY.histogram("service.request_ms").observe(1.0)
+        per_verify_us = (time.perf_counter() - start) / rounds * 1e6
+        assert per_verify_us < 25.0, (
+            f"{per_verify_us:.2f}us per disabled instrumented verify"
+        )
