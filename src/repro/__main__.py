@@ -1,7 +1,14 @@
-"""Entry point for ``python -m repro``."""
+"""Entry point for ``python -m repro``.
+
+The ``__main__`` guard is load-bearing: the service's worker pool spawns
+processes with the ``spawn`` start method, which re-imports the parent's
+main module in every child (as ``__mp_main__``).  Without the guard each
+crypto worker would re-run the CLI instead of entering its job loop.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

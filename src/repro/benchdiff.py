@@ -9,7 +9,10 @@ Gating policy:
 
 * service bench (``verify`` block): ``throughput_rps`` is higher-better
   and gated; client/server latency percentiles are lower-better and
-  gated; verdict counts and cache accounting are informational.
+  gated; ``connection_errors`` and ``deadline_expirations`` are
+  lower-better and gated (a zero baseline makes any nonzero candidate an
+  infinite-percent regression); verdict counts and cache accounting are
+  informational.
 * pairing bench (``results`` list): deterministic ``fp_mul`` operation
   counts are lower-better and gated (they cannot flake with machine
   speed); wall-clock ``seconds`` are informational only.
@@ -154,10 +157,17 @@ def extract_service_metrics(document: dict) -> List[Metric]:
                 value = _number(stats.get(key))
                 if value is not None:
                     metrics.append(Metric(f"cache.{name}.{key}", value, INFO))
-    for key in ("valid", "invalid", "busy_retries", "connection_errors"):
+    for key in ("valid", "invalid", "busy_retries"):
         value = _number(verify.get(key))
         if value is not None:
             metrics.append(Metric(f"verify.{key}", value, INFO))
+    # Reliability gates: a healthy bench run has ZERO of these, so any
+    # nonzero candidate against a zero baseline is an infinite-percent
+    # regression and fails the gate outright.
+    for key in ("connection_errors", "deadline_expirations"):
+        value = _number(verify.get(key))
+        if value is not None:
+            metrics.append(Metric(f"verify.{key}", value, LOWER_BETTER))
     return metrics
 
 

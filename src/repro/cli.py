@@ -10,9 +10,13 @@ Commands:
 * ``table1``   - print the Table 1 scheme comparison (measured).
 * ``games``    - run the security-game battery (McCLS vs McCLS+).
 * ``serve``    - run the verification gateway (``--trace-out`` streams
-  server-side request spans as JSONL).
+  server-side request spans as JSONL; ``--workers N`` moves the pairing
+  CPU into a supervised worker-process pool; SIGTERM drains gracefully).
 * ``loadgen``  - drive load at a gateway; ``--trace-out`` captures the
-  full client->queue->batch->pairing span trace of the run.
+  full client->queue->batch->pairing span trace of the run, ``--chaos``
+  injects wire-level faults through a deterministic proxy, and
+  ``--kill-worker-after`` murders a crypto worker mid-run to prove the
+  supervisor restarts it.
 * ``top``      - live terminal dashboard polling a gateway's STATS.
 * ``benchdiff`` - compare two BENCH_*.json files; nonzero exit when a
   gated metric regresses past ``--fail-over`` percent.
@@ -388,8 +392,14 @@ def cmd_games(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the verification gateway until interrupted."""
+    """Run the verification gateway until interrupted.
+
+    SIGTERM triggers a graceful drain: the listener closes, admitted
+    requests are answered, then worker processes are reaped.  SIGINT
+    (Ctrl-C) stops hard.
+    """
     import asyncio
+    import signal
 
     from repro.pairing.bn import toy_curve
     from repro.service.server import VerificationGateway
@@ -404,16 +414,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         max_batch=args.max_batch,
         sink=sink if sink.enabled else None,
+        workers=args.workers,
     )
 
     async def _serve() -> None:
         await gateway.start()
+        loop = asyncio.get_running_loop()
+        drain_requested = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, drain_requested.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # platform without signal-handler support
+        workers_note = f", workers {args.workers}" if args.workers else ""
         print(
             f"gateway listening on {gateway.host}:{gateway.port} "
             f"(curve bn-toy{args.bits}, cache {args.cache_size}, "
-            f"queue {args.queue_size}, batch {args.max_batch})"
+            f"queue {args.queue_size}, batch {args.max_batch}"
+            f"{workers_note})"
         )
-        await gateway._server.serve_forever()
+        server_gone = asyncio.ensure_future(gateway._server.serve_forever())
+        drain_wait = asyncio.ensure_future(drain_requested.wait())
+        try:
+            await asyncio.wait(
+                [server_gone, drain_wait],
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            for task in (server_gone, drain_wait):
+                task.cancel()
+            await asyncio.gather(server_gone, drain_wait, return_exceptions=True)
+        if drain_requested.is_set():
+            print("SIGTERM: draining admitted requests before shutdown")
+            await gateway.stop(drain=True)
+            print("gateway drained and stopped")
+        else:
+            await gateway.stop()
 
     try:
         asyncio.run(_serve())
@@ -428,6 +463,13 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     """Drive a load run against the gateway; write BENCH_service.json."""
     from repro.service.loadgen import LoadgenConfig, run_loadgen, summary_lines
 
+    chaos_spec = None
+    if args.chaos:
+        text = args.chaos
+        if not text.lstrip().startswith("{"):
+            with open(text, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        chaos_spec = json.loads(text)
     config = LoadgenConfig(
         requests=args.requests,
         identities=args.identities,
@@ -444,6 +486,11 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         trace_out=args.trace_out,
+        workers=args.workers,
+        deadline_ms=args.deadline_ms,
+        kill_worker_after=args.kill_worker_after,
+        chaos=chaos_spec,
+        error_budget=args.error_budget,
     )
     result = run_loadgen(config)
     if args.json:
@@ -583,6 +630,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream server-side request spans to FILE (JSONL)",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="supervised crypto worker processes (0 = verify in-process)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     loadgen = sub.add_parser(
@@ -619,6 +672,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="stream the client+server span trace of the run to FILE (JSONL)",
+    )
+    loadgen.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="supervised crypto workers for the in-process gateway",
+    )
+    loadgen.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        help="stamp every verify request with this deadline budget",
+    )
+    loadgen.add_argument(
+        "--kill-worker-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="SIGKILL one worker this far into the main phase and assert "
+        "the supervisor restarts it",
+    )
+    loadgen.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="drive load through the wire-level chaos proxy; SPEC is "
+        "inline JSON or a JSON file (keys: reset, truncate, stall, "
+        "stall_s, latency_s, jitter_s, seed)",
+    )
+    loadgen.add_argument(
+        "--error-budget",
+        type=float,
+        default=0.01,
+        help="max fraction of requests allowed to fail under chaos",
     )
     loadgen.add_argument("--json", action="store_true")
     loadgen.set_defaults(func=cmd_loadgen)

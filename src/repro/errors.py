@@ -44,3 +44,24 @@ class CertificateError(ReproError):
 class ServiceError(ReproError):
     """Verification-gateway protocol or server failure (ERR/BUSY replies,
     malformed frames, calls against a client that never fetched params)."""
+
+
+class ServiceBusy(ServiceError):
+    """The gateway shed the request (bounded queue full, or draining)."""
+
+
+class ServiceTimeout(ServiceError):
+    """No reply arrived within the client's per-call timeout.
+
+    Distinct from :class:`ServiceConnectionLost`: the TCP stream was
+    still up, the server was just silent (stalled, hung, overloaded).
+    The reply stream can no longer be re-synchronised, so the client
+    drops the connection before retrying."""
+
+
+class ServiceConnectionLost(ServiceError):
+    """The gateway connection died mid-exchange (reset, EOF, refused)."""
+
+
+class WorkerLostError(ServiceError):
+    """A crypto worker process died or hung with this job in flight."""

@@ -1,0 +1,316 @@
+"""A deterministic wire-level chaos proxy for the verification gateway.
+
+The netsim fault injector (:mod:`repro.netsim.faults`) breaks the
+*modelled* radio; this module breaks the *real* TCP byte stream between a
+:class:`~repro.service.client.ServiceClient` and the gateway.  The proxy
+sits on its own listening socket, speaks the same length-prefixed frame
+protocol in both directions, and injects four fault classes per
+forwarded frame:
+
+* **reset** - both sides are aborted mid-conversation (the client sees a
+  connection reset exactly where a flaky link would produce one);
+* **truncate** - the frame's header plus a strict prefix of its body is
+  forwarded, then the stream is cut: the victim is left holding a
+  half-frame it can never complete (this is the case that forces
+  read-side timeouts; a naive client blocks forever);
+* **stall** - forwarding pauses for ``stall_s`` with the connection left
+  perfectly healthy-looking (silence, not failure);
+* **latency** - a fixed + jittered per-frame delay, the background decay
+  of a congested path.
+
+Every draw comes from dedicated string-seeded RNG streams (one per
+connection and direction, the :data:`repro.netsim.faults` convention),
+so the same ``(plan, connection order)`` reproduces the identical fault
+sequence - chaos you can bisect.  Faults are recorded in :attr:`counters`
+and a bounded :attr:`log` so a harness can assert "the run actually
+injected N resets" instead of hoping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import ServiceError
+from repro.service import protocol
+
+#: cap on retained fault-log entries (oldest dropped)
+LOG_LIMIT = 1024
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Per-frame fault rates for one proxy (all drawn independently)."""
+
+    reset_rate: float = 0.0
+    truncate_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_s: float = 0.5
+    latency_s: float = 0.0
+    jitter_s: float = 0.0
+    seed: int = 0
+
+    @property
+    def empty(self) -> bool:
+        """Whether this plan never touches a frame."""
+        return (
+            self.reset_rate <= 0
+            and self.truncate_rate <= 0
+            and self.stall_rate <= 0
+            and self.latency_s <= 0
+            and self.jitter_s <= 0
+        )
+
+    def validate(self) -> None:
+        """Raise ServiceError on out-of-range rates or delays."""
+        for name in ("reset_rate", "truncate_rate", "stall_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ServiceError(f"chaos {name} must be in [0, 1]")
+        if self.reset_rate + self.truncate_rate + self.stall_rate > 1.0:
+            raise ServiceError(
+                "chaos reset+truncate+stall rates must sum to <= 1"
+            )
+        for name in ("stall_s", "latency_s", "jitter_s"):
+            if getattr(self, name) < 0:
+                raise ServiceError(f"chaos {name} must be >= 0")
+
+    @classmethod
+    def from_spec(cls, spec: Mapping) -> "ChaosPlan":
+        """Build a plan from a JSON-shaped mapping (the ``--chaos`` format).
+
+        Keys: ``reset``, ``truncate``, ``stall`` (per-frame rates),
+        ``stall_s``, ``latency_s``, ``jitter_s`` (seconds) and ``seed``.
+        Unknown keys are rejected so typos fail loudly.
+        """
+        if not isinstance(spec, Mapping):
+            raise ServiceError("chaos spec must be a JSON object")
+        known = {
+            "reset", "truncate", "stall",
+            "stall_s", "latency_s", "jitter_s", "seed",
+        }
+        unknown = set(spec) - known
+        if unknown:
+            raise ServiceError(
+                f"unknown chaos spec keys {sorted(unknown)}; "
+                f"expected {sorted(known)}"
+            )
+        plan = cls(
+            reset_rate=float(spec.get("reset", 0.0)),
+            truncate_rate=float(spec.get("truncate", 0.0)),
+            stall_rate=float(spec.get("stall", 0.0)),
+            stall_s=float(spec.get("stall_s", 0.5)),
+            latency_s=float(spec.get("latency_s", 0.0)),
+            jitter_s=float(spec.get("jitter_s", 0.0)),
+            seed=int(spec.get("seed", 0)),
+        )
+        plan.validate()
+        return plan
+
+    def to_spec(self) -> Dict[str, float]:
+        """The JSON-shaped mapping this plan round-trips through."""
+        return {
+            "reset": self.reset_rate,
+            "truncate": self.truncate_rate,
+            "stall": self.stall_rate,
+            "stall_s": self.stall_s,
+            "latency_s": self.latency_s,
+            "jitter_s": self.jitter_s,
+            "seed": self.seed,
+        }
+
+
+class ChaosProxy:
+    """A frame-aware TCP proxy injecting a :class:`ChaosPlan`."""
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        plan: ChaosPlan,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        plan.validate()
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.plan = plan
+        self.host = host
+        self.port = port
+        self.counters: Dict[str, int] = {
+            "connections": 0,
+            "forwarded_frames": 0,
+            "resets": 0,
+            "truncations": 0,
+            "stalls": 0,
+            "delayed_frames": 0,
+            "upstream_failures": 0,
+        }
+        self.log: List[Dict[str, object]] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sessions: set = set()
+        self._next_connection = 0
+
+    # -- bookkeeping --------------------------------------------------------
+    def _record(self, event: str, connection: int, direction: str, **fields):
+        entry: Dict[str, object] = {
+            "event": event,
+            "connection": connection,
+            "direction": direction,
+            **fields,
+        }
+        self.log.append(entry)
+        if len(self.log) > LOG_LIMIT:
+            del self.log[: len(self.log) - LOG_LIMIT]
+
+    def summary(self) -> Dict[str, int]:
+        """Injected-fault totals (stable keys for harness assertions)."""
+        return dict(self.counters)
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "ChaosProxy":
+        """Bind the chaos listener (upstream is dialled per connection)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        """Close the listener and abort every live proxied session."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._sessions):
+            task.cancel()
+        if self._sessions:
+            await asyncio.gather(*self._sessions, return_exceptions=True)
+            self._sessions.clear()
+
+    # -- one proxied connection ---------------------------------------------
+    async def _handle_connection(self, client_reader, client_writer) -> None:
+        task = asyncio.current_task()
+        self._sessions.add(task)
+        connection = self._next_connection
+        self._next_connection += 1
+        self.counters["connections"] += 1
+        try:
+            try:
+                upstream_reader, upstream_writer = await asyncio.open_connection(
+                    self.upstream_host, self.upstream_port
+                )
+            except OSError:
+                self.counters["upstream_failures"] += 1
+                self._abort(client_writer)
+                return
+            writers = (client_writer, upstream_writer)
+            pumps = [
+                asyncio.ensure_future(
+                    self._pump(
+                        connection, "c2s", client_reader, upstream_writer, writers
+                    )
+                ),
+                asyncio.ensure_future(
+                    self._pump(
+                        connection, "s2c", upstream_reader, client_writer, writers
+                    )
+                ),
+            ]
+            try:
+                await asyncio.wait(pumps, return_when=asyncio.FIRST_COMPLETED)
+            finally:
+                for pump in pumps:
+                    pump.cancel()
+                await asyncio.gather(*pumps, return_exceptions=True)
+                for writer in writers:
+                    self._abort(writer)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._sessions.discard(task)
+
+    def _rng(self, connection: int, direction: str) -> random.Random:
+        return random.Random(
+            f"chaos/{self.plan.seed}/conn/{connection}/{direction}"
+        )
+
+    async def _pump(
+        self, connection: int, direction: str, reader, writer, writers
+    ) -> None:
+        """Forward one direction frame by frame, injecting the plan."""
+        plan = self.plan
+        rng = self._rng(connection, direction)
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(4)
+                    length = protocol.frame_length(header)
+                    body = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    return  # clean EOF or a fault we injected upstream
+                except Exception:
+                    return  # unframeable garbage: drop the session
+                draw = rng.random()
+                if draw < plan.reset_rate:
+                    self.counters["resets"] += 1
+                    self._record("chaos.reset", connection, direction)
+                    self._abort_all(writers)
+                    return
+                draw -= plan.reset_rate
+                if draw < plan.truncate_rate and length > 0:
+                    # Forward the header and a strict prefix of the body,
+                    # then cut the stream: the victim holds a half-frame.
+                    keep = rng.randrange(length)
+                    self.counters["truncations"] += 1
+                    self._record(
+                        "chaos.truncate", connection, direction,
+                        kept=keep, of=length,
+                    )
+                    try:
+                        writer.write(header + body[:keep])
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    self._abort_all(writers)
+                    return
+                draw -= plan.truncate_rate
+                if draw < plan.stall_rate:
+                    self.counters["stalls"] += 1
+                    self._record(
+                        "chaos.stall", connection, direction, s=plan.stall_s
+                    )
+                    await asyncio.sleep(plan.stall_s)
+                delay = plan.latency_s
+                if plan.jitter_s > 0:
+                    delay += rng.random() * plan.jitter_s
+                if delay > 0:
+                    self.counters["delayed_frames"] += 1
+                    await asyncio.sleep(delay)
+                try:
+                    writer.write(header + body)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    return
+                self.counters["forwarded_frames"] += 1
+        except asyncio.CancelledError:
+            raise
+
+    def _abort_all(self, writers) -> None:
+        for writer in writers:
+            self._abort(writer)
+
+    @staticmethod
+    def _abort(writer) -> None:
+        """Drop a stream as abruptly as the transport allows."""
+        transport = writer.transport
+        try:
+            if transport is not None:
+                transport.abort()
+            else:
+                writer.close()
+        except (ConnectionError, OSError, RuntimeError):
+            pass

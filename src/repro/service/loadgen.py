@@ -5,16 +5,31 @@ one), enrolls K identities, and drives N verify requests across M
 pipelined connections in same-signer bursts - the traffic shape the
 server's micro-batcher exists for.  A fraction of requests carry a
 tampered message (signature valid, message mismatched) so the invalid
-path is exercised under load.  BUSY replies are retried, connection
-errors are not tolerated.
+path is exercised under load.  BUSY sheds are retried after a jittered
+exponential backoff (never a hot-loop re-queue), reads are bounded by a
+timeout, and a dropped connection is re-dialled with the unanswered
+window replayed - verify is idempotent, so replay can only cost work,
+never correctness.
+
+With ``workers > 0`` the in-process gateway runs its supervised crypto
+worker pool; ``kill_worker_after`` then murders one worker mid-load
+(``SIGKILL``, no goodbye) and the run asserts the supervisor restarted
+it.  With a ``chaos`` plan the load connections are driven through the
+wire-level :class:`~repro.service.chaosproxy.ChaosProxy` (resets,
+stalls, latency, mid-frame truncation) while the control plane (enroll,
+rekey, stats) keeps a direct connection.  Chaos runs enforce the hard
+invariant of this service: **zero incorrect verdicts** - a request may
+fail, it may never lie - plus a bounded error rate.
 
 After the main phase the harness rekeys the KGC, re-enrolls a probe
 identity and checks - through the STATS endpoint's cache accounting -
 that the first post-rekey verify misses the pairing cache exactly once
-and the second hits it: the bounded caches were invalidated, not leaked.
+and the second hits it: the bounded caches were invalidated, not leaked
+(with a worker pool the accounting is the merged worker view, so this
+also proves rekey propagation reached the workers).
 
 Results (throughput, latency percentiles, server-side stage latency,
-cache/eviction accounting) are written to
+cache/eviction accounting, chaos and supervision reports) are written to
 ``benchmarks/results/BENCH_service.json``, stamped with a schema version
 and run timestamp so ``python -m repro benchdiff`` can key on them.
 
@@ -29,7 +44,9 @@ from __future__ import annotations
 
 import asyncio
 import datetime
+import heapq
 import json
+import random
 import time
 from collections import deque
 from dataclasses import asdict, dataclass, field
@@ -40,7 +57,8 @@ from repro.obs.events import NULL_EVENT_SINK, open_sink
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pairing.bn import toy_curve
 from repro.service import protocol
-from repro.service.client import ServiceClient
+from repro.service.chaosproxy import ChaosPlan, ChaosProxy
+from repro.service.client import RetryPolicy, ServiceClient
 from repro.service.protocol import Opcode, Status
 from repro.service.server import VerificationGateway
 
@@ -50,6 +68,13 @@ DEFAULT_OUT = "benchmarks/results/BENCH_service.json"
 #: BENCH_service.json document version (bumped on shape changes so
 #: ``repro benchdiff`` can key its comparisons on it)
 BENCH_SCHEMA_VERSION = 2
+
+#: a job is retried (BUSY, replay, retryable ERR) at most this often
+#: before it is recorded as a hard error against the run's budget
+MAX_JOB_ATTEMPTS = 6
+
+#: consecutive re-dial failures before a connection driver gives up
+MAX_REDIAL_FAILURES = 8
 
 
 @dataclass(frozen=True)
@@ -75,6 +100,18 @@ class LoadgenConfig:
     port: int = 0
     #: JSONL span-trace output; enables wire trace ids on every request
     trace_out: Optional[str] = None
+    #: supervised crypto worker processes for the in-process gateway
+    workers: int = 0
+    #: per-request deadline budget stamped on every verify frame
+    deadline_ms: Optional[int] = None
+    #: SIGKILL one ready worker this many seconds into the main phase
+    kill_worker_after: Optional[float] = None
+    #: chaos-plan spec (see ChaosPlan.from_spec) for the load connections
+    chaos: Optional[dict] = None
+    #: max fraction of requests allowed to end in a hard error (chaos runs)
+    error_budget: float = 0.01
+    #: read timeout per pipelined reply batch (None -> 5s under chaos)
+    call_timeout_s: Optional[float] = None
 
 
 @dataclass
@@ -84,6 +121,7 @@ class _Job:
     frame: bytes
     expect_valid: bool
     trace_id: Optional[int] = None
+    attempts: int = 0  # BUSY retries + replays consumed so far
 
 
 @dataclass
@@ -92,6 +130,9 @@ class _WorkerStats:
     valid: int = 0
     invalid: int = 0
     busy: int = 0
+    reconnects: int = 0
+    deadline_errors: int = 0
+    worker_lost: int = 0
     errors: List[str] = field(default_factory=list)
     mismatches: int = 0  # verdict != expectation
 
@@ -103,6 +144,10 @@ def _percentile(sorted_values: List[float], q: float) -> float:
     return sorted_values[index]
 
 
+class _ConnectionDropped(Exception):
+    """Internal: the driver's connection died; replay the window."""
+
+
 async def _drive_connection(
     host: str,
     port: int,
@@ -110,61 +155,153 @@ async def _drive_connection(
     stats: _WorkerStats,
     window: int,
     tracer: Tracer = NULL_TRACER,
+    retry: Optional[RetryPolicy] = None,
+    read_timeout_s: Optional[float] = None,
+    rng_seed: str = "loadgen/conn",
 ) -> None:
-    """Pipeline one connection's share of the load, retrying BUSY sheds."""
-    reader, writer = await asyncio.open_connection(host, port)
-    outstanding: deque = deque()
+    """Pipeline one connection's share of the load.
 
-    async def pump(count: int) -> None:
-        for _ in range(count):
-            header = await reader.readexactly(4)
-            body = await reader.readexactly(protocol.frame_length(header))
-            started, job = outstanding.popleft()
-            elapsed = time.perf_counter() - started
-            stats.latencies.append(elapsed)
-            if job.trace_id is not None and tracer.enabled:
-                tracer.record(
-                    "client.rtt",
-                    trace_id=job.trace_id,
-                    span_id=f"t{job.trace_id}",
-                    start_s=started,
-                    dur_s=elapsed,
-                )
-            status, payload = protocol.decode_reply(body)
-            if status == Status.BUSY:
-                stats.busy += 1
-                jobs.append(job)  # shed cleanly: retry later
-            elif status == Status.ERR:
-                stats.errors.append(payload.decode("utf-8", "replace"))
-            else:
-                valid = protocol.decode_verify_verdict(payload)
-                if valid:
-                    stats.valid += 1
-                else:
-                    stats.invalid += 1
-                if valid != job.expect_valid:
-                    stats.mismatches += 1
+    BUSY sheds re-enter the stream after a jittered exponential backoff
+    (a deferred heap, so the connection keeps pumping other work instead
+    of hot-looping on a shed request).  A read timeout or connection
+    loss re-dials and replays every unanswered request - verify is
+    idempotent - until a job exhausts :data:`MAX_JOB_ATTEMPTS` and is
+    recorded as a hard error.
+    """
+    retry = retry if retry is not None else RetryPolicy()
+    rng = random.Random(rng_seed)
+    deferred: List = []  # (ready_at, tiebreak, job) min-heap
+    tiebreak = 0
 
-    try:
-        while jobs or outstanding:
-            while jobs and len(outstanding) < window:
-                job = jobs.popleft()
-                outstanding.append((time.perf_counter(), job))
-                writer.write(job.frame)
-            await writer.drain()
-            await pump(min(len(outstanding), max(1, window // 2)))
-    finally:
-        writer.close()
+    def defer(job: _Job, reason: str) -> None:
+        nonlocal tiebreak
+        job.attempts += 1
+        if job.attempts >= MAX_JOB_ATTEMPTS:
+            stats.errors.append(
+                f"gave up after {job.attempts} attempts: {reason}"
+            )
+            return
+        ready_at = time.perf_counter() + retry.delay_s(job.attempts - 1, rng)
+        tiebreak += 1
+        heapq.heappush(deferred, (ready_at, tiebreak, job))
+
+    def pending() -> bool:
+        return bool(jobs or deferred)
+
+    redial_failures = 0
+    while pending():
         try:
-            await writer.wait_closed()
-        except ConnectionError:
-            pass
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            redial_failures += 1
+            if redial_failures >= MAX_REDIAL_FAILURES:
+                while jobs:
+                    stats.errors.append(f"connect failed: {exc}")
+                    jobs.popleft()
+                while deferred:
+                    stats.errors.append(f"connect failed: {exc}")
+                    heapq.heappop(deferred)
+                return
+            await asyncio.sleep(retry.delay_s(redial_failures - 1, rng))
+            continue
+        redial_failures = 0
+        outstanding: deque = deque()
+
+        async def read_exactly(n: int) -> bytes:
+            if read_timeout_s is None:
+                return await reader.readexactly(n)
+            return await asyncio.wait_for(reader.readexactly(n), read_timeout_s)
+
+        async def pump(count: int) -> None:
+            for _ in range(count):
+                header = await read_exactly(4)
+                body = await read_exactly(protocol.frame_length(header))
+                started, job = outstanding.popleft()
+                elapsed = time.perf_counter() - started
+                stats.latencies.append(elapsed)
+                if job.trace_id is not None and tracer.enabled:
+                    tracer.record(
+                        "client.rtt",
+                        trace_id=job.trace_id,
+                        span_id=f"t{job.trace_id}",
+                        start_s=started,
+                        dur_s=elapsed,
+                    )
+                status, payload = protocol.decode_reply(body)
+                if status == Status.BUSY:
+                    stats.busy += 1
+                    defer(job, "BUSY")
+                elif status == Status.ERR:
+                    detail = payload.decode("utf-8", "replace")
+                    if detail.startswith("deadline exceeded"):
+                        stats.deadline_errors += 1
+                        defer(job, detail)
+                    elif detail.startswith("worker-lost"):
+                        stats.worker_lost += 1
+                        defer(job, detail)
+                    else:
+                        stats.errors.append(detail)
+                else:
+                    valid = protocol.decode_verify_verdict(payload)
+                    if valid:
+                        stats.valid += 1
+                    else:
+                        stats.invalid += 1
+                    if valid != job.expect_valid:
+                        stats.mismatches += 1
+
+        try:
+            try:
+                while pending() or outstanding:
+                    now = time.perf_counter()
+                    while deferred and deferred[0][0] <= now:
+                        jobs.append(heapq.heappop(deferred)[2])
+                    while jobs and len(outstanding) < window:
+                        job = jobs.popleft()
+                        outstanding.append((time.perf_counter(), job))
+                        writer.write(job.frame)
+                    if not outstanding:
+                        # Nothing in flight: everything left is deferred
+                        # into the future; sleep until the head matures.
+                        if deferred:
+                            await asyncio.sleep(
+                                max(0.0, deferred[0][0] - time.perf_counter())
+                            )
+                        continue
+                    await writer.drain()
+                    await pump(min(len(outstanding), max(1, window // 2)))
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+                ConnectionError,
+                OSError,
+            ) as exc:
+                raise _ConnectionDropped(
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+        except _ConnectionDropped as drop:
+            # The reply stream is gone; every unanswered request in the
+            # window is replayed on a fresh connection (idempotent).
+            stats.reconnects += 1
+            while outstanding:
+                _started, job = outstanding.popleft()
+                defer(job, str(drop))
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
 
 async def _run(config: LoadgenConfig) -> Dict:
     sink = open_sink(config.trace_out)
     tracer = Tracer(sink) if sink.enabled else NULL_TRACER
+    chaos_plan = (
+        ChaosPlan.from_spec(config.chaos) if config.chaos is not None else None
+    )
     gateway = None
+    proxy = None
     if config.host is None:
         gateway = VerificationGateway(
             curve=toy_curve(config.bits),
@@ -173,11 +310,23 @@ async def _run(config: LoadgenConfig) -> Dict:
             queue_size=config.queue_size,
             max_batch=config.max_batch,
             sink=sink if sink.enabled else None,
+            workers=config.workers,
         )
         await gateway.start()
         host, port = gateway.host, gateway.port
     else:
         host, port = config.host, config.port
+
+    # The load connections go through the chaos proxy (when planned);
+    # the control plane below keeps a direct, calm connection.
+    load_host, load_port = host, port
+    if chaos_plan is not None and not chaos_plan.empty:
+        proxy = ChaosProxy(host, port, chaos_plan)
+        await proxy.start()
+        load_host, load_port = proxy.host, proxy.port
+    read_timeout_s = config.call_timeout_s
+    if read_timeout_s is None and proxy is not None:
+        read_timeout_s = max(5.0, 2 * chaos_plan.stall_s + 1.0)
 
     client = ServiceClient(host, port)
     await client.connect()
@@ -220,7 +369,12 @@ async def _run(config: LoadgenConfig) -> Dict:
                 )
                 trace_id = len(jobs) + 1 if tracer.enabled else None
                 frame = protocol.encode_frame(
-                    protocol.encode_request(Opcode.VERIFY, payload, trace_id)
+                    protocol.encode_request(
+                        Opcode.VERIFY,
+                        payload,
+                        trace_id,
+                        deadline_ms=config.deadline_ms,
+                    )
                 )
                 jobs.append(
                     _Job(
@@ -236,16 +390,38 @@ async def _run(config: LoadgenConfig) -> Dict:
         for i, job in enumerate(jobs):
             shares[i // chunk].append(job)
         workers = [_WorkerStats() for _ in shares]
+        assassin = None
+        if (
+            config.kill_worker_after is not None
+            and gateway is not None
+            and gateway.pool is not None
+        ):
+            assassin = asyncio.ensure_future(
+                _kill_one_worker(gateway, config.kill_worker_after)
+            )
         main_started = time.perf_counter()
         await asyncio.gather(
             *(
                 _drive_connection(
-                    host, port, share, stats, config.window, tracer
+                    load_host,
+                    load_port,
+                    share,
+                    stats,
+                    config.window,
+                    tracer,
+                    retry=RetryPolicy(attempts=MAX_JOB_ATTEMPTS),
+                    read_timeout_s=read_timeout_s,
+                    rng_seed=f"loadgen/{config.seed}/conn/{i}",
                 )
-                for share, stats in zip(shares, workers)
+                for i, (share, stats) in enumerate(zip(shares, workers))
             )
         )
         main_seconds = time.perf_counter() - main_started
+        kill_report = None
+        if assassin is not None:
+            kill_report = await assassin
+            if kill_report is not None:
+                await _await_restart(client)
 
         latencies = sorted(
             lat for stats in workers for lat in stats.latencies
@@ -255,6 +431,9 @@ async def _run(config: LoadgenConfig) -> Dict:
         busy = sum(stats.busy for stats in workers)
         valid = sum(stats.valid for stats in workers)
         invalid = sum(stats.invalid for stats in workers)
+        reconnects = sum(stats.reconnects for stats in workers)
+        deadline_errors = sum(stats.deadline_errors for stats in workers)
+        worker_lost = sum(stats.worker_lost for stats in workers)
 
         # -- rekey invalidation check -------------------------------------
         rekey_report = None
@@ -263,6 +442,34 @@ async def _run(config: LoadgenConfig) -> Dict:
 
         stats_doc = await client.stats()
         cache = stats_doc["cache"]
+        pool_doc = stats_doc.get("pool")
+        chaotic = proxy is not None
+        answered = valid + invalid
+        error_rate = len(errors) / max(1, config.requests)
+        checks = {
+            # a request may fail; it may never lie
+            "verdicts_exact": mismatches == 0,
+            "all_accounted": answered + len(errors) == config.requests,
+            "error_budget": (
+                error_rate <= config.error_budget if chaotic else not errors
+            ),
+            "cache_bounded": (
+                cache["pairing"]["peak_size"] <= config.cache_size
+                and cache["miller"]["peak_size"] <= config.cache_size
+            ),
+            "evictions_seen": (
+                config.identities <= config.cache_size * max(1, config.workers)
+                or cache["miller"]["evictions"] > 0
+            ),
+            "rekey": rekey_report is None or rekey_report["ok"],
+            "worker_restarted": (
+                kill_report is None
+                or (
+                    pool_doc is not None
+                    and pool_doc["supervisor"]["restarts"] >= 1
+                )
+            ),
+        }
         result = {
             "schema_version": BENCH_SCHEMA_VERSION,
             "generated_at": datetime.datetime.now(
@@ -283,6 +490,12 @@ async def _run(config: LoadgenConfig) -> Dict:
                 "busy_retries": busy,
                 "verdict_mismatches": mismatches,
                 "connection_errors": len(errors),
+                "reconnects": reconnects,
+                "deadline_errors": deadline_errors,
+                "worker_lost_errors": worker_lost,
+                "deadline_expirations": stats_doc["counters"].get(
+                    "deadline_expirations", 0
+                ),
                 "error_samples": errors[:5],
                 "latency_ms": {
                     "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
@@ -295,32 +508,62 @@ async def _run(config: LoadgenConfig) -> Dict:
             "cache": cache,
             "server_counters": stats_doc["counters"],
             "server_latency_ms": stats_doc.get("latency_ms"),
+            "pool": pool_doc,
+            "chaos": (
+                {
+                    "plan": chaos_plan.to_spec(),
+                    "injected": proxy.summary(),
+                    "error_rate": round(error_rate, 5),
+                }
+                if chaotic
+                else None
+            ),
+            "worker_kill": kill_report,
             "trace": (
                 {"path": config.trace_out, "spans": sink.emitted}
                 if sink.enabled
                 else None
             ),
             "rekey": rekey_report,
-            "ok": (
-                not errors
-                and mismatches == 0
-                and valid + invalid == config.requests
-                and cache["pairing"]["peak_size"] <= config.cache_size
-                and cache["miller"]["peak_size"] <= config.cache_size
-                and (
-                    config.identities <= config.cache_size
-                    or cache["miller"]["evictions"] > 0
-                )
-                and (rekey_report is None or rekey_report["ok"])
-            ),
+            "checks": checks,
+            "ok": all(checks.values()),
         }
         return result
     finally:
         await client.close()
+        if proxy is not None:
+            await proxy.stop()
         if gateway is not None:
             await gateway.stop()
         if sink is not NULL_EVENT_SINK:
             sink.close()
+
+
+async def _kill_one_worker(
+    gateway: VerificationGateway, after_s: float
+) -> Optional[Dict]:
+    """SIGKILL the first ready worker ``after_s`` into the main phase."""
+    await asyncio.sleep(after_s)
+    pool = gateway.pool
+    if pool is None:
+        return None
+    for handle in pool.handles():
+        if handle.state == "ready" and handle.process is not None:
+            pid = handle.pid
+            handle.process.kill()
+            return {"worker": handle.index, "pid": pid, "after_s": after_s}
+    return None
+
+
+async def _await_restart(client: ServiceClient, timeout_s: float = 5.0) -> None:
+    """Give the supervisor a moment to restart the murdered worker."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        stats_doc = await client.stats()
+        pool_doc = stats_doc.get("pool")
+        if pool_doc is not None and pool_doc["supervisor"]["restarts"] >= 1:
+            return
+        await asyncio.sleep(0.1)
 
 
 async def _rekey_check(client: ServiceClient) -> Dict:
@@ -393,6 +636,33 @@ def summary_lines(result: Dict) -> List[str]:
         f"{result['config']['cache_size']}, "
         f"{cache['miller']['evictions']} evictions",
     ]
+    pool = result.get("pool")
+    if pool:
+        supervisor = pool["supervisor"]
+        ready = sum(1 for w in pool["workers"] if w["state"] == "ready")
+        lines.append(
+            f"workers: {ready}/{pool['size']} ready, "
+            f"{supervisor['restarts']} restarts "
+            f"({supervisor['crashes']} crashes, {supervisor['hangs']} hangs, "
+            f"{supervisor['job_timeouts']} job timeouts)"
+        )
+    chaos = result.get("chaos")
+    if chaos:
+        injected = chaos["injected"]
+        lines.append(
+            f"chaos: {injected['resets']} resets, "
+            f"{injected['truncations']} truncations, "
+            f"{injected['stalls']} stalls over "
+            f"{injected['forwarded_frames']} forwarded frames; "
+            f"error rate {chaos['error_rate']:.4f} "
+            f"(budget {result['config']['error_budget']})"
+        )
+    if result.get("worker_kill"):
+        kill = result["worker_kill"]
+        lines.append(
+            f"worker kill: worker {kill['worker']} (pid {kill['pid']}) "
+            f"SIGKILLed {kill['after_s']}s into the run"
+        )
     if result.get("trace"):
         lines.append(
             f"trace: {result['trace']['spans']} spans -> "
@@ -407,5 +677,8 @@ def summary_lines(result: Dict) -> List[str]:
             f"misses={rekey['second_verify']['misses']} "
             f"hits={rekey['second_verify']['hits']}"
         )
+    if not result["ok"]:
+        failed = [name for name, passed in result["checks"].items() if not passed]
+        lines.append(f"failed checks: {', '.join(failed)}")
     lines.append(f"result: {'OK' if result['ok'] else 'FAILED'}")
     return lines

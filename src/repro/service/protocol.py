@@ -50,9 +50,16 @@ MAX_FRAME = 1 << 20
 #: opcode-byte flag marking a request that carries a trace id header
 TRACE_FLAG = 0x80
 
+#: opcode-byte flag marking a request that carries a deadline header
+DEADLINE_FLAG = 0x40
+
+#: upper bound on one request's deadline budget (u32 milliseconds)
+MAX_DEADLINE_MS = 0xFFFFFFFF
+
 _LEN = struct.Struct("!I")
 _MSGLEN = struct.Struct("!H")
 _TRACE = struct.Struct("!Q")
+_DEADLINE = struct.Struct("!I")
 
 
 class Opcode(enum.IntEnum):
@@ -107,32 +114,53 @@ def frame_length(header: bytes) -> int:
 
 
 def encode_request(
-    opcode: Opcode, payload: bytes = b"", trace_id: Optional[int] = None
+    opcode: Opcode,
+    payload: bytes = b"",
+    trace_id: Optional[int] = None,
+    deadline_ms: Optional[int] = None,
 ) -> bytes:
-    """``[opcode][payload]`` request body.
+    """``[opcode][headers][payload]`` request body.
 
     With a ``trace_id``, the opcode byte carries :data:`TRACE_FLAG` and an
     8-byte big-endian trace id header precedes the payload, so one verify
     can be followed client -> queue -> batch -> pairing in span traces.
-    Requests without the flag are unchanged - old clients keep working.
+    With a ``deadline_ms``, the opcode byte carries :data:`DEADLINE_FLAG`
+    and a 4-byte big-endian millisecond budget follows the trace header
+    (if any): the server sheds the request with ``ERR deadline`` once the
+    budget has elapsed instead of burning a pairing on a reply nobody is
+    waiting for.  Requests without either flag are unchanged - old
+    clients keep working.
     """
-    if trace_id is None:
-        return bytes([opcode]) + payload
-    if not 0 < trace_id < 1 << 64:
-        raise SerializationError(f"trace id {trace_id} does not fit u64")
-    return bytes([opcode | TRACE_FLAG]) + _TRACE.pack(trace_id) + payload
+    first = int(opcode)
+    headers = b""
+    if trace_id is not None:
+        if not 0 < trace_id < 1 << 64:
+            raise SerializationError(f"trace id {trace_id} does not fit u64")
+        first |= TRACE_FLAG
+        headers += _TRACE.pack(trace_id)
+    if deadline_ms is not None:
+        if not 0 < deadline_ms <= MAX_DEADLINE_MS:
+            raise SerializationError(
+                f"deadline of {deadline_ms} ms does not fit u32 (or is 0)"
+            )
+        first |= DEADLINE_FLAG
+        headers += _DEADLINE.pack(deadline_ms)
+    return bytes([first]) + headers + payload
 
 
-def decode_request(body: bytes) -> Tuple[Opcode, bytes, Optional[int]]:
-    """Split a request body into (opcode, payload, trace id or None).
+def decode_request(
+    body: bytes,
+) -> Tuple[Opcode, bytes, Optional[int], Optional[int]]:
+    """Split a request body into (opcode, payload, trace id, deadline ms).
 
-    The trace-id header is tolerated-absent: bodies from clients that
-    never set :data:`TRACE_FLAG` decode exactly as before.  Unknown
-    opcodes and truncated trace headers are decode errors.
+    Both headers are tolerated-absent: bodies from clients that never set
+    :data:`TRACE_FLAG` / :data:`DEADLINE_FLAG` decode exactly as before
+    (the last two tuple slots are ``None``).  Unknown opcodes and
+    truncated headers are decode errors.
     """
     if not body:
         raise SerializationError("empty request body")
-    first, rest, trace_id = body[0], body[1:], None
+    first, rest, trace_id, deadline_ms = body[0], body[1:], None, None
     if first & TRACE_FLAG:
         first ^= TRACE_FLAG
         if len(rest) < _TRACE.size:
@@ -141,11 +169,19 @@ def decode_request(body: bytes) -> Tuple[Opcode, bytes, Optional[int]]:
         rest = rest[_TRACE.size :]
         if trace_id == 0:
             raise SerializationError("trace id 0 is reserved")
+    if first & DEADLINE_FLAG:
+        first ^= DEADLINE_FLAG
+        if len(rest) < _DEADLINE.size:
+            raise SerializationError("truncated deadline header")
+        (deadline_ms,) = _DEADLINE.unpack(rest[: _DEADLINE.size])
+        rest = rest[_DEADLINE.size :]
+        if deadline_ms == 0:
+            raise SerializationError("deadline 0 is reserved")
     try:
         opcode = Opcode(first)
     except ValueError:
         raise SerializationError(f"unknown opcode {first}") from None
-    return opcode, rest, trace_id
+    return opcode, rest, trace_id, deadline_ms
 
 
 def encode_reply(status: Status, payload: bytes = b"") -> bytes:
@@ -221,6 +257,22 @@ def decode_verify_payload(curve: BNCurve, payload: bytes) -> VerifyRequest:
         message=message,
         signature=signature,
     )
+
+
+def split_verify_payload(curve: BNCurve, payload: bytes) -> Tuple[str, bytes]:
+    """Cheap structural split of a verify payload: (identity, P_ID blob).
+
+    Used by the worker pool to pick a routing key (identity affinity keeps
+    each worker's pairing caches hot) without paying the full decode - no
+    curve membership checks run here; workers re-decode with validation
+    before any arithmetic touches the bytes.  Truncation is still a
+    decode error so hostile frames cannot reach the pool.
+    """
+    identity, rest = decode_identity(payload)
+    pk_size = 1 + 2 * ((curve.p.bit_length() + 7) // 8)  # tag + x + y
+    if len(rest) < pk_size:
+        raise SerializationError("truncated public key")
+    return identity, rest[:pk_size]
 
 
 def verify_reply(valid: bool) -> bytes:

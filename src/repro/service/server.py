@@ -22,6 +22,28 @@ of constrained clients:
   k.  A failed batch falls back to per-item verification so every request
   still gets an exact verdict.
 
+* **Supervised worker pool** (``workers > 0``).  The pairing CPU moves
+  into :class:`~repro.service.pool.VerifyWorkerPool` worker processes;
+  the event loop only frames, routes (by identity affinity) and replies.
+  A worker crash or hang mid-batch becomes a clean ``ERR worker-lost``
+  reply for the jobs it owed - **never a hung future** - while the
+  supervisor restarts the worker under jittered backoff.  REKEY
+  broadcasts the new params to every worker before its reply is sent, so
+  any verify pipelined after the rekey reply sees the new master key.
+
+* **Deadline enforcement.**  A request whose opcode byte carries
+  :data:`~repro.service.protocol.DEADLINE_FLAG` names its time budget;
+  the gateway checks it at dequeue (expired work is answered ``ERR
+  deadline`` without paying for a pairing) and again before replying (a
+  verdict that arrives too late to matter is reported as the deadline
+  miss it is).  Expirations count in ``deadline_expirations`` and the
+  remaining margin feeds the ``deadline_slack`` stage histogram.
+
+* **Graceful drain.**  ``stop(drain=True)`` refuses new work (``BUSY``)
+  but answers everything already admitted before closing connections;
+  ``stop()`` without drain still never strands a reply future - leftover
+  queued work is failed with ``ERR`` so writer tasks always terminate.
+
 * **Total error handling.**  Malformed payloads, unknown opcodes and
   verification-time arithmetic failures become clean ``ERR`` replies on a
   live connection.  The single unrecoverable case is an oversized length
@@ -50,14 +72,16 @@ from repro.core.batch import McCLSBatchVerifier
 from repro.core.mccls import McCLS
 from repro.core.params import KeyGenerationCenter
 from repro.core.serialization import encode_g1
-from repro.errors import ReproError, SerializationError
+from repro.errors import ReproError, SerializationError, WorkerLostError
 from repro.obs.events import EventSink, NULL_EVENT_SINK
 from repro.obs.exposition import PrometheusRenderer
 from repro.obs.registry import Registry, get_registry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pairing.bn import BNCurve, toy_curve
 from repro.service import protocol
+from repro.service.pool import VerifyWorkerPool, merge_cache_stats
 from repro.service.protocol import Opcode, Status
+from repro.service.supervisor import RestartBackoff
 
 #: STATS reply document version (benchdiff and dashboards key on it)
 STATS_SCHEMA_VERSION = 2
@@ -68,12 +92,20 @@ _Work = Tuple[bytes, "asyncio.Future[bytes]", float]
 
 @dataclass
 class _PendingVerify:
-    """One decoded VERIFY awaiting its (possibly batched) verdict."""
+    """One VERIFY awaiting its (possibly batched) verdict.
+
+    ``request`` is populated on the in-process path (full decode),
+    ``payload`` on the worker-pool path (the parent only splits the
+    routing prefix; workers do the expensive curve-membership checks).
+    """
 
     future: "asyncio.Future[bytes]"
-    request: protocol.VerifyRequest
     trace_id: Optional[int]
     enqueued: float
+    #: absolute perf_counter second the client's budget runs out, or None
+    deadline: Optional[float]
+    request: Optional[protocol.VerifyRequest] = None
+    payload: Optional[bytes] = None
 
 
 class VerificationGateway:
@@ -91,6 +123,10 @@ class VerificationGateway:
         queue_size: int = 256,
         max_batch: int = 32,
         sink: Optional[EventSink] = None,
+        workers: int = 0,
+        worker_job_timeout_s: float = 30.0,
+        worker_heartbeat_timeout_s: float = 2.0,
+        worker_backoff: Optional[RestartBackoff] = None,
     ):
         if kgc is None:
             kgc = KeyGenerationCenter(
@@ -100,11 +136,17 @@ class VerificationGateway:
                 cache_size=cache_size,
             )
         self.kgc = kgc
+        self.seed = seed if seed is not None else 0
         self.batcher = McCLSBatchVerifier(kgc.scheme)
         self.host = host
         self.port = port
         self.queue_size = queue_size
         self.max_batch = max(1, max_batch)
+        self.workers = max(0, workers)
+        self.worker_cache_size = cache_size
+        self.worker_job_timeout_s = worker_job_timeout_s
+        self.worker_heartbeat_timeout_s = worker_heartbeat_timeout_s
+        self.worker_backoff = worker_backoff
         self.counters: Dict[str, int] = {
             "connections": 0,
             "requests": 0,
@@ -117,8 +159,12 @@ class VerificationGateway:
             "enrollments": 0,
             "rekeys": 0,
             "busy_rejections": 0,
+            "drain_rejections": 0,
             "protocol_errors": 0,
             "traced_requests": 0,
+            "deadline_requests": 0,
+            "deadline_expirations": 0,
+            "worker_lost_replies": 0,
         }
         #: the gateway's own instrument store for request-granularity
         #: stage histograms (always on; never the process-wide registry,
@@ -130,10 +176,36 @@ class VerificationGateway:
         self._server: Optional[asyncio.AbstractServer] = None
         self._consumer: Optional[asyncio.Task] = None
         self._connections: set = set()
+        self._pool: Optional[VerifyWorkerPool] = None
+        self._group_tasks: set = set()
+        self._draining = False
+        self._stopped = False
+
+    @property
+    def pool(self) -> Optional[VerifyWorkerPool]:
+        """The live worker pool, or None when verifying in-process."""
+        return self._pool
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "VerificationGateway":
         """Bind, start accepting connections and the batch consumer."""
+        self._draining = False
+        self._stopped = False
+        if self.workers > 0 and self._pool is None:
+            self._pool = VerifyWorkerPool(
+                self._params(),
+                self.workers,
+                cache_size=self.worker_cache_size,
+                job_timeout_s=self.worker_job_timeout_s,
+                heartbeat_timeout_s=self.worker_heartbeat_timeout_s,
+                backoff=self.worker_backoff,
+                seed=self.seed,
+            )
+            try:
+                await self._pool.start()
+            except Exception:
+                self._pool = None
+                raise
         self._queue = asyncio.Queue(self.queue_size)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -142,13 +214,40 @@ class VerificationGateway:
         self._consumer = asyncio.create_task(self._consume())
         return self
 
-    async def stop(self) -> None:
-        """Stop accepting, cancel the consumer, release the port."""
-        for task in list(self._connections):
-            task.cancel()
-        if self._connections:
-            await asyncio.gather(*self._connections, return_exceptions=True)
-            self._connections.clear()
+    async def stop(self, drain: bool = False, drain_timeout_s: float = 30.0) -> None:
+        """Tear the gateway down; idempotent.
+
+        With ``drain=True`` the listener closes first, frames still
+        arriving on live connections are shed with ``BUSY``, and every
+        request already admitted is answered (bounded by
+        ``drain_timeout_s``) before connections close.  Without drain,
+        queued and in-flight work is failed fast with ``ERR server
+        shutting down`` - either way no reply future is ever stranded.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain:
+            self._draining = True
+            deadline = time.monotonic() + drain_timeout_s
+            try:
+                if self._queue is not None:
+                    await asyncio.wait_for(
+                        self._queue.join(), max(0.01, deadline - time.monotonic())
+                    )
+                if self._group_tasks:
+                    await asyncio.wait_for(
+                        asyncio.gather(
+                            *list(self._group_tasks), return_exceptions=True
+                        ),
+                        max(0.01, deadline - time.monotonic()),
+                    )
+            except asyncio.TimeoutError:
+                pass  # budget exhausted: fall through to the hard path
         if self._consumer is not None:
             self._consumer.cancel()
             try:
@@ -156,10 +255,34 @@ class VerificationGateway:
             except asyncio.CancelledError:
                 pass
             self._consumer = None
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        self._flush_queue("server shutting down")
+        if self._group_tasks:
+            for task in list(self._group_tasks):
+                task.cancel()
+            await asyncio.gather(*list(self._group_tasks), return_exceptions=True)
+            self._group_tasks.clear()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+            self._connections.clear()
+        if self._pool is not None:
+            await self._pool.stop()
+            self._pool = None
+
+    def _flush_queue(self, detail: str) -> None:
+        """Answer (with ERR) anything still queued so writers terminate."""
+        if self._queue is None:
+            return
+        reply = protocol.error_reply(detail)
+        while True:
+            try:
+                _body, future, _enqueued = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if not future.done():
+                future.set_result(reply)
+            self._queue.task_done()
 
     async def serve_forever(self) -> None:
         """start() and block until cancelled (the ``serve`` CLI command)."""
@@ -210,6 +333,12 @@ class VerificationGateway:
                     break  # truncated frame: sender vanished mid-body
                 future = loop.create_future()
                 await pending.put(future)
+                if self._draining:
+                    self.counters["drain_rejections"] += 1
+                    future.set_result(
+                        protocol.encode_reply(Status.BUSY, b"server draining")
+                    )
+                    continue
                 try:
                     self._queue.put_nowait((body, future, time.perf_counter()))
                 except asyncio.QueueFull:
@@ -264,7 +393,12 @@ class VerificationGateway:
             await asyncio.sleep(0)
 
     def _process(self, batch: List[_Work]) -> None:
-        """Decode and answer one drained batch (synchronous CPU work)."""
+        """Decode and answer one drained batch.
+
+        In-process mode this does the CPU work synchronously; with a
+        worker pool it only splits routing prefixes and spawns dispatch
+        tasks, so the loop returns to framing immediately.
+        """
         drained = time.perf_counter()
         registry = self.registry
         registry.histogram("service.batch_size").observe(len(batch))
@@ -277,7 +411,9 @@ class VerificationGateway:
             wait_s = drained - enqueued
             registry.histogram("service.queue_wait_ms").observe(wait_s * 1e3)
             try:
-                opcode, payload, trace_id = protocol.decode_request(body)
+                opcode, payload, trace_id, deadline_ms = protocol.decode_request(
+                    body
+                )
                 if trace_id is not None:
                     self.counters["traced_requests"] += 1
                     if tracer.enabled:
@@ -289,13 +425,36 @@ class VerificationGateway:
                             start_s=enqueued,
                             dur_s=wait_s,
                         )
+                deadline: Optional[float] = None
+                if deadline_ms is not None:
+                    self.counters["deadline_requests"] += 1
+                    deadline = enqueued + deadline_ms / 1e3
+                    if drained > deadline:
+                        # Expired while queued: answer without paying
+                        # for a pairing the client no longer wants.
+                        self.counters["deadline_expirations"] += 1
+                        future.set_result(
+                            protocol.error_reply(
+                                "deadline exceeded: "
+                                f"{wait_s * 1e3:.0f}ms in queue against a "
+                                f"{deadline_ms}ms budget"
+                            )
+                        )
+                        continue
                 if opcode == Opcode.VERIFY:
-                    request = protocol.decode_verify_payload(
-                        self.kgc.ctx.curve, payload
-                    )
                     verifies.append(
-                        _PendingVerify(future, request, trace_id, enqueued)
+                        self._admit_verify(
+                            future, payload, trace_id, enqueued, deadline
+                        )
                     )
+                    continue
+                if opcode == Opcode.REKEY and self._pool is not None:
+                    if payload:
+                        raise SerializationError(
+                            f"REKEY request carries {len(payload)} unexpected"
+                            " payload bytes"
+                        )
+                    self._spawn_group_task(self._rekey_with_pool(future))
                     continue
                 future.set_result(self._answer(opcode, payload))
             except SerializationError as exc:
@@ -308,7 +467,36 @@ class VerificationGateway:
                     protocol.error_reply(f"internal error: {exc}")
                 )
         if verifies:
-            self._verify_grouped(verifies)
+            if self._pool is not None:
+                self._dispatch_grouped(verifies)
+            else:
+                self._verify_grouped(verifies)
+
+    def _admit_verify(
+        self,
+        future: "asyncio.Future[bytes]",
+        payload: bytes,
+        trace_id: Optional[int],
+        enqueued: float,
+        deadline: Optional[float],
+    ) -> _PendingVerify:
+        """Parse a VERIFY payload just far enough for this serving mode."""
+        if self._pool is not None:
+            # Routing needs only the (identity, pk) prefix; the worker
+            # does the expensive curve-membership decode.
+            protocol.split_verify_payload(self.kgc.ctx.curve, payload)
+            return _PendingVerify(
+                future, trace_id, enqueued, deadline, payload=payload
+            )
+        request = protocol.decode_verify_payload(self.kgc.ctx.curve, payload)
+        return _PendingVerify(
+            future, trace_id, enqueued, deadline, request=request
+        )
+
+    def _spawn_group_task(self, coroutine) -> None:
+        task = asyncio.ensure_future(coroutine)
+        self._group_tasks.add(task)
+        task.add_done_callback(self._group_tasks.discard)
 
     def _answer(self, opcode: Opcode, payload: bytes) -> bytes:
         """One non-verify request -> one reply body."""
@@ -350,79 +538,206 @@ class VerificationGateway:
             )
         raise SerializationError(f"unhandled opcode {opcode}")
 
+    async def _rekey_with_pool(self, future: "asyncio.Future[bytes]") -> None:
+        """Rotate the master secret, then re-arm every worker *before*
+        the reply goes out - a verify pipelined after the rekey reply is
+        guaranteed to be judged under the new master public key."""
+        try:
+            self.kgc.rekey()
+            self.counters["rekeys"] += 1
+            await self._pool.broadcast_params(self._params())
+            reply = protocol.encode_reply(
+                Status.OK, protocol.encode_json_payload(self._params())
+            )
+        except Exception as exc:
+            reply = protocol.error_reply(f"rekey failed: {exc}")
+        if not future.done():
+            future.set_result(reply)
+
     # -- verification -------------------------------------------------------
+    def _group_key(self, pending: _PendingVerify) -> Tuple[str, bytes]:
+        if pending.request is not None:
+            return (
+                pending.request.identity,
+                encode_g1(self.kgc.ctx.curve, pending.request.public_key),
+            )
+        return protocol.split_verify_payload(
+            self.kgc.ctx.curve, pending.payload
+        )
+
+    def _resolve_verify(
+        self, pending: _PendingVerify, reply: bytes, now: float
+    ) -> None:
+        """Answer one verify, demoting late verdicts to deadline errors."""
+        if pending.future.done():
+            return
+        if pending.deadline is not None:
+            slack_s = pending.deadline - now
+            self.registry.histogram("service.deadline_slack_ms").observe(
+                slack_s * 1e3
+            )
+            if slack_s < 0:
+                self.counters["deadline_expirations"] += 1
+                reply = protocol.error_reply(
+                    "deadline exceeded: verdict ready "
+                    f"{-slack_s * 1e3:.0f}ms past the budget"
+                )
+        pending.future.set_result(reply)
+
     def _verify_grouped(self, verifies: List[_PendingVerify]) -> None:
         """Fold same-signer requests into one batch pairing each."""
-        curve = self.kgc.ctx.curve
         groups: Dict[Tuple[str, bytes], List[_PendingVerify]] = {}
         for pending in verifies:
-            request = pending.request
-            key = (request.identity, encode_g1(curve, request.public_key))
-            groups.setdefault(key, []).append(pending)
-        registry = self.registry
-        process_registry = get_registry()
-        tracer = self.tracer
+            groups.setdefault(self._group_key(pending), []).append(pending)
         for (identity, _pk_blob), members in groups.items():
             self.counters["verify_requests"] += len(members)
             fold_started = time.perf_counter()
             verdicts, pairing_s = self._verify_group(identity, members)
             fold_s = time.perf_counter() - fold_started
             serialize_started = time.perf_counter()
-            for pending, valid in zip(members, verdicts):
+            replies = []
+            for valid in verdicts:
                 self.counters["verify_valid" if valid else "verify_invalid"] += 1
-                pending.future.set_result(protocol.verify_reply(valid))
+                replies.append(protocol.verify_reply(valid))
             done = time.perf_counter()
-            serialize_s = done - serialize_started
-            registry.histogram("service.verify_ms").observe(pairing_s * 1e3)
-            registry.histogram("service.batch_fold_ms").observe(fold_s * 1e3)
-            registry.histogram("service.serialize_ms").observe(
-                serialize_s * 1e3
+            for pending, reply in zip(members, replies):
+                self._resolve_verify(pending, reply, done)
+            self._account_group(
+                members, fold_started, fold_s, pairing_s,
+                serialize_started, done - serialize_started, done,
             )
+
+    def _dispatch_grouped(self, verifies: List[_PendingVerify]) -> None:
+        """Route same-signer groups to the worker pool (async verdicts)."""
+        groups: Dict[Tuple[str, bytes], List[_PendingVerify]] = {}
+        for pending in verifies:
+            groups.setdefault(self._group_key(pending), []).append(pending)
+        for (identity, _pk_blob), members in groups.items():
+            self._spawn_group_task(self._dispatch_group(identity, members))
+
+    async def _dispatch_group(
+        self, identity: str, members: List[_PendingVerify]
+    ) -> None:
+        """One same-signer group's round trip through the worker pool."""
+        self.counters["verify_requests"] += len(members)
+        if len(members) > 1:
+            self.counters["batches"] += 1
+            self.counters["batched_requests"] += len(members)
+        fold_started = time.perf_counter()
+        try:
+            try:
+                results, pairing_s, fallback = await self._pool.submit(
+                    identity, [p.payload for p in members]
+                )
+            except WorkerLostError as exc:
+                # The worker died or hung with this group in flight: the
+                # client gets a definite error now, never a hung future.
+                self.counters["worker_lost_replies"] += len(members)
+                reply = protocol.error_reply(f"worker-lost: {exc}")
+                now = time.perf_counter()
+                for pending in members:
+                    self._resolve_verify(pending, reply, now)
+                return
+            except ReproError as exc:
+                reply = protocol.error_reply(str(exc))
+                now = time.perf_counter()
+                for pending in members:
+                    self._resolve_verify(pending, reply, now)
+                return
+            if fallback:
+                self.counters["batch_fallbacks"] += 1
+            fold_s = time.perf_counter() - fold_started
+            serialize_started = time.perf_counter()
+            replies = []
+            for kind, value in results:
+                if kind == "ok":
+                    valid = bool(value)
+                    key = "verify_valid" if valid else "verify_invalid"
+                    self.counters[key] += 1
+                    replies.append(protocol.verify_reply(valid))
+                else:
+                    replies.append(protocol.error_reply(str(value)))
+            done = time.perf_counter()
+            for pending, reply in zip(members, replies):
+                self._resolve_verify(pending, reply, done)
+            self._account_group(
+                members, fold_started, fold_s, pairing_s,
+                serialize_started, done - serialize_started, done,
+            )
+        finally:
+            # Cancellation (hard stop) must not strand a reply future.
+            shutdown_reply: Optional[bytes] = None
             for pending in members:
-                registry.histogram("service.request_ms").observe(
-                    (done - pending.enqueued) * 1e3
-                )
-                if pending.trace_id is None or not tracer.enabled:
-                    continue
-                tid = pending.trace_id
-                # One stage tree per traced verify, all under its trace
-                # id; the fold/pairing durations are shared by the whole
-                # same-signer group (that sharing IS the batching win).
-                tracer.record(
-                    "server.request",
-                    trace_id=tid,
-                    span_id=f"{tid}/request",
-                    parent_id=f"t{tid}",
-                    start_s=pending.enqueued,
-                    dur_s=done - pending.enqueued,
-                )
-                tracer.record(
-                    "server.batch_fold",
-                    trace_id=tid,
-                    span_id=f"{tid}/batch_fold",
-                    parent_id=f"{tid}/request",
-                    start_s=fold_started,
-                    dur_s=fold_s,
-                    batch=len(members),
-                )
-                tracer.record(
-                    "server.pairing",
-                    trace_id=tid,
-                    span_id=f"{tid}/pairing",
-                    parent_id=f"{tid}/batch_fold",
-                    start_s=fold_started,
-                    dur_s=pairing_s,
-                )
-                tracer.record(
-                    "server.serialize",
-                    trace_id=tid,
-                    span_id=f"{tid}/serialize",
-                    parent_id=f"{tid}/request",
-                    start_s=serialize_started,
-                    dur_s=serialize_s,
-                )
-            if process_registry.active:
-                process_registry.counter("service.verifies").inc(len(members))
+                if not pending.future.done():
+                    if shutdown_reply is None:
+                        shutdown_reply = protocol.error_reply(
+                            "server shutting down"
+                        )
+                    pending.future.set_result(shutdown_reply)
+
+    def _account_group(
+        self,
+        members: List[_PendingVerify],
+        fold_started: float,
+        fold_s: float,
+        pairing_s: float,
+        serialize_started: float,
+        serialize_s: float,
+        done: float,
+    ) -> None:
+        """Stage histograms, trace spans and the process-registry counter
+        for one answered same-signer group."""
+        registry = self.registry
+        tracer = self.tracer
+        registry.histogram("service.verify_ms").observe(pairing_s * 1e3)
+        registry.histogram("service.batch_fold_ms").observe(fold_s * 1e3)
+        registry.histogram("service.serialize_ms").observe(serialize_s * 1e3)
+        for pending in members:
+            registry.histogram("service.request_ms").observe(
+                (done - pending.enqueued) * 1e3
+            )
+            if pending.trace_id is None or not tracer.enabled:
+                continue
+            tid = pending.trace_id
+            # One stage tree per traced verify, all under its trace
+            # id; the fold/pairing durations are shared by the whole
+            # same-signer group (that sharing IS the batching win).
+            tracer.record(
+                "server.request",
+                trace_id=tid,
+                span_id=f"{tid}/request",
+                parent_id=f"t{tid}",
+                start_s=pending.enqueued,
+                dur_s=done - pending.enqueued,
+            )
+            tracer.record(
+                "server.batch_fold",
+                trace_id=tid,
+                span_id=f"{tid}/batch_fold",
+                parent_id=f"{tid}/request",
+                start_s=fold_started,
+                dur_s=fold_s,
+                batch=len(members),
+            )
+            tracer.record(
+                "server.pairing",
+                trace_id=tid,
+                span_id=f"{tid}/pairing",
+                parent_id=f"{tid}/batch_fold",
+                start_s=fold_started,
+                dur_s=pairing_s,
+            )
+            tracer.record(
+                "server.serialize",
+                trace_id=tid,
+                span_id=f"{tid}/serialize",
+                parent_id=f"{tid}/request",
+                start_s=serialize_started,
+                dur_s=serialize_s,
+            )
+        process_registry = get_registry()
+        if process_registry.active:
+            process_registry.counter("service.verifies").inc(len(members))
 
     def _verify_group(
         self, identity: str, members: List[_PendingVerify]
@@ -470,19 +785,29 @@ class VerificationGateway:
         "verify",
         "serialize",
         "request",
+        "deadline_slack",
     )
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Bounded-cache accounting: the KGC's own context merged with
+        every worker's (workers do the verify-side pairing work)."""
+        if self._pool is None:
+            return self.kgc.ctx.cache_stats()
+        return merge_cache_stats(
+            self.kgc.ctx.cache_stats(), self._pool.worker_cache_stats()
+        )
 
     def stats(self) -> dict:
         """Counters, bounded-cache accounting and server-side stage
         latency summaries (the STATS reply)."""
         registry = self.registry
-        return {
+        document = {
             "schema_version": STATS_SCHEMA_VERSION,
             "counters": dict(self.counters),
             "queue_depth": self._queue.qsize() if self._queue else 0,
             "queue_size": self.queue_size,
             "max_batch": self.max_batch,
-            "cache": self.kgc.ctx.cache_stats(),
+            "cache": self.cache_stats(),
             "enrolled": len(self.kgc.issued_identities()),
             "latency_ms": {
                 stage: registry.histogram(f"service.{stage}_ms").summary()
@@ -492,6 +817,11 @@ class VerificationGateway:
                 "size": registry.histogram("service.batch_size").summary()
             },
         }
+        if self._pool is not None:
+            pool_stats = self._pool.stats()
+            pool_stats["supervision_log"] = list(self._pool.supervisor.log)[-32:]
+            document["pool"] = pool_stats
+        return document
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of everything STATS reports."""
@@ -513,7 +843,16 @@ class VerificationGateway:
         )
         renderer.gauge("service.queue_size", self.queue_size)
         renderer.gauge("service.enrolled", len(self.kgc.issued_identities()))
-        for cache_name, stats in sorted(self.kgc.ctx.cache_stats().items()):
+        if self._pool is not None:
+            pool_stats = self._pool.stats()
+            ready = sum(
+                1 for w in pool_stats["workers"] if w["state"] == "ready"
+            )
+            renderer.gauge("service.workers", pool_stats["size"])
+            renderer.gauge("service.workers_ready", ready)
+            for name, value in sorted(pool_stats["supervisor"].items()):
+                renderer.counter(f"service.worker_{name}", value)
+        for cache_name, stats in sorted(self.cache_stats().items()):
             labels = {"cache": cache_name}
             for key in ("hits", "misses", "evictions"):
                 renderer.counter(f"cache.{key}", stats.get(key, 0), labels)

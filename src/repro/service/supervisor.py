@@ -1,0 +1,155 @@
+"""Supervision for the crypto worker pool.
+
+The pool (:mod:`repro.service.pool`) owns the worker processes; this
+module owns the *policy* that keeps them alive:
+
+* **Liveness detection.**  The supervisor loop pings every ready worker
+  each interval and watches two signals: the process exit code (a crash
+  is visible immediately through the reader thread's EOF, and at the
+  latest on the next sweep) and heartbeat staleness.  A worker that is
+  silent past ``heartbeat_timeout_s`` *while owing no job* is hung in
+  its idle loop; a worker owing a job is only declared hung once that
+  job has also exceeded ``job_timeout_s`` (a big same-signer batch on a
+  slow curve legitimately blocks the worker's reply loop, so silence
+  alone is not guilt).
+
+* **Job deadlines.**  Any in-flight job older than ``job_timeout_s``
+  kills its worker: a poisoned request must cost one worker restart, not
+  a stuck slot forever.  The pool converts the orphaned futures into
+  ``worker lost`` errors, so the gateway answers ``ERR`` instead of
+  leaving a client's reply slot hanging.
+
+* **Jittered restart backoff** (:class:`RestartBackoff`).  A dead worker
+  is respawned after ``base_s * multiplier**restarts`` (capped, ±jitter)
+  so a crash-looping worker (bad params, OOM kills) does not turn the
+  supervisor into a fork bomb.  The backoff resets once a worker comes
+  back ready.
+
+Every state transition is appended to :attr:`WorkerSupervisor.log` - a
+bounded in-memory list of dicts - and mirrored to the gateway's event
+sink when tracing is on, so a chaos run can assert "the worker was
+restarted" from the outside.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class RestartBackoff:
+    """Jittered exponential backoff between worker restarts."""
+
+    base_s: float = 0.05
+    max_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def delay_s(self, restarts: int, rng: random.Random) -> float:
+        """Delay before restart number ``restarts`` (0-based)."""
+        delay = min(self.max_s, self.base_s * self.multiplier ** restarts)
+        if self.jitter:
+            span = delay * self.jitter
+            delay = max(0.0, delay + rng.uniform(-span, span))
+        return delay
+
+
+class WorkerSupervisor:
+    """Heartbeat / deadline / restart policy over a pool's workers.
+
+    Deliberately knows nothing about pipes or processes: it reads worker
+    state through the small surface the pool's handles expose
+    (``state``, ``process``, ``pending age``, ``last_pong``) and acts
+    through two pool callbacks - ``declare_lost`` and ``respawn``.
+    """
+
+    #: keep at most this many log entries (oldest dropped)
+    LOG_LIMIT = 256
+
+    def __init__(
+        self,
+        pool,
+        *,
+        heartbeat_interval_s: float = 0.25,
+        heartbeat_timeout_s: float = 2.0,
+        job_timeout_s: float = 30.0,
+        backoff: Optional[RestartBackoff] = None,
+        seed: int = 0,
+    ):
+        self.pool = pool
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.job_timeout_s = job_timeout_s
+        self.backoff = backoff if backoff is not None else RestartBackoff()
+        self.rng = random.Random(f"service/supervisor/{seed}")
+        self.log: List[Dict] = []
+        self.counters: Dict[str, int] = {
+            "restarts": 0,
+            "crashes": 0,
+            "hangs": 0,
+            "job_timeouts": 0,
+        }
+
+    # -- bookkeeping --------------------------------------------------------
+    def note(self, event: str, worker_index: int, **details) -> None:
+        """Append one supervision event to the bounded log."""
+        entry = {
+            "at": time.time(),
+            "event": event,
+            "worker": worker_index,
+            **details,
+        }
+        self.log.append(entry)
+        if len(self.log) > self.LOG_LIMIT:
+            del self.log[: len(self.log) - self.LOG_LIMIT]
+
+    def restart_delay_s(self, restarts: int) -> float:
+        """Backoff before a worker's next respawn."""
+        return self.backoff.delay_s(restarts, self.rng)
+
+    # -- one supervision sweep ----------------------------------------------
+    def sweep(self, now: float) -> None:
+        """Inspect every worker once; kill/restart/ping as policy says."""
+        for handle in self.pool.handles():
+            if handle.state == "dead":
+                if handle.restart_at is not None and now >= handle.restart_at:
+                    self.counters["restarts"] += 1
+                    self.note("restart", handle.index, restarts=handle.restarts)
+                    self.pool.respawn(handle)
+                continue
+            process = handle.process
+            if process is not None and process.exitcode is not None:
+                self.counters["crashes"] += 1
+                self.pool.declare_lost(
+                    handle, f"worker exited with code {process.exitcode}"
+                )
+                continue
+            if handle.state != "ready":
+                # still starting: give it until the heartbeat timeout
+                if now - handle.started_at > max(
+                    self.heartbeat_timeout_s, self.job_timeout_s
+                ):
+                    self.counters["hangs"] += 1
+                    self.pool.declare_lost(handle, "worker never became ready")
+                continue
+            oldest_job_age = handle.oldest_job_age(now)
+            if oldest_job_age is not None and oldest_job_age > self.job_timeout_s:
+                self.counters["job_timeouts"] += 1
+                self.pool.declare_lost(
+                    handle,
+                    f"job exceeded {self.job_timeout_s}s deadline "
+                    f"(in flight {oldest_job_age:.2f}s)",
+                )
+                continue
+            pong_age = now - handle.last_pong
+            if pong_age > self.heartbeat_timeout_s and oldest_job_age is None:
+                # silent while idle: the worker loop itself is stuck
+                self.counters["hangs"] += 1
+                self.pool.declare_lost(
+                    handle, f"no heartbeat for {pong_age:.2f}s while idle"
+                )
+                continue
+            self.pool.ping(handle)

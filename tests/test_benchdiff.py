@@ -27,6 +27,7 @@ SERVICE_DOC = {
         "invalid": 2,
         "busy_retries": 0,
         "connection_errors": 0,
+        "deadline_expirations": 0,
         "latency_ms": {"p50": 10.0, "p90": 20.0, "p95": 25.0, "p99": 30.0, "max": 40.0},
     },
     "server_latency_ms": {
@@ -69,6 +70,11 @@ class TestExtraction:
         assert by_name["server.queue_wait_ms.p50"].direction == INFO
         assert by_name["cache.miller.hits"].direction == INFO
         assert by_name["verify.valid"].direction == INFO
+        # reliability counters gate: a healthy run has zero of each
+        assert by_name["verify.connection_errors"].direction == LOWER_BETTER
+        assert by_name["verify.deadline_expirations"].direction == (
+            LOWER_BETTER
+        )
 
     def test_pairing_gating_directions(self):
         _, metrics = extract_metrics(PAIRING_DOC)
@@ -130,6 +136,26 @@ class TestGate:
         old = self._write(tmp_path, "old.json", SERVICE_DOC)
         new = self._write(tmp_path, "new.json", churned)
         assert run_benchdiff(old, new, out=lambda _: None) == 0
+
+    def test_reliability_counters_regressing_from_zero_fail(self, tmp_path):
+        """Zero baseline -> any nonzero candidate is an infinite-percent
+        regression, so no threshold can wave it through."""
+        old = self._write(tmp_path, "old.json", SERVICE_DOC)
+        for key in ("connection_errors", "deadline_expirations"):
+            flaky = copy.deepcopy(SERVICE_DOC)
+            flaky["verify"][key] = 1
+            new = self._write(tmp_path, f"new_{key}.json", flaky)
+            lines = []
+            assert run_benchdiff(old, new, out=lines.append) == 1
+            assert f"verify.{key}" in lines[0]
+            # even an absurd threshold cannot excuse it
+            assert run_benchdiff(
+                old, new, fail_over=1e9, out=lambda _: None
+            ) == 1
+
+    def test_reliability_counters_staying_zero_pass(self, tmp_path):
+        path = self._write(tmp_path, "base.json", SERVICE_DOC)
+        assert run_benchdiff(path, path, out=lambda _: None) == 0
 
     def test_pairing_fp_mul_regression_fails(self, tmp_path):
         worse = copy.deepcopy(PAIRING_DOC)

@@ -1,0 +1,219 @@
+"""Chaos proxy: plan validation, each fault class, determinism, and the
+resilient client surviving a lossy wire with exact verdicts.
+
+Most tests run the proxy against a trivial frame-echo upstream so each
+fault class is observable in isolation; the last one puts a real gateway
+behind the proxy and asserts the retrying client still gets every
+verdict right.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.pairing.bn import toy_curve
+from repro.service import protocol
+from repro.service.chaosproxy import ChaosPlan, ChaosProxy
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.server import VerificationGateway
+
+CURVE = toy_curve(32)
+
+
+class TestChaosPlan:
+    def test_validate_rejects_bad_rates(self):
+        with pytest.raises(ServiceError):
+            ChaosPlan(reset_rate=1.5).validate()
+        with pytest.raises(ServiceError):
+            ChaosPlan(stall_rate=-0.1).validate()
+        with pytest.raises(ServiceError):
+            ChaosPlan(reset_rate=0.5, truncate_rate=0.4,
+                      stall_rate=0.2).validate()
+        with pytest.raises(ServiceError):
+            ChaosPlan(latency_s=-1.0).validate()
+        ChaosPlan(reset_rate=0.5, truncate_rate=0.3,
+                  stall_rate=0.2).validate()  # exactly 1.0 is fine
+
+    def test_from_spec_round_trip_and_unknown_keys(self):
+        spec = {"reset": 0.1, "truncate": 0.05, "stall": 0.2,
+                "stall_s": 0.3, "latency_s": 0.01, "jitter_s": 0.02,
+                "seed": 7}
+        plan = ChaosPlan.from_spec(spec)
+        assert plan.reset_rate == 0.1
+        assert plan.to_spec() == spec
+        with pytest.raises(ServiceError):
+            ChaosPlan.from_spec({"rest": 0.1})  # typo fails loudly
+        with pytest.raises(ServiceError):
+            ChaosPlan.from_spec([0.1])
+
+    def test_empty_property(self):
+        assert ChaosPlan().empty
+        assert not ChaosPlan(latency_s=0.1).empty
+        assert not ChaosPlan(reset_rate=0.01).empty
+
+
+async def _echo_upstream():
+    """A frame-echo server: every well-formed frame comes straight back."""
+
+    async def handler(reader, writer):
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                body = await reader.readexactly(protocol.frame_length(header))
+                writer.write(header + body)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+async def _echo_session(proxy, frames: int):
+    """Send frames through the proxy; returns how many echoed back."""
+    reader, writer = await asyncio.open_connection(proxy.host, proxy.port)
+    echoed = 0
+    try:
+        for i in range(frames):
+            writer.write(protocol.encode_frame(b"frame-%d" % i))
+            await writer.drain()
+            header = await asyncio.wait_for(reader.readexactly(4), 5.0)
+            body = await asyncio.wait_for(
+                reader.readexactly(protocol.frame_length(header)), 5.0
+            )
+            assert body == b"frame-%d" % i  # never corrupted, only delayed
+            echoed += 1
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        pass
+    finally:
+        try:
+            writer.close()
+        except (ConnectionError, OSError):
+            pass
+    return echoed
+
+
+def _proxy_run(plan: ChaosPlan, frames: int = 10):
+    """One echo session through a fresh proxy; returns (echoed, proxy)."""
+
+    async def main():
+        server, port = await _echo_upstream()
+        proxy = await ChaosProxy("127.0.0.1", port, plan).start()
+        try:
+            echoed = await _echo_session(proxy, frames)
+        finally:
+            await proxy.stop()
+            server.close()
+            await server.wait_closed()
+        return echoed, proxy
+
+    return asyncio.run(main())
+
+
+class TestFaultClasses:
+    def test_empty_plan_is_a_transparent_pipe(self):
+        echoed, proxy = _proxy_run(ChaosPlan(), frames=5)
+        assert echoed == 5
+        assert proxy.counters["forwarded_frames"] == 10  # both directions
+        assert proxy.counters["resets"] == 0
+        assert proxy.counters["truncations"] == 0
+        assert proxy.counters["stalls"] == 0
+
+    def test_reset_cuts_the_conversation(self):
+        echoed, proxy = _proxy_run(ChaosPlan(reset_rate=1.0), frames=3)
+        assert echoed == 0
+        assert proxy.counters["resets"] == 1
+        assert proxy.counters["forwarded_frames"] == 0
+
+    def test_truncate_leaves_a_strict_half_frame(self):
+        echoed, proxy = _proxy_run(ChaosPlan(truncate_rate=1.0), frames=3)
+        assert echoed == 0
+        assert proxy.counters["truncations"] == 1
+        entry = next(
+            e for e in proxy.log if e["event"] == "chaos.truncate"
+        )
+        assert 0 <= entry["kept"] < entry["of"]  # strict prefix
+
+    def test_stall_delays_but_does_not_corrupt(self):
+        started = time.perf_counter()
+        echoed, proxy = _proxy_run(
+            ChaosPlan(stall_rate=1.0, stall_s=0.15), frames=2
+        )
+        elapsed = time.perf_counter() - started
+        assert echoed == 2  # every frame still arrives intact
+        assert proxy.counters["stalls"] == 4  # both directions, per frame
+        assert elapsed >= 0.55  # 4 stalls of 0.15s actually happened
+
+    def test_latency_applies_to_every_frame(self):
+        started = time.perf_counter()
+        echoed, proxy = _proxy_run(ChaosPlan(latency_s=0.05), frames=3)
+        elapsed = time.perf_counter() - started
+        assert echoed == 3
+        assert proxy.counters["delayed_frames"] == 6
+        assert elapsed >= 0.28  # 6 frames x 0.05s minimum
+
+    def test_same_seed_reproduces_the_same_fault_sequence(self):
+        plan = ChaosPlan(reset_rate=0.25, stall_rate=0.1,
+                         stall_s=0.01, seed=7)
+        first_echoed, first = _proxy_run(plan, frames=12)
+        second_echoed, second = _proxy_run(plan, frames=12)
+        assert first_echoed == second_echoed
+        assert first.summary() == second.summary()
+        assert [
+            (e["event"], e["direction"]) for e in first.log
+        ] == [(e["event"], e["direction"]) for e in second.log]
+
+
+class TestResilientClientThroughChaos:
+    def test_verdicts_stay_exact_over_a_lossy_wire(self):
+        """Resets mid-pipeline: the client reconnects through the proxy,
+        replays only unanswered verifies, and every verdict is right."""
+
+        async def main():
+            gateway = VerificationGateway(curve=CURVE, seed=5)
+            await gateway.start()
+            proxy = await ChaosProxy(
+                gateway.host, gateway.port,
+                ChaosPlan(reset_rate=0.05, seed=3),
+            ).start()
+            control = ServiceClient(gateway.host, gateway.port)
+            await control.connect()
+            chaotic = ServiceClient(
+                proxy.host, proxy.port,
+                timeout_s=2.0,
+                retry=RetryPolicy(attempts=8, base_delay_s=0.005),
+            )
+            try:
+                keys = await control.enroll("lossy")
+                items = []
+                expected = []
+                for i in range(20):
+                    message = b"m%d" % i
+                    good = i % 4 != 0
+                    signature = control.sign(
+                        message if good else b"forged", keys
+                    )
+                    items.append(("lossy", keys.public_key, message, signature))
+                    expected.append(good)
+                outcomes = await chaotic.verify_many(items)
+                assert all(o.ok for o in outcomes)
+                assert [o.valid for o in outcomes] == expected
+                # The wire really was lossy and the client really healed.
+                assert proxy.counters["resets"] >= 1
+                assert chaotic.counters["reconnects"] >= 1
+            finally:
+                await chaotic.close()
+                await control.close()
+                await proxy.stop()
+                await gateway.stop()
+
+        asyncio.run(main())

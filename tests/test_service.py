@@ -11,10 +11,15 @@ import asyncio
 
 import pytest
 
-from repro.errors import SerializationError, ServiceError
+from repro.errors import (
+    SerializationError,
+    ServiceConnectionLost,
+    ServiceError,
+    ServiceTimeout,
+)
 from repro.pairing.bn import toy_curve
 from repro.service import protocol
-from repro.service.client import ServiceClient
+from repro.service.client import CircuitBreaker, RetryPolicy, ServiceClient
 from repro.service.protocol import Opcode, Status
 from repro.service.server import VerificationGateway
 
@@ -62,10 +67,12 @@ class TestProtocolCodec:
             protocol.frame_length(header)
 
     def test_request_reply_envelopes(self):
-        opcode, payload, trace_id = protocol.decode_request(
+        opcode, payload, trace_id, deadline_ms = protocol.decode_request(
             protocol.encode_request(Opcode.PING, b"abc")
         )
-        assert (opcode, payload, trace_id) == (Opcode.PING, b"abc", None)
+        assert (opcode, payload, trace_id, deadline_ms) == (
+            Opcode.PING, b"abc", None, None,
+        )
         status, payload = protocol.decode_reply(
             protocol.encode_reply(Status.BUSY, b"full")
         )
@@ -74,8 +81,63 @@ class TestProtocolCodec:
     def test_traced_request_round_trip(self):
         body = protocol.encode_request(Opcode.VERIFY, b"abc", trace_id=77)
         assert body[0] == Opcode.VERIFY | protocol.TRACE_FLAG
-        opcode, payload, trace_id = protocol.decode_request(body)
-        assert (opcode, payload, trace_id) == (Opcode.VERIFY, b"abc", 77)
+        opcode, payload, trace_id, deadline_ms = protocol.decode_request(body)
+        assert (opcode, payload, trace_id, deadline_ms) == (
+            Opcode.VERIFY, b"abc", 77, None,
+        )
+
+    def test_deadline_request_round_trip(self):
+        body = protocol.encode_request(Opcode.VERIFY, b"abc", deadline_ms=250)
+        assert body[0] == Opcode.VERIFY | protocol.DEADLINE_FLAG
+        opcode, payload, trace_id, deadline_ms = protocol.decode_request(body)
+        assert (opcode, payload, trace_id, deadline_ms) == (
+            Opcode.VERIFY, b"abc", None, 250,
+        )
+
+    def test_traced_and_deadlined_request_round_trip(self):
+        body = protocol.encode_request(
+            Opcode.VERIFY, b"xyz", trace_id=9, deadline_ms=1000
+        )
+        assert body[0] == (
+            Opcode.VERIFY | protocol.TRACE_FLAG | protocol.DEADLINE_FLAG
+        )
+        opcode, payload, trace_id, deadline_ms = protocol.decode_request(body)
+        assert (opcode, payload, trace_id, deadline_ms) == (
+            Opcode.VERIFY, b"xyz", 9, 1000,
+        )
+
+    def test_deadline_header_malformations_rejected(self):
+        # truncated 4-byte deadline header
+        with pytest.raises(SerializationError):
+            protocol.decode_request(
+                bytes([Opcode.PING | protocol.DEADLINE_FLAG]) + b"\x00" * 2
+            )
+        # deadline 0 is reserved
+        with pytest.raises(SerializationError):
+            protocol.decode_request(
+                bytes([Opcode.PING | protocol.DEADLINE_FLAG]) + b"\x00" * 4
+            )
+        # out-of-range budgets rejected at encode time
+        for bad in (0, -1, protocol.MAX_DEADLINE_MS + 1):
+            with pytest.raises(SerializationError):
+                protocol.encode_request(Opcode.PING, b"", deadline_ms=bad)
+
+    def test_split_verify_payload_matches_full_decode(self):
+        from repro.core.mccls import McCLS
+        from repro.core.serialization import encode_g1
+        from repro.pairing.groups import PairingContext
+        import random
+
+        scheme = McCLS(PairingContext(CURVE, random.Random(1)))
+        keys = scheme.generate_user_keys("split")
+        payload = protocol.encode_verify_payload(
+            CURVE, "split", keys.public_key, MSG, scheme.sign(MSG, keys)
+        )
+        identity, pk_blob = protocol.split_verify_payload(CURVE, payload)
+        assert identity == "split"
+        assert pk_blob == encode_g1(CURVE, keys.public_key)
+        with pytest.raises(SerializationError):
+            protocol.split_verify_payload(CURVE, payload[:4])
 
     def test_trace_header_malformations_rejected(self):
         # truncated 8-byte trace header
@@ -406,3 +468,231 @@ class TestClientErrors:
         client = ServiceClient()
         with pytest.raises(ServiceError):
             client.sign(MSG, None)
+
+
+class TestDeadlines:
+    def test_generous_deadline_still_verifies(self):
+        async def body(gateway):
+            client = await connected_client(gateway)
+            try:
+                keys = await client.enroll("slack")
+                signature = client.sign(MSG, keys)
+                assert await client.verify(
+                    "slack", keys.public_key, MSG, signature,
+                    deadline_ms=60_000,
+                )
+                assert gateway.counters["deadline_requests"] == 1
+                assert gateway.counters["deadline_expirations"] == 0
+            finally:
+                await client.close()
+
+        gateway_test(body)
+
+    def test_expired_in_queue_is_err_not_verdict(self):
+        """A request whose budget elapses while queued is shed with an
+        ERR deadline reply instead of being verified late."""
+
+        async def body(gateway):
+            client = await connected_client(gateway)
+            try:
+                keys = await client.enroll("late")
+                signature = client.sign(MSG, keys)
+                payload = protocol.encode_verify_payload(
+                    CURVE, "late", keys.public_key, MSG, signature
+                )
+                # Pause the consumer so the request ages in the queue.
+                gateway._consumer.cancel()
+                try:
+                    await gateway._consumer
+                except asyncio.CancelledError:
+                    pass
+                client._writer.write(
+                    protocol.encode_frame(
+                        protocol.encode_request(
+                            Opcode.VERIFY, payload, deadline_ms=10
+                        )
+                    )
+                )
+                await client._writer.drain()
+                await asyncio.sleep(0.08)
+                gateway._consumer = asyncio.create_task(gateway._consume())
+                status, body_bytes = await client._read_reply()
+                assert status == Status.ERR
+                assert body_bytes.startswith(b"deadline exceeded")
+                assert gateway.counters["deadline_expirations"] == 1
+                # The connection survives a shed request.
+                assert await client.ping()
+            finally:
+                await client.close()
+
+        gateway_test(body)
+
+
+def _scripted_port(handler):
+    """Start a throwaway asyncio server; returns (server, port)."""
+
+    async def boot():
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        return server, server.sockets[0].getsockname()[1]
+
+    return boot()
+
+
+class TestClientResilience:
+    def test_retry_policy_delay_schedule(self):
+        import random as _random
+
+        policy = RetryPolicy(
+            attempts=5, base_delay_s=0.1, max_delay_s=0.5,
+            multiplier=2.0, jitter=0.0,
+        )
+        rng = _random.Random(0)
+        delays = [policy.delay_s(k, rng) for k in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+        jittered = RetryPolicy(
+            attempts=2, base_delay_s=0.1, jitter=0.5
+        ).delay_s(1, _random.Random(7))
+        assert 0.05 <= jittered <= 0.15
+
+    def test_circuit_breaker_transitions(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(
+            threshold=2, cooldown_s=5.0, clock=lambda: clock["now"]
+        )
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # still cooling down
+        clock["now"] = 5.1
+        assert breaker.allow()  # half-open probe
+        assert breaker.state == "half-open"
+        breaker.record_failure()  # probe failed -> re-open
+        assert breaker.state == "open" and breaker.opens == 2
+        clock["now"] = 11.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_stalled_server_surfaces_service_timeout(self):
+        """A server that accepts but never replies trips the per-call
+        timeout as ServiceTimeout (and the connection is dropped)."""
+
+        async def stall(reader, writer):
+            try:
+                await reader.read(1 << 16)
+                await asyncio.sleep(30)
+            except (asyncio.CancelledError, ConnectionError):
+                pass
+            finally:
+                writer.close()
+
+        async def main():
+            server, port = await _scripted_port(stall)
+            client = ServiceClient("127.0.0.1", port, timeout_s=0.1)
+            await client.connect()
+            try:
+                with pytest.raises(ServiceTimeout):
+                    await client._call(Opcode.PING)
+                assert client.counters["timeouts"] == 1
+                assert client._writer is None  # dropped, not half-read
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(main())
+
+    def test_immediate_close_is_connection_lost_not_timeout(self):
+        async def slam(reader, writer):
+            writer.close()
+
+        async def main():
+            server, port = await _scripted_port(slam)
+            client = ServiceClient("127.0.0.1", port, timeout_s=5.0)
+            await client.connect()
+            try:
+                with pytest.raises(ServiceConnectionLost):
+                    await client._call(Opcode.PING)
+                assert client.counters["timeouts"] == 0
+                assert client.counters["connection_losses"] >= 1
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(main())
+
+    def test_busy_replies_are_retried_with_backoff(self):
+        """Two BUSY sheds then OK: the retrying client succeeds and the
+        counters record both backoffs."""
+        script = [Status.BUSY, Status.BUSY, Status.OK]
+
+        async def shedding(reader, writer):
+            try:
+                while script:
+                    header = await reader.readexactly(4)
+                    await reader.readexactly(protocol.frame_length(header))
+                    writer.write(
+                        protocol.encode_frame(
+                            protocol.encode_reply(script.pop(0), b"")
+                        )
+                    )
+                    await writer.drain()
+            except (asyncio.IncompleteReadError, ConnectionError):
+                pass
+            finally:
+                writer.close()
+
+        async def main():
+            server, port = await _scripted_port(shedding)
+            client = ServiceClient(
+                "127.0.0.1",
+                port,
+                retry=RetryPolicy(attempts=4, base_delay_s=0.001),
+            )
+            await client.connect()
+            try:
+                assert await client.ping()
+                assert client.counters["busy_replies"] == 2
+                assert client.counters["retries"] == 2
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(main())
+
+    def test_non_idempotent_request_is_never_replayed(self):
+        """A dropped connection mid-ENROLL must raise, not silently
+        re-apply a request the server may already have mutated on."""
+        accepted = {"count": 0}
+
+        async def drop_after_read(reader, writer):
+            accepted["count"] += 1
+            try:
+                await reader.readexactly(4)
+            except asyncio.IncompleteReadError:
+                pass
+            writer.close()
+
+        async def main():
+            server, port = await _scripted_port(drop_after_read)
+            client = ServiceClient(
+                "127.0.0.1",
+                port,
+                retry=RetryPolicy(attempts=4, base_delay_s=0.001),
+            )
+            await client.connect()
+            try:
+                with pytest.raises(ServiceConnectionLost):
+                    await client._call(Opcode.ENROLL, b"x")
+                assert accepted["count"] == 1  # no replay dials
+                assert client.counters["retries"] == 0
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(main())
