@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Pairing-core micro-benchmark: optimised pipeline vs the affine reference.
 
-Run:  PYTHONPATH=src python benchmarks/bench_pairing.py [--curves toy48,bn254]
+Run:  PYTHONPATH=src python benchmarks/bench_pairing.py \
+          [--curves toy48,bn254] [--backends reference,native]
 
-For each curve this measures, via the :mod:`repro.obs` field-op tally,
+For each (curve, field backend) pair this measures, via the
+:mod:`repro.obs` field-op tally,
 
 * a single ``pairing()`` through the optimised path (sparse projective
   Miller loop + cyclotomic final exponentiation) against the retained
@@ -14,10 +16,18 @@ For each curve this measures, via the :mod:`repro.obs` field-op tally,
 * a warm ZWXF verify, whose three live pairings share one final
   exponentiation through ``multi_pair``.
 
-Results land in ``benchmarks/results/BENCH_pairing.json``.  The script
-exits non-zero unless the optimised single pairing costs at most half the
-naive reference's base-field multiplications on every measured curve —
-the PR's headline >=2x op-count reduction.
+Backends are compared side by side: the pairing values must be
+bit-identical across every backend (the native backend is only allowed
+to be *faster*, never *different*), the deterministic op counts must
+match exactly, and on bn254 the native backend's compiled kernel must
+beat the reference backend's single pairing by ``--min-native-speedup``
+(default 5x) whenever the kernel compiled.
+
+Results land in ``benchmarks/results/BENCH_pairing.json`` (schema v2:
+one row per curve+backend, top-level ``backends`` list).  The script
+exits non-zero unless the optimised single pairing costs at most half
+the naive reference's base-field multiplications on every measured
+curve+backend — the earlier PR's headline >=2x op-count reduction.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ if str(SRC) not in sys.path:  # allow running without PYTHONPATH
 
 from repro import obs
 from repro.core.mccls import McCLS
+from repro.pairing import backends as field_backends
 from repro.pairing.bn import bn254, toy_curve
 from repro.pairing.groups import PairingContext
 from repro.pairing.naive import pairing_naive
@@ -43,54 +54,92 @@ from repro.schemes.zwxf import ZWXFScheme
 
 RESULTS = Path(__file__).parent / "results" / "BENCH_pairing.json"
 
+#: BENCH_pairing.json document version; v2 added per-backend rows and
+#: the top-level ``backends`` list (``repro benchdiff`` keys on it)
+BENCH_SCHEMA_VERSION = 2
+
 CURVES = {
-    "toy48": lambda: toy_curve(48),
-    "toy64": lambda: toy_curve(64),
-    "bn254": bn254,
+    "toy48": lambda backend: toy_curve(48, backend=backend),
+    "toy64": lambda backend: toy_curve(64, backend=backend),
+    "bn254": lambda backend: bn254(backend=backend),
 }
 
 
-def _measure(fn):
-    """Run ``fn`` once under a fresh registry -> (field_ops, seconds, out)."""
+def _measure(fn, repeats: int = 1):
+    """Run ``fn`` under a fresh registry -> (field_ops, seconds, out).
+
+    The op tally comes from the first (instrumented) run; with
+    ``repeats > 1`` the reported seconds are the minimum over the extra
+    repeats, which stabilises the cross-backend speedup figures.
+    """
     with obs.collecting() as registry:
         start = time.perf_counter()
         out = fn()
         elapsed = time.perf_counter() - start
+    for _ in range(repeats - 1):
+        start = time.perf_counter()
+        fn()
+        elapsed = min(elapsed, time.perf_counter() - start)
     return registry.field_ops, elapsed, out
 
 
-def bench_curve(name: str, factory) -> dict:
-    """All pairing-core measurements for one curve."""
-    curve = factory()
-    report: dict = {"curve": name, "bits": curve.p.bit_length()}
+def bench_curve(name: str, backend_name: str) -> dict:
+    """All pairing-core measurements for one curve on one backend."""
+    curve = CURVES[name](backend_name)
+    backend = curve.spec.backend
+    kernel_active = backend.pairing_kernel(curve) is not None
+    report: dict = {
+        "curve": name,
+        "bits": curve.p.bit_length(),
+        "backend": backend.name,
+        "backend_detail": backend.describe(),
+        "kernel_active": kernel_active,
+    }
+
+    # Warm the per-curve Frobenius tables outside the tally so every
+    # backend's counts start from the same (warm) state — the memo is
+    # keyed on (p, xi_a) and would otherwise charge table construction
+    # to whichever backend happens to run first.
+    pairing(curve, curve.g1, curve.g2)
 
     fast_ops, fast_time, fast_val = _measure(
-        lambda: pairing(curve, curve.g1, curve.g2)
+        lambda: pairing(curve, curve.g1, curve.g2), repeats=3
     )
     naive_ops, naive_time, naive_val = _measure(
         lambda: pairing_naive(curve, curve.g1, curve.g2)
     )
     if fast_val != naive_val:
-        raise SystemExit(f"{name}: optimised pairing != naive reference")
+        raise SystemExit(
+            f"{name}/{backend.name}: optimised pairing != naive reference"
+        )
     report["single_pairing"] = {
         "optimized": {"fp_mul": fast_ops.fp_mul, "seconds": fast_time},
         "naive": {"fp_mul": naive_ops.fp_mul, "seconds": naive_time},
         "fp_mul_ratio": naive_ops.fp_mul / fast_ops.fp_mul,
         "speedup": naive_time / fast_time if fast_time else float("inf"),
     }
+    report["_pairing_value"] = fast_val  # cross-backend identity check
 
     ctx = PairingContext(curve, random.Random(0xBE7C4))
     scheme = McCLS(ctx)
     keys = scheme.generate_user_keys("bench@pairing")
     sig = scheme.sign(b"bench", keys)
+    report["_mccls_sig"] = (
+        int(sig.v),
+        int(sig.s.x.c0),
+        int(sig.s.x.c1),
+        int(sig.r.x.value),
+        int(sig.r.y.value),
+    )
     cold_ops, cold_time, ok = _measure(
         lambda: scheme.verify(b"bench", sig, keys.identity, keys.public_key)
     )
-    assert ok, f"{name}: cold McCLS verify failed"
+    assert ok, f"{name}/{backend.name}: cold McCLS verify failed"
     if cold_ops.final_exps != 1:
         raise SystemExit(
-            f"{name}: cold McCLS verify ran {cold_ops.final_exps} final "
-            "exponentiations (expected exactly 1 shared one)"
+            f"{name}/{backend.name}: cold McCLS verify ran "
+            f"{cold_ops.final_exps} final exponentiations (expected exactly "
+            "1 shared one)"
         )
     report["mccls_cold_verify"] = {
         "fp_mul": cold_ops.fp_mul,
@@ -106,7 +155,7 @@ def bench_curve(name: str, factory) -> dict:
     multi_ops, multi_time, ok = _measure(
         lambda: zwxf.verify(b"bench", zsig, zkeys.identity, zkeys.public_key)
     )
-    assert ok, f"{name}: warm ZWXF verify failed"
+    assert ok, f"{name}/{backend.name}: warm ZWXF verify failed"
     report["zwxf_warm_multi_pairing_verify"] = {
         "fp_mul": multi_ops.fp_mul,
         "seconds": multi_time,
@@ -114,6 +163,40 @@ def bench_curve(name: str, factory) -> dict:
         "final_exps": multi_ops.final_exps,
     }
     return report
+
+
+def _check_cross_backend(name: str, rows: list) -> None:
+    """Value- and count-identity across every backend for one curve."""
+    reference = rows[0]
+    for row in rows[1:]:
+        if row["_pairing_value"] != reference["_pairing_value"]:
+            raise SystemExit(
+                f"{name}: pairing value differs between backends "
+                f"{reference['backend']} and {row['backend']}"
+            )
+        if row["_mccls_sig"] != reference["_mccls_sig"]:
+            raise SystemExit(
+                f"{name}: McCLS signature differs between backends "
+                f"{reference['backend']} and {row['backend']}"
+            )
+        for block in (
+            "single_pairing",
+            "mccls_cold_verify",
+            "zwxf_warm_multi_pairing_verify",
+        ):
+            if block == "single_pairing":
+                ref_ops = reference[block]["optimized"]["fp_mul"]
+                row_ops = row[block]["optimized"]["fp_mul"]
+            else:
+                ref_ops = reference[block]["fp_mul"]
+                row_ops = row[block]["fp_mul"]
+            if ref_ops != row_ops:
+                raise SystemExit(
+                    f"{name}.{block}: fp_mul count differs between backends "
+                    f"({reference['backend']}={ref_ops}, "
+                    f"{row['backend']}={row_ops}); counters must be "
+                    "backend-independent"
+                )
 
 
 def main() -> int:
@@ -124,12 +207,37 @@ def main() -> int:
         help="comma-separated subset of: " + ",".join(CURVES),
     )
     parser.add_argument(
+        "--backends",
+        default="reference,native",
+        help="comma-separated field backends to measure side by side "
+        "(available: " + ",".join(field_backends.backend_names()) + ")",
+    )
+    parser.add_argument(
         "--min-ratio",
         type=float,
         default=2.0,
         help="required naive/optimized fp_mul ratio for a single pairing",
     )
+    parser.add_argument(
+        "--min-native-speedup",
+        type=float,
+        default=5.0,
+        help="required reference/native wall-clock speedup for a single "
+        "bn254 pairing when the native kernel is active (0 disables)",
+    )
     args = parser.parse_args()
+
+    backend_names = []
+    for raw in args.backends.split(","):
+        raw = raw.strip()
+        backend = field_backends.get_backend(raw)
+        ok, reason = backend.availability()
+        if not ok:
+            print(f"skipping backend {raw!r}: {reason}")
+            continue
+        backend_names.append(raw)
+    if not backend_names:
+        raise SystemExit("no requested backend is available")
 
     reports = []
     failures = []
@@ -137,29 +245,65 @@ def main() -> int:
         name = name.strip()
         if name not in CURVES:
             raise SystemExit(f"unknown curve {name!r}")
-        report = bench_curve(name, CURVES[name])
-        reports.append(report)
-        ratio = report["single_pairing"]["fp_mul_ratio"]
-        status = "ok" if ratio >= args.min_ratio else "TOO SLOW"
+        rows = [bench_curve(name, backend) for backend in backend_names]
+        _check_cross_backend(name, rows)
+        baseline = rows[0]["single_pairing"]["optimized"]["seconds"]
+        for row in rows:
+            ratio = row["single_pairing"]["fp_mul_ratio"]
+            status = "ok" if ratio >= args.min_ratio else "TOO SLOW"
+            seconds = row["single_pairing"]["optimized"]["seconds"]
+            vs_first = baseline / seconds if seconds else float("inf")
+            row["vs_reference_speedup"] = round(vs_first, 2)
+            kern = " kernel" if row["kernel_active"] else ""
+            print(
+                f"{name:>6} [{row['backend']}{kern}]: pairing fp_mul "
+                f"{row['single_pairing']['optimized']['fp_mul']} optimized "
+                f"vs {row['single_pairing']['naive']['fp_mul']} naive "
+                f"({ratio:.2f}x, need >={args.min_ratio:.1f}x) [{status}]  "
+                f"{seconds * 1e3:.2f} ms/pairing "
+                f"({vs_first:.2f}x vs {rows[0]['backend']})"
+            )
+            if ratio < args.min_ratio:
+                failures.append(f"{name}/{row['backend']}")
+            if (
+                name == "bn254"
+                and args.min_native_speedup > 0
+                and row["backend"] == "native"
+                and row["kernel_active"]
+                and rows[0]["backend"] == "reference"
+                and vs_first < args.min_native_speedup
+            ):
+                failures.append(
+                    f"{name}/native speedup {vs_first:.2f}x < "
+                    f"{args.min_native_speedup:g}x"
+                )
+        cold = rows[0]["mccls_cold_verify"]
         print(
-            f"{name:>6}: pairing fp_mul "
-            f"{report['single_pairing']['optimized']['fp_mul']} optimized vs "
-            f"{report['single_pairing']['naive']['fp_mul']} naive "
-            f"({ratio:.2f}x, need >={args.min_ratio:.1f}x) [{status}]"
+            f"        cold mccls verify: {cold['fp_mul']} fp_mul, "
+            f"{cold['miller_loops']} Miller loops, "
+            f"{cold['final_exps']} final exp "
+            "(values and counts identical across backends)"
         )
-        print(
-            f"        cold mccls verify: {report['mccls_cold_verify']['fp_mul']}"
-            f" fp_mul, {report['mccls_cold_verify']['miller_loops']} Miller"
-            f" loops, {report['mccls_cold_verify']['final_exps']} final exp"
-        )
-        if ratio < args.min_ratio:
-            failures.append(name)
+        reports.extend(rows)
 
+    for row in reports:  # identity scratch fields never hit the JSON
+        row.pop("_pairing_value", None)
+        row.pop("_mccls_sig", None)
     RESULTS.parent.mkdir(exist_ok=True)
-    RESULTS.write_text(json.dumps({"results": reports}, indent=2) + "\n")
+    RESULTS.write_text(
+        json.dumps(
+            {
+                "schema_version": BENCH_SCHEMA_VERSION,
+                "backends": backend_names,
+                "results": reports,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
     print(f"wrote {RESULTS}")
     if failures:
-        print(f"FAIL: fp_mul reduction below threshold on: {failures}")
+        print(f"FAIL: {failures}")
         return 1
     return 0
 

@@ -19,6 +19,12 @@ Gating policy:
 
 Informational metrics always print but never gate, so the CI job stays
 deterministic on shared runners.
+
+Documents that name the field backend they were produced under are
+refused when the names differ (exit 2) unless ``--allow-backend-mismatch``
+is passed: a reference-backend baseline against a native-backend candidate
+measures different arithmetic code, not a regression or an improvement of
+the same code.  Documents from before the backend field compare freely.
 """
 
 from __future__ import annotations
@@ -111,6 +117,23 @@ def _number(value) -> Optional[float]:
     return float(value)
 
 
+def document_backends(document: dict) -> Optional[Tuple[str, ...]]:
+    """The field-backend name(s) a bench document was produced under.
+
+    Service benches (schema v3+) carry a top-level ``backend`` string;
+    pairing benches (schema v2+) carry a ``backends`` list naming every
+    backend measured in the run.  Documents from before the backend field
+    return ``None`` (= unspecified, never refused).
+    """
+    names = document.get("backends")
+    if isinstance(names, list) and all(isinstance(n, str) for n in names):
+        return tuple(sorted(names))
+    name = document.get("backend")
+    if isinstance(name, str) and name and name != "unspecified":
+        return (name,)
+    return None
+
+
 def extract_service_metrics(document: dict) -> List[Metric]:
     """Flatten a service (loadgen) bench document into named metrics."""
     metrics: List[Metric] = []
@@ -178,6 +201,11 @@ def extract_pairing_metrics(document: dict) -> List[Metric]:
         if not isinstance(row, dict):
             continue
         curve = row.get("curve", f"bits{row.get('bits', '?')}")
+        # schema v2 rows are per-(curve, backend); namespace the metrics
+        # so a reference row never pairs up against a native row
+        row_backend = row.get("backend")
+        if isinstance(row_backend, str) and row_backend:
+            curve = f"{curve}[{row_backend}]"
         for block_name in ("mccls_cold_verify", "zwxf_warm_multi_pairing_verify"):
             block = row.get(block_name)
             if not isinstance(block, dict):
@@ -233,13 +261,29 @@ def extract_metrics(document: dict) -> Tuple[str, List[Metric]]:
 # ---------------------------------------------------------------------------
 
 
-def compare(old: dict, new: dict) -> Tuple[str, List[Delta]]:
+def compare(
+    old: dict, new: dict, *, allow_backend_mismatch: bool = False
+) -> Tuple[str, List[Delta]]:
     """Pair up metrics present in both documents."""
     old_kind, old_metrics = extract_metrics(old)
     new_kind, new_metrics = extract_metrics(new)
     if old_kind != new_kind:
         raise BenchDiffError(
             f"cannot compare a {old_kind} bench against a {new_kind} bench"
+        )
+    old_backends = document_backends(old)
+    new_backends = document_backends(new)
+    if (
+        not allow_backend_mismatch
+        and old_backends is not None
+        and new_backends is not None
+        and old_backends != new_backends
+    ):
+        raise BenchDiffError(
+            "documents were produced under different field backends"
+            f" ({', '.join(old_backends)} vs {', '.join(new_backends)});"
+            " the numbers measure different arithmetic code - pass"
+            " --allow-backend-mismatch to compare anyway"
         )
     new_by_name: Dict[str, Metric] = {m.name: m for m in new_metrics}
     deltas = [
@@ -308,11 +352,14 @@ def run_benchdiff(
     new_path: str,
     fail_over: float = 10.0,
     out=print,
+    allow_backend_mismatch: bool = False,
 ) -> int:
     """Compare two bench documents; nonzero exit on gated regression."""
     try:
         kind, deltas = compare(
-            load_document(old_path), load_document(new_path)
+            load_document(old_path),
+            load_document(new_path),
+            allow_backend_mismatch=allow_backend_mismatch,
         )
     except BenchDiffError as exc:
         out(f"benchdiff: {exc}")
@@ -339,8 +386,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PCT",
         help="fail when a gated metric regresses more than PCT%% (default 10)",
     )
+    parser.add_argument(
+        "--allow-backend-mismatch",
+        action="store_true",
+        help="compare documents produced under different field backends",
+    )
     args = parser.parse_args(argv)
-    return run_benchdiff(args.old, args.new, args.fail_over)
+    return run_benchdiff(
+        args.old,
+        args.new,
+        args.fail_over,
+        allow_backend_mismatch=args.allow_backend_mismatch,
+    )
 
 
 if __name__ == "__main__":

@@ -104,6 +104,16 @@ def _print_fault_summary(fault_counts: Dict[str, int]) -> None:
     print(f"faults injected: {injected}")
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        default=None,
+        help="field-arithmetic backend (reference, native, montgomery, "
+        "gmpy2); default: $REPRO_FIELD_BACKEND or 'reference'",
+    )
+
+
 def _add_output_args(
     parser: argparse.ArgumentParser, trace: bool = True
 ) -> None:
@@ -287,6 +297,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         failure_budget=args.failure_budget,
         workers=args.workers,
         calibrate=args.calibrate,
+        backend=args.backend,
     )
     if args.json:
         payload = {
@@ -406,7 +417,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     sink = obs.open_sink(args.trace_out)
     gateway = VerificationGateway(
-        curve=toy_curve(args.bits),
+        curve=toy_curve(args.bits, backend=args.backend),
+        backend=args.backend,
         seed=args.seed,
         cache_size=args.cache_size,
         host=args.host,
@@ -428,7 +440,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers_note = f", workers {args.workers}" if args.workers else ""
         print(
             f"gateway listening on {gateway.host}:{gateway.port} "
-            f"(curve bn-toy{args.bits}, cache {args.cache_size}, "
+            f"(curve bn-toy{args.bits}, "
+            f"backend {gateway.kgc.ctx.backend.name}, "
+            f"cache {args.cache_size}, "
             f"queue {args.queue_size}, batch {args.max_batch}"
             f"{workers_note})"
         )
@@ -477,6 +491,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         burst=args.burst,
         window=args.window,
         bits=args.bits,
+        backend=args.backend,
         cache_size=args.cache_size,
         queue_size=args.queue_size,
         max_batch=args.max_batch,
@@ -519,7 +534,12 @@ def cmd_benchdiff(args: argparse.Namespace) -> int:
     """Compare two bench documents; gate on regressions."""
     from repro.benchdiff import run_benchdiff
 
-    return run_benchdiff(args.old, args.new, fail_over=args.fail_over)
+    return run_benchdiff(
+        args.old,
+        args.new,
+        fail_over=args.fail_over,
+        allow_backend_mismatch=args.allow_backend_mismatch,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -587,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure this machine's pairing/mult costs once (in the "
         "parent) and price all runs' modelled crypto with them",
     )
+    _add_backend_arg(campaign)
     _add_output_args(campaign, trace=False)
     campaign.set_defaults(func=cmd_campaign)
 
@@ -636,6 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="supervised crypto worker processes (0 = verify in-process)",
     )
+    _add_backend_arg(serve)
     serve.set_defaults(func=cmd_serve)
 
     loadgen = sub.add_parser(
@@ -651,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--queue-size", type=int, default=4096)
     loadgen.add_argument("--max-batch", type=int, default=32)
     loadgen.add_argument("--seed", type=int, default=7)
+    _add_backend_arg(loadgen)
     loadgen.add_argument(
         "--no-rekey-check",
         action="store_true",
@@ -738,6 +761,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=10.0,
         metavar="PCT",
         help="fail when a gated metric regresses more than PCT%% (default 10)",
+    )
+    benchdiff.add_argument(
+        "--allow-backend-mismatch",
+        action="store_true",
+        help="compare documents produced under different field backends "
+        "(refused by default: the numbers measure different code)",
     )
     benchdiff.set_defaults(func=cmd_benchdiff)
     return parser

@@ -25,3 +25,46 @@ def warn_deprecated(message: str, stacklevel: int = 3) -> None:
 def reset_deprecation_warnings() -> None:
     """Forget which warnings fired (test isolation hook)."""
     _emitted.clear()
+
+
+# ---------------------------------------------------------------------------
+# legacy field-layer constructors (pre-FieldBackend API)
+# ---------------------------------------------------------------------------
+
+
+def FieldSpec(p, xi_a, backend=None):
+    """Legacy positional ``FieldSpec(p, xi_a)`` constructor.
+
+    The redesigned API takes ``xi_a`` keyword-only so backend selection is
+    explicit (``repro.pairing.fields.FieldSpec(p, xi_a=..., backend=...)``).
+    This shim keeps old call sites working for one release: it warns once,
+    then builds the spec on the resolved default backend (or an explicit
+    ``backend`` if the caller has already migrated that far).
+    """
+    warn_deprecated(
+        "repro.compat.FieldSpec is a migration shim; switch to"
+        " repro.pairing.fields.FieldSpec(p, xi_a=..., backend=...)"
+    )
+    from repro.pairing import fields
+
+    return fields.FieldSpec(p, xi_a=xi_a, backend=backend)
+
+
+def Fp(spec_or_p, value):
+    """Legacy ``Fp(p, value)`` constructor taking a bare prime.
+
+    Old callers built base-field elements straight from an integer
+    modulus, which bypasses the tower spec (and now the field backend).
+    Warns once, then routes through a proper spec - a passed-in
+    :class:`~repro.pairing.fields.FieldSpec` is used as-is, a bare prime
+    gets a default-backend spec with the legacy ``xi_a = 1`` residue.
+    """
+    warn_deprecated(
+        "repro.compat.Fp is a migration shim; build a FieldSpec (with a"
+        " field backend) and use spec.fp(value) instead"
+    )
+    from repro.pairing import fields
+
+    if isinstance(spec_or_p, fields.FieldSpec):
+        return fields.Fp(spec_or_p, value)
+    return fields.Fp(fields.FieldSpec(spec_or_p, xi_a=1), value)

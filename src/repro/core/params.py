@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Type
 
-from repro.pairing.bn import BNCurve, default_test_curve
+from repro.pairing.bn import BNCurve
 from repro.pairing.curve import CurvePoint
 from repro.pairing.groups import PairingContext
 from repro.schemes.base import CertificatelessScheme, Identity, UserKeyPair
@@ -51,13 +51,15 @@ class KeyGenerationCenter:
         seed: Optional[int] = None,
         master_secret: Optional[int] = None,
         cache_size: Optional[int] = None,
+        backend=None,
     ):
-        curve = curve if curve is not None else default_test_curve()
         rng = random.Random(seed)
-        if cache_size is None:
-            self.ctx = PairingContext(curve, rng)
-        else:
-            self.ctx = PairingContext(curve, rng, cache_size=cache_size)
+        kwargs = {"backend": backend}
+        if cache_size is not None:
+            kwargs["cache_size"] = cache_size
+        # PairingContext supplies the default curve (on the resolved
+        # backend) and rebinds an explicit one.
+        self.ctx = PairingContext(curve, rng, **kwargs)
         self.scheme = scheme_cls(self.ctx, master_secret=master_secret)
         self._issued: Dict[str, UserKeyPair] = {}
 

@@ -25,6 +25,7 @@ seeds whose worker died are transparently re-run in-process.
 from __future__ import annotations
 
 import math
+import os
 import statistics
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -85,6 +86,10 @@ class CampaignConfig:
     #: workers receive the measured OperationCosts inside the scenario
     #: config instead of re-timing per process
     calibrate: bool = False
+    #: field-backend name for every context the campaign builds
+    #: (calibration, real-crypto runs, worker processes); None = the
+    #: usual REPRO_FIELD_BACKEND env / reference-default precedence
+    backend: Optional[str] = None
 
     def validate(self) -> "CampaignConfig":
         """Check cross-field constraints; returns self for chaining."""
@@ -247,6 +252,7 @@ def run_campaign(
     failure_budget: float = 0.0,
     workers: int = 1,
     calibrate: bool = False,
+    backend: Optional[str] = None,
 ) -> CampaignResult:
     """Run a campaign (one scenario x many seeds) and aggregate metrics.
 
@@ -281,17 +287,51 @@ def run_campaign(
             failure_budget=failure_budget,
             workers=workers,
             calibrate=calibrate,
+            backend=backend,
         )
     campaign.validate()
     scenario = campaign.scenario
-    if campaign.calibrate:
-        # Calibrate ONCE, here in the parent, and ship the measured costs
-        # inside the scenario config.  Workers unpickle the costs instead
-        # of each re-timing the pairing on their own (possibly loaded)
-        # core, so simulated crypto delays are identical across workers
-        # and across worker counts.
-        curve = toy_curve(64) if scenario.real_crypto else bn254()
-        scenario = scenario.with_(crypto_costs=calibrated_costs(curve))
+    backend_env: Optional[str] = None
+    saved_env: Optional[str] = None
+    if campaign.backend is not None:
+        from repro.pairing import backends as _backends
+
+        # Validate the name up front (a typo should fail the campaign,
+        # not silently run N seeds on the default) and export it as the
+        # env default for the campaign's duration, so every context the
+        # runs build - in this process or in spawned seed workers, which
+        # inherit the parent environment - lands on the chosen backend.
+        backend_env = _backends.resolve_backend(campaign.backend).name
+        saved_env = os.environ.get(_backends.ENV_VAR)
+        os.environ[_backends.ENV_VAR] = backend_env
+    try:
+        if campaign.calibrate:
+            # Calibrate ONCE, here in the parent, and ship the measured
+            # costs inside the scenario config.  Workers unpickle the
+            # costs instead of each re-timing the pairing on their own
+            # (possibly loaded) core, so simulated crypto delays are
+            # identical across workers and across worker counts.
+            curve = (
+                toy_curve(64, backend=backend_env)
+                if scenario.real_crypto
+                else bn254(backend=backend_env)
+            )
+            scenario = scenario.with_(crypto_costs=calibrated_costs(curve))
+        return _run_campaign_body(campaign, scenario)
+    finally:
+        if backend_env is not None:
+            from repro.pairing import backends as _backends
+
+            if saved_env is None:
+                os.environ.pop(_backends.ENV_VAR, None)
+            else:
+                os.environ[_backends.ENV_VAR] = saved_env
+
+
+def _run_campaign_body(
+    campaign: CampaignConfig, scenario: ScenarioConfig
+) -> CampaignResult:
+    """The seed fan-out and aggregation half of :func:`run_campaign`."""
     plan = scenario.faults
     plan_text = repr(plan.to_spec()) if plan is not None else None
 

@@ -164,8 +164,10 @@ class CryptoTimingModel:
             )
 
 
-#: process-wide memo behind :func:`calibrated_costs`, keyed by curve name
-_CALIBRATED: Dict[str, OperationCosts] = {}
+#: process-wide memo behind :func:`calibrated_costs`, keyed by
+#: (curve name, field-backend name) — the same curve prices very
+#: differently under the reference tower and a native backend
+_CALIBRATED: Dict[tuple, OperationCosts] = {}
 
 
 def calibrated_costs(curve: BNCurve, samples: int = 3) -> OperationCosts:
@@ -175,11 +177,15 @@ def calibrated_costs(curve: BNCurve, samples: int = 3) -> OperationCosts:
     :class:`OperationCosts` to workers inside the scenario config, so a
     ``workers=N`` fan-out never re-times the pairing N times (and never
     skews a run's simulated delays by timing on a loaded core mid-sweep).
+    Calibration runs on whatever field backend the curve is bound to and
+    is memoised per (curve, backend) pair, so a native-backend campaign
+    prices its modelled crypto with native-speed pairings.
     """
-    costs = _CALIBRATED.get(curve.name)
+    key = (curve.name, curve.spec.backend.name)
+    costs = _CALIBRATED.get(key)
     if costs is None:
         costs = calibrate_from_curve(curve, samples=samples)
-        _CALIBRATED[curve.name] = costs
+        _CALIBRATED[key] = costs
     return costs
 
 

@@ -1,0 +1,108 @@
+"""Word-wise Montgomery arithmetic over a prime, in pure Python.
+
+This is the scalar engine of the ``montgomery`` field backend and the
+specification the compiled kernel (:mod:`repro.pairing._kernel`) mirrors:
+values live as *Montgomery-form* integers ``aR mod p`` with ``R = 2^(64k)``
+one word past the prime, products are reduced with the word-wise REDC
+(CIOS) recurrence, and conversion in/out goes through the precomputed
+``R^2 mod p``.
+
+Honesty note, measured on CPython: for a *single* multiplication the
+interpreter-level REDC loop below is slower than the builtin ``a * b %
+p`` (big-int multiply plus one divmod in C beats k^2 Python-level word
+steps).  The representation pays off where multiplications chain without
+leaving the domain - the exponentiation ladders here, and above all the
+compiled kernel, where the same algorithm runs at native speed.  The
+``montgomery`` backend therefore routes only ``powmod``/``invmod``
+through this module and is shipped as the always-available, dependency-
+free specification of the native representation, not as a speed claim.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class MontgomeryDomain:
+    """Montgomery representation of GF(p) for an odd prime ``p``."""
+
+    __slots__ = ("p", "nwords", "r_bits", "np_", "r2", "one")
+
+    def __init__(self, p: int, *, nwords: int | None = None):
+        if p < 3 or p % 2 == 0:
+            raise ValueError("Montgomery domain requires an odd modulus >= 3")
+        self.p = p
+        min_words = (p.bit_length() + WORD_BITS - 1) // WORD_BITS
+        if nwords is None:
+            nwords = min_words
+        elif nwords < min_words:
+            raise ValueError("nwords too small for modulus")
+        self.nwords = nwords
+        self.r_bits = self.nwords * WORD_BITS
+        # np_ = -p^-1 mod 2^64 via Newton iteration (5 steps double the
+        # correct low bits from 1 to 64+).
+        inv = 1
+        for _ in range(6):
+            inv = (inv * (2 - p * inv)) & WORD_MASK
+        self.np_ = (-inv) & WORD_MASK
+        r = 1 << self.r_bits
+        self.r2 = (r * r) % p
+        self.one = r % p  # 1 in Montgomery form
+
+    # -- core reduction ----------------------------------------------------
+    def redc(self, t: int) -> int:
+        """Word-wise REDC: t * R^-1 mod p for 0 <= t < p * R."""
+        p, np_ = self.p, self.np_
+        for _ in range(self.nwords):
+            m = ((t & WORD_MASK) * np_) & WORD_MASK
+            t = (t + m * p) >> WORD_BITS
+        if t >= p:
+            t -= p
+        return t
+
+    def mul(self, a_mont: int, b_mont: int) -> int:
+        """Montgomery product: (aR)(bR)R^-1 = abR mod p."""
+        return self.redc(a_mont * b_mont)
+
+    # -- conversions -------------------------------------------------------
+    def to_mont(self, a: int) -> int:
+        """Canonical residue -> Montgomery form (one REDC against R^2)."""
+        return self.redc((a % self.p) * self.r2)
+
+    def from_mont(self, a_mont: int) -> int:
+        """Montgomery form -> canonical residue (REDC against 1)."""
+        return self.redc(a_mont)
+
+    # -- ladders -----------------------------------------------------------
+    def powmod(self, base: int, exponent: int, *, _unused=None) -> int:
+        """``base ** exponent mod p`` via a Montgomery square-and-multiply."""
+        if exponent < 0:
+            raise ValueError("negative exponent; invert first")
+        if exponent == 0:
+            return 1 % self.p
+        acc = self.one
+        b = self.to_mont(base)
+        for bit in bin(exponent)[2:]:
+            acc = self.mul(acc, acc)
+            if bit == "1":
+                acc = self.mul(acc, b)
+        return self.from_mont(acc)
+
+    def invmod(self, value: int) -> int:
+        """Fermat inverse a^(p-2) mod p (p prime; raises on zero)."""
+        value %= self.p
+        if value == 0:
+            raise ZeroDivisionError("inversion of zero")
+        return self.powmod(value, self.p - 2)
+
+
+_DOMAINS: dict = {}
+
+
+def domain(p: int) -> MontgomeryDomain:
+    """Memoised :class:`MontgomeryDomain` for ``p``."""
+    dom = _DOMAINS.get(p)
+    if dom is None:
+        dom = _DOMAINS[p] = MontgomeryDomain(p)
+    return dom

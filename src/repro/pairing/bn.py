@@ -22,7 +22,7 @@ speed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Optional
 
@@ -85,6 +85,53 @@ class BNCurve:
         """Subgroup membership check for G2 (full order-n check)."""
         return self.g2_curve.contains(point) and (point * self.n).is_infinity()
 
+    def with_backend(self, backend=None) -> "BNCurve":
+        """This curve rebound to a field backend (no-op if already on it).
+
+        Rebuilds the :class:`FieldSpec` and every cached field element
+        (curve coefficients, generators, twist Frobenius constants) on the
+        resolved backend; the derived integer parameters are reused as-is,
+        so no curve search or primality checking reruns.
+        """
+        from repro.pairing import backends as _backends
+
+        resolved = _backends.resolve_backend(backend)
+        if resolved is self.spec.backend:
+            return self
+        spec = FieldSpec(self.p, xi_a=self.spec.xi_a, backend=resolved)
+        g1_curve = EllipticCurve(
+            spec.fp(int(self.g1_curve.b.value)),
+            order=self.n,
+            name=self.g1_curve.name,
+        )
+        b2 = self.g2_curve.b
+        g2_curve = EllipticCurve(
+            spec.fp2(int(b2.c0), int(b2.c1)),
+            order=self.n,
+            name=self.g2_curve.name,
+        )
+        g1 = g1_curve.unsafe_point(
+            spec.fp(int(self.g1.x.value)), spec.fp(int(self.g1.y.value))
+        )
+        g2 = g2_curve.unsafe_point(
+            spec.fp2(int(self.g2.x.c0), int(self.g2.x.c1)),
+            spec.fp2(int(self.g2.y.c0), int(self.g2.y.c1)),
+        )
+        return replace(
+            self,
+            spec=spec,
+            g1_curve=g1_curve,
+            g2_curve=g2_curve,
+            g1=g1,
+            g2=g2,
+            frob_gamma2=spec.fp2(
+                int(self.frob_gamma2.c0), int(self.frob_gamma2.c1)
+            ),
+            frob_gamma3=spec.fp2(
+                int(self.frob_gamma3.c0), int(self.frob_gamma3.c1)
+            ),
+        )
+
 
 def bn_parameters(t: int):
     """Return (p, n, trace) for BN parameter t; raise if non-prime."""
@@ -134,7 +181,7 @@ def _find_twist(spec: FieldSpec, b: int, n: int, p: int):
     h2 = 2 * p - n
     rng = random.Random(0x5EED)
     for a in range(1, 64):
-        candidate_spec = FieldSpec(p, a)
+        candidate_spec = FieldSpec(p, xi_a=a, backend=spec.backend)
         xi = candidate_spec.fp2(a, 1)
         if not _xi_is_non_square_non_cube(candidate_spec, xi):
             continue
@@ -171,12 +218,16 @@ def _g2_generator(
     return None  # pragma: no cover - extremely unlikely with 24 draws
 
 
-def derive_bn_curve(t: int, name: str = "") -> BNCurve:
+def derive_bn_curve(t: int, name: str = "", *, backend=None) -> BNCurve:
     """Derive a complete BN curve (fields, twist, generators) from ``t``."""
     if t <= 0:
         raise ParameterError("BN parameter t must be positive here (loop 6t+2)")
+    from repro.pairing import backends as _backends
+
+    resolved = _backends.resolve_backend(backend)
     p, n, trace = bn_parameters(t)
-    base_spec = FieldSpec(p, 1)  # temporary spec just for G1 search
+    # temporary spec just for the G1 search
+    base_spec = FieldSpec(p, xi_a=1, backend=resolved)
     b, _, _ = _find_b_and_g1(base_spec, n)
     spec, twist_curve, g2 = _find_twist(base_spec, b, n, p)
     # Re-derive the G1 curve/generator on the final spec (correct xi_a).
@@ -205,16 +256,24 @@ def derive_bn_curve(t: int, name: str = "") -> BNCurve:
     )
 
 
-@lru_cache(maxsize=None)
-def bn254() -> BNCurve:
+def bn254(backend=None) -> BNCurve:
     """The standard 254-bit BN curve (alt_bn128 parameters, b = 3, xi = 9+i).
 
     Constructed from the published constants rather than searched, then
     checked; this is the curve Ethereum's precompiles and py_ecc use.
+    ``backend`` selects the field backend (name, instance, or ``None`` for
+    the env/default precedence); curves are cached per backend.
     """
+    from repro.pairing import backends as _backends
+
+    return _bn254_cached(_backends.resolve_backend(backend).name)
+
+
+@lru_cache(maxsize=None)
+def _bn254_cached(backend_name: str) -> BNCurve:
     t = BN254_T
     p, n, trace = bn_parameters(t)
-    spec = FieldSpec(p, 9)
+    spec = FieldSpec(p, xi_a=9, backend=backend_name)
     xi = spec.fp2(9, 1)
     if not _xi_is_non_square_non_cube(spec, xi):  # pragma: no cover
         raise CurveError("xi = 9+i unexpectedly invalid for BN254")
@@ -267,22 +326,28 @@ def _search_t(start: int) -> int:
             t += 1
 
 
-@lru_cache(maxsize=None)
-def toy_curve(bits: int = 64) -> BNCurve:
+def toy_curve(bits: int = 64, backend=None) -> BNCurve:
     """A small BN curve whose prime p has roughly ``bits`` bits.
 
     p(t) ~ 36 t^4, so t ~ (2^bits / 36)^(1/4).  The same derivation code as
     production curves; pairings on the result take milliseconds, which keeps
-    the test suite fast while exercising every code path.
+    the test suite fast while exercising every code path.  Cached per
+    (bits, resolved backend).
     """
+    from repro.pairing import backends as _backends
+
+    return _toy_curve_cached(bits, _backends.resolve_backend(backend).name)
+
+
+@lru_cache(maxsize=None)
+def _toy_curve_cached(bits: int, backend_name: str) -> BNCurve:
     if bits < 24 or bits > 128:
         raise ParameterError("toy curves supported for 24..128-bit primes")
     t_start = max(2, round((2 ** bits / 36) ** 0.25))
     t = _search_t(t_start)
-    return derive_bn_curve(t, name=f"bn-toy{bits}")
+    return derive_bn_curve(t, name=f"bn-toy{bits}", backend=backend_name)
 
 
-@lru_cache(maxsize=None)
-def default_test_curve() -> BNCurve:
+def default_test_curve(backend=None) -> BNCurve:
     """The curve used throughout the test suite (fast, ~64-bit prime)."""
-    return toy_curve(64)
+    return toy_curve(64, backend=backend)

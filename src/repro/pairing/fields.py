@@ -12,11 +12,21 @@ Three field layers are provided:
 Elements are immutable value objects.  Every element carries a reference to
 its :class:`FieldSpec`, and mixing elements of different specs raises
 :class:`FieldError` rather than silently producing garbage.
+
+Base-field *strategy* is pluggable: every :class:`FieldSpec` holds a
+:class:`FieldBackend` that supplies the scalar primitives the tower cannot
+express structurally (modular exponentiation, modular inversion, the
+coefficient representation, and - for native backends - a compiled pairing
+kernel).  Backends are registered and resolved by name in
+:mod:`repro.pairing.backends`; two specs with equal ``(p, xi_a)`` compare
+equal regardless of backend, so elements produced under different backends
+interoperate and can be compared bit-for-bit (the cross-backend identity
+tests rely on this).
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.errors import FieldError
 from repro.obs import runtime as _rt
@@ -25,27 +35,125 @@ from repro.pairing.numbers import inverse_mod, legendre_symbol, sqrt_mod
 IntLike = Union[int, "Fp"]
 
 
+class FieldBackend:
+    """Strategy supplying base-field scalar primitives to a field tower.
+
+    The base class implements the *reference* semantics (plain Python
+    ints, builtin ``pow``), so a backend only overrides what it
+    accelerates.  Implementations must be value-transparent: for the same
+    inputs every backend returns the same canonical residues, and the obs
+    tally (``fp_mul`` and friends) is incremented by the tower classes /
+    kernel wrappers identically across backends, so operation-count
+    benchmarks stay backend-independent.
+
+    ``modulus`` arguments of :meth:`powmod`/:meth:`invmod` are always the
+    base-field prime ``p`` of a :class:`FieldSpec`, so backends may use
+    prime-only algorithms (Fermat inversion, Montgomery ladders).
+    """
+
+    #: registry name; concrete backends override this
+    name = "abstract"
+
+    def availability(self) -> Tuple[bool, str]:
+        """Whether this backend can run here, plus a human-readable reason."""
+        return True, "always available (pure Python)"
+
+    def wrap(self, value: int) -> int:
+        """Coefficient-representation entry point.
+
+        Applied to the prime ``p`` when a :class:`FieldSpec` is built, so
+        a backend with a faster integer type (e.g. ``gmpy2.mpz``) can make
+        every ``x % spec.p`` reduction propagate that type through the
+        tower with zero per-operation dispatch cost.
+        """
+        return value
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        """``base ** exponent % modulus`` for non-negative exponents."""
+        return pow(base, exponent, modulus)
+
+    def invmod(self, value: int, modulus: int) -> int:
+        """Modular inverse; ``modulus`` is prime (the base-field p)."""
+        return inverse_mod(value, modulus)
+
+    def pairing_kernel(self, curve):
+        """A compiled pairing kernel for ``curve``, or ``None``.
+
+        Returning ``None`` keeps the pure-Python Miller loop / final
+        exponentiation; a non-None kernel is used by
+        :mod:`repro.pairing.pairing` for whole-stage native execution.
+        """
+        return None
+
+    def describe(self) -> str:
+        """One-line human description (shown by CLI/bench surfaces)."""
+        ok, reason = self.availability()
+        state = "available" if ok else "unavailable"
+        return f"{self.name}: {state} - {reason}"
+
+    def __repr__(self) -> str:
+        return f"<FieldBackend {self.name}>"
+
+
 class FieldSpec:
     """Shared description of a field tower: base prime and tower residue.
 
     ``xi = xi_a + i`` is the quadratic/sextic non-residue in Fp2 used to
     build Fp12 (w^6 = xi).  For the standard BN254/alt_bn128 tower,
     ``xi_a = 9``.
+
+    ``backend`` selects the base-field arithmetic strategy (a
+    :class:`FieldBackend` instance or a registered name); omitted, it
+    resolves through :func:`repro.pairing.backends.resolve_backend`, which
+    honours the ``REPRO_FIELD_BACKEND`` environment default.  The legacy
+    positional form ``FieldSpec(p, xi_a)`` bypasses backend selection and
+    is deprecated (it warns once and resolves the default backend).
     """
 
-    __slots__ = ("p", "xi_a", "fp12_mod_c0", "fp12_mod_c6")
+    __slots__ = ("p", "xi_a", "fp12_mod_c0", "fp12_mod_c6", "backend")
 
-    def __init__(self, p: int, xi_a: int):
+    def __init__(
+        self,
+        p: int,
+        *legacy_args: int,
+        xi_a: Optional[int] = None,
+        backend=None,
+    ):
+        if legacy_args:
+            if xi_a is not None or len(legacy_args) != 1:
+                raise TypeError(
+                    "FieldSpec takes (p, *, xi_a=..., backend=...); the"
+                    " positional form accepts exactly FieldSpec(p, xi_a)"
+                )
+            from repro import compat as _compat
+
+            _compat.warn_deprecated(
+                "positional FieldSpec(p, xi_a) bypasses field-backend"
+                " selection and is deprecated; construct with"
+                " FieldSpec(p, xi_a=..., backend=...) (or use"
+                " repro.compat.FieldSpec during migration)"
+            )
+            xi_a = legacy_args[0]
+        if xi_a is None:
+            raise TypeError("FieldSpec requires xi_a (keyword) to be given")
         if p % 4 != 3:
             raise FieldError("field tower requires p = 3 (mod 4) so i^2 = -1")
-        self.p = p
+        if backend is None or isinstance(backend, str):
+            from repro.pairing import backends as _backends
+
+            backend = _backends.resolve_backend(backend)
+        self.backend = backend
+        self.p = backend.wrap(p)
         self.xi_a = xi_a % p
         # w^12 = 2a w^6 - (a^2 + 1): reduction constants for Fp12.
         self.fp12_mod_c6 = (2 * self.xi_a) % p
         self.fp12_mod_c0 = (-(self.xi_a * self.xi_a + 1)) % p
 
     def __repr__(self) -> str:
-        return f"FieldSpec(p~2^{self.p.bit_length()}, xi={self.xi_a}+i)"
+        return (
+            f"FieldSpec(p~2^{self.p.bit_length()}, xi={self.xi_a}+i,"
+            f" backend={self.backend.name})"
+        )
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -137,7 +245,8 @@ class Fp:
             tally.fp_inv += 1
             tally.fp_mul += 1
         div = other.value if isinstance(other, Fp) else _coerce_int(other)
-        return Fp(self.spec, self.value * inverse_mod(div, self.spec.p))
+        spec = self.spec
+        return Fp(spec, self.value * spec.backend.invmod(div, spec.p))
 
     def __rtruediv__(self, other: IntLike) -> "Fp":
         return Fp(self.spec, _coerce_int(other)) / self
@@ -145,7 +254,8 @@ class Fp:
     def __pow__(self, exponent: int) -> "Fp":
         if exponent < 0:
             return self.inverse() ** (-exponent)
-        return Fp(self.spec, pow(self.value, exponent, self.spec.p))
+        spec = self.spec
+        return Fp(spec, spec.backend.powmod(self.value, exponent, spec.p))
 
     def square(self) -> "Fp":
         """The square of this element (one base-field multiplication)."""
@@ -159,7 +269,8 @@ class Fp:
         tally = _rt.tally
         if tally is not None:
             tally.fp_inv += 1
-        return Fp(self.spec, inverse_mod(self.value, self.spec.p))
+        spec = self.spec
+        return Fp(spec, spec.backend.invmod(self.value, spec.p))
 
     def is_zero(self) -> bool:
         """Whether this is the additive identity."""
@@ -244,7 +355,7 @@ class Fp2:
 
     def __truediv__(self, other: Union["Fp2", int]) -> "Fp2":
         if isinstance(other, int):
-            inv = inverse_mod(other, self.spec.p)
+            inv = self.spec.backend.invmod(other, self.spec.p)
             return Fp2(self.spec, self.c0 * inv, self.c1 * inv)
         return self * other.inverse()
 
@@ -271,7 +382,7 @@ class Fp2:
         norm = (self.c0 * self.c0 + self.c1 * self.c1) % p
         if norm == 0:
             raise FieldError("inversion of zero in Fp2")
-        inv = inverse_mod(norm, p)
+        inv = self.spec.backend.invmod(norm, p)
         return Fp2(self.spec, self.c0 * inv, -self.c1 * inv)
 
     def conjugate(self) -> "Fp2":
@@ -527,7 +638,7 @@ class Fp12:
 
     def __truediv__(self, other: Union["Fp12", int]) -> "Fp12":
         if isinstance(other, int):
-            inv = inverse_mod(other, self.spec.p)
+            inv = self.spec.backend.invmod(other, self.spec.p)
             return Fp12(self.spec, [a * inv for a in self.coeffs])
         return self * other.inverse()
 
@@ -575,7 +686,7 @@ class Fp12:
                     nm[i + j] = (nm[i + j] - lm[i] * r[j]) % p
                     new[i + j] = (new[i + j] - low[i] * r[j]) % p
             lm, low, hm, high = nm, new, lm, low
-        inv_lead = inverse_mod(low[0], p)
+        inv_lead = self.spec.backend.invmod(low[0], p)
         return Fp12(self.spec, [(c * inv_lead) % p for c in lm[:12]])
 
     def conjugate(self) -> "Fp12":

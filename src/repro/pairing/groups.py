@@ -101,10 +101,23 @@ class PairingContext:
         rng: Optional[random.Random] = None,
         precompute: bool = True,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        *,
+        backend=None,
     ):
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
-        self.curve = curve if curve is not None else default_test_curve()
+        from repro.pairing import backends as _backends
+
+        # Precedence: explicit kwarg > REPRO_FIELD_BACKEND env > default.
+        # An explicit curve is rebound to the resolved backend (a cheap
+        # element rewrap, no re-derivation) so curve and backend choices
+        # compose instead of conflicting.
+        self.backend = _backends.resolve_backend(backend)
+        if curve is None:
+            curve = default_test_curve(backend=self.backend)
+        else:
+            curve = curve.with_backend(self.backend)
+        self.curve = curve
         self.rng = rng if rng is not None else random.Random()
         self.ops = OpCount()
         self.precompute_enabled = precompute

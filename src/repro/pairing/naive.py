@@ -16,6 +16,15 @@ It exists for two reasons:
   inputs can produce; :func:`repro.pairing.pairing.miller_loop` then
   re-runs the affine reference, which handles verticals explicitly, so
   adversarial-input behaviour is unchanged from the pre-optimisation code.
+  The compiled pairing kernel of the ``native`` field backend keeps the
+  same contract: a degenerate step aborts the native loop (partial op
+  counts applied) and lands here, so every backend funnels hostile inputs
+  through one audited code path.
+
+All scalar arithmetic below goes through the shared ``Fp``/``Fp2``/``Fp12``
+classes, whose inversions and exponentiations are routed through the
+active :class:`~repro.pairing.fields.FieldBackend` - this module is
+backend-transparent rather than backend-aware.
 
 None of these functions update the obs tally's pairing counters (the
 public entry points in :mod:`repro.pairing.pairing` do); field-level

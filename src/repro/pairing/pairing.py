@@ -175,6 +175,11 @@ def miller_loop(curve: BNCurve, p_point: CurvePoint, q_point: CurvePoint) -> Fp1
     for non-subgroup inputs) fall back to the affine reference loop.  The
     raw value differs from the affine reference by an Fp2 subfield factor
     (the projective line scalings), which the final exponentiation erases.
+
+    When the active field backend provides a compiled pairing kernel
+    (``spec.backend.pairing_kernel(curve)``), the projective loop runs
+    natively instead — bit-identical values and obs counts, including the
+    degenerate-step fallback to the affine loop.
     """
     spec = curve.spec
     if p_point.is_infinity() or q_point.is_infinity():
@@ -182,6 +187,12 @@ def miller_loop(curve: BNCurve, p_point: CurvePoint, q_point: CurvePoint) -> Fp1
     tally = _rt.tally
     if tally is not None:
         tally.miller_loops += 1
+    kernel = spec.backend.pairing_kernel(curve)
+    if kernel is not None:
+        f = kernel.miller_loop(p_point, q_point)
+        if f is not None:
+            return f
+        return _naive.miller_loop_naive(curve, p_point, q_point)
     try:
         return _miller_loop_projective(curve, p_point, q_point)
     except _DegenerateMillerStep:
@@ -289,6 +300,9 @@ def final_exponentiation(curve: BNCurve, f: Fp12) -> Fp12:
     tally = _rt.tally
     if tally is not None:
         tally.final_exps += 1
+    kernel = curve.spec.backend.pairing_kernel(curve)
+    if kernel is not None:
+        return kernel.final_exp(f)
     # Easy part 1: f^(p^6 - 1) = conj(f) * f^(-1).
     f = f.conjugate() * f.inverse()
     # Easy part 2: f^(p^2 + 1) = frob^2(f) * f.

@@ -73,13 +73,19 @@ def all_scheme_classes() -> Dict[str, Type[CertificatelessScheme]]:
     return {name: scheme_class(name) for name in _SCHEME_PATHS}
 
 
-def create_scheme(name: str, ctx: PairingContext, **kwargs) -> SchemeProtocol:
+def create_scheme(
+    name: str, ctx: PairingContext, *, backend=None, **kwargs
+) -> SchemeProtocol:
     """Construct a scheme by name on ``ctx``, validated against the protocol.
 
     Accepts both the certificateless schemes and the baselines; extra
     keyword arguments go to the scheme constructor (e.g. ``master_secret``
-    or McCLS's ``precompute_s``).  Raises ``KeyError`` for unknown names
-    and ``TypeError`` if the constructed object does not satisfy
+    or McCLS's ``precompute_s``).  ``backend`` selects a field backend for
+    the scheme's context: when it differs from what ``ctx`` already runs
+    on, a rebound context (same curve family/RNG/cache bound, rebuilt on
+    the requested backend) is constructed for the scheme — the caller's
+    ``ctx`` is never mutated.  Raises ``KeyError`` for unknown names and
+    ``TypeError`` if the constructed object does not satisfy
     :class:`~repro.schemes.base.SchemeProtocol` — the registry hands out
     only conforming objects.
     """
@@ -88,6 +94,18 @@ def create_scheme(name: str, ctx: PairingContext, **kwargs) -> SchemeProtocol:
         raise KeyError(
             f"unknown scheme {name!r}; choose from {sorted(all_scheme_names())}"
         )
+    if backend is not None:
+        from repro.pairing import backends as _backends
+
+        resolved = _backends.resolve_backend(backend)
+        if resolved is not getattr(ctx, "backend", None):
+            ctx = PairingContext(
+                ctx.curve,
+                ctx.rng,
+                precompute=ctx.precompute_enabled,
+                cache_size=ctx.cache_size,
+                backend=resolved,
+            )
     scheme = _resolve(path)(ctx, **kwargs)
     if not isinstance(scheme, SchemeProtocol):
         raise TypeError(

@@ -67,7 +67,7 @@ IDEMPOTENT_OPCODES = frozenset(
 
 
 def build_verifier_view(
-    document: dict, *, cache_size: Optional[int] = None
+    document: dict, *, cache_size: Optional[int] = None, backend=None
 ) -> Tuple[BNCurve, McCLS]:
     """Reconstruct a verifier-view scheme from a PARAMS document.
 
@@ -75,14 +75,18 @@ def build_verifier_view(
     overridden with the gateway's real one, and CL-Sign/CL-Verify only
     ever read P_pub, never the secret.  Shared by the client and the
     crypto worker processes (which verify on the KGC's behalf but never
-    hold its master secret either).
+    hold its master secret either).  The field backend follows
+    ``backend`` when given, else the document's advertised backend, else
+    the env/default precedence.
     """
-    curve = protocol.curve_from_params(document)
+    if backend is None:
+        backend = document.get("backend") or None
+    curve = protocol.curve_from_params(document, backend=backend)
+    kwargs = {"backend": curve.spec.backend}
+    if cache_size is not None:
+        kwargs["cache_size"] = cache_size
     p_pub_g1, p_pub_g2 = protocol.p_pub_from_params(curve, document)
-    if cache_size is None:
-        ctx = PairingContext(curve, random.Random(0))
-    else:
-        ctx = PairingContext(curve, random.Random(0), cache_size=cache_size)
+    ctx = PairingContext(curve, random.Random(0), **kwargs)
     view = McCLS(ctx, master_secret=1)
     view.p_pub_g1 = p_pub_g1
     view.p_pub_g2 = p_pub_g2

@@ -66,8 +66,9 @@ from repro.service.server import VerificationGateway
 DEFAULT_OUT = "benchmarks/results/BENCH_service.json"
 
 #: BENCH_service.json document version (bumped on shape changes so
-#: ``repro benchdiff`` can key its comparisons on it)
-BENCH_SCHEMA_VERSION = 2
+#: ``repro benchdiff`` can key its comparisons on it); v3 added the
+#: top-level ``backend`` field naming the gateway's field backend
+BENCH_SCHEMA_VERSION = 3
 
 #: a job is retried (BUSY, replay, retryable ERR) at most this often
 #: before it is recorded as a hard error against the run's budget
@@ -88,6 +89,8 @@ class LoadgenConfig:
     invalid_every: int = 53  # every k-th request carries a tampered message
     window: int = 64  # per-connection pipelining depth
     bits: int = 32  # toy-curve size for the in-process gateway
+    #: field-arithmetic backend for the in-process gateway (None -> env/default)
+    backend: Optional[str] = None
     cache_size: int = 512  # pairing-cache bound (< identities -> evictions)
     queue_size: int = 4096
     max_batch: int = 32
@@ -304,7 +307,8 @@ async def _run(config: LoadgenConfig) -> Dict:
     proxy = None
     if config.host is None:
         gateway = VerificationGateway(
-            curve=toy_curve(config.bits),
+            curve=toy_curve(config.bits, backend=config.backend),
+            backend=config.backend,
             seed=config.seed,
             cache_size=config.cache_size,
             queue_size=config.queue_size,
@@ -331,7 +335,10 @@ async def _run(config: LoadgenConfig) -> Dict:
     client = ServiceClient(host, port)
     await client.connect()
     try:
-        await client.params()
+        params_doc = await client.params()
+        # The PARAMS document names the gateway's field backend; a remote
+        # gateway from before the backend field reports "unspecified".
+        backend_name = params_doc.get("backend") or "unspecified"
 
         # -- enrollment phase ---------------------------------------------
         enroll_started = time.perf_counter()
@@ -475,6 +482,7 @@ async def _run(config: LoadgenConfig) -> Dict:
             "generated_at": datetime.datetime.now(
                 datetime.timezone.utc
             ).isoformat(timespec="seconds"),
+            "backend": backend_name,
             "config": asdict(config),
             "enroll": {
                 "identities": config.identities,
@@ -623,6 +631,7 @@ def summary_lines(result: Dict) -> List[str]:
     verify = result["verify"]
     cache = result["cache"]
     lines = [
+        f"backend: {result.get('backend', 'unspecified')}",
         f"verify: {verify['requests']} requests in {verify['seconds']}s "
         f"({verify['throughput_rps']} req/s)",
         f"latency ms: p50={verify['latency_ms']['p50']} "

@@ -143,7 +143,14 @@ def _verify_items(curve, view, batcher, payloads: List[bytes]):
 
 
 def _worker_main(conn, params_doc: dict, cache_size: Optional[int]) -> None:
-    """Worker process entry: build a verifier view, answer jobs forever."""
+    """Worker process entry: build a verifier view, answer jobs forever.
+
+    The params document carries the gateway's field-backend name
+    (``backend`` key), so a spawn-started worker - which inherits no
+    parent interpreter state - reconstructs its verifier view on the SAME
+    backend the gateway selected, kernel compilation and all, rather than
+    silently falling back to the env/default precedence.
+    """
     # imported here so the docstring-level import graph stays acyclic
     from repro.service.client import build_verifier_view
 

@@ -371,29 +371,43 @@ def decode_metrics_payload(payload: bytes) -> str:
         raise SerializationError(f"malformed METRICS payload: {exc}") from None
 
 
-def params_document(scheme_name: str, curve: BNCurve, p_pub_g1, p_pub_g2) -> dict:
-    """The PARAMS/REKEY reply: everything a verifier-view client needs."""
-    return {
+def params_document(
+    scheme_name: str, curve: BNCurve, p_pub_g1, p_pub_g2, backend: str = ""
+) -> dict:
+    """The PARAMS/REKEY reply: everything a verifier-view client needs.
+
+    ``backend`` advertises the gateway's field backend so clients and
+    spawned workers can match it; empty means unspecified (pre-backend
+    peers), which clients treat as the default precedence.
+    """
+    document = {
         "scheme": scheme_name,
         "curve": {"name": curve.name, "t": str(curve.t)},
         "order": hex(curve.n),
         "p_pub_g1": encode_g1(curve, p_pub_g1).hex(),
         "p_pub_g2": encode_g2(curve, p_pub_g2).hex(),
     }
+    if backend:
+        document["backend"] = backend
+    return document
 
 
-def curve_from_params(document: dict) -> BNCurve:
+def curve_from_params(document: dict, backend=None) -> BNCurve:
     """Reconstruct the gateway's curve from a PARAMS reply.
 
     Mirrors the keystore's curve document: BN254 by name, generated test
-    curves by their BN parameter ``t``.
+    curves by their BN parameter ``t``.  The field backend is taken from
+    ``backend`` when given, else from the document's advertised backend,
+    else the usual env/default precedence.
     """
     try:
         spec = document["curve"]
         name = spec.get("name", "")
+        if backend is None:
+            backend = document.get("backend") or None
         if name == "bn254":
-            return bn254()
-        return derive_bn_curve(int(spec["t"]), name=name)
+            return bn254(backend=backend)
+        return derive_bn_curve(int(spec["t"]), name=name, backend=backend)
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"malformed curve document: {exc}") from None
 

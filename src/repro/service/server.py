@@ -127,13 +127,15 @@ class VerificationGateway:
         worker_job_timeout_s: float = 30.0,
         worker_heartbeat_timeout_s: float = 2.0,
         worker_backoff: Optional[RestartBackoff] = None,
+        backend=None,
     ):
         if kgc is None:
             kgc = KeyGenerationCenter(
                 McCLS,
-                curve=curve if curve is not None else toy_curve(64),
+                curve=curve if curve is not None else toy_curve(64, backend=backend),
                 seed=seed,
                 cache_size=cache_size,
+                backend=backend,
             )
         self.kgc = kgc
         self.seed = seed if seed is not None else 0
@@ -775,7 +777,11 @@ class VerificationGateway:
     def _params(self) -> dict:
         scheme = self.kgc.scheme
         return protocol.params_document(
-            scheme.name, self.kgc.ctx.curve, scheme.p_pub_g1, scheme.p_pub_g2
+            scheme.name,
+            self.kgc.ctx.curve,
+            scheme.p_pub_g1,
+            scheme.p_pub_g2,
+            backend=self.kgc.ctx.backend.name,
         )
 
     #: the stage histograms STATS/METRICS report (stable metric names)

@@ -10,7 +10,7 @@ from repro.pairing.fields import FieldSpec, Fp, Fp2, Fp12
 # A small prime = 3 (mod 4) keeps hypothesis runs quick; the tower rules are
 # size-independent.
 P = 10007
-SPEC = FieldSpec(P, 1)
+SPEC = FieldSpec(P, xi_a=1)
 
 fp_values = st.integers(min_value=0, max_value=P - 1)
 
@@ -36,17 +36,17 @@ fp12_elements = st.builds(
 class TestFieldSpec:
     def test_requires_3_mod_4(self):
         with pytest.raises(FieldError):
-            FieldSpec(13, 1)  # 13 = 1 (mod 4)
+            FieldSpec(13, xi_a=1)  # 13 = 1 (mod 4)
 
     def test_reduction_constants(self):
-        spec = FieldSpec(P, 3)
+        spec = FieldSpec(P, xi_a=3)
         assert spec.fp12_mod_c6 == 6
         assert spec.fp12_mod_c0 == (-(9 + 1)) % P
 
     def test_equality_and_hash(self):
-        assert FieldSpec(P, 1) == FieldSpec(P, 1)
-        assert FieldSpec(P, 1) != FieldSpec(P, 2)
-        assert hash(FieldSpec(P, 1)) == hash(FieldSpec(P, 1))
+        assert FieldSpec(P, xi_a=1) == FieldSpec(P, xi_a=1)
+        assert FieldSpec(P, xi_a=1) != FieldSpec(P, xi_a=2)
+        assert hash(FieldSpec(P, xi_a=1)) == hash(FieldSpec(P, xi_a=1))
 
 
 class TestFp:
@@ -87,7 +87,7 @@ class TestFp:
         assert root * root == x * x
 
     def test_mixed_spec_raises(self):
-        other = FieldSpec(10007 + 24, 1) if False else FieldSpec(19, 1)
+        other = FieldSpec(19, xi_a=1)
         with pytest.raises(FieldError):
             fp(1) + other.fp(1)
 
