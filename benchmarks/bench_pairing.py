@@ -23,7 +23,16 @@ match exactly, and on bn254 the native backend's compiled kernel must
 beat the reference backend's single pairing by ``--min-native-speedup``
 (default 5x) whenever the kernel compiled.
 
-Results land in ``benchmarks/results/BENCH_pairing.json`` (schema v2:
+Since schema v3 each row also measures
+
+* G1 scalar multiplication: the plain wNAF ladder against the GLV
+  endomorphism decomposition (and, on the native backend, the compiled
+  kernel MSM), gated on bn254 at >=2x fewer fp_mul for GLV and >=8x
+  wall-clock for the kernel;
+* a warm 64-signer cross-signer batch fold against per-item verifies,
+  gated at <=35% of the per-item fp_mul cost.
+
+Results land in ``benchmarks/results/BENCH_pairing.json`` (schema v3:
 one row per curve+backend, top-level ``backends`` list).  The script
 exits non-zero unless the optimised single pairing costs at most half
 the naive reference's base-field multiplications on every measured
@@ -44,8 +53,11 @@ if str(SRC) not in sys.path:  # allow running without PYTHONPATH
     sys.path.insert(0, str(SRC))
 
 from repro import obs
+from repro.core.batch import McCLSBatchVerifier
 from repro.core.mccls import McCLS
 from repro.pairing import backends as field_backends
+from repro.pairing import curve as curve_points
+from repro.pairing import glv
 from repro.pairing.bn import bn254, toy_curve
 from repro.pairing.groups import PairingContext
 from repro.pairing.naive import pairing_naive
@@ -55,8 +67,11 @@ from repro.schemes.zwxf import ZWXFScheme
 RESULTS = Path(__file__).parent / "results" / "BENCH_pairing.json"
 
 #: BENCH_pairing.json document version; v2 added per-backend rows and
-#: the top-level ``backends`` list (``repro benchdiff`` keys on it)
-BENCH_SCHEMA_VERSION = 2
+#: the top-level ``backends`` list (``repro benchdiff`` keys on it); v3
+#: added the ``scalar_mult`` section (wNAF ladder vs GLV vs compiled
+#: kernel MSM) and the ``batch_verify`` section (cross-signer randomized
+#: fold vs warm per-item verifies)
+BENCH_SCHEMA_VERSION = 3
 
 CURVES = {
     "toy48": lambda backend: toy_curve(48, backend=backend),
@@ -162,7 +177,125 @@ def bench_curve(name: str, backend_name: str) -> dict:
         "miller_loops": multi_ops.miller_loops,
         "final_exps": multi_ops.final_exps,
     }
+
+    report["scalar_mult"] = bench_scalar_mult(name, curve)
+    report["batch_verify"] = bench_batch_verify(name, ctx, scheme)
     return report
+
+
+def bench_scalar_mult(name: str, curve) -> dict:
+    """G1 scalar multiplication: double-and-add vs wNAF vs GLV.
+
+    The scalars are drawn from a seed fixed per curve (NOT per backend),
+    so the deterministic op counts are directly comparable across
+    backends; the kernel, when active, changes only the seconds column.
+    ``fp_mul_ratio`` is GLV's advantage over the binary double-and-add
+    ladder; ``speedup`` is GLV's wall-clock advantage over the wNAF
+    production path it replaced (the honest like-for-like number).
+    """
+    rng = random.Random(f"bench/scalar_mult/{name}")
+    point = curve.g1 * 0xB007C0DE
+    scalars = [rng.randrange(1, curve.n) for _ in range(6)]
+    params = glv.glv_params(curve)
+    # Warm the GLV parameter/table caches outside the tally.
+    glv.glv_mul(curve, point, scalars[0])
+
+    def ladder() -> list:
+        return [curve_points._jacobian_scalar_mult(point, k) for k in scalars]
+
+    def wnaf() -> list:
+        return [curve_points._wnaf_scalar_mult(point, k) for k in scalars]
+
+    def decomposed() -> list:
+        return [glv.glv_mul(curve, point, k) for k in scalars]
+
+    ladder_ops, ladder_time, ladder_vals = _measure(ladder, repeats=3)
+    wnaf_ops, wnaf_time, wnaf_vals = _measure(wnaf, repeats=3)
+    glv_ops, glv_time, glv_vals = _measure(decomposed, repeats=3)
+    if not (ladder_vals == wnaf_vals == glv_vals):
+        raise SystemExit(f"{name}: scalar-mult strategies disagree on values")
+    kernel = curve.spec.backend.point_kernel(curve)
+    return {
+        "scalars": len(scalars),
+        "glv_available": params is not None,
+        "kernel_msm": kernel is not None,
+        "ladder": {"fp_mul": ladder_ops.fp_mul, "seconds": ladder_time},
+        "wnaf": {"fp_mul": wnaf_ops.fp_mul, "seconds": wnaf_time},
+        "glv": {"fp_mul": glv_ops.fp_mul, "seconds": glv_time},
+        "fp_mul_ratio": (
+            ladder_ops.fp_mul / glv_ops.fp_mul if glv_ops.fp_mul else 0.0
+        ),
+        "wnaf_fp_mul_ratio": (
+            wnaf_ops.fp_mul / glv_ops.fp_mul if glv_ops.fp_mul else 0.0
+        ),
+        "speedup": wnaf_time / glv_time if glv_time else float("inf"),
+    }
+
+
+def bench_batch_verify(name: str, ctx, scheme) -> dict:
+    """Cross-signer randomized fold vs warm per-item verifies.
+
+    64 distinct signers sign one message each; after one admission
+    window has anchored every signer, a fresh mixed window must settle
+    pairing-free in a fraction of the per-item fp_mul cost.
+    """
+    verifier = McCLSBatchVerifier(scheme)
+    signers = [
+        (f"batch-{i:02d}", scheme.generate_user_keys(f"batch-{i:02d}"))
+        for i in range(64)
+    ]
+
+    def window(tag: bytes) -> list:
+        return [
+            (
+                tag + identity.encode(),
+                scheme.sign(tag + identity.encode(), keys),
+                identity,
+                keys.public_key,
+            )
+            for identity, keys in signers
+        ]
+
+    # Admission window: anchors every signer (pays the one-time pairing).
+    verdicts, _stats = verifier.verify_cross_signer(window(b"warm:"))
+    assert all(verdicts), f"{name}: admission window rejected a valid item"
+
+    steady = window(b"steady:")
+    batch_ops, batch_time, (verdicts, stats) = _measure(
+        lambda: verifier.verify_cross_signer(steady)
+    )
+    assert all(verdicts), f"{name}: steady window rejected a valid item"
+
+    # Warm the per-item path, then measure it for the comparison.
+    for message, signature, identity, public_key in steady:
+        assert scheme.verify(message, signature, identity, public_key)
+    individual_ops, individual_time, oks = _measure(
+        lambda: [
+            scheme.verify(message, signature, identity, public_key)
+            for message, signature, identity, public_key in steady
+        ]
+    )
+    assert all(oks), f"{name}: warm individual verify failed"
+    return {
+        "signers": len(signers),
+        "items": len(steady),
+        "folds": stats["folds"],
+        "bisections": stats["bisections"],
+        "pairings": stats["admission_pairings"],
+        "batch": {"fp_mul": batch_ops.fp_mul, "seconds": batch_time},
+        "individual": {
+            "fp_mul": individual_ops.fp_mul,
+            "seconds": individual_time,
+        },
+        "fp_mul_ratio": (
+            batch_ops.fp_mul / individual_ops.fp_mul
+            if individual_ops.fp_mul
+            else 0.0
+        ),
+        "speedup": (
+            individual_time / batch_time if batch_time else float("inf")
+        ),
+    }
 
 
 def _check_cross_backend(name: str, rows: list) -> None:
@@ -179,20 +312,27 @@ def _check_cross_backend(name: str, rows: list) -> None:
                 f"{name}: McCLS signature differs between backends "
                 f"{reference['backend']} and {row['backend']}"
             )
-        for block in (
-            "single_pairing",
-            "mccls_cold_verify",
-            "zwxf_warm_multi_pairing_verify",
+        for block, inner in (
+            ("single_pairing", "optimized"),
+            ("mccls_cold_verify", None),
+            ("zwxf_warm_multi_pairing_verify", None),
+            ("scalar_mult", "ladder"),
+            ("scalar_mult", "wnaf"),
+            ("scalar_mult", "glv"),
+            ("batch_verify", "batch"),
+            ("batch_verify", "individual"),
         ):
-            if block == "single_pairing":
-                ref_ops = reference[block]["optimized"]["fp_mul"]
-                row_ops = row[block]["optimized"]["fp_mul"]
+            if inner is not None:
+                ref_ops = reference[block][inner]["fp_mul"]
+                row_ops = row[block][inner]["fp_mul"]
+                label = f"{block}.{inner}"
             else:
                 ref_ops = reference[block]["fp_mul"]
                 row_ops = row[block]["fp_mul"]
+                label = block
             if ref_ops != row_ops:
                 raise SystemExit(
-                    f"{name}.{block}: fp_mul count differs between backends "
+                    f"{name}.{label}: fp_mul count differs between backends "
                     f"({reference['backend']}={ref_ops}, "
                     f"{row['backend']}={row_ops}); counters must be "
                     "backend-independent"
@@ -224,6 +364,28 @@ def main() -> int:
         default=5.0,
         help="required reference/native wall-clock speedup for a single "
         "bn254 pairing when the native kernel is active (0 disables)",
+    )
+    parser.add_argument(
+        "--min-glv-ratio",
+        type=float,
+        default=2.0,
+        help="required ladder/GLV fp_mul ratio for bn254 G1 scalar "
+        "multiplication (0 disables)",
+    )
+    parser.add_argument(
+        "--min-kernel-mul-speedup",
+        type=float,
+        default=8.0,
+        help="required wNAF/GLV wall-clock speedup for bn254 G1 scalar "
+        "multiplication on the native backend when the kernel MSM is "
+        "active (0 disables)",
+    )
+    parser.add_argument(
+        "--max-batch-ratio",
+        type=float,
+        default=0.35,
+        help="max allowed batch/individual fp_mul ratio for the warm "
+        "64-signer cross-signer fold (0 disables)",
     )
     args = parser.parse_args()
 
@@ -284,6 +446,54 @@ def main() -> int:
             f"{cold['final_exps']} final exp "
             "(values and counts identical across backends)"
         )
+        for row in rows:
+            mul = row["scalar_mult"]
+            kern = " kernel" if mul["kernel_msm"] else ""
+            print(
+                f"        scalar mult [{row['backend']}{kern}]: GLV "
+                f"{mul['fp_mul_ratio']:.2f}x fewer fp_mul than double-"
+                f"and-add ({mul['wnaf_fp_mul_ratio']:.2f}x vs wNAF), "
+                f"{mul['speedup']:.2f}x wall-clock vs wNAF "
+                f"({mul['glv']['seconds'] * 1e3 / mul['scalars']:.2f} "
+                "ms/mult)"
+            )
+            if (
+                name == "bn254"
+                and args.min_glv_ratio > 0
+                and mul["fp_mul_ratio"] < args.min_glv_ratio
+            ):
+                failures.append(
+                    f"{name}/{row['backend']} GLV fp_mul ratio "
+                    f"{mul['fp_mul_ratio']:.2f}x < {args.min_glv_ratio:g}x"
+                )
+            if (
+                name == "bn254"
+                and args.min_kernel_mul_speedup > 0
+                and row["backend"] == "native"
+                and mul["kernel_msm"]
+                and mul["speedup"] < args.min_kernel_mul_speedup
+            ):
+                failures.append(
+                    f"{name}/native kernel scalar-mult speedup "
+                    f"{mul['speedup']:.2f}x < "
+                    f"{args.min_kernel_mul_speedup:g}x"
+                )
+            batch = row["batch_verify"]
+            print(
+                f"        batch verify [{row['backend']}]: "
+                f"{batch['items']}-item cross-signer fold at "
+                f"{batch['fp_mul_ratio'] * 100:.1f}% of warm per-item "
+                f"fp_mul ({batch['speedup']:.1f}x wall-clock, "
+                f"{batch['pairings']} pairings)"
+            )
+            if (
+                args.max_batch_ratio > 0
+                and batch["fp_mul_ratio"] > args.max_batch_ratio
+            ):
+                failures.append(
+                    f"{name}/{row['backend']} batch fp_mul ratio "
+                    f"{batch['fp_mul_ratio']:.3f} > {args.max_batch_ratio:g}"
+                )
         reports.extend(rows)
 
     for row in reports:  # identity scratch fields never hit the JSON

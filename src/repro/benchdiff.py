@@ -15,7 +15,11 @@ Gating policy:
   informational.
 * pairing bench (``results`` list): deterministic ``fp_mul`` operation
   counts are lower-better and gated (they cannot flake with machine
-  speed); wall-clock ``seconds`` are informational only.
+  speed); wall-clock ``seconds`` are informational only.  Schema v3 rows
+  add ``scalar_mult`` (GLV vs ladder: the fp_mul counts and the GLV
+  advantage ratio are gated) and ``batch_verify`` (cross-signer fold:
+  the fp_mul counts are gated lower-better and the batch/individual
+  ratio must not grow).
 
 Informational metrics always print but never gate, so the CI job stays
 deterministic on shared runners.
@@ -143,6 +147,27 @@ def extract_service_metrics(document: dict) -> List[Metric]:
         metrics.append(
             Metric("verify.throughput_rps", throughput, HIGHER_BETTER)
         )
+    # schema v4 headline latency
+    p50 = _number(document.get("p50_ms"))
+    if p50 is not None:
+        metrics.append(Metric("p50_ms", p50, LOWER_BETTER))
+    # schema v4 cross-signer batching report (fold counts depend on how
+    # requests interleave across connections: informational)
+    batch = document.get("batch")
+    if isinstance(batch, dict):
+        for key in ("cross_signer_folds", "cross_signer_requests",
+                    "bisections"):
+            value = _number(batch.get(key))
+            if value is not None:
+                metrics.append(Metric(f"batch.{key}", value, INFO))
+        fold_size = batch.get("fold_size")
+        if isinstance(fold_size, dict):
+            for key in sorted(fold_size):
+                value = _number(fold_size[key])
+                if value is not None:
+                    metrics.append(
+                        Metric(f"batch.fold_size.{key}", value, INFO)
+                    )
     for block, label, direction in (
         (verify.get("latency_ms"), "verify.latency_ms", LOWER_BETTER),
         (document.get("enroll"), "enroll", INFO),
@@ -245,6 +270,77 @@ def extract_pairing_metrics(document: dict) -> List[Metric]:
                 metrics.append(
                     Metric(f"{curve}.single_pairing.speedup", speedup, INFO)
                 )
+        # schema v3: GLV scalar multiplication (deterministic counts gate;
+        # wall-clock speedups inform)
+        mul = row.get("scalar_mult")
+        if isinstance(mul, dict):
+            for inner in ("ladder", "wnaf", "glv"):
+                block = mul.get(inner)
+                if not isinstance(block, dict):
+                    continue
+                value = _number(block.get("fp_mul"))
+                if value is not None:
+                    metrics.append(
+                        Metric(
+                            f"{curve}.scalar_mult.{inner}.fp_mul",
+                            value,
+                            LOWER_BETTER,
+                        )
+                    )
+                seconds = _number(block.get("seconds"))
+                if seconds is not None:
+                    metrics.append(
+                        Metric(
+                            f"{curve}.scalar_mult.{inner}.seconds",
+                            seconds,
+                            INFO,
+                        )
+                    )
+            ratio = _number(mul.get("fp_mul_ratio"))
+            if ratio is not None:
+                metrics.append(
+                    Metric(
+                        f"{curve}.scalar_mult.fp_mul_ratio",
+                        ratio,
+                        HIGHER_BETTER,
+                    )
+                )
+            speedup = _number(mul.get("speedup"))
+            if speedup is not None:
+                metrics.append(
+                    Metric(f"{curve}.scalar_mult.speedup", speedup, INFO)
+                )
+        # schema v3: cross-signer batch fold
+        batch = row.get("batch_verify")
+        if isinstance(batch, dict):
+            for inner in ("batch", "individual"):
+                block = batch.get(inner)
+                if not isinstance(block, dict):
+                    continue
+                value = _number(block.get("fp_mul"))
+                if value is not None:
+                    metrics.append(
+                        Metric(
+                            f"{curve}.batch_verify.{inner}.fp_mul",
+                            value,
+                            LOWER_BETTER,
+                        )
+                    )
+            ratio = _number(batch.get("fp_mul_ratio"))
+            if ratio is not None:
+                metrics.append(
+                    Metric(
+                        f"{curve}.batch_verify.fp_mul_ratio",
+                        ratio,
+                        LOWER_BETTER,
+                    )
+                )
+            for key in ("folds", "bisections", "pairings"):
+                value = _number(batch.get(key))
+                if value is not None:
+                    metrics.append(
+                        Metric(f"{curve}.batch_verify.{key}", value, INFO)
+                    )
     return metrics
 
 

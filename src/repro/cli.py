@@ -489,6 +489,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         identities=args.identities,
         connections=args.connections,
         burst=args.burst,
+        zipf=args.zipf,
         window=args.window,
         bits=args.bits,
         backend=args.backend,
@@ -642,7 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-batch",
         type=int,
-        default=32,
+        default=64,
         help="micro-batcher drain limit per consumer cycle",
     )
     serve.add_argument(
@@ -667,11 +668,19 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--identities", type=int, default=1_000)
     loadgen.add_argument("--connections", type=int, default=8)
     loadgen.add_argument("--burst", type=int, default=16)
+    loadgen.add_argument(
+        "--zipf",
+        type=float,
+        default=None,
+        metavar="S",
+        help="skew signer choice by a Zipf(S) rank distribution instead of "
+        "uniform round-robin (exercises the cross-signer fold)",
+    )
     loadgen.add_argument("--window", type=int, default=64)
     loadgen.add_argument("--bits", type=int, default=32)
     loadgen.add_argument("--cache-size", type=int, default=512)
     loadgen.add_argument("--queue-size", type=int, default=4096)
-    loadgen.add_argument("--max-batch", type=int, default=32)
+    loadgen.add_argument("--max-batch", type=int, default=64)
     loadgen.add_argument("--seed", type=int, default=7)
     _add_backend_arg(loadgen)
     loadgen.add_argument(

@@ -353,6 +353,119 @@ class MaliciousKGCForger(Adversary):
         )
 
 
+# ---------------------------------------------------------------------------
+# Batch-verification soundness games (cross-signer folding).
+# ---------------------------------------------------------------------------
+
+
+def run_batch_corruption_game(
+    verifier,
+    signer_count: int = 10,
+    batch_size: int = 100,
+    rng: Optional[random.Random] = None,
+) -> Dict[str, object]:
+    """Corrupt one signature inside a large mixed-signer window.
+
+    The batch verifier must (a) reject exactly the corrupted item, (b)
+    accept every honest one, and (c) find the culprit through fold
+    bisection rather than exact-verifying the whole window.  Returns the
+    evidence dict the tests assert on.
+    """
+    rng = rng if rng is not None else random.Random(0xBA7C4)
+    scheme = verifier.scheme
+    signers = [
+        scheme.generate_user_keys(f"node-{i}@corruption-game")
+        for i in range(signer_count)
+    ]
+    # admit every signer first so the corrupted window runs the pure-G1
+    # anchored fold - the path whose soundness is under test
+    warm = []
+    for i, keys in enumerate(signers):
+        msg = f"warmup-{i}".encode()
+        warm.append((msg, scheme.sign(msg, keys), keys.identity, keys.public_key))
+    verifier.verify_cross_signer(warm)
+
+    items = []
+    for j in range(batch_size):
+        keys = signers[j % signer_count]
+        msg = f"payload-{j}".encode()
+        items.append((msg, scheme.sign(msg, keys), keys.identity, keys.public_key))
+    corrupt_at = rng.randrange(batch_size)
+    msg, sig, identity, pk = items[corrupt_at]
+    n = scheme.ctx.order
+    items[corrupt_at] = (
+        msg,
+        McCLSSignature(v=(sig.v + rng.randrange(1, n)) % n or 1, s=sig.s, r=sig.r),
+        identity,
+        pk,
+    )
+    verdicts, stats = verifier.verify_cross_signer(items)
+    expected = [j != corrupt_at for j in range(batch_size)]
+    return {
+        "correct": verdicts == expected,
+        "located": not verdicts[corrupt_at],
+        "honest_accepted": all(v for j, v in enumerate(verdicts) if j != corrupt_at),
+        "bisections": stats["bisections"],
+        "exact_checks": stats["exact_checks"],
+        "corrupt_at": corrupt_at,
+    }
+
+
+def run_cancelling_pair_game(
+    verifier,
+    trials: int = 4,
+    rng: Optional[random.Random] = None,
+) -> Dict[str, object]:
+    """A malicious signer submits two INVALID signatures whose fold defects
+    cancel under unit weights (the classic attack on linear batch tests).
+
+    Knowing its own x (hence the anchor W = x*P), the signer picks
+    R = rho*P and  v = h*(rho + x +/- gamma)  so each item's defect is
+    +/- gamma*P: a batch verifier folding with FIXED weights would accept
+    both forgeries, since the defects sum to zero.  Random per-item
+    80-bit weights make the folded defect (d1 - d2)*gamma*P != 0 with
+    overwhelming probability, so the verifier must reject BOTH items
+    every trial (located via bisection down to exact checks).
+    """
+    rng = rng if rng is not None else random.Random(0xCA9CE1)
+    scheme = verifier.scheme
+    ctx = scheme.ctx
+    n = ctx.order
+    keys = scheme.generate_user_keys("malicious-signer@pair-game")
+    # anchor the signer with one honest signature
+    honest = b"honest hello"
+    verifier.verify_cross_signer(
+        [(honest, scheme.sign(honest, keys), keys.identity, keys.public_key)]
+    )
+    x = keys.secret_value
+    s_point = scheme._s_component(keys)
+    accepted_forgeries = 0
+    rejected_pairs = 0
+    for trial in range(trials):
+        gamma = rng.randrange(1, n)
+        pair = []
+        for sign_of_gamma in (1, -1):
+            rho = rng.randrange(1, n)
+            big_r = ctx.g1 * rho
+            msg = f"cancelling-{trial}-{sign_of_gamma}".encode()
+            h = ctx.hash_scalar(b"H2/mccls", msg, big_r, keys.public_key)
+            v = (h * (rho + x + sign_of_gamma * gamma)) % n
+            sig = McCLSSignature(v=v, s=s_point, r=big_r)
+            # each item alone must be invalid by construction
+            assert not scheme.verify(msg, sig, keys.identity, keys.public_key)
+            pair.append((msg, sig, keys.identity, keys.public_key))
+        verdicts, _stats = verifier.verify_cross_signer(pair)
+        accepted_forgeries += sum(verdicts)
+        if verdicts == [False, False]:
+            rejected_pairs += 1
+    return {
+        "trials": trials,
+        "accepted_forgeries": accepted_forgeries,
+        "rejected_pairs": rejected_pairs,
+        "all_rejected": rejected_pairs == trials and accepted_forgeries == 0,
+    }
+
+
 #: adversaries modelling protocol-level attackers (should all fail)
 PROTOCOL_ADVERSARIES = (
     RandomForgeryAdversary,

@@ -106,7 +106,8 @@ class McCLS(CertificatelessScheme):
             if cached is not None:
                 return cached
         x_inv = self.ctx.scalar_inverse(keys.secret_value)
-        s_point = self.ctx.g2_mul(keys.partial.d_id, x_inv)
+        # D_ID = s*Q_ID is KGC-issued subgroup material: GLS split is safe.
+        s_point = self.ctx.g2_mul(keys.partial.d_id, x_inv, in_subgroup=True)
         if self._precompute_s:
             self._s_cache[keys.identity] = s_point
         return s_point

@@ -83,7 +83,7 @@ typedef struct {
     fp p; u64 np; fp r2;
     fp c6m, c0m; int c6_nz, c0_nz;
     fp xi_a;
-    fp two, four, eight;
+    fp two, four, eight, three;
     fp2 g1t[6], g2t[6], g3t[6];
     fp2 twg2, twg3;
     int n_loop_bits; unsigned char loop_bits[192];
@@ -93,11 +93,18 @@ int kern_miller(const bnctx *ctx, const u64 *px, const u64 *py,
                 const u64 *qx, const u64 *qy, u64 *out, u64 *counts);
 void kern_final_exp(const bnctx *ctx, const u64 *f_in, const u64 *finv_in,
                     u64 *out, u64 *counts);
+int kern_g1_msm(const bnctx *ctx, int m, const u64 *xs, const u64 *ys,
+                const signed char *digits, int ndigits, int endo,
+                const u64 *endo_beta, u64 *out, u64 *counts);
+int kern_g2_msm(const bnctx *ctx, int m, const u64 *xs, const u64 *ys,
+                const signed char *digits, int ndigits, int endo,
+                u64 *out, u64 *counts);
 void kern_mont_mul_test(const bnctx *ctx, const u64 *a, const u64 *b,
                         u64 *out);
 """
 
 _CSOURCE = r"""
+#include <stdlib.h>
 #include <string.h>
 
 typedef unsigned long long u64;
@@ -110,7 +117,7 @@ typedef struct {
     fp p; u64 np; fp r2;
     fp c6m, c0m; int c6_nz, c0_nz;
     fp xi_a;
-    fp two, four, eight;
+    fp two, four, eight, three;
     fp2 g1t[6], g2t[6], g3t[6];
     fp2 twg2, twg3;
     int n_loop_bits; unsigned char loop_bits[192];
@@ -802,6 +809,331 @@ void kern_final_exp(const bnctx *ctx, const u64 *f_in, const u64 *finv_in,
     }
 }
 
+/* ---------------- Jacobian point arithmetic (MSM) ----------------
+ *
+ * Transliterations of curve._jacobian_double / _jacobian_add with the
+ * tally rules of fields.Fp / fields.Fp2 applied per operation, so the
+ * kernel MSM reports op counts identical to the reference column walk
+ * in glv._msm_loop.  "Valid" flags mirror Python's None propagation
+ * (the point at infinity, reachable for small-order toy points).
+ */
+
+static int fp_eq(const fp *a, const fp *b) {
+    /* all fp routines emit canonical (< p) Montgomery residues */
+    return memcmp(a->c, b->c, sizeof(a->c)) == 0;
+}
+
+static int fp2_eq(const fp2 *a, const fp2 *b) {
+    return fp_eq(&a->c0, &b->c0) && fp_eq(&a->c1, &b->c1);
+}
+
+/* tallied Fp product: Python's Fp*Fp / Fp*int / Fp.square() all count 1 */
+static void fp_mul_t(const bnctx *ctx, u64 *k, fp *o,
+                     const fp *a, const fp *b) {
+    k[FP_MUL] += 1;
+    mont_mul(ctx, o, a, b);
+}
+
+typedef struct { fp x, y, z; } g1jac;
+typedef struct { fp2 x, y, z; } g2jac;
+
+/* 13 fp_mul, including the y1 == y1*0 infinity probe; 0 = infinity */
+static int g1_dbl(const bnctx *ctx, u64 *k, g1jac *p) {
+    k[FP_MUL] += 1;                      /* y1 * 0 */
+    if (fp_is_zero(&p->y)) return 0;
+    fp a, b, c, t, d, e, f, t2, x3, y3, z3;
+    fp_mul_t(ctx, k, &a, &p->x, &p->x);
+    fp_mul_t(ctx, k, &b, &p->y, &p->y);
+    fp_mul_t(ctx, k, &c, &b, &b);
+    fp_add(ctx, &t, &p->x, &b);
+    fp_mul_t(ctx, k, &t, &t, &t);
+    fp_sub(ctx, &t, &t, &a);
+    fp_sub(ctx, &t, &t, &c);
+    fp_mul_t(ctx, k, &d, &t, &ctx->two);
+    fp_mul_t(ctx, k, &e, &a, &ctx->three);
+    fp_mul_t(ctx, k, &f, &e, &e);
+    fp_mul_t(ctx, k, &t2, &d, &ctx->two);
+    fp_sub(ctx, &x3, &f, &t2);
+    fp_sub(ctx, &t, &d, &x3);
+    fp_mul_t(ctx, k, &t, &e, &t);
+    fp_mul_t(ctx, k, &t2, &c, &ctx->eight);
+    fp_sub(ctx, &y3, &t, &t2);
+    fp_mul_t(ctx, k, &t, &p->y, &p->z);
+    fp_mul_t(ctx, k, &z3, &t, &ctx->two);
+    p->x = x3; p->y = y3; p->z = z3;
+    return 1;
+}
+
+/* 20 fp_mul on the general path; equal-x falls into doubling or infinity */
+static int g1_add(const bnctx *ctx, u64 *k, g1jac *p, const g1jac *q) {
+    fp z1z1, z2z2, u1, u2, s1, s2, t;
+    fp_mul_t(ctx, k, &z1z1, &p->z, &p->z);
+    fp_mul_t(ctx, k, &z2z2, &q->z, &q->z);
+    fp_mul_t(ctx, k, &u1, &p->x, &z2z2);
+    fp_mul_t(ctx, k, &u2, &q->x, &z1z1);
+    fp_mul_t(ctx, k, &t, &p->y, &z2z2);
+    fp_mul_t(ctx, k, &s1, &t, &q->z);
+    fp_mul_t(ctx, k, &t, &q->y, &z1z1);
+    fp_mul_t(ctx, k, &s2, &t, &p->z);
+    if (fp_eq(&u1, &u2)) {
+        if (fp_eq(&s1, &s2)) return g1_dbl(ctx, k, p);
+        return 0;                        /* p == -q */
+    }
+    fp h, hh, ii, j, r, v, t2, x3, y3, z3;
+    fp_sub(ctx, &h, &u2, &u1);
+    fp_add(ctx, &hh, &h, &h);
+    fp_mul_t(ctx, k, &ii, &hh, &hh);
+    fp_mul_t(ctx, k, &j, &h, &ii);
+    fp_sub(ctx, &t, &s2, &s1);
+    fp_mul_t(ctx, k, &r, &t, &ctx->two);
+    fp_mul_t(ctx, k, &v, &u1, &ii);
+    fp_mul_t(ctx, k, &t, &r, &r);
+    fp_sub(ctx, &t, &t, &j);
+    fp_mul_t(ctx, k, &t2, &v, &ctx->two);
+    fp_sub(ctx, &x3, &t, &t2);
+    fp_sub(ctx, &t, &v, &x3);
+    fp_mul_t(ctx, k, &t, &r, &t);
+    fp_mul_t(ctx, k, &t2, &s1, &j);
+    fp_mul_t(ctx, k, &t2, &t2, &ctx->two);
+    fp_sub(ctx, &y3, &t, &t2);
+    fp_mul_t(ctx, k, &t, &p->z, &q->z);
+    fp_mul_t(ctx, k, &t, &t, &h);
+    fp_mul_t(ctx, k, &z3, &t, &ctx->two);
+    p->x = x3; p->y = y3; p->z = z3;
+    return 1;
+}
+
+/* Fp2 double: 5 fp2_sq + 2 fp2_mul + 6 scalar muls, as the generic
+ * Python formula tallies over Fp2 */
+static int g2_dbl(const bnctx *ctx, u64 *k, g2jac *p) {
+    k[FP2_MUL] += 1;                     /* y1 * 0 */
+    k[FP_MUL] += 2;
+    if (fp2_is_zero(&p->y)) return 0;
+    fp2 a, b, c, t, d, e, f, t2, x3, y3, z3;
+    fp2_sq(ctx, k, &a, &p->x);
+    fp2_sq(ctx, k, &b, &p->y);
+    fp2_sq(ctx, k, &c, &b);
+    fp2_add(ctx, &t, &p->x, &b);
+    fp2_sq(ctx, k, &t, &t);
+    fp2_sub(ctx, &t, &t, &a);
+    fp2_sub(ctx, &t, &t, &c);
+    fp2_mul_fp(ctx, k, &d, &t, &ctx->two);
+    fp2_mul_fp(ctx, k, &e, &a, &ctx->three);
+    fp2_sq(ctx, k, &f, &e);
+    fp2_mul_fp(ctx, k, &t2, &d, &ctx->two);
+    fp2_sub(ctx, &x3, &f, &t2);
+    fp2_sub(ctx, &t, &d, &x3);
+    fp2_mul(ctx, k, &t, &e, &t);
+    fp2_mul_fp(ctx, k, &t2, &c, &ctx->eight);
+    fp2_sub(ctx, &y3, &t, &t2);
+    fp2_mul(ctx, k, &t, &p->y, &p->z);
+    fp2_mul_fp(ctx, k, &z3, &t, &ctx->two);
+    p->x = x3; p->y = y3; p->z = z3;
+    return 1;
+}
+
+/* Fp2 add: 4 fp2_sq + 12 fp2_mul + 4 scalar muls on the general path */
+static int g2_add(const bnctx *ctx, u64 *k, g2jac *p, const g2jac *q) {
+    fp2 z1z1, z2z2, u1, u2, s1, s2, t;
+    fp2_sq(ctx, k, &z1z1, &p->z);
+    fp2_sq(ctx, k, &z2z2, &q->z);
+    fp2_mul(ctx, k, &u1, &p->x, &z2z2);
+    fp2_mul(ctx, k, &u2, &q->x, &z1z1);
+    fp2_mul(ctx, k, &t, &p->y, &z2z2);
+    fp2_mul(ctx, k, &s1, &t, &q->z);
+    fp2_mul(ctx, k, &t, &q->y, &z1z1);
+    fp2_mul(ctx, k, &s2, &t, &p->z);
+    if (fp2_eq(&u1, &u2)) {
+        if (fp2_eq(&s1, &s2)) return g2_dbl(ctx, k, p);
+        return 0;
+    }
+    fp2 h, hh, ii, j, r, v, t2, x3, y3, z3;
+    fp2_sub(ctx, &h, &u2, &u1);
+    fp2_add(ctx, &hh, &h, &h);
+    fp2_sq(ctx, k, &ii, &hh);
+    fp2_mul(ctx, k, &j, &h, &ii);
+    fp2_sub(ctx, &t, &s2, &s1);
+    fp2_mul_fp(ctx, k, &r, &t, &ctx->two);
+    fp2_mul(ctx, k, &v, &u1, &ii);
+    fp2_sq(ctx, k, &t, &r);
+    fp2_sub(ctx, &t, &t, &j);
+    fp2_mul_fp(ctx, k, &t2, &v, &ctx->two);
+    fp2_sub(ctx, &x3, &t, &t2);
+    fp2_sub(ctx, &t, &v, &x3);
+    fp2_mul(ctx, k, &t, &r, &t);
+    fp2_mul(ctx, k, &t2, &s1, &j);
+    fp2_mul_fp(ctx, k, &t2, &t2, &ctx->two);
+    fp2_sub(ctx, &y3, &t, &t2);
+    fp2_mul(ctx, k, &t, &p->z, &q->z);
+    fp2_mul(ctx, k, &t, &t, &h);
+    fp2_mul_fp(ctx, k, &z3, &t, &ctx->two);
+    p->x = x3; p->y = y3; p->z = z3;
+    return 1;
+}
+
+#define MSM_MAX_POINTS 1024
+#define MSM_TAB 8                        /* odd multiples for width-5 wNAF */
+
+/* Interleaved wNAF MSM over G1.  digits is an m x ndigits column-major-
+ * safe row matrix (row i = point i, zero padded).  endo != 0 means
+ * points[i] = phi^i(points[0]): table 0 is built and the rest derived by
+ * X *= beta (1 fp_mul per live entry), exactly as glv._derive_table_g1.
+ * Returns 0 = point in out (affine-domain Jacobian limbs), 1 = infinity,
+ * 2 = unsupported (counts must be discarded). */
+int kern_g1_msm(const bnctx *ctx, int m, const u64 *xs, const u64 *ys,
+                const signed char *digits, int ndigits, int endo,
+                const u64 *endo_beta, u64 *out, u64 *counts) {
+    memset(counts, 0, NCOUNTS * sizeof(u64));
+    if (m <= 0 || m > MSM_MAX_POINTS || ndigits <= 0) return 2;
+    g1jac *tab = malloc((size_t)m * MSM_TAB * sizeof(g1jac));
+    unsigned char *ok = malloc((size_t)m * MSM_TAB);
+    if (!tab || !ok) { free(tab); free(ok); return 2; }
+    fp one = {{1, 0, 0, 0}};
+    fp onem, beta;
+    fp_to_mont(ctx, &onem, &one);
+    if (endo) memcpy(beta.c, endo_beta, sizeof(beta.c));
+    for (int i = 0; i < m; i++) {
+        if (endo && i > 0) {
+            for (int e = 0; e < MSM_TAB; e++) {
+                int idx = i * MSM_TAB + e, prev = (i - 1) * MSM_TAB + e;
+                ok[idx] = ok[prev];
+                if (!ok[prev]) continue;
+                tab[idx] = tab[prev];
+                fp_mul_t(ctx, counts, &tab[idx].x, &tab[prev].x, &beta);
+            }
+            continue;
+        }
+        g1jac base, dbl;
+        memcpy(base.x.c, xs + 4 * i, 32);
+        memcpy(base.y.c, ys + 4 * i, 32);
+        fp_to_mont(ctx, &base.x, &base.x);
+        fp_to_mont(ctx, &base.y, &base.y);
+        base.z = onem;
+        dbl = base;
+        int dvalid = g1_dbl(ctx, counts, &dbl);
+        tab[i * MSM_TAB] = base;
+        ok[i * MSM_TAB] = 1;
+        for (int e = 1; e < MSM_TAB; e++) {
+            int idx = i * MSM_TAB + e, prev = idx - 1;
+            if (!ok[prev]) { tab[idx] = dbl; ok[idx] = (unsigned char)dvalid; }
+            else if (!dvalid) { tab[idx] = tab[prev]; ok[idx] = 1; }
+            else {
+                tab[idx] = tab[prev];
+                ok[idx] = (unsigned char)g1_add(ctx, counts, &tab[idx], &dbl);
+            }
+        }
+    }
+    g1jac r;
+    int rvalid = 0;
+    for (int col = ndigits - 1; col >= 0; col--) {
+        if (rvalid) rvalid = g1_dbl(ctx, counts, &r);
+        for (int i = 0; i < m; i++) {
+            int d = digits[(size_t)i * ndigits + col];
+            if (!d) continue;
+            int a = d < 0 ? -d : d;
+            int e = (a - 1) >> 1;
+            if (e >= MSM_TAB) { free(tab); free(ok); return 2; }
+            int idx = i * MSM_TAB + e;
+            if (!ok[idx]) continue;
+            g1jac entry = tab[idx];
+            if (d < 0) fp_neg(ctx, &entry.y, &entry.y);
+            if (!rvalid) { r = entry; rvalid = 1; }
+            else rvalid = g1_add(ctx, counts, &r, &entry);
+        }
+    }
+    free(tab); free(ok);
+    if (!rvalid) return 1;
+    fp o;
+    fp_from_mont(ctx, &o, &r.x); memcpy(out, o.c, 32);
+    fp_from_mont(ctx, &o, &r.y); memcpy(out + 4, o.c, 32);
+    fp_from_mont(ctx, &o, &r.z); memcpy(out + 8, o.c, 32);
+    return 0;
+}
+
+/* G2 twin: coords are Fp2 (8 limbs: c0 then c1).  endo != 0 derives
+ * table i from i-1 by psi: (conj(X)*twg2, conj(Y)*twg3, conj(Z)) — two
+ * fp2_mul per live entry, as glv._derive_table_g2. */
+int kern_g2_msm(const bnctx *ctx, int m, const u64 *xs, const u64 *ys,
+                const signed char *digits, int ndigits, int endo,
+                u64 *out, u64 *counts) {
+    memset(counts, 0, NCOUNTS * sizeof(u64));
+    if (m <= 0 || m > MSM_MAX_POINTS || ndigits <= 0) return 2;
+    g2jac *tab = malloc((size_t)m * MSM_TAB * sizeof(g2jac));
+    unsigned char *ok = malloc((size_t)m * MSM_TAB);
+    if (!tab || !ok) { free(tab); free(ok); return 2; }
+    fp one = {{1, 0, 0, 0}};
+    fp onem;
+    fp_to_mont(ctx, &onem, &one);
+    for (int i = 0; i < m; i++) {
+        if (endo && i > 0) {
+            for (int e = 0; e < MSM_TAB; e++) {
+                int idx = i * MSM_TAB + e, prev = (i - 1) * MSM_TAB + e;
+                ok[idx] = ok[prev];
+                if (!ok[prev]) continue;
+                fp2 t;
+                fp2_conj(ctx, &t, &tab[prev].x);
+                fp2_mul(ctx, counts, &tab[idx].x, &t, &ctx->twg2);
+                fp2_conj(ctx, &t, &tab[prev].y);
+                fp2_mul(ctx, counts, &tab[idx].y, &t, &ctx->twg3);
+                fp2_conj(ctx, &tab[idx].z, &tab[prev].z);
+            }
+            continue;
+        }
+        g2jac base, dbl;
+        memcpy(base.x.c0.c, xs + 8 * i, 32);
+        memcpy(base.x.c1.c, xs + 8 * i + 4, 32);
+        memcpy(base.y.c0.c, ys + 8 * i, 32);
+        memcpy(base.y.c1.c, ys + 8 * i + 4, 32);
+        fp_to_mont(ctx, &base.x.c0, &base.x.c0);
+        fp_to_mont(ctx, &base.x.c1, &base.x.c1);
+        fp_to_mont(ctx, &base.y.c0, &base.y.c0);
+        fp_to_mont(ctx, &base.y.c1, &base.y.c1);
+        base.z.c0 = onem;
+        memset(base.z.c1.c, 0, 32);
+        dbl = base;
+        int dvalid = g2_dbl(ctx, counts, &dbl);
+        tab[i * MSM_TAB] = base;
+        ok[i * MSM_TAB] = 1;
+        for (int e = 1; e < MSM_TAB; e++) {
+            int idx = i * MSM_TAB + e, prev = idx - 1;
+            if (!ok[prev]) { tab[idx] = dbl; ok[idx] = (unsigned char)dvalid; }
+            else if (!dvalid) { tab[idx] = tab[prev]; ok[idx] = 1; }
+            else {
+                tab[idx] = tab[prev];
+                ok[idx] = (unsigned char)g2_add(ctx, counts, &tab[idx], &dbl);
+            }
+        }
+    }
+    g2jac r;
+    int rvalid = 0;
+    for (int col = ndigits - 1; col >= 0; col--) {
+        if (rvalid) rvalid = g2_dbl(ctx, counts, &r);
+        for (int i = 0; i < m; i++) {
+            int d = digits[(size_t)i * ndigits + col];
+            if (!d) continue;
+            int a = d < 0 ? -d : d;
+            int e = (a - 1) >> 1;
+            if (e >= MSM_TAB) { free(tab); free(ok); return 2; }
+            int idx = i * MSM_TAB + e;
+            if (!ok[idx]) continue;
+            g2jac entry = tab[idx];
+            if (d < 0) fp2_neg(ctx, &entry.y, &entry.y);
+            if (!rvalid) { r = entry; rvalid = 1; }
+            else rvalid = g2_add(ctx, counts, &r, &entry);
+        }
+    }
+    free(tab); free(ok);
+    if (!rvalid) return 1;
+    fp o;
+    fp_from_mont(ctx, &o, &r.x.c0); memcpy(out, o.c, 32);
+    fp_from_mont(ctx, &o, &r.x.c1); memcpy(out + 4, o.c, 32);
+    fp_from_mont(ctx, &o, &r.y.c0); memcpy(out + 8, o.c, 32);
+    fp_from_mont(ctx, &o, &r.y.c1); memcpy(out + 12, o.c, 32);
+    fp_from_mont(ctx, &o, &r.z.c0); memcpy(out + 16, o.c, 32);
+    fp_from_mont(ctx, &o, &r.z.c1); memcpy(out + 20, o.c, 32);
+    return 0;
+}
+
 /* exposed for the Python-side build self-test */
 void kern_mont_mul_test(const bnctx *ctx, const u64 *a, const u64 *b,
                         u64 *out) {
@@ -961,6 +1293,7 @@ class PairingKernel:
         ctx.two.c = _limbs(dom.to_mont(2))
         ctx.four.c = _limbs(dom.to_mont(4))
         ctx.eight.c = _limbs(dom.to_mont(8))
+        ctx.three.c = _limbs(dom.to_mont(3))
         self._fill_fp2(ctx.twg2, curve.frob_gamma2)
         self._fill_fp2(ctx.twg3, curve.frob_gamma3)
         loop = curve.ate_loop_count
@@ -1052,6 +1385,99 @@ class PairingKernel:
         from repro.pairing.fields import Fp12
 
         return Fp12(spec, [_fp_from_bytes(raw, i) for i in range(12)])
+
+    # -- point arithmetic --------------------------------------------------
+    def _pack_digits(self, digit_lists, ndigits: int, m: int):
+        """Row-major zero-padded int8 digit matrix for the C column walk."""
+        buf = self._ffi.new(f"signed char[{m * ndigits}]")
+        for i, digits in enumerate(digit_lists):
+            base = i * ndigits
+            for j, digit in enumerate(digits):
+                buf[base + j] = digit
+        return buf
+
+    def g1_msm(self, points, digit_lists, ndigits: int, *, endo: bool = False):
+        """Interleaved wNAF MSM over G1 in the kernel.
+
+        Returns ``(supported, jac)``: ``supported=False`` asks the caller
+        to run the reference path (no counts were applied); otherwise
+        ``jac`` is the Jacobian triple (or None for infinity), bit- and
+        count-identical to :func:`repro.pairing.glv._msm_loop`.
+        """
+        ffi, lib = self._ffi, self._lib
+        m = len(points)
+        beta = ffi.new("u64[4]")
+        if endo:
+            from repro.pairing import glv as _glv
+
+            params = _glv.glv_params(self._curve)
+            if params is None:
+                return False, None
+            beta = ffi.new("u64[4]", _limbs(self._dom.to_mont(params.beta)))
+        xs, ys = [], []
+        for pt in points:
+            xs.extend(_limbs(pt.x.value))
+            ys.extend(_limbs(pt.y.value))
+        out = ffi.new("u64[12]")
+        counts = ffi.new(f"u64[{_NCOUNTS}]")
+        rc = lib.kern_g1_msm(
+            self._ctx,
+            m,
+            ffi.new(f"u64[{4 * m}]", xs),
+            ffi.new(f"u64[{4 * m}]", ys),
+            self._pack_digits(digit_lists, ndigits, m),
+            ndigits,
+            1 if endo else 0,
+            beta,
+            out,
+            counts,
+        )
+        if rc == 2:
+            return False, None
+        self._apply_counts(counts, apply_registry_sparse=False)
+        if rc == 1:
+            return True, None
+        raw = bytes(ffi.buffer(out))
+        spec = self._curve.spec
+        return True, (
+            spec.fp(_fp_from_bytes(raw, 0)),
+            spec.fp(_fp_from_bytes(raw, 1)),
+            spec.fp(_fp_from_bytes(raw, 2)),
+        )
+
+    def g2_msm(self, points, digit_lists, ndigits: int, *, endo: bool = False):
+        """G2 twin of :meth:`g1_msm` (Fp2 coordinates, psi-derived tables)."""
+        ffi, lib = self._ffi, self._lib
+        m = len(points)
+        xs, ys = [], []
+        for pt in points:
+            xs.extend(_limbs(pt.x.c0) + _limbs(pt.x.c1))
+            ys.extend(_limbs(pt.y.c0) + _limbs(pt.y.c1))
+        out = ffi.new("u64[24]")
+        counts = ffi.new(f"u64[{_NCOUNTS}]")
+        rc = lib.kern_g2_msm(
+            self._ctx,
+            m,
+            ffi.new(f"u64[{8 * m}]", xs),
+            ffi.new(f"u64[{8 * m}]", ys),
+            self._pack_digits(digit_lists, ndigits, m),
+            ndigits,
+            1 if endo else 0,
+            out,
+            counts,
+        )
+        if rc == 2:
+            return False, None
+        self._apply_counts(counts, apply_registry_sparse=False)
+        if rc == 1:
+            return True, None
+        raw = bytes(ffi.buffer(out))
+        spec = self._curve.spec
+        return True, (
+            spec.fp2(_fp_from_bytes(raw, 0), _fp_from_bytes(raw, 1)),
+            spec.fp2(_fp_from_bytes(raw, 2), _fp_from_bytes(raw, 3)),
+            spec.fp2(_fp_from_bytes(raw, 4), _fp_from_bytes(raw, 5)),
+        )
 
     def final_exp(self, f):
         """Kernel final exponentiation of a Miller value ``f``."""

@@ -178,6 +178,10 @@ class NativeBackend(FieldBackend):
         self._kernels[key] = kernel
         return kernel
 
+    def point_kernel(self, curve):
+        """The compiled kernel doubles as the point-arithmetic engine."""
+        return self.pairing_kernel(curve)
+
 
 class Gmpy2Backend(NativeBackend):
     """Strict gmpy2 backend: refuses to run without the real library."""

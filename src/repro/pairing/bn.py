@@ -77,13 +77,31 @@ class BNCurve:
         """Construct and validate a G2 point from Fp2 coefficient pairs."""
         return self.g2_curve.point(self.spec.fp2(x0, x1), self.spec.fp2(y0, y1))
 
+    def _order_mul(self, group_curve, point: CurvePoint) -> CurvePoint:
+        """n * point for membership checks, via the shared wNAF/kernel MSM.
+
+        No GLV decomposition (the scalar is n itself, out of (0, n)) — this
+        is the plain signed-window chain, so it is exact for arbitrary
+        on-curve points, including cofactor components; the compiled point
+        kernel executes the identical chain natively when available.
+        """
+        from repro.pairing import glv as _glv  # lazy: glv imports this module
+
+        return _glv.msm(self, group_curve, [(point, self.n)])
+
     def in_g1(self, point: CurvePoint) -> bool:
         """Subgroup membership check for G1 (full order-n check)."""
-        return self.g1_curve.contains(point) and (point * self.n).is_infinity()
+        return (
+            self.g1_curve.contains(point)
+            and self._order_mul(self.g1_curve, point).is_infinity()
+        )
 
     def in_g2(self, point: CurvePoint) -> bool:
         """Subgroup membership check for G2 (full order-n check)."""
-        return self.g2_curve.contains(point) and (point * self.n).is_infinity()
+        return (
+            self.g2_curve.contains(point)
+            and self._order_mul(self.g2_curve, point).is_infinity()
+        )
 
     def with_backend(self, backend=None) -> "BNCurve":
         """This curve rebound to a field backend (no-op if already on it).

@@ -85,6 +85,16 @@ class FieldBackend:
         """
         return None
 
+    def point_kernel(self, curve):
+        """A compiled point-arithmetic kernel for ``curve``, or ``None``.
+
+        A non-None kernel (the same object as :meth:`pairing_kernel` for
+        the native backend) lets :mod:`repro.pairing.glv` run its
+        interleaved-wNAF multi-scalar multiplications natively, with
+        bit- and count-identical results to the reference column walk.
+        """
+        return None
+
     def describe(self) -> str:
         """One-line human description (shown by CLI/bench surfaces)."""
         ok, reason = self.availability()

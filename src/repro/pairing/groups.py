@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.obs import runtime as _rt
 
+from repro.pairing import glv as _glv
 from repro.pairing.bn import BNCurve, default_test_curve
 from repro.pairing.curve import CurvePoint, PrecomputedPoint, point_key
 from repro.pairing.fields import Fp12
@@ -142,6 +143,19 @@ class PairingContext:
         self._fixed_bases: LRUCache = LRUCache(
             cache_size, on_evict=_count_table_eviction
         )
+        # Hash-to-G2 outputs (Q_ID and friends) keyed by (domain, items):
+        # try-and-increment plus cofactor clearing is pure recomputation
+        # for a repeat identity, and unlike the pairing caches the value
+        # depends only on the curve — a KGC rekey does not invalidate it.
+        # One entry is a single affine point (~a hundred bytes), orders of
+        # magnitude lighter than a comb table or an Fp12 Miller value, so
+        # it gets 8x the population bound of the heavyweight caches.
+        self._hash_g2_cache: LRUCache = LRUCache(8 * cache_size)
+        # Pinned comb tables (generator / P_pub): every multiplication in
+        # the system hits these, so identity churn must never evict them.
+        # A plain dict outside the LRU — entered only via
+        # fixed_base(..., pin=True), removed only by drop_fixed_base.
+        self._pinned_bases: Dict = {}
 
     # -- basic accessors -------------------------------------------------------
     @property
@@ -165,7 +179,7 @@ class PairingContext:
         return inverse_mod(k, self.curve.n)
 
     # -- fixed-base precomputation ---------------------------------------------
-    def fixed_base(self, point: CurvePoint) -> CurvePoint:
+    def fixed_base(self, point: CurvePoint, *, pin: bool = False) -> CurvePoint:
         """Register ``point`` as a fixed base for comb precomputation.
 
         Returns the point unchanged, so call sites keep ordinary
@@ -174,10 +188,27 @@ class PairingContext:
         object identity) route through a :class:`PrecomputedPoint` comb
         table once the point has been multiplied often enough to amortise
         the build.  No-op when precomputation is disabled for this context.
+
+        ``pin=True`` marks a system-lifetime base (the generators and
+        P_pub): its table lives outside the LRU and is never evicted by
+        per-identity churn — only :meth:`drop_fixed_base` (rekey) removes
+        it.  Pinning an already-registered base promotes its existing
+        table, warm state included.
         """
         if not self.precompute_enabled or point.is_infinity():
             return point
         key = point_key(point)
+        if pin:
+            if key not in self._pinned_bases:
+                handle = self._fixed_bases.pop(key)
+                if handle is None:
+                    handle = PrecomputedPoint(
+                        point, bits=self.curve.n.bit_length()
+                    )
+                self._pinned_bases[key] = handle
+            return point
+        if key in self._pinned_bases:
+            return point
         if key not in self._fixed_bases:
             self._fixed_bases[key] = PrecomputedPoint(
                 point, bits=self.curve.n.bit_length()
@@ -186,12 +217,35 @@ class PairingContext:
 
     def precomputed(self, point: CurvePoint) -> Optional[PrecomputedPoint]:
         """The comb handle registered for ``point``, if any."""
-        return self._fixed_bases.get(point_key(point))
+        key = point_key(point)
+        handle = self._pinned_bases.get(key)
+        if handle is not None:
+            return handle
+        return self._fixed_bases.get(key)
 
-    def _mul(self, point: CurvePoint, scalar: int) -> CurvePoint:
-        """Scalar multiplication, taking the comb fast path when available."""
-        if self._fixed_bases:
-            handle = self._fixed_bases.get(point_key(point))
+    def _mul(
+        self,
+        point: CurvePoint,
+        scalar: int,
+        *,
+        g2: bool = False,
+        in_subgroup: bool = False,
+    ) -> CurvePoint:
+        """Scalar multiplication: comb fast path, then GLV, then generic.
+
+        The GLV/GLS route only fires for int scalars already in (0, n) —
+        so unreduced-scalar semantics (order and membership checks going
+        through ``point * scalar`` directly) are never affected — and on
+        G2 only when the caller vouched for subgroup membership
+        (``in_subgroup=True``): the psi eigenvalue relation simply does
+        not hold for cofactor components, and hostile signature points are
+        exactly the values that must keep bit-exact generic semantics.
+        """
+        if self._pinned_bases or self._fixed_bases:
+            key = point_key(point)
+            handle = self._pinned_bases.get(key)
+            if handle is None:
+                handle = self._fixed_bases.get(key)
             if handle is not None and handle.covers(scalar):
                 handle.uses += 1
                 if handle.built or handle.uses >= self.PRECOMP_BUILD_THRESHOLD:
@@ -201,6 +255,17 @@ class PairingContext:
                         handle.build()
                     registry.counter("precomp.fast_mults").inc()
                     return handle.mul(scalar)
+        if not g2 or in_subgroup:
+            result = _glv.try_mul(self.curve, point, scalar, g2=g2)
+            if result is not None:
+                return result
+        if isinstance(scalar, int) and scalar != 0 and not point.is_infinity():
+            # Generic tail: one-term wNAF MSM.  Same signed-window chain
+            # (and op counts) on every backend, executed inside the
+            # compiled point kernel when the backend provides one; no
+            # endomorphism is involved, so hostile G2 points are safe.
+            group_curve = self.curve.g2_curve if g2 else self.curve.g1_curve
+            return _glv.msm(self.curve, group_curve, [(point, scalar)])
         return point * scalar
 
     # -- counted operations ----------------------------------------------------
@@ -210,11 +275,35 @@ class PairingContext:
         self.ops.g1_mults += 1
         return self._mul(point, scalar)
 
-    def g2_mul(self, point: CurvePoint, scalar: int) -> CurvePoint:
-        """Counted G2 scalar multiplication."""
+    def g2_mul(
+        self, point: CurvePoint, scalar: int, *, in_subgroup: bool = False
+    ) -> CurvePoint:
+        """Counted G2 scalar multiplication.
+
+        ``in_subgroup=True`` asserts the point lies in the order-n subgroup
+        (trusted values: Q_ID hashes, D_ID partial keys), unlocking the
+        GLS endomorphism split.  Leave it False for attacker-controlled
+        points such as signature components.
+        """
         self.ops.scalar_mults += 1
         self.ops.g2_mults += 1
-        return self._mul(point, scalar)
+        return self._mul(point, scalar, g2=True, in_subgroup=in_subgroup)
+
+    def g1_msm(
+        self, pairs: Sequence[Tuple[CurvePoint, int]]
+    ) -> CurvePoint:
+        """Counted multi-scalar multiplication sum_i k_i * P_i on G1.
+
+        One shared doubling chain across all terms (kernel-accelerated
+        under the native backend) — the batch verifier's folding primitive.
+        Counts as a single G1 multiplication in Table 1 units.
+        """
+        self.ops.scalar_mults += 1
+        self.ops.g1_mults += 1
+        tally = _rt.tally
+        if tally is not None:
+            tally.point_mul += 1
+        return _glv.msm(self.curve, self.curve.g1_curve, pairs)
 
     def pair(self, p_point: CurvePoint, q_point: CurvePoint) -> Fp12:
         """Counted pairing e(P, Q)."""
@@ -354,9 +443,27 @@ class PairingContext:
         return hash_to_g1(self.curve, domain, *items)
 
     def hash_g2(self, domain: bytes, *items: Encodable) -> CurvePoint:
-        """Counted hash onto G2."""
+        """Counted hash onto G2 (memoised: the output is rekey-invariant).
+
+        Counts one group hash either way — Table 1 units describe the
+        protocol, not the memo — but a repeat identity skips the
+        try-and-increment search and the cofactor multiplication.
+        """
         self.ops.group_hashes += 1
-        return hash_to_g2(self.curve, domain, *items)
+        try:
+            key = (domain,) + tuple(
+                point_key(item) if isinstance(item, CurvePoint) else item
+                for item in items
+            )
+            hash(key)
+        except TypeError:  # pragma: no cover - exotic unhashable encodable
+            return hash_to_g2(self.curve, domain, *items)
+        cached = self._hash_g2_cache.get(key)
+        if cached is not None:
+            return cached
+        value = hash_to_g2(self.curve, domain, *items)
+        self._hash_g2_cache[key] = value
+        return value
 
     def hash_scalar(self, domain: bytes, *items: Encodable) -> int:
         """Hash onto Z_n (not counted; scalar work is cheap)."""
@@ -385,14 +492,26 @@ class PairingContext:
         """
         if point.is_infinity():
             return
-        self._fixed_bases.pop(point_key(point))
+        key = point_key(point)
+        self._pinned_bases.pop(key, None)
+        self._fixed_bases.pop(key)
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
-        """Size/peak/hit/miss/eviction accounting of every bounded cache."""
+        """Size/peak/hit/miss/eviction accounting of every bounded cache.
+
+        ``fixed_bases`` additionally reports ``pinned`` (tables living
+        outside the LRU: generators and P_pub) next to ``evictable`` (the
+        LRU population) so cache-pressure dashboards can see that identity
+        churn no longer touches the system bases.
+        """
+        fixed = self._fixed_bases.stats()
+        fixed["pinned"] = len(self._pinned_bases)
+        fixed["evictable"] = fixed["size"]
         return {
             "pairing": self._pairing_cache.stats(),
             "miller": self._miller_cache.stats(),
-            "fixed_bases": self._fixed_bases.stats(),
+            "fixed_bases": fixed,
+            "hash_g2": self._hash_g2_cache.stats(),
         }
 
 

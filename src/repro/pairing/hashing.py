@@ -18,6 +18,7 @@ import hashlib
 from typing import Iterable, Union
 
 from repro.errors import CurveError
+from repro.pairing import glv as _glv
 from repro.pairing.bn import BNCurve
 from repro.pairing.curve import CurvePoint
 from repro.pairing.numbers import legendre_symbol, sqrt_mod
@@ -123,7 +124,14 @@ def hash_to_g2(curve: BNCurve, domain: bytes, *items: Encodable) -> CurvePoint:
         y = rhs.sqrt()
         if (y.c1, y.c0) > ((p - y.c1) % p, (p - y.c0) % p):
             y = -y  # canonical root
-        point = curve.g2_curve.unsafe_point(x, y) * curve.twist_cofactor
+        # Cofactor clearing via the shared wNAF/kernel MSM: the candidate
+        # is a full-twist-group point, so no endomorphism shortcuts — the
+        # plain signed-window chain is exact and kernel-resident when the
+        # backend ships one.
+        candidate = curve.g2_curve.unsafe_point(x, y)
+        point = _glv.msm(
+            curve, curve.g2_curve, [(candidate, curve.twist_cofactor)]
+        )
         if point.is_infinity():
             continue  # pragma: no cover - probability ~ 1/n
         return point

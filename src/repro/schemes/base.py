@@ -149,11 +149,13 @@ class CertificatelessScheme(abc.ABC):
         self.p_pub_g1 = curve.g1 * self.master_secret
         self.p_pub_g2 = curve.g2 * self.master_secret
         # The generators and P_pub are multiplied on every sign/verify, so
-        # they are the canonical fixed bases for comb precomputation.
-        ctx.fixed_base(curve.g1)
-        ctx.fixed_base(curve.g2)
-        ctx.fixed_base(self.p_pub_g1)
-        ctx.fixed_base(self.p_pub_g2)
+        # they are the canonical fixed bases for comb precomputation —
+        # pinned outside the LRU so per-identity Q_ID churn can never
+        # evict them.
+        ctx.fixed_base(curve.g1, pin=True)
+        ctx.fixed_base(curve.g2, pin=True)
+        ctx.fixed_base(self.p_pub_g1, pin=True)
+        ctx.fixed_base(self.p_pub_g2, pin=True)
 
     # -- rekey ----------------------------------------------------------------
     def rotate_master_secret(self, new_secret: Optional[int] = None) -> int:
@@ -182,8 +184,8 @@ class CertificatelessScheme(abc.ABC):
         self.p_pub_g2 = curve.g2 * secret
         self.ctx.drop_fixed_base(old_p_pub_g1)
         self.ctx.drop_fixed_base(old_p_pub_g2)
-        self.ctx.fixed_base(self.p_pub_g1)
-        self.ctx.fixed_base(self.p_pub_g2)
+        self.ctx.fixed_base(self.p_pub_g1, pin=True)
+        self.ctx.fixed_base(self.p_pub_g2, pin=True)
         # Old e(P_pub, Q_ID) entries are dead weight at best (the cache key
         # includes P_pub, so they can never match again) - drop them all.
         self.ctx.clear_pairing_cache()
@@ -202,7 +204,9 @@ class CertificatelessScheme(abc.ABC):
         """D_ID = s * H1(ID).  Run by the KGC over a secure channel."""
         ident = normalize_identity(identity)
         q_id = self.ctx.fixed_base(self.ctx.hash_g2(self._h1_domain(), ident))
-        d_id = self.ctx.g2_mul(q_id, self.master_secret)
+        # Q_ID is a cofactor-cleared hash output, so the GLS fast path is
+        # sound here.
+        d_id = self.ctx.g2_mul(q_id, self.master_secret, in_subgroup=True)
         return PartialPrivateKey(identity=ident, q_id=q_id, d_id=d_id)
 
     # -- stage 3: user --------------------------------------------------------

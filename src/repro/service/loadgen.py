@@ -45,6 +45,7 @@ from __future__ import annotations
 import asyncio
 import datetime
 import heapq
+import itertools
 import json
 import random
 import time
@@ -67,8 +68,11 @@ DEFAULT_OUT = "benchmarks/results/BENCH_service.json"
 
 #: BENCH_service.json document version (bumped on shape changes so
 #: ``repro benchdiff`` can key its comparisons on it); v3 added the
-#: top-level ``backend`` field naming the gateway's field backend
-BENCH_SCHEMA_VERSION = 3
+#: top-level ``backend`` field naming the gateway's field backend; v4
+#: added the top-level ``p50_ms`` headline, the ``batch`` section
+#: (cross-signer folds, bisections, fold-size histogram) and the
+#: ``zipf`` identity-skew knob in the recorded config
+BENCH_SCHEMA_VERSION = 4
 
 #: a job is retried (BUSY, replay, retryable ERR) at most this often
 #: before it is recorded as a hard error against the run's budget
@@ -86,6 +90,12 @@ class LoadgenConfig:
     identities: int = 1_000
     connections: int = 8
     burst: int = 16  # consecutive same-signer requests (batcher feed)
+    #: Zipf exponent for identity skew (None -> uniform round-robin).
+    #: With ``--zipf s`` each burst's signer is drawn with probability
+    #: proportional to 1/rank**s, the traffic shape of a real fleet where
+    #: a few chatty gateways dominate - mixed windows then exercise the
+    #: cross-signer fold instead of the same-signer fast path.
+    zipf: Optional[float] = None
     invalid_every: int = 53  # every k-th request carries a tampered message
     window: int = 64  # per-connection pipelining depth
     bits: int = 32  # toy-curve size for the in-process gateway
@@ -93,7 +103,7 @@ class LoadgenConfig:
     backend: Optional[str] = None
     cache_size: int = 512  # pairing-cache bound (< identities -> evictions)
     queue_size: int = 4096
-    max_batch: int = 32
+    max_batch: int = 64
     message_bytes: int = 48
     seed: int = 7
     rekey_check: bool = True
@@ -362,8 +372,22 @@ async def _run(config: LoadgenConfig) -> Dict:
         # every identity at least once (the cache-bounding demo needs all
         # K distinct (P_pub, Q_ID) pairs to hit the verifier).
         burst = max(1, min(config.burst, config.requests // config.identities))
+        zipf_rng = None
+        zipf_cum_weights = None
+        if config.zipf is not None:
+            zipf_rng = random.Random(f"loadgen/{config.seed}/zipf")
+            weights = [
+                1.0 / (rank ** config.zipf)
+                for rank in range(1, len(identities) + 1)
+            ]
+            zipf_cum_weights = list(itertools.accumulate(weights))
         while len(jobs) < config.requests:
-            identity = identities[index % len(identities)]
+            if zipf_rng is not None:
+                identity = zipf_rng.choices(
+                    identities, cum_weights=zipf_cum_weights
+                )[0]
+            else:
+                identity = identities[index % len(identities)]
             index += 1
             for _ in range(min(burst, config.requests - len(jobs))):
                 bad = (len(jobs) + 1) % config.invalid_every == 0
@@ -465,7 +489,15 @@ async def _run(config: LoadgenConfig) -> Dict:
                 and cache["miller"]["peak_size"] <= config.cache_size
             ),
             "evictions_seen": (
-                config.identities <= config.cache_size * max(1, config.workers)
+                # A zipf-skewed run concentrates on few identities by
+                # design, and a run whose windows folded cross-signer
+                # batches skips the per-identity pairing cache for every
+                # anchored verify; the cache-pressure demo only binds on
+                # uniform per-item sweeps that visit every identity.
+                config.zipf is not None
+                or stats_doc["counters"].get("cross_signer_folds", 0) > 0
+                or config.identities
+                <= config.cache_size * max(1, config.workers)
                 or cache["miller"]["evictions"] > 0
             ),
             "rekey": rekey_report is None or rekey_report["ok"],
@@ -483,6 +515,9 @@ async def _run(config: LoadgenConfig) -> Dict:
                 datetime.timezone.utc
             ).isoformat(timespec="seconds"),
             "backend": backend_name,
+            #: headline number dashboards key on without digging into
+            #: the verify section
+            "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
             "config": asdict(config),
             "enroll": {
                 "identities": config.identities,
@@ -512,6 +547,16 @@ async def _run(config: LoadgenConfig) -> Dict:
                     "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
                     "max": round(latencies[-1] * 1e3, 3) if latencies else 0.0,
                 },
+            },
+            "batch": {
+                "cross_signer_folds": stats_doc["counters"].get(
+                    "cross_signer_folds", 0
+                ),
+                "cross_signer_requests": stats_doc["counters"].get(
+                    "cross_signer_requests", 0
+                ),
+                "bisections": stats_doc["counters"].get("cross_bisections", 0),
+                "fold_size": stats_doc.get("batch", {}).get("fold_size"),
             },
             "cache": cache,
             "server_counters": stats_doc["counters"],
@@ -645,6 +690,13 @@ def summary_lines(result: Dict) -> List[str]:
         f"{result['config']['cache_size']}, "
         f"{cache['miller']['evictions']} evictions",
     ]
+    batch = result.get("batch")
+    if batch and batch.get("cross_signer_folds"):
+        lines.append(
+            f"cross-signer: {batch['cross_signer_folds']} folds over "
+            f"{batch['cross_signer_requests']} requests, "
+            f"{batch['bisections']} bisections"
+        )
     pool = result.get("pool")
     if pool:
         supervisor = pool["supervisor"]

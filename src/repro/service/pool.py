@@ -29,10 +29,14 @@ boundary) plus its own bounded pairing caches:
   keep working through the pool.
 
 Wire format parent -> worker (pickled tuples over a duplex pipe):
-``("job", id, [payload, ...])``, ``("params", doc)``, ``("ping", seq)``,
-``("sleep", seconds)`` (a chaos/test hook simulating a hard hang) and
-``("stop",)``.  Worker -> parent: ``("ready", pid)``, ``("pong", seq)``,
-``("done", id, results, pairing_s, fallback, cache_stats)`` and
+``("job", id, [payload, ...])`` (same-signer group) or
+``("job", id, [payload, ...], "cross")`` (a mixed-signer window folded
+by :meth:`~repro.core.batch.McCLSBatchVerifier.verify_cross_signer`),
+``("params", doc)``, ``("ping", seq)``, ``("sleep", seconds)`` (a
+chaos/test hook simulating a hard hang) and ``("stop",)``.  Worker ->
+parent: ``("ready", pid)``, ``("pong", seq)``,
+``("done", id, results, pairing_s, fallback, cache_stats, fold_stats)``
+(``fold_stats`` is ``None`` for same-signer jobs) and
 ``("failed", id, detail)``.
 """
 
@@ -60,14 +64,18 @@ def merge_cache_stats(*stats: Dict[str, Dict[str, int]]) -> Dict[str, Dict[str, 
     Monotonic counters (hits/misses/evictions) add; ``peak_size`` takes
     the max (every context respected its own bound, so the max is the
     honest "worst cache pressure seen anywhere"); ``size``/``maxsize``
-    come from the last document naming them.
+    come from the last document naming them.  The ``fixed_bases`` entry's
+    ``pinned``/``evictable`` populations add: each context pins its own
+    copy of the system bases, so the merged document reports the total
+    number of tables held across the deployment.
     """
     merged: Dict[str, Dict[str, int]] = {}
     for document in stats:
         for name, entry in document.items():
             into = merged.setdefault(name, {})
-            for key in ("hits", "misses", "evictions"):
-                into[key] = into.get(key, 0) + entry.get(key, 0)
+            for key in ("hits", "misses", "evictions", "pinned", "evictable"):
+                if key in entry or key in into:
+                    into[key] = into.get(key, 0) + entry.get(key, 0)
             into["peak_size"] = max(
                 into.get("peak_size", 0), entry.get("peak_size", 0)
             )
@@ -122,16 +130,20 @@ def _verify_items(curve, view, batcher, payloads: List[bytes]):
 
     verdicts: Dict[int, ItemResult] = {}
     if len(live) > 1:
-        items = [(r.message, r.signature) for r in live]
-        identity = live[0].identity
-        public_key = live[0].public_key
+        # The anchored cross-signer fold subsumes the same-signer batch:
+        # once this signer's anchor W = x*P is admitted, a warm group
+        # settles with zero pairings (one fixed-base mult plus one MSM),
+        # and a tampered item bisects down in pure G1 instead of forcing
+        # a per-item pairing re-verification of the whole group.
+        items = [
+            (r.message, r.signature, r.identity, r.public_key)
+            for r in live
+        ]
         try:
-            if batcher.verify_same_signer(items, identity, public_key):
-                for request in live:
-                    verdicts[id(request)] = ("ok", True)
+            flags, _fold_stats = batcher.verify_cross_signer(items)
+            for request, ok in zip(live, flags):
+                verdicts[id(request)] = ("ok", bool(ok))
         except (ReproError, ValueError, ZeroDivisionError, ArithmeticError):
-            pass
-        if not verdicts:
             fallback = True
     if not verdicts:
         for request in live:
@@ -140,6 +152,63 @@ def _verify_items(curve, view, batcher, payloads: List[bytes]):
         if request is not None:
             results[index] = verdicts[id(request)]
     return results, time.perf_counter() - started, fallback
+
+
+def _verify_items_cross(curve, view, batcher, payloads: List[bytes]):
+    """Verdicts for one mixed-signer window of raw verify payloads.
+
+    Returns (results, pairing_s, fallback, fold_stats): per-item results
+    in payload order, the crypto seconds, whether the randomized fold had
+    to be abandoned for exact per-item work, and the
+    :meth:`~repro.core.batch.McCLSBatchVerifier.verify_cross_signer`
+    accounting document (``folds``/``bisections``/...).
+    """
+    requests: List = []
+    results: List[Optional[ItemResult]] = []
+    for payload in payloads:
+        try:
+            request = protocol.decode_verify_payload(curve, payload)
+        except ReproError as exc:
+            results.append(("err", str(exc)))
+            requests.append(None)
+            continue
+        results.append(None)
+        requests.append(request)
+    live = [r for r in requests if r is not None]
+    started = time.perf_counter()
+    fallback = False
+    fold_stats: Dict[str, object] = {}
+    verdicts: List[bool] = []
+    if live:
+        items = [
+            (r.message, r.signature, r.identity, r.public_key) for r in live
+        ]
+        try:
+            verdicts, fold_stats = batcher.verify_cross_signer(items)
+        except (ReproError, ValueError, ZeroDivisionError, ArithmeticError):
+            fallback = True
+            verdicts = []
+            for request in live:
+                try:
+                    verdicts.append(
+                        bool(
+                            view.verify(
+                                request.message,
+                                request.signature,
+                                request.identity,
+                                request.public_key,
+                            )
+                        )
+                    )
+                except (
+                    ReproError, ValueError, ZeroDivisionError, ArithmeticError
+                ):
+                    verdicts.append(False)
+    by_id = {id(r): ("ok", bool(v)) for r, v in zip(live, verdicts)}
+    for index, request in enumerate(requests):
+        if request is not None:
+            results[index] = by_id[id(request)]
+    return results, time.perf_counter() - started, fallback, fold_stats
 
 
 def _worker_main(conn, params_doc: dict, cache_size: Optional[int]) -> None:
@@ -183,10 +252,17 @@ def _worker_main(conn, params_doc: dict, cache_size: Optional[int]) -> None:
                 time.sleep(message[1])
             elif kind == "job":
                 job_id, payloads = message[1], message[2]
+                mode = message[3] if len(message) > 3 else "same"
                 try:
-                    results, pairing_s, fallback = _verify_items(
-                        curve, view, batcher, payloads
-                    )
+                    fold_stats = None
+                    if mode == "cross":
+                        results, pairing_s, fallback, fold_stats = (
+                            _verify_items_cross(curve, view, batcher, payloads)
+                        )
+                    else:
+                        results, pairing_s, fallback = _verify_items(
+                            curve, view, batcher, payloads
+                        )
                     conn.send(
                         (
                             "done",
@@ -197,6 +273,7 @@ def _worker_main(conn, params_doc: dict, cache_size: Optional[int]) -> None:
                             merge_cache_stats(
                                 stats_base, view.ctx.cache_stats()
                             ),
+                            fold_stats,
                         )
                     )
                 except Exception as exc:  # total: one bad job != one worker
@@ -349,6 +426,27 @@ class VerifyWorkerPool:
         worker dies or overruns its job deadline with this group in
         flight, and when no worker is live within ``submit_wait_s``.
         """
+        results, pairing_s, fallback, _stats = await self._submit(
+            affinity_key, payloads, "same"
+        )
+        return results, pairing_s, fallback
+
+    async def submit_cross(
+        self, affinity_key: str, payloads: List[bytes]
+    ) -> Tuple[List[ItemResult], float, bool, Optional[dict]]:
+        """Verify one mixed-signer window on a worker via the randomized
+        cross-signer fold.
+
+        ``affinity_key`` should be the dominant signer's identity so the
+        worker holding that signer's hot caches does the fold.  Returns
+        (per-item results, pairing seconds, fallback flag, fold stats);
+        failure modes match :meth:`submit`.
+        """
+        return await self._submit(affinity_key, payloads, "cross")
+
+    async def _submit(
+        self, affinity_key: str, payloads: List[bytes], mode: str
+    ) -> Tuple[List[ItemResult], float, bool, Optional[dict]]:
         if self._closed:
             raise WorkerLostError("worker pool is stopped")
         handle = await self._acquire(affinity_key)
@@ -357,7 +455,7 @@ class VerifyWorkerPool:
         future = self._loop.create_future()
         handle.pending[job_id] = (future, time.monotonic())
         try:
-            handle.conn.send(("job", job_id, payloads))
+            handle.conn.send(("job", job_id, payloads, mode))
         except (OSError, ValueError) as exc:
             self.declare_lost(handle, f"pipe send failed: {exc}")
         return await future
@@ -382,6 +480,17 @@ class VerifyWorkerPool:
                 await asyncio.wait_for(self._ready_event.wait(), remaining)
             except asyncio.TimeoutError:
                 pass
+
+    def shard_of(self, affinity_key: str) -> int:
+        """Stable shard index an identity prefers (ignores liveness).
+
+        The gateway uses this to split a mixed-signer window along worker
+        ownership lines before submitting: every worker then only admits
+        and anchors its own identity partition instead of each worker
+        slowly learning the entire population.  Dead-worker fallback still
+        happens per submit in :meth:`_route`.
+        """
+        return zlib.crc32(affinity_key.encode("utf-8")) % self.size
 
     def _route(self, affinity_key: str) -> Optional[_WorkerHandle]:
         digest = zlib.crc32(affinity_key.encode("utf-8"))
@@ -466,7 +575,9 @@ class VerifyWorkerPool:
         elif kind == "pong":
             handle.last_pong = now
         elif kind == "done":
-            _, job_id, results, pairing_s, fallback, cache_stats = message
+            _, job_id, results, pairing_s, fallback, cache_stats, fold_stats = (
+                message
+            )
             handle.last_pong = now
             handle.cache_stats = cache_stats
             entry = handle.pending.pop(job_id, None)
@@ -475,7 +586,7 @@ class VerifyWorkerPool:
                 if not future.done():
                     handle.jobs_done += 1
                     self.counters["jobs_done"] += 1
-                    future.set_result((results, pairing_s, fallback))
+                    future.set_result((results, pairing_s, fallback, fold_stats))
         elif kind == "failed":
             _, job_id, detail = message
             handle.last_pong = now

@@ -19,8 +19,13 @@ of constrained clients:
   key) and folds each group into
   :meth:`~repro.core.batch.McCLSBatchVerifier.verify_same_signer` - a
   warm same-signer burst of k signatures costs **one** pairing instead of
-  k.  A failed batch falls back to per-item verification so every request
-  still gets an exact verdict.
+  k.  A drained window that spans *several* signers folds once through
+  :meth:`~repro.core.batch.McCLSBatchVerifier.verify_cross_signer`
+  instead of once per signer: every item gets an independent random
+  weight, anchored signers settle pairing-free in G1, and a failed fold
+  bisects down to exact per-item verdicts.  Either way a failed batch
+  falls back to per-item verification so every request still gets an
+  exact verdict.
 
 * **Supervised worker pool** (``workers > 0``).  The pairing CPU moves
   into :class:`~repro.service.pool.VerifyWorkerPool` worker processes;
@@ -84,7 +89,7 @@ from repro.service.protocol import Opcode, Status
 from repro.service.supervisor import RestartBackoff
 
 #: STATS reply document version (benchdiff and dashboards key on it)
-STATS_SCHEMA_VERSION = 2
+STATS_SCHEMA_VERSION = 3
 
 #: (request body, reply future, perf_counter at enqueue) on the queue
 _Work = Tuple[bytes, "asyncio.Future[bytes]", float]
@@ -121,7 +126,7 @@ class VerificationGateway:
         host: str = "127.0.0.1",
         port: int = 0,
         queue_size: int = 256,
-        max_batch: int = 32,
+        max_batch: int = 64,
         sink: Optional[EventSink] = None,
         workers: int = 0,
         worker_job_timeout_s: float = 30.0,
@@ -158,6 +163,9 @@ class VerificationGateway:
             "batches": 0,
             "batched_requests": 0,
             "batch_fallbacks": 0,
+            "cross_signer_folds": 0,
+            "cross_signer_requests": 0,
+            "cross_bisections": 0,
             "enrollments": 0,
             "rekeys": 0,
             "busy_rejections": 0,
@@ -587,10 +595,15 @@ class VerificationGateway:
         pending.future.set_result(reply)
 
     def _verify_grouped(self, verifies: List[_PendingVerify]) -> None:
-        """Fold same-signer requests into one batch pairing each."""
+        """Fold same-signer requests into one batch pairing each; a
+        window spanning several signers folds once via the randomized
+        cross-signer check instead of once per signer."""
         groups: Dict[Tuple[str, bytes], List[_PendingVerify]] = {}
         for pending in verifies:
             groups.setdefault(self._group_key(pending), []).append(pending)
+        if len(groups) > 1:
+            self._verify_cross(verifies)
+            return
         for (identity, _pk_blob), members in groups.items():
             self.counters["verify_requests"] += len(members)
             fold_started = time.perf_counter()
@@ -609,28 +622,127 @@ class VerificationGateway:
                 serialize_started, done - serialize_started, done,
             )
 
+    def _verify_cross(self, verifies: List[_PendingVerify]) -> None:
+        """Fold one in-process mixed-signer window with random weights."""
+        self.counters["verify_requests"] += len(verifies)
+        self.counters["cross_signer_folds"] += 1
+        self.counters["cross_signer_requests"] += len(verifies)
+        self.registry.histogram("service.cross_fold_size").observe(
+            len(verifies)
+        )
+        fold_started = time.perf_counter()
+        items = [
+            (
+                p.request.message,
+                p.request.signature,
+                p.request.identity,
+                p.request.public_key,
+            )
+            for p in verifies
+        ]
+        try:
+            verdicts, fold_stats = self.batcher.verify_cross_signer(items)
+            self.counters["cross_bisections"] += int(
+                fold_stats.get("bisections", 0)
+            )
+        except (ReproError, ValueError, ZeroDivisionError, ArithmeticError):
+            # content the fold cannot even weigh: settle exactly per item
+            self.counters["batch_fallbacks"] += 1
+            verdicts = [self._verify_one(p.request) for p in verifies]
+        pairing_s = time.perf_counter() - fold_started
+        fold_s = pairing_s
+        serialize_started = time.perf_counter()
+        replies = []
+        for valid in verdicts:
+            self.counters["verify_valid" if valid else "verify_invalid"] += 1
+            replies.append(protocol.verify_reply(valid))
+        done = time.perf_counter()
+        for pending, reply in zip(verifies, replies):
+            self._resolve_verify(pending, reply, done)
+        self._account_group(
+            verifies, fold_started, fold_s, pairing_s,
+            serialize_started, done - serialize_started, done,
+        )
+
     def _dispatch_grouped(self, verifies: List[_PendingVerify]) -> None:
-        """Route same-signer groups to the worker pool (async verdicts)."""
+        """Route verify windows to the worker pool (async verdicts).
+
+        A single-signer window keeps the same-signer fast path; a window
+        spanning several signers ships whole to one worker - affine to
+        the dominant signer's identity, so that signer's caches stay hot
+        - and folds there via the randomized cross-signer check.
+        """
         groups: Dict[Tuple[str, bytes], List[_PendingVerify]] = {}
         for pending in verifies:
             groups.setdefault(self._group_key(pending), []).append(pending)
+        if len(groups) > 1:
+            # Split the mixed window along the pool's identity shards
+            # before submitting: a sub-window only ever contains signers
+            # the receiving worker owns, so that worker's anchor / Q_ID /
+            # Miller caches cover its partition of the population rather
+            # than every worker slowly admitting all identities.
+            shards: Dict[
+                int, Dict[Tuple[str, bytes], List[_PendingVerify]]
+            ] = {}
+            for key, members in groups.items():
+                shard = self._pool.shard_of(key[0])
+                shards.setdefault(shard, {})[key] = members
+            for shard_groups in shards.values():
+                if len(shard_groups) == 1:
+                    ((identity, _pk), members) = next(
+                        iter(shard_groups.items())
+                    )
+                    self._spawn_group_task(
+                        self._dispatch_group(identity, members)
+                    )
+                    continue
+                shard_members = [
+                    p for ms in shard_groups.values() for p in ms
+                ]
+                dominant = max(
+                    shard_groups.items(), key=lambda kv: len(kv[1])
+                )
+                self._spawn_group_task(
+                    self._dispatch_group(
+                        dominant[0][0], shard_members, cross=True
+                    )
+                )
+            return
         for (identity, _pk_blob), members in groups.items():
             self._spawn_group_task(self._dispatch_group(identity, members))
 
     async def _dispatch_group(
-        self, identity: str, members: List[_PendingVerify]
+        self,
+        identity: str,
+        members: List[_PendingVerify],
+        *,
+        cross: bool = False,
     ) -> None:
-        """One same-signer group's round trip through the worker pool."""
+        """One verify window's round trip through the worker pool."""
         self.counters["verify_requests"] += len(members)
-        if len(members) > 1:
+        if cross:
+            self.counters["cross_signer_folds"] += 1
+            self.counters["cross_signer_requests"] += len(members)
+            self.registry.histogram("service.cross_fold_size").observe(
+                len(members)
+            )
+        elif len(members) > 1:
             self.counters["batches"] += 1
             self.counters["batched_requests"] += len(members)
         fold_started = time.perf_counter()
         try:
             try:
-                results, pairing_s, fallback = await self._pool.submit(
-                    identity, [p.payload for p in members]
-                )
+                fold_stats: Optional[dict] = None
+                if cross:
+                    results, pairing_s, fallback, fold_stats = (
+                        await self._pool.submit_cross(
+                            identity, [p.payload for p in members]
+                        )
+                    )
+                else:
+                    results, pairing_s, fallback = await self._pool.submit(
+                        identity, [p.payload for p in members]
+                    )
             except WorkerLostError as exc:
                 # The worker died or hung with this group in flight: the
                 # client gets a definite error now, never a hung future.
@@ -648,6 +760,10 @@ class VerificationGateway:
                 return
             if fallback:
                 self.counters["batch_fallbacks"] += 1
+            if fold_stats:
+                self.counters["cross_bisections"] += int(
+                    fold_stats.get("bisections", 0)
+                )
             fold_s = time.perf_counter() - fold_started
             serialize_started = time.perf_counter()
             replies = []
@@ -820,7 +936,12 @@ class VerificationGateway:
                 for stage in self.STAGE_HISTOGRAMS
             },
             "batch": {
-                "size": registry.histogram("service.batch_size").summary()
+                "size": registry.histogram("service.batch_size").summary(),
+                "cross_signer_folds": self.counters["cross_signer_folds"],
+                "bisections": self.counters["cross_bisections"],
+                "fold_size": registry.histogram(
+                    "service.cross_fold_size"
+                ).summary(),
             },
         }
         if self._pool is not None:
@@ -843,6 +964,10 @@ class VerificationGateway:
         renderer.summary(
             "service.batch_size",
             self.registry.histogram("service.batch_size").summary(),
+        )
+        renderer.summary(
+            "service.cross_fold_size",
+            self.registry.histogram("service.cross_fold_size").summary(),
         )
         renderer.gauge(
             "service.queue_depth", self._queue.qsize() if self._queue else 0

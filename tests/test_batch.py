@@ -1,4 +1,4 @@
-"""McCLS same-signer batch-verification tests."""
+"""McCLS same-signer and cross-signer batch-verification tests."""
 
 import dataclasses
 import random
@@ -107,3 +107,116 @@ class TestBatch:
         assert not verifier.verify_same_signer(
             items, keys.identity, keys.public_key
         )
+
+
+def _cross_items(scheme, signers, count, tag="m"):
+    items = []
+    for j in range(count):
+        keys = signers[j % len(signers)]
+        msg = f"{tag}-{j}".encode()
+        items.append(
+            (msg, scheme.sign(msg, keys), keys.identity, keys.public_key)
+        )
+    return items
+
+
+class TestCrossSigner:
+    def test_all_valid_mixed_window(self, setup):
+        scheme, _, verifier = setup
+        signers = [scheme.generate_user_keys(f"s{i}@x") for i in range(5)]
+        verdicts, stats = verifier.verify_cross_signer(
+            _cross_items(scheme, signers, 20)
+        )
+        assert verdicts == [True] * 20
+        assert stats["admitted_signers"] == 5
+        assert stats["admission_pairings"] >= 1
+
+    def test_empty_window(self, setup):
+        _, _, verifier = setup
+        verdicts, stats = verifier.verify_cross_signer([])
+        assert verdicts == [] and stats["folds"] == 0
+
+    def test_steady_state_is_pairing_free(self, setup):
+        scheme, _, verifier = setup
+        signers = [scheme.generate_user_keys(f"w{i}@x") for i in range(4)]
+        verifier.verify_cross_signer(_cross_items(scheme, signers, 4, "warm"))
+        with scheme.ctx.measure() as meter:
+            verdicts, stats = verifier.verify_cross_signer(
+                _cross_items(scheme, signers, 16, "steady")
+            )
+        assert verdicts == [True] * 16
+        assert meter.delta.pairings == 0
+        assert stats["folds"] == 1 and stats["fold_sizes"] == [16]
+
+    def test_verdicts_match_per_item_verify(self, setup):
+        scheme, _, verifier = setup
+        signers = [scheme.generate_user_keys(f"v{i}@x") for i in range(3)]
+        items = _cross_items(scheme, signers, 9)
+        # corrupt two items in different ways
+        m, sig, ident, pk = items[2]
+        items[2] = (m, dataclasses.replace(sig, v=(sig.v + 1) % CURVE.n), ident, pk)
+        m, sig, ident, pk = items[5]
+        items[5] = (b"swapped", sig, ident, pk)
+        expected = [
+            scheme.verify(m, s, i, p) for m, s, i, p in items
+        ]
+        verdicts, stats = verifier.verify_cross_signer(items)
+        assert verdicts == expected
+        assert stats["bisections"] >= 1
+
+    def test_structural_rejects_stay_false(self, setup):
+        scheme, keys, verifier = setup
+        good = scheme.sign(b"ok", keys)
+        items = [
+            (b"ok", good, keys.identity, keys.public_key),
+            (b"bad-v", dataclasses.replace(good, v=0), keys.identity,
+             keys.public_key),
+            (b"bad-type", "not-a-signature", keys.identity, keys.public_key),
+            (b"bad-s", dataclasses.replace(
+                good, s=CURVE.g2_curve.infinity()), keys.identity,
+             keys.public_key),
+        ]
+        verdicts, _ = verifier.verify_cross_signer(items)
+        assert verdicts == [True, False, False, False]
+
+    def test_anchor_cache_is_key_bound(self, setup):
+        """A replaced public key must not match the stale anchor."""
+        scheme, _, verifier = setup
+        keys = scheme.generate_user_keys("rotate@x")
+        msg = b"before rotation"
+        verdicts, _ = verifier.verify_cross_signer(
+            [(msg, scheme.sign(msg, keys), keys.identity, keys.public_key)]
+        )
+        assert verdicts == [True]
+        # same identity, different public key: the old signature no longer
+        # verifies and the fresh admission path must say so
+        other = scheme.generate_user_keys("rotate2@x")
+        verdicts, stats = verifier.verify_cross_signer(
+            [(msg, scheme.sign(msg, keys), keys.identity, other.public_key)]
+        )
+        assert verdicts == [False]
+        assert stats["admitted_signers"] == 0
+
+    def test_single_corruption_located_by_bisection(self, setup):
+        _, _, verifier = setup
+        from repro.core.games import run_batch_corruption_game
+
+        outcome = run_batch_corruption_game(
+            verifier, signer_count=6, batch_size=24,
+            rng=random.Random(0xBEEF),
+        )
+        assert outcome["correct"]
+        assert outcome["located"] and outcome["honest_accepted"]
+        assert outcome["bisections"] >= 1
+        # bisection narrows to few exact checks, not the whole window
+        assert outcome["exact_checks"] < 24
+
+    def test_cancelling_pair_attack_rejected(self, setup):
+        _, _, verifier = setup
+        from repro.core.games import run_cancelling_pair_game
+
+        outcome = run_cancelling_pair_game(
+            verifier, trials=3, rng=random.Random(0xDEAD)
+        )
+        assert outcome["all_rejected"]
+        assert outcome["accepted_forgeries"] == 0

@@ -96,7 +96,12 @@ class TestStatsShape:
                 assert isinstance(summary[key], float), (stage, key)
             assert summary["min"] <= summary["p50"] <= summary["max"]
         assert stats["batch"]["size"]["count"] >= 1
-        assert set(stats["cache"]) == {"pairing", "miller", "fixed_bases"}
+        assert set(stats["cache"]) == {
+            "pairing",
+            "miller",
+            "fixed_bases",
+            "hash_g2",
+        }
 
     def test_stats_survives_json_round_trip_unchanged(self):
         import json

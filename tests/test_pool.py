@@ -97,7 +97,7 @@ class TestVerifyItems:
         assert not fallback
         assert pairing_s >= 0
 
-    def test_tampered_member_forces_exact_fallback(self):
+    def test_tampered_member_gets_exact_verdict_via_bisection(self):
         batcher = McCLSBatchVerifier(SCHEME)
         payloads = [
             self._payload(b"a"),
@@ -107,7 +107,9 @@ class TestVerifyItems:
         results, _pairing_s, fallback = _verify_items(
             CURVE, SCHEME, batcher, payloads
         )
-        assert fallback
+        # The anchored fold isolates the forged member by bisection —
+        # exact per-item verdicts without a whole-group pairing fallback.
+        assert not fallback
         assert results == [("ok", True), ("ok", False), ("ok", True)]
 
     def test_malformed_payload_is_err_item_not_crash(self):

@@ -55,10 +55,13 @@ class TestRotateMasterSecret:
         assert len(ctx._pairing_cache) == 0
         assert len(ctx._miller_cache) == 0
         assert scheme._s_cache == {}
-        # Old comb table dropped, new P_pub's registered.
+        # Old comb table dropped, new P_pub's registered as pinned
+        # system bases (outside the LRU, so identity churn cannot evict
+        # them).
         assert old_p_pub_key not in ctx._fixed_bases
-        assert point_key(scheme.p_pub_g1) in ctx._fixed_bases
-        assert point_key(scheme.p_pub_g2) in ctx._fixed_bases
+        assert old_p_pub_key not in ctx._pinned_bases
+        assert point_key(scheme.p_pub_g1) in ctx._pinned_bases
+        assert point_key(scheme.p_pub_g2) in ctx._pinned_bases
 
     def test_explicit_secret_is_honoured(self, curve32):
         scheme = make_scheme(curve32)

@@ -233,6 +233,7 @@ class TestGatewayBasics:
                     "pairing",
                     "miller",
                     "fixed_bases",
+                    "hash_g2",
                 }
                 assert stats["queue_size"] == gateway.queue_size
             finally:
