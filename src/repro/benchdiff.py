@@ -216,6 +216,36 @@ def extract_service_metrics(document: dict) -> List[Metric]:
         value = _number(verify.get(key))
         if value is not None:
             metrics.append(Metric(f"verify.{key}", value, LOWER_BETTER))
+    # schema v5 session fast path: gate the MAC-path throughput and its
+    # latency; the pairing counters must stay at zero (any nonzero
+    # candidate against a zero baseline fails outright)
+    session = document.get("session")
+    if isinstance(session, dict):
+        value = _number(session.get("throughput_rps"))
+        if value is not None:
+            metrics.append(
+                Metric("session.throughput_rps", value, HIGHER_BETTER)
+            )
+        latency = session.get("latency_ms")
+        if isinstance(latency, dict):
+            for key in sorted(latency):
+                value = _number(latency[key])
+                if value is not None:
+                    metrics.append(
+                        Metric(f"session.latency_ms.{key}", value, LOWER_BETTER)
+                    )
+        pairings = session.get("fast_path_pairings")
+        if isinstance(pairings, dict):
+            for key in ("miller_loops", "final_exps"):
+                value = _number(pairings.get(key))
+                if value is not None:
+                    metrics.append(
+                        Metric(f"session.{key}", value, LOWER_BETTER)
+                    )
+        for key in ("handshakes_per_second",):
+            value = _number(session.get(key))
+            if value is not None:
+                metrics.append(Metric(f"session.{key}", value, INFO))
     return metrics
 
 

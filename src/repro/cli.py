@@ -16,7 +16,9 @@ Commands:
   full client->queue->batch->pairing span trace of the run, ``--chaos``
   injects wire-level faults through a deterministic proxy, and
   ``--kill-worker-after`` murders a crypto worker mid-run to prove the
-  supervisor restarts it.
+  supervisor restarts it, and ``--sessions`` adds the CL-AKA handshake +
+  MAC fast-path phase with its zero-pairing assertion and post-rekey
+  session-invalidation probe.
 * ``top``      - live terminal dashboard polling a gateway's STATS.
 * ``benchdiff`` - compare two BENCH_*.json files; nonzero exit when a
   gated metric regresses past ``--fail-over`` percent.
@@ -507,6 +509,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         kill_worker_after=args.kill_worker_after,
         chaos=chaos_spec,
         error_budget=args.error_budget,
+        sessions=args.sessions,
+        session_requests=args.session_requests,
     )
     result = run_loadgen(config)
     if args.json:
@@ -738,6 +742,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.01,
         help="max fraction of requests allowed to fail under chaos",
+    )
+    loadgen.add_argument(
+        "--sessions",
+        action="store_true",
+        help="run the session phase: CL-AKA handshakes, the MAC-"
+        "authenticated fast path (asserted pairing-free), and the "
+        "post-rekey session-invalidation probe",
+    )
+    loadgen.add_argument(
+        "--session-requests",
+        type=int,
+        default=4096,
+        help="total fast-path requests the session phase drives",
     )
     loadgen.add_argument("--json", action="store_true")
     loadgen.set_defaults(func=cmd_loadgen)

@@ -181,7 +181,7 @@ class McCLSBatchVerifier:
             if not (0 < sig.v < n) or not curve.g1_curve.contains(sig.r):
                 return False
             h = self.ctx.hash_scalar(b"H2/mccls", msg, sig.r, public_key)
-            weight = self.ctx.rng.randrange(1, 1 << 64)
+            weight = self.ctx.batch_randrange(1, 1 << 64)
             h_inv = self.ctx.scalar_inverse(h)
             total = (total + weight * h_inv * sig.v) % n
             terms.append((sig.r, -(weight % n)))
@@ -267,7 +267,7 @@ class McCLSBatchVerifier:
                 public_key=public_key,
                 sig=sig,
                 h_inv=h_inv,
-                delta=ctx.rng.randrange(1, 1 << DELTA_BITS),
+                delta=ctx.batch_randrange(1, 1 << DELTA_BITS),
             )
             anchor = self._signer_anchors.get(item.key)
             if anchor is _UNANCHORABLE:

@@ -47,6 +47,7 @@ from repro.core.mccls import McCLS, McCLSSignature
 from repro.pairing.curve import CurvePoint
 from repro.pairing.groups import PairingContext
 from repro.schemes.base import CertificatelessScheme, UserKeyPair
+from repro.schemes.ecls import ECLSScheme, ECLSSignature
 
 
 @dataclass
@@ -99,6 +100,19 @@ class Challenger:
         if identity in self.replaced_keys:
             return self.replaced_keys[identity]
         return self._enroll(identity).public_key
+
+    def public_key_points_oracle(self, identity: str):
+        """``(P_ID, extra)`` for two-point schemes (honours replacements).
+
+        ECLS public keys are the pair ``(P_ID, R_ID)``; the second point
+        is the KGC's commitment and is not subject to replacement - a
+        Type I adversary swaps the user-chosen half only.
+        """
+        keys = self._enroll(identity)
+        return (
+            self.replaced_keys.get(identity, keys.public_key),
+            getattr(keys, "public_key_extra", None),
+        )
 
     def replace_public_key(self, identity: str, new_key: CurvePoint) -> None:
         """Type I capability: substitute an identity's public key."""
@@ -351,6 +365,118 @@ class MaliciousKGCForger(Adversary):
             identity=challenger.target_identity,
             public_key=public_key,
         )
+
+
+# ---------------------------------------------------------------------------
+# Pakniat's attacks on pairing-free CLS (arXiv:1909.10816).  Both exploit
+# a missing binding, so they succeed against the deliberately weakened
+# ECLS variants and fail against the hardened :class:`ECLSScheme`.
+# ---------------------------------------------------------------------------
+
+
+class PublicKeyReplacementForger(Adversary):
+    """Pakniat Type I: pick the signature first, solve for the key.
+
+    When H2 fails to bind the public key, ``h`` is fixed before the
+    adversary commits to ``P_ID`` - so it picks random ``t, z``, computes
+    ``h = H2(M, ID, T)`` and *solves the verification equation* for a
+    replacement key::
+
+        P_ID' = h^{-1} (z*P - T) - R_ID - H1(ID, R_ID, P_pub) * P_pub
+
+    Succeeds with probability 1 against
+    :class:`~repro.schemes.ecls.WeakECLSUnboundKey` using public values
+    only.  Against :class:`~repro.schemes.ecls.ECLSScheme` the same move
+    fails: hashing binds ``P_ID'``, making the equation circular.
+    """
+
+    name = "pakniat-type-i"
+
+    def attempt(self, challenger: Challenger) -> Optional[ForgeryAttempt]:
+        """Produce one forgery attempt against the challenger."""
+        scheme = challenger.scheme
+        if not isinstance(scheme, ECLSScheme):
+            return None  # the attack shape needs the Schnorr-style equation
+        ctx: PairingContext = scheme.ctx
+        n = ctx.order
+        target = challenger.target_identity
+        honest_pk, r_pub = challenger.public_key_points_oracle(target)
+        message = b"pakniat type-i: solved-for public key"
+        t = self.rng.randrange(1, n)
+        z = self.rng.randrange(1, n)
+        t_pub = ctx.g1_mul(ctx.g1, t)
+        # against the weak scheme this hash ignores the key material, so
+        # the value survives the replacement below; against hardened ECLS
+        # the verifier rehashes with P_ID' and the forgery collapses
+        h = scheme._h2(message, target, t_pub, honest_pk, r_pub)
+        h1 = scheme._h1(target, r_pub)
+        h_inv = pow(h, -1, n)
+        replaced_pk = ctx.g1_msm(
+            [
+                (ctx.g1, (h_inv * z) % n),
+                (t_pub, (-h_inv) % n),
+                (r_pub, n - 1),
+                (scheme.p_pub, (-h1) % n),
+            ]
+        )
+        challenger.replace_public_key(target, replaced_pk)
+        return ForgeryAttempt(
+            message=message,
+            signature=ECLSSignature(t_pub=t_pub, z=z),
+            identity=target,
+            public_key=replaced_pk,
+            public_key_extra=r_pub,
+        )
+
+
+class MaliciousKGCPartialKeyForger(Adversary):
+    """Pakniat Type II: the KGC forges with self-issued partial keys.
+
+    The KGC knows ``s``, so it mints a fresh partial key
+    ``(R', d' = r' + s*H1(ID, R', P_pub))`` for the target and signs with
+    ``d'`` alone.  A scheme whose signatures do not involve the user's
+    secret value ``x`` (:class:`~repro.schemes.ecls.WeakECLSNoUserSecret`)
+    accepts this at will; hardened :class:`~repro.schemes.ecls.ECLSScheme`
+    verification aggregates ``P_ID`` into the equation, and without ``x``
+    the KGC cannot balance that term.
+    """
+
+    name = "pakniat-type-ii"
+
+    def attempt(self, challenger: Challenger) -> Optional[ForgeryAttempt]:
+        """Produce one forgery attempt against the challenger."""
+        scheme = challenger.scheme
+        if not isinstance(scheme, ECLSScheme):
+            return None
+        ctx: PairingContext = scheme.ctx
+        n = ctx.order
+        s_master = scheme.master_secret  # Type II: the adversary IS the KGC
+        target = challenger.target_identity
+        honest_pk, _honest_r_pub = challenger.public_key_points_oracle(target)
+        message = b"pakniat type-ii: kgc-minted partial key"
+        r_prime = self.rng.randrange(1, n)
+        r_pub_prime = ctx.g1_mul(ctx.g1, r_prime)
+        h1 = scheme._h1(target, r_pub_prime)
+        d_prime = (r_prime + s_master * h1) % n
+        t = self.rng.randrange(1, n)
+        t_pub = ctx.g1_mul(ctx.g1, t)
+        h = scheme._h2(message, target, t_pub, honest_pk, r_pub_prime)
+        z = (t + h * d_prime) % n
+        return ForgeryAttempt(
+            message=message,
+            signature=ECLSSignature(t_pub=t_pub, z=z),
+            identity=target,
+            public_key=honest_pk,
+            public_key_extra=r_pub_prime,
+        )
+
+
+#: Pakniat's pairing-free CLS attacks: succeed against the weakened ECLS
+#: variants, fail against hardened ECLS, concede against pairing schemes
+PAKNIAT_ADVERSARIES = (
+    PublicKeyReplacementForger,
+    MaliciousKGCPartialKeyForger,
+)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,332 @@
+"""Certificateless authenticated key agreement for repeat traffic.
+
+He & Chen (arXiv:1106.3898) show a certificateless AKA protocol without
+bilinear pairings: both parties hold Schnorr-style certificateless keys
+(user secret ``x`` plus KGC-issued partial scalar ``d``, as in
+:mod:`repro.schemes.ecls`) and derive a shared key from one ephemeral
+exchange — every operation a plain G1 multiplication.  This module
+implements that two-message shape between a client and the verification
+gateway, so steady-state traffic authenticates with an HMAC under the
+session key instead of a pairing per request:
+
+* **Hello** (client -> gateway): identity, the client's self-chosen
+  public key ``P_C = x*P`` and ephemeral ``T_C = t_C*P``.  The *service*
+  layer authenticates this message with the client's enrolled McCLS
+  signature — bootstrapping trust in the pairing world exactly once.
+* **Accept** (gateway -> client): the gateway's certificateless public
+  key, its ephemeral ``T_G``, a freshly issued partial key
+  ``(R_C, d_C)`` for the client (the KGC is co-located with the gateway;
+  the toy trust model matches ENROLL, which already ships key material
+  over the wire), and a key-confirmation tag.
+
+Both sides then agree on
+
+    Z_static    = (t + x + d) * (T_peer + PK_peer)     [= (a+sA)(b+sB)*P]
+    Z_ephemeral = t * T_peer                           [= a*b*P]
+
+with ``PK_peer = P_peer + R_peer + H1(ID_peer, R_peer, P_pub)*P_pub``
+— the implicit certificateless public key, whose discrete log only a
+party holding a KGC-issued partial key knows.  The session key is an
+HKDF over both points and the transcript; ``Z_ephemeral`` gives forward
+secrecy, ``Z_static`` gives (implicit) mutual authentication, and the
+Accept's confirmation tag makes the gateway's authentication explicit.
+The client's first MAC-authenticated request completes confirmation in
+the other direction.
+
+A master-secret rotation changes ``P_pub`` and therefore every issued
+``d``: all derived session keys are dead and the service layer must
+flush its session table (the PR 5 rekey invalidation chain).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ReproError
+from repro.pairing.curve import CurvePoint
+from repro.pairing.groups import PairingContext
+from repro.pairing.hashing import hash_bytes
+from repro.schemes.base import normalize_identity
+from repro.schemes.ecls import ECLSScheme
+
+#: bytes of the session identifier (transcript digest prefix)
+SESSION_ID_BYTES = 16
+
+#: bytes of session keys and confirmation tags
+KEY_BYTES = 32
+MAC_BYTES = 32
+
+
+class SessionError(ReproError):
+    """Handshake or MAC validation failure."""
+
+
+@dataclass(frozen=True)
+class SessionHello:
+    """Message 1, client -> gateway."""
+
+    identity: str
+    client_pub: CurvePoint  # P_C = x*P
+    ephemeral: CurvePoint  # T_C = t_C*P
+
+
+@dataclass(frozen=True)
+class SessionAccept:
+    """Message 2, gateway -> client."""
+
+    gateway_identity: str
+    gateway_pub: CurvePoint  # P_G
+    gateway_r_pub: CurvePoint  # R_G
+    ephemeral: CurvePoint  # T_G = t_G*P
+    client_r_pub: CurvePoint  # R_C, issued for the client
+    client_d: int  # d_C, issued for the client
+    confirm: bytes  # HMAC(confirm_key, transcript)
+
+
+@dataclass(frozen=True)
+class EstablishedSession:
+    """The agreed key material both sides hold after the handshake."""
+
+    session_id: bytes
+    key: bytes
+    client_identity: str
+    gateway_identity: str
+
+    def mac(self, *chunks: bytes) -> bytes:
+        """Authentication tag over the framed chunks."""
+        mac = _hmac.new(self.key, digestmod=hashlib.sha256)
+        for chunk in chunks:
+            mac.update(len(chunk).to_bytes(4, "big"))
+            mac.update(chunk)
+        return mac.digest()
+
+    def mac_ok(self, tag: bytes, *chunks: bytes) -> bool:
+        """Constant-time tag check."""
+        return _hmac.compare_digest(self.mac(*chunks), tag)
+
+
+def _kdf(
+    z_static: CurvePoint,
+    z_ephemeral: CurvePoint,
+    transcript: bytes,
+) -> Tuple[bytes, bytes, bytes]:
+    """(session_id, session_key, confirm_key) from the shared points."""
+    secret = hash_bytes(b"session/ecls-aka", [z_static, z_ephemeral])
+    prk = _hmac.new(transcript, secret, hashlib.sha256).digest()
+    session_key = _hmac.new(prk, b"key\x01", hashlib.sha256).digest()[:KEY_BYTES]
+    confirm_key = _hmac.new(prk, b"confirm\x02", hashlib.sha256).digest()[:KEY_BYTES]
+    session_id = hashlib.sha256(b"sid:" + transcript).digest()[:SESSION_ID_BYTES]
+    return session_id, session_key, confirm_key
+
+
+def _transcript(hello: SessionHello, accept_core: Tuple) -> bytes:
+    gateway_identity, gateway_pub, gateway_r_pub, t_g, client_r_pub = accept_core
+    return hash_bytes(
+        b"session/transcript",
+        [
+            hello.identity,
+            hello.client_pub,
+            hello.ephemeral,
+            gateway_identity,
+            gateway_pub,
+            gateway_r_pub,
+            t_g,
+            client_r_pub,
+        ],
+    )
+
+
+def _implicit_public_key(
+    scheme: ECLSScheme, identity: str, pub: CurvePoint, r_pub: CurvePoint
+) -> CurvePoint:
+    """PK = P_ID + R_ID + H1(ID, R_ID, P_pub)*P_pub (= (x+d)*P)."""
+    return scheme.ctx.g1_msm(
+        [(pub, 1), (r_pub, 1), (scheme.p_pub, scheme._h1(identity, r_pub))]
+    )
+
+
+class SessionInitiator:
+    """Client side of the handshake.
+
+    Holds only public parameters (curve + P_pub, e.g. from a verifier
+    view); the certificateless partial key arrives in the Accept.
+    Ephemeral scalars come from ``SystemRandom`` unless a seeded ``rng``
+    is supplied for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        ctx: PairingContext,
+        p_pub: CurvePoint,
+        identity: str,
+        *,
+        rng: Optional[random.Random] = None,
+    ):
+        self.ctx = ctx
+        self.identity = normalize_identity(identity)
+        self.rng = rng if rng is not None else random.SystemRandom()
+        # a throwaway scheme bound to the authentic P_pub gives us the H1
+        # arithmetic without a master secret (master_secret=1 is a
+        # placeholder; the initiator never issues partial keys)
+        self._view = ECLSScheme(ctx, master_secret=1)
+        self._view.p_pub = p_pub
+        self._x = self.rng.randrange(1, ctx.order)
+        self._t = self.rng.randrange(1, ctx.order)
+        self.client_pub = ctx.g1_mul(ctx.g1, self._x)
+        self._t_pub = ctx.g1_mul(ctx.g1, self._t)
+
+    def hello(self) -> SessionHello:
+        """Message 1: identity plus the client's two public points."""
+        return SessionHello(
+            identity=self.identity,
+            client_pub=self.client_pub,
+            ephemeral=self._t_pub,
+        )
+
+    def finish(self, accept: SessionAccept) -> EstablishedSession:
+        """Derive the session key and check the gateway's confirmation."""
+        ctx = self.ctx
+        n = ctx.order
+        curve = ctx.curve
+        for point in (
+            accept.gateway_pub,
+            accept.gateway_r_pub,
+            accept.ephemeral,
+            accept.client_r_pub,
+        ):
+            if point.is_infinity() or not curve.g1_curve.contains(point):
+                raise SessionError("accept carries an invalid group element")
+        if not (0 < accept.client_d < n):
+            raise SessionError("issued partial key scalar out of range")
+        # the issued partial key must actually bind our identity to P_pub
+        expected = ctx.g1_msm(
+            [
+                (accept.client_r_pub, 1),
+                (
+                    self._view.p_pub,
+                    self._view._h1(self.identity, accept.client_r_pub),
+                ),
+            ]
+        )
+        if ctx.g1_mul(ctx.g1, accept.client_d) != expected:
+            raise SessionError("issued partial key fails validation")
+        pk_gateway = _implicit_public_key(
+            self._view,
+            accept.gateway_identity,
+            accept.gateway_pub,
+            accept.gateway_r_pub,
+        )
+        secret = (self._t + self._x + accept.client_d) % n
+        z_static = ctx.g1_mul(accept.ephemeral + pk_gateway, secret)
+        z_ephemeral = ctx.g1_mul(accept.ephemeral, self._t)
+        transcript = _transcript(
+            self.hello(),
+            (
+                accept.gateway_identity,
+                accept.gateway_pub,
+                accept.gateway_r_pub,
+                accept.ephemeral,
+                accept.client_r_pub,
+            ),
+        )
+        session_id, key, confirm_key = _kdf(z_static, z_ephemeral, transcript)
+        tag = _hmac.new(confirm_key, b"gw:" + transcript, hashlib.sha256).digest()
+        if not _hmac.compare_digest(tag, accept.confirm):
+            raise SessionError("gateway key-confirmation tag mismatch")
+        return EstablishedSession(
+            session_id=session_id,
+            key=key,
+            client_identity=self.identity,
+            gateway_identity=accept.gateway_identity,
+        )
+
+
+class SessionAuthority:
+    """Gateway side: issues partial keys and answers Hellos.
+
+    Shares the KGC master secret (and therefore P_pub) with the McCLS
+    scheme the gateway verifies against, so one REKEY invalidates both
+    worlds at once.
+    """
+
+    def __init__(
+        self,
+        ctx: PairingContext,
+        master_secret: int,
+        *,
+        identity: str = "gateway@service",
+        rng: Optional[random.Random] = None,
+    ):
+        self.ctx = ctx
+        self.identity = normalize_identity(identity)
+        self.rng = rng if rng is not None else random.SystemRandom()
+        self.scheme = ECLSScheme(ctx, master_secret=master_secret)
+        self._keys = self.scheme.generate_user_keys(self.identity)
+
+    @property
+    def p_pub(self) -> CurvePoint:
+        return self.scheme.p_pub
+
+    def rekey(self, new_master_secret: int) -> None:
+        """Follow a KGC master-secret rotation: new P_pub, new keys.
+
+        Every previously issued ``d`` (and every session key derived from
+        one) is now worthless; callers must flush their session tables.
+        """
+        self.scheme.rotate_master_secret(new_master_secret)
+        self._keys = self.scheme.generate_user_keys(self.identity)
+
+    def respond(
+        self, hello: SessionHello
+    ) -> Tuple[SessionAccept, EstablishedSession]:
+        """Issue the client a partial key, agree a key, confirm it."""
+        ctx = self.ctx
+        n = ctx.order
+        curve = ctx.curve
+        identity = normalize_identity(hello.identity)
+        for point in (hello.client_pub, hello.ephemeral):
+            if point.is_infinity() or not curve.g1_curve.contains(point):
+                raise SessionError("hello carries an invalid group element")
+        partial = self.scheme.extract_partial_key(identity)
+        t = self.rng.randrange(1, n)
+        t_pub = ctx.g1_mul(ctx.g1, t)
+        pk_client = _implicit_public_key(
+            self.scheme, identity, hello.client_pub, partial.r_pub
+        )
+        secret = (t + self._keys.full_private_key) % n
+        z_static = ctx.g1_mul(hello.ephemeral + pk_client, secret)
+        z_ephemeral = ctx.g1_mul(hello.ephemeral, t)
+        transcript = _transcript(
+            hello,
+            (
+                self.identity,
+                self._keys.public_key,
+                self._keys.partial.r_pub,
+                t_pub,
+                partial.r_pub,
+            ),
+        )
+        session_id, key, confirm_key = _kdf(z_static, z_ephemeral, transcript)
+        confirm = _hmac.new(
+            confirm_key, b"gw:" + transcript, hashlib.sha256
+        ).digest()
+        accept = SessionAccept(
+            gateway_identity=self.identity,
+            gateway_pub=self._keys.public_key,
+            gateway_r_pub=self._keys.partial.r_pub,
+            ephemeral=t_pub,
+            client_r_pub=partial.r_pub,
+            client_d=partial.d,
+            confirm=confirm,
+        )
+        session = EstablishedSession(
+            session_id=session_id,
+            key=key,
+            client_identity=identity,
+            gateway_identity=self.identity,
+        )
+        return accept, session

@@ -10,6 +10,7 @@ timing model can charge the exact operation mix.
 from __future__ import annotations
 
 import random
+import secrets
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple, Union
 
@@ -104,6 +105,7 @@ class PairingContext:
         cache_size: int = DEFAULT_CACHE_SIZE,
         *,
         backend=None,
+        insecure_deterministic_batch: bool = False,
     ):
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
@@ -120,6 +122,14 @@ class PairingContext:
             curve = curve.with_backend(self.backend)
         self.curve = curve
         self.rng = rng if rng is not None else random.Random()
+        # Batch-verification weights/deltas must be unpredictable to an
+        # adversary submitting signatures: the small-exponent test is only
+        # sound against attackers who cannot predict the weights, and the
+        # campaign seed (hence self.rng's stream) is public.  Gateway-side
+        # batch randomness therefore comes from the OS CSPRNG unless the
+        # caller explicitly opts into the seeded stream for reproducible
+        # tests/campaigns.
+        self.insecure_deterministic_batch = insecure_deterministic_batch
         self.ops = OpCount()
         self.precompute_enabled = precompute
         self.cache_size = cache_size
@@ -173,6 +183,19 @@ class PairingContext:
     def random_scalar(self) -> int:
         """A uniform non-zero scalar modulo the group order."""
         return self.rng.randrange(1, self.curve.n)
+
+    def batch_randrange(self, start: int, stop: int) -> int:
+        """Adversary-facing batch randomness (fold weights / deltas).
+
+        Defaults to the OS CSPRNG: the seeded ``self.rng`` stream is
+        predictable to anyone who knows the campaign seed, which would let
+        a forger craft cancelling batches that pass the small-exponent
+        test.  Construction with ``insecure_deterministic_batch=True``
+        opts back into the seeded stream for byte-reproducible runs.
+        """
+        if self.insecure_deterministic_batch:
+            return self.rng.randrange(start, stop)
+        return start + secrets.randbelow(stop - start)
 
     def scalar_inverse(self, k: int) -> int:
         """k^-1 modulo the group order."""

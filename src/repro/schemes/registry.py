@@ -35,6 +35,9 @@ _BASELINE_PATHS: Dict[str, str] = {
     "ibs": "repro.schemes.ibs:ChaCheonIBS",
     "bls": "repro.schemes.bls:BLSScheme",
     "ecdsa": "repro.pki.ecdsa:ECDSA",
+    # pairing-free certificateless scheme (plain ECC on G1): the session
+    # fast path's signature layer and the lightweight Table-1 extension
+    "ecls": "repro.schemes.ecls:ECLSScheme",
 }
 
 #: the paper's Table 1 rows only (benchmarks iterate these)
@@ -105,6 +108,9 @@ def create_scheme(
                 precompute=ctx.precompute_enabled,
                 cache_size=ctx.cache_size,
                 backend=resolved,
+                insecure_deterministic_batch=getattr(
+                    ctx, "insecure_deterministic_batch", False
+                ),
             )
     scheme = _resolve(path)(ctx, **kwargs)
     if not isinstance(scheme, SchemeProtocol):

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mccls import McCLS, McCLSSignature
+from repro.core.session import EstablishedSession, SessionInitiator
 from repro.errors import (
     ServiceBusy,
     ServiceConnectionLost,
@@ -60,9 +61,21 @@ from repro.service.protocol import Opcode, Status
 VerifyItem = Tuple[str, CurvePoint, bytes, McCLSSignature]
 
 #: opcodes that are safe to replay after a timeout or lost connection
-#: (a verify is a pure question; ENROLL and REKEY mutate KGC state)
+#: (a verify is a pure question; ENROLL and REKEY mutate KGC state).
+#: SESSION is replay-safe - each attempt simply establishes a fresh
+#: session in the gateway's bounded table and the client adopts the last
+#: one.  VERIFY_FAST is NOT: its sequence number is consumed server-side,
+#: so a blind replay would be rejected as a replay and *lie* about the
+#: message's validity.
 IDEMPOTENT_OPCODES = frozenset(
-    {Opcode.PING, Opcode.PARAMS, Opcode.VERIFY, Opcode.STATS, Opcode.METRICS}
+    {
+        Opcode.PING,
+        Opcode.PARAMS,
+        Opcode.VERIFY,
+        Opcode.STATS,
+        Opcode.METRICS,
+        Opcode.SESSION,
+    }
 )
 
 
@@ -229,6 +242,9 @@ class ServiceClient:
         self._writer: Optional[asyncio.StreamWriter] = None
         self._view: Optional[McCLS] = None
         self._ever_connected = False
+        self._session: Optional[EstablishedSession] = None
+        self._session_keys: Optional[UserKeyPair] = None
+        self._session_seq = 0
 
     # -- lifecycle ----------------------------------------------------------
     async def connect(self) -> "ServiceClient":
@@ -550,6 +566,92 @@ class ServiceClient:
         document = protocol.decode_json_payload(await self._call(Opcode.REKEY))
         self._install_params(document)
         return document
+
+    # -- the pairing-free session fast path ---------------------------------
+    @property
+    def session(self) -> Optional[EstablishedSession]:
+        """The currently established fast-path session, if any."""
+        return self._session
+
+    async def start_session(
+        self,
+        keys: UserKeyPair,
+        *,
+        rng: Optional[random.Random] = None,
+    ) -> EstablishedSession:
+        """Run the CL-AKA handshake; afterwards :meth:`verify_fast`
+        authenticates requests with an HMAC instead of a pairing.
+
+        The Hello is bootstrapped with a McCLS signature under ``keys``
+        (the identity's *enrolled* key material), so only a party the KGC
+        has issued keys to can open a session.  ``rng`` seeds the
+        ephemeral scalars for deterministic tests; production callers
+        leave it None (``SystemRandom``).
+        """
+        await self._ensure_params()
+        initiator = SessionInitiator(
+            self._view.ctx, self._view.p_pub_g1, keys.identity, rng=rng
+        )
+        hello = initiator.hello()
+        signature = self._view.sign(
+            protocol.session_hello_auth_bytes(self.curve, hello), keys
+        )
+        reply = await self._call(
+            Opcode.SESSION,
+            protocol.encode_session_payload(self.curve, hello, signature),
+        )
+        accept = protocol.decode_session_accept(self.curve, reply)
+        session = initiator.finish(accept)
+        self._session = session
+        self._session_keys = keys
+        self._session_seq = 0
+        return session
+
+    async def verify_fast(
+        self, message: bytes, *, _rehandshake: bool = True
+    ) -> bool:
+        """One MAC-authenticated fast-path round trip (no pairings).
+
+        When the gateway no longer knows the session (TTL expiry, LRU
+        eviction, worker restart, or a REKEY that killed every session
+        key) the client transparently refreshes params, re-enrolls its
+        identity and re-handshakes once before giving up - the REKEY
+        case re-issues the enrolled McCLS keys, so a plain re-handshake
+        under the stale keys could never succeed.
+        """
+        if self._session is None:
+            raise ServiceError("no session: call start_session first")
+        self._session_seq += 1
+        session = self._session
+        mac = session.mac(
+            *protocol.fast_verify_mac_bytes(
+                session.session_id,
+                self._session_seq,
+                session.client_identity,
+                message,
+            )
+        )
+        payload = protocol.encode_verify_fast_payload(
+            session.client_identity,
+            session.session_id,
+            self._session_seq,
+            message,
+            mac,
+        )
+        try:
+            reply = await self._call(Opcode.VERIFY_FAST, payload)
+        except ServiceError as exc:
+            if (
+                _rehandshake
+                and str(exc) == protocol.UNKNOWN_SESSION
+                and self._session_keys is not None
+            ):
+                await self.params()
+                keys = await self.enroll(self._session_keys.identity)
+                await self.start_session(keys)
+                return await self.verify_fast(message, _rehandshake=False)
+            raise
+        return protocol.decode_verify_verdict(reply)
 
     async def stats(self) -> dict:
         """Fetch the gateway's counters, cache accounting and stage

@@ -71,8 +71,10 @@ DEFAULT_OUT = "benchmarks/results/BENCH_service.json"
 #: top-level ``backend`` field naming the gateway's field backend; v4
 #: added the top-level ``p50_ms`` headline, the ``batch`` section
 #: (cross-signer folds, bisections, fold-size histogram) and the
-#: ``zipf`` identity-skew knob in the recorded config
-BENCH_SCHEMA_VERSION = 4
+#: ``zipf`` identity-skew knob in the recorded config; v5 added the
+#: ``session`` section (CL-AKA handshakes + MAC fast-path throughput,
+#: its zero-pairing accounting and the post-rekey re-handshake probe)
+BENCH_SCHEMA_VERSION = 5
 
 #: a job is retried (BUSY, replay, retryable ERR) at most this often
 #: before it is recorded as a hard error against the run's budget
@@ -125,6 +127,12 @@ class LoadgenConfig:
     error_budget: float = 0.01
     #: read timeout per pipelined reply batch (None -> 5s under chaos)
     call_timeout_s: Optional[float] = None
+    #: run the session phase: CL-AKA handshakes, then MAC-authenticated
+    #: VERIFY_FAST traffic (zero pairings warm) plus the post-rekey
+    #: session-invalidation probe
+    sessions: bool = False
+    #: total fast-path requests the session phase drives
+    session_requests: int = 4096
 
 
 @dataclass
@@ -307,6 +315,189 @@ async def _drive_connection(
                 pass
 
 
+async def _drive_fast_connection(
+    host: str,
+    port: int,
+    frames: List[bytes],
+    window: int,
+    stats: _WorkerStats,
+) -> None:
+    """Pipeline one session's pre-encoded VERIFY_FAST frames.
+
+    Fast-path requests are deliberately NOT replayed on failure: their
+    sequence numbers are consumed server-side, so a replay would be
+    rejected as such and lie about validity.  A dropped connection fails
+    the unanswered tail into ``stats.errors`` instead.
+    """
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError as exc:
+        stats.errors.extend(f"connect failed: {exc}" for _ in frames)
+        return
+    sent = 0
+    answered = 0
+    outstanding: deque = deque()
+    try:
+        while answered < len(frames):
+            while sent < len(frames) and sent - answered < window:
+                outstanding.append(time.perf_counter())
+                writer.write(frames[sent])
+                sent += 1
+            await writer.drain()
+            header = await reader.readexactly(4)
+            body = await reader.readexactly(protocol.frame_length(header))
+            answered += 1
+            stats.latencies.append(time.perf_counter() - outstanding.popleft())
+            status, payload = protocol.decode_reply(body)
+            if status == Status.OK:
+                if protocol.decode_verify_verdict(payload):
+                    stats.valid += 1
+                else:
+                    stats.invalid += 1
+            else:
+                stats.errors.append(payload.decode("utf-8", "replace"))
+    except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
+        stats.errors.extend(
+            f"connection lost: {exc}" for _ in range(len(frames) - answered)
+        )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _session_phase(
+    host: str,
+    port: int,
+    control: ServiceClient,
+    identities: List[str],
+    keys: Dict,
+    config: LoadgenConfig,
+) -> Dict:
+    """Handshakes, the MAC fast path under pairing accounting, and the
+    post-rekey invalidation probe.
+
+    The fast-path window runs with a live obs registry installed, so the
+    report can state - not estimate - how many Miller loops / final
+    exponentiations the steady state cost (zero, or the run fails its
+    ``session_zero_pairings`` check).
+    """
+    from repro.obs.registry import Registry, set_registry
+
+    n_conns = max(1, min(config.connections, len(identities)))
+    chosen = identities[:n_conns]
+    clients: List[ServiceClient] = []
+    handshake_started = time.perf_counter()
+    for identity in chosen:
+        session_client = ServiceClient(host, port)
+        await session_client.connect()
+        await session_client.params()
+        await session_client.start_session(keys[identity])
+        clients.append(session_client)
+    handshake_seconds = time.perf_counter() - handshake_started
+
+    # pre-encode every frame (MACs included) outside the timed window,
+    # mirroring the verify phase's pre-signed request stream
+    message = b"S" * config.message_bytes
+    per_conn = max(1, config.session_requests // n_conns)
+    shares: List[List[bytes]] = []
+    for session_client in clients:
+        session = session_client.session
+        frames = []
+        for seq in range(1, per_conn + 1):
+            mac = session.mac(
+                *protocol.fast_verify_mac_bytes(
+                    session.session_id, seq, session.client_identity, message
+                )
+            )
+            payload = protocol.encode_verify_fast_payload(
+                session.client_identity,
+                session.session_id,
+                seq,
+                message,
+                mac,
+            )
+            frames.append(
+                protocol.encode_frame(
+                    protocol.encode_request(Opcode.VERIFY_FAST, payload)
+                )
+            )
+        shares.append(frames)
+    workers = [_WorkerStats() for _ in shares]
+
+    registry = Registry()
+    previous = set_registry(registry)
+    try:
+        before = registry.field_ops.snapshot()
+        fast_started = time.perf_counter()
+        await asyncio.gather(
+            *(
+                _drive_fast_connection(host, port, frames, config.window, stats)
+                for frames, stats in zip(shares, workers)
+            )
+        )
+        fast_seconds = time.perf_counter() - fast_started
+        pairing_delta = registry.field_ops.diff(before)
+    finally:
+        set_registry(previous)
+
+    # -- rekey kills every session: the probe's first fast request must
+    # be rejected (unknown session) and transparently re-handshaken
+    stats_before = await control.stats()
+    await control.rekey()
+    probe = clients[0]
+    try:
+        rekey_verify_ok = bool(await probe.verify_fast(b"post-rekey probe"))
+    except Exception as exc:  # recorded, judged by the checks below
+        rekey_verify_ok = False
+        workers[0].errors.append(f"post-rekey fast verify failed: {exc}")
+    stats_after = await control.stats()
+    for session_client in clients:
+        await session_client.close()
+
+    counters_before = stats_before["counters"]
+    counters_after = stats_after["counters"]
+    latencies = sorted(lat for stats in workers for lat in stats.latencies)
+    errors = [err for stats in workers for err in stats.errors]
+    requests = sum(len(frames) for frames in shares)
+    valid = sum(stats.valid for stats in workers)
+    invalid = sum(stats.invalid for stats in workers)
+    return {
+        "connections": n_conns,
+        "handshakes": n_conns,
+        "handshake_seconds": round(handshake_seconds, 3),
+        "handshakes_per_second": round(n_conns / handshake_seconds, 1),
+        "requests": requests,
+        "seconds": round(fast_seconds, 3),
+        "throughput_rps": round(requests / fast_seconds, 1),
+        "valid": valid,
+        "invalid": invalid,
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
+        },
+        "fast_path_pairings": {
+            "miller_loops": pairing_delta.get("miller_loops", 0),
+            "final_exps": pairing_delta.get("final_exps", 0),
+        },
+        "rekey": {
+            "first_rejected": (
+                counters_after.get("fast_verify_unknown_session", 0)
+                > counters_before.get("fast_verify_unknown_session", 0)
+            ),
+            "rehandshake_verify_ok": rekey_verify_ok,
+            "sessions_killed": (
+                counters_after.get("sessions_killed_by_rekey", 0)
+                - counters_before.get("sessions_killed_by_rekey", 0)
+            ),
+        },
+    }
+
+
 async def _run(config: LoadgenConfig) -> Dict:
     sink = open_sink(config.trace_out)
     tracer = Tracer(sink) if sink.enabled else NULL_TRACER
@@ -466,6 +657,15 @@ async def _run(config: LoadgenConfig) -> Dict:
         deadline_errors = sum(stats.deadline_errors for stats in workers)
         worker_lost = sum(stats.worker_lost for stats in workers)
 
+        # -- session phase: CL-AKA handshakes + MAC fast path -------------
+        # Runs before the rekey check: handshake hellos are signed with
+        # the enrollment-phase keys, which any rekey would invalidate.
+        session_report = None
+        if config.sessions:
+            session_report = await _session_phase(
+                host, port, client, identities, keys, config
+            )
+
         # -- rekey invalidation check -------------------------------------
         rekey_report = None
         if config.rekey_check:
@@ -509,6 +709,26 @@ async def _run(config: LoadgenConfig) -> Dict:
                 )
             ),
         }
+        if session_report is not None:
+            pairings = session_report["fast_path_pairings"]
+            checks["session_zero_pairings"] = (
+                pairings["miller_loops"] == 0 and pairings["final_exps"] == 0
+            )
+            checks["session_fast_path_clean"] = (
+                session_report["invalid"] == 0
+                and session_report["errors"] == 0
+                and session_report["valid"] == session_report["requests"]
+            )
+            # the whole point of the MAC fast path: it must beat the
+            # pairing-based verify phase by a wide margin
+            checks["session_speedup"] = session_report[
+                "throughput_rps"
+            ] >= 3.0 * (config.requests / main_seconds)
+            checks["session_rekey_rehandshake"] = (
+                session_report["rekey"]["first_rejected"]
+                and session_report["rekey"]["rehandshake_verify_ok"]
+                and session_report["rekey"]["sessions_killed"] >= 1
+            )
         result = {
             "schema_version": BENCH_SCHEMA_VERSION,
             "generated_at": datetime.datetime.now(
@@ -578,6 +798,7 @@ async def _run(config: LoadgenConfig) -> Dict:
                 else None
             ),
             "rekey": rekey_report,
+            "session": session_report,
             "checks": checks,
             "ok": all(checks.values()),
         }
@@ -723,6 +944,22 @@ def summary_lines(result: Dict) -> List[str]:
         lines.append(
             f"worker kill: worker {kill['worker']} (pid {kill['pid']}) "
             f"SIGKILLed {kill['after_s']}s into the run"
+        )
+    if result.get("session"):
+        session = result["session"]
+        pairings = session["fast_path_pairings"]
+        lines.append(
+            f"session: {session['handshakes']} handshakes in "
+            f"{session['handshake_seconds']}s, then {session['requests']} "
+            f"fast verifies in {session['seconds']}s "
+            f"({session['throughput_rps']} req/s, "
+            f"{pairings['miller_loops']} miller loops, "
+            f"{pairings['final_exps']} final exps)"
+        )
+        lines.append(
+            f"session rekey: first_rejected={session['rekey']['first_rejected']} "
+            f"rehandshake_ok={session['rekey']['rehandshake_verify_ok']} "
+            f"killed={session['rekey']['sessions_killed']}"
         )
     if result.get("trace"):
         lines.append(

@@ -29,14 +29,19 @@ boundary) plus its own bounded pairing caches:
   keep working through the pool.
 
 Wire format parent -> worker (pickled tuples over a duplex pipe):
-``("job", id, [payload, ...])`` (same-signer group) or
+``("job", id, [payload, ...])`` (same-signer group),
 ``("job", id, [payload, ...], "cross")`` (a mixed-signer window folded
-by :meth:`~repro.core.batch.McCLSBatchVerifier.verify_cross_signer`),
-``("params", doc)``, ``("ping", seq)``, ``("sleep", seconds)`` (a
-chaos/test hook simulating a hard hang) and ``("stop",)``.  Worker ->
-parent: ``("ready", pid)``, ``("pong", seq)``,
+by :meth:`~repro.core.batch.McCLSBatchVerifier.verify_cross_signer`) or
+``("job", id, [payload, ...], "fast")`` (MAC-authenticated fast-path
+requests validated against the worker's session shard),
+``("session", session_id, key, identity)`` (install one established
+fast-path session; the gateway sends it to the identity's shard owner),
+``("params", doc)`` (which also clears the worker's session shard - a
+rekey kills every session key), ``("ping", seq)``, ``("sleep",
+seconds)`` (a chaos/test hook simulating a hard hang) and ``("stop",)``.
+Worker -> parent: ``("ready", pid)``, ``("pong", seq)``,
 ``("done", id, results, pairing_s, fallback, cache_stats, fold_stats)``
-(``fold_stats`` is ``None`` for same-signer jobs) and
+(``fold_stats`` is ``None`` for same-signer and fast jobs) and
 ``("failed", id, detail)``.
 """
 
@@ -50,6 +55,7 @@ import zlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.batch import McCLSBatchVerifier
+from repro.core.session import EstablishedSession
 from repro.errors import ReproError, ServiceError, WorkerLostError
 from repro.service import protocol
 from repro.service.supervisor import RestartBackoff, WorkerSupervisor
@@ -211,6 +217,44 @@ def _verify_items_cross(curve, view, batcher, payloads: List[bytes]):
     return results, time.perf_counter() - started, fallback, fold_stats
 
 
+def _verify_items_fast(sessions: Dict[bytes, List], payloads: List[bytes]):
+    """Verdicts for one window of MAC-authenticated fast-path payloads.
+
+    ``sessions`` maps session id -> ``[EstablishedSession, last_seq]``
+    for the worker's identity shard.  No curve arithmetic runs here -
+    session lookup, replay check, HMAC - so a warm fast path performs
+    zero pairings anywhere in the deployment.
+    """
+    results: List[ItemResult] = []
+    started = time.perf_counter()
+    for payload in payloads:
+        try:
+            request = protocol.decode_verify_fast_payload(payload)
+        except ReproError as exc:
+            results.append(("err", str(exc)))
+            continue
+        entry = sessions.get(request.session_id)
+        if entry is None or entry[0].client_identity != request.identity:
+            results.append(("err", protocol.UNKNOWN_SESSION))
+            continue
+        session, last_seq = entry
+        if request.seq <= last_seq:
+            results.append(("ok", False))  # replayed sequence number
+            continue
+        if session.mac_ok(
+            request.mac,
+            *protocol.fast_verify_mac_bytes(
+                request.session_id, request.seq, request.identity,
+                request.message,
+            ),
+        ):
+            entry[1] = request.seq
+            results.append(("ok", True))
+        else:
+            results.append(("ok", False))
+    return results, time.perf_counter() - started
+
+
 def _worker_main(conn, params_doc: dict, cache_size: Optional[int]) -> None:
     """Worker process entry: build a verifier view, answer jobs forever.
 
@@ -226,6 +270,8 @@ def _worker_main(conn, params_doc: dict, cache_size: Optional[int]) -> None:
     try:
         curve, view = build_verifier_view(params_doc, cache_size=cache_size)
         batcher = McCLSBatchVerifier(view)
+        # this worker's session shard: session id -> [session, last_seq]
+        sessions: Dict[bytes, List] = {}
         # cache accounting accumulated across params generations, so a
         # rekey (which rebuilds the context) does not reset the totals
         # the gateway's STATS report
@@ -246,7 +292,21 @@ def _worker_main(conn, params_doc: dict, cache_size: Optional[int]) -> None:
                     message[1], cache_size=cache_size
                 )
                 batcher = McCLSBatchVerifier(view)
+                # a rekey invalidated every issued partial key, so every
+                # session key derived from one dies with it
+                sessions.clear()
                 conn.send(("ready", multiprocessing.current_process().pid))
+            elif kind == "session":
+                _, session_id, key, identity = message
+                sessions[session_id] = [
+                    EstablishedSession(
+                        session_id=session_id,
+                        key=key,
+                        client_identity=identity,
+                        gateway_identity="",
+                    ),
+                    0,
+                ]
             elif kind == "sleep":
                 # chaos/test hook: a hard synchronous hang
                 time.sleep(message[1])
@@ -255,7 +315,12 @@ def _worker_main(conn, params_doc: dict, cache_size: Optional[int]) -> None:
                 mode = message[3] if len(message) > 3 else "same"
                 try:
                     fold_stats = None
-                    if mode == "cross":
+                    if mode == "fast":
+                        results, pairing_s = _verify_items_fast(
+                            sessions, payloads
+                        )
+                        fallback = False
+                    elif mode == "cross":
                         results, pairing_s, fallback, fold_stats = (
                             _verify_items_cross(curve, view, batcher, payloads)
                         )
@@ -443,6 +508,45 @@ class VerifyWorkerPool:
         failure modes match :meth:`submit`.
         """
         return await self._submit(affinity_key, payloads, "cross")
+
+    async def submit_fast(
+        self, affinity_key: str, payloads: List[bytes]
+    ) -> Tuple[List[ItemResult], float, bool]:
+        """Validate one window of MAC-authenticated fast-path requests on
+        the worker owning ``affinity_key``'s session shard.
+
+        Returns (per-item results, crypto seconds, fallback flag); an
+        item whose session the worker does not hold (restart, eviction,
+        rekey) comes back as ``("err", UNKNOWN_SESSION)`` so the gateway
+        tells that client to re-handshake.
+        """
+        results, crypto_s, fallback, _stats = await self._submit(
+            affinity_key, payloads, "fast"
+        )
+        return results, crypto_s, fallback
+
+    def install_session(self, session: EstablishedSession) -> None:
+        """Hand one established session to its identity shard's worker.
+
+        Best-effort: if the shard owner is dead the session is simply not
+        installed anywhere, and the client's first fast request earns an
+        ``unknown session`` error that drives a re-handshake (by which
+        time a worker is back, or the same miss repeats harmlessly).
+        """
+        handle = self._route(session.client_identity)
+        if handle is None or handle.conn is None:
+            return
+        try:
+            handle.conn.send(
+                (
+                    "session",
+                    session.session_id,
+                    session.key,
+                    session.client_identity,
+                )
+            )
+        except (OSError, ValueError) as exc:
+            self.declare_lost(handle, f"session send failed: {exc}")
 
     async def _submit(
         self, affinity_key: str, payloads: List[bytes], mode: str

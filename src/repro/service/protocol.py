@@ -27,6 +27,13 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core.mccls import McCLSSignature
+from repro.core.session import (
+    KEY_BYTES,
+    MAC_BYTES,
+    SESSION_ID_BYTES,
+    SessionAccept,
+    SessionHello,
+)
 from repro.core.serialization import (
     decode_g1,
     decode_g2,
@@ -72,6 +79,8 @@ class Opcode(enum.IntEnum):
     REKEY = 5
     STATS = 6
     METRICS = 7
+    SESSION = 8
+    VERIFY_FAST = 9
 
 
 class Status(enum.IntEnum):
@@ -340,6 +349,166 @@ def decode_user_keys(curve: BNCurve, payload: bytes) -> UserKeyPair:
         public_key=public_key,
         partial=PartialPrivateKey(identity=identity, q_id=q_id, d_id=d_id),
     )
+
+
+# ---------------------------------------------------------------------------
+# SESSION / VERIFY_FAST (the pairing-free fast path)
+# ---------------------------------------------------------------------------
+
+_SEQ = struct.Struct("!Q")
+
+
+@dataclass(frozen=True)
+class FastVerifyRequest:
+    """One decoded MAC-authenticated fast-path request."""
+
+    identity: str
+    session_id: bytes
+    seq: int
+    message: bytes
+    mac: bytes
+
+
+def session_hello_auth_bytes(curve: BNCurve, hello: SessionHello) -> bytes:
+    """The transcript the client's McCLS signature covers.
+
+    Binding identity, static key and ephemeral into the bootstrap
+    signature stops an attacker from splicing its own ephemeral into an
+    honest client's handshake.
+    """
+    return (
+        b"session-hello:"
+        + encode_identity(hello.identity)
+        + encode_g1(curve, hello.client_pub)
+        + encode_g1(curve, hello.ephemeral)
+    )
+
+
+def encode_session_payload(
+    curve: BNCurve, hello: SessionHello, signature: McCLSSignature
+) -> bytes:
+    """identity || P_C || T_C || McCLS signature over the hello transcript."""
+    return (
+        encode_identity(hello.identity)
+        + encode_g1(curve, hello.client_pub)
+        + encode_g1(curve, hello.ephemeral)
+        + encode_mccls_signature(curve, signature)
+    )
+
+
+def decode_session_payload(
+    curve: BNCurve, payload: bytes
+) -> Tuple[SessionHello, McCLSSignature]:
+    """Decode (and curve-validate) one SESSION request payload."""
+    identity, rest = decode_identity(payload)
+    client_pub, rest = decode_g1(curve, rest)
+    ephemeral, rest = decode_g1(curve, rest)
+    signature = decode_mccls_signature(curve, rest)  # rejects trailing bytes
+    return (
+        SessionHello(
+            identity=identity, client_pub=client_pub, ephemeral=ephemeral
+        ),
+        signature,
+    )
+
+
+def encode_session_accept(curve: BNCurve, accept: SessionAccept) -> bytes:
+    """The OK SESSION reply payload (message 2 of the handshake)."""
+    if len(accept.confirm) != KEY_BYTES:
+        raise SerializationError("confirmation tag must be 32 bytes")
+    return (
+        encode_identity(accept.gateway_identity)
+        + encode_g1(curve, accept.gateway_pub)
+        + encode_g1(curve, accept.gateway_r_pub)
+        + encode_g1(curve, accept.ephemeral)
+        + encode_g1(curve, accept.client_r_pub)
+        + encode_scalar(curve, accept.client_d)
+        + accept.confirm
+    )
+
+
+def decode_session_accept(curve: BNCurve, payload: bytes) -> SessionAccept:
+    """Decode a SESSION reply back into the handshake's second message."""
+    gateway_identity, rest = decode_identity(payload)
+    gateway_pub, rest = decode_g1(curve, rest)
+    gateway_r_pub, rest = decode_g1(curve, rest)
+    ephemeral, rest = decode_g1(curve, rest)
+    client_r_pub, rest = decode_g1(curve, rest)
+    client_d, rest = decode_scalar(curve, rest)
+    if len(rest) != KEY_BYTES:
+        raise SerializationError("malformed session confirmation tag")
+    return SessionAccept(
+        gateway_identity=gateway_identity,
+        gateway_pub=gateway_pub,
+        gateway_r_pub=gateway_r_pub,
+        ephemeral=ephemeral,
+        client_r_pub=client_r_pub,
+        client_d=client_d,
+        confirm=rest,
+    )
+
+
+def fast_verify_mac_bytes(
+    session_id: bytes, seq: int, identity: str, message: bytes
+) -> Tuple[bytes, ...]:
+    """The chunks a fast-path MAC covers, in canonical order."""
+    return (session_id, _SEQ.pack(seq), identity.encode("utf-8"), message)
+
+
+def encode_verify_fast_payload(
+    identity: str, session_id: bytes, seq: int, message: bytes, mac: bytes
+) -> bytes:
+    """identity || session_id || seq || len(message) || message || mac."""
+    if len(session_id) != SESSION_ID_BYTES:
+        raise SerializationError("session id must be 16 bytes")
+    if len(mac) != MAC_BYTES:
+        raise SerializationError("fast-path MAC must be 32 bytes")
+    if len(message) > 0xFFFF:
+        raise SerializationError("message too long for one fast verify")
+    return (
+        encode_identity(identity)
+        + session_id
+        + _SEQ.pack(seq)
+        + _MSGLEN.pack(len(message))
+        + message
+        + mac
+    )
+
+
+def decode_verify_fast_payload(payload: bytes) -> FastVerifyRequest:
+    """Total decode of one VERIFY_FAST request payload."""
+    identity, rest = decode_identity(payload)
+    if len(rest) < SESSION_ID_BYTES + _SEQ.size + _MSGLEN.size:
+        raise SerializationError("truncated fast-verify payload")
+    session_id, rest = rest[:SESSION_ID_BYTES], rest[SESSION_ID_BYTES:]
+    (seq,) = _SEQ.unpack(rest[: _SEQ.size])
+    rest = rest[_SEQ.size :]
+    (msg_len,) = _MSGLEN.unpack(rest[: _MSGLEN.size])
+    rest = rest[_MSGLEN.size :]
+    if len(rest) != msg_len + MAC_BYTES:
+        raise SerializationError("malformed fast-verify payload")
+    message, mac = rest[:msg_len], rest[msg_len:]
+    return FastVerifyRequest(
+        identity=identity,
+        session_id=session_id,
+        seq=seq,
+        message=message,
+        mac=mac,
+    )
+
+
+def split_verify_fast_payload(payload: bytes) -> str:
+    """Cheap routing split: the identity prefix of a fast-verify payload."""
+    identity, rest = decode_identity(payload)
+    if len(rest) < SESSION_ID_BYTES + _SEQ.size + _MSGLEN.size + MAC_BYTES:
+        raise SerializationError("truncated fast-verify payload")
+    return identity
+
+
+#: the ERR diagnostic a gateway sends when a fast-path session is not in
+#: its table (expired, evicted, or killed by REKEY) - clients match on
+#: this to re-handshake instead of failing the request
+UNKNOWN_SESSION = "unknown session"
 
 
 # ---------------------------------------------------------------------------

@@ -70,6 +70,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -77,19 +78,22 @@ from repro.core.batch import McCLSBatchVerifier
 from repro.core.mccls import McCLS
 from repro.core.params import KeyGenerationCenter
 from repro.core.serialization import encode_g1
+from repro.core.session import EstablishedSession, SessionAuthority
 from repro.errors import ReproError, SerializationError, WorkerLostError
 from repro.obs.events import EventSink, NULL_EVENT_SINK
 from repro.obs.exposition import PrometheusRenderer
 from repro.obs.registry import Registry, get_registry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pairing.bn import BNCurve, toy_curve
+from repro.schemes.base import normalize_identity
 from repro.service import protocol
 from repro.service.pool import VerifyWorkerPool, merge_cache_stats
 from repro.service.protocol import Opcode, Status
 from repro.service.supervisor import RestartBackoff
 
-#: STATS reply document version (benchdiff and dashboards key on it)
-STATS_SCHEMA_VERSION = 3
+#: STATS reply document version (benchdiff and dashboards key on it);
+#: v4 added the ``sessions`` section (fast-path session table accounting)
+STATS_SCHEMA_VERSION = 4
 
 #: (request body, reply future, perf_counter at enqueue) on the queue
 _Work = Tuple[bytes, "asyncio.Future[bytes]", float]
@@ -113,6 +117,74 @@ class _PendingVerify:
     payload: Optional[bytes] = None
 
 
+@dataclass
+class _SessionEntry:
+    """One live fast-path session plus its replay/expiry state."""
+
+    session: EstablishedSession
+    identity: str
+    #: highest sequence number accepted so far (monotonic per session)
+    seq: int
+    #: monotonic second the session stops being honoured
+    expires_at: float
+
+
+class SessionTable:
+    """Bounded LRU of established fast-path sessions with a TTL.
+
+    Keys are session ids (transcript digests).  ``get`` refreshes LRU
+    order but never the TTL: a session lives at most ``ttl_s`` seconds
+    from establishment, after which the client must re-handshake (and so
+    re-prove possession of its enrolled McCLS key).  Eviction and expiry
+    are counted so STATS can distinguish churn from rekey flushes.
+    """
+
+    def __init__(self, capacity: int = 1024, ttl_s: float = 600.0):
+        if capacity < 1:
+            raise ValueError("session table capacity must be >= 1")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self.evictions = 0
+        self.expirations = 0
+        self._entries: "OrderedDict[bytes, _SessionEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, session: EstablishedSession, now: float) -> None:
+        """Admit a fresh session, evicting the LRU entry when full."""
+        entry = _SessionEntry(
+            session=session,
+            identity=session.client_identity,
+            seq=0,
+            expires_at=now + self.ttl_s,
+        )
+        self._entries[session.session_id] = entry
+        self._entries.move_to_end(session.session_id)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get(self, session_id: bytes, now: float) -> Optional[_SessionEntry]:
+        """The live entry for ``session_id``, or None (expired entries
+        are removed on access)."""
+        entry = self._entries.get(session_id)
+        if entry is None:
+            return None
+        if now >= entry.expires_at:
+            del self._entries[session_id]
+            self.expirations += 1
+            return None
+        self._entries.move_to_end(session_id)
+        return entry
+
+    def flush(self) -> int:
+        """Drop every session (rekey invalidation); returns the count."""
+        flushed = len(self._entries)
+        self._entries.clear()
+        return flushed
+
+
 class VerificationGateway:
     """KGC + verification front-end over the binary frame protocol."""
 
@@ -133,6 +205,8 @@ class VerificationGateway:
         worker_heartbeat_timeout_s: float = 2.0,
         worker_backoff: Optional[RestartBackoff] = None,
         backend=None,
+        session_capacity: int = 1024,
+        session_ttl_s: float = 600.0,
     ):
         if kgc is None:
             kgc = KeyGenerationCenter(
@@ -175,7 +249,27 @@ class VerificationGateway:
             "deadline_requests": 0,
             "deadline_expirations": 0,
             "worker_lost_replies": 0,
+            "session_requests": 0,
+            "sessions_established": 0,
+            "sessions_rejected": 0,
+            "sessions_killed_by_rekey": 0,
+            "fast_verify_requests": 0,
+            "fast_verify_valid": 0,
+            "fast_verify_invalid": 0,
+            "fast_verify_replays": 0,
+            "fast_verify_unknown_session": 0,
         }
+        #: established fast-path sessions (the authoritative table; with
+        #: a worker pool each session is additionally installed in its
+        #: identity shard's worker, which does the MAC checking there)
+        self.sessions = SessionTable(
+            capacity=session_capacity, ttl_s=session_ttl_s
+        )
+        #: the gateway's CL-AKA side; shares the KGC master secret so one
+        #: REKEY invalidates both the pairing world and every session key
+        self.authority = SessionAuthority(
+            self.kgc.ctx, self.kgc.scheme.master_secret
+        )
         #: the gateway's own instrument store for request-granularity
         #: stage histograms (always on; never the process-wide registry,
         #: so the pairing hot path stays untouched)
@@ -414,6 +508,7 @@ class VerificationGateway:
         registry.histogram("service.batch_size").observe(len(batch))
         tracer = self.tracer
         verifies: List[_PendingVerify] = []
+        fasts: List[Tuple[str, _PendingVerify]] = []
         for body, future, enqueued in batch:
             if future.done():  # connection already answered (cannot happen
                 continue  # for queued work today, but stay defensive)
@@ -458,6 +553,34 @@ class VerificationGateway:
                         )
                     )
                     continue
+                if opcode == Opcode.VERIFY_FAST:
+                    self.counters["fast_verify_requests"] += 1
+                    if self._pool is not None:
+                        identity = protocol.split_verify_fast_payload(payload)
+                        fasts.append(
+                            (
+                                identity,
+                                _PendingVerify(
+                                    future,
+                                    trace_id,
+                                    enqueued,
+                                    deadline,
+                                    payload=payload,
+                                ),
+                            )
+                        )
+                        continue
+                    request = protocol.decode_verify_fast_payload(payload)
+                    reply = self._answer_fast(request)
+                    self._resolve_verify(
+                        _PendingVerify(future, trace_id, enqueued, deadline),
+                        reply,
+                        time.perf_counter(),
+                    )
+                    registry.histogram("service.request_ms").observe(
+                        (time.perf_counter() - enqueued) * 1e3
+                    )
+                    continue
                 if opcode == Opcode.REKEY and self._pool is not None:
                     if payload:
                         raise SerializationError(
@@ -481,6 +604,17 @@ class VerificationGateway:
                 self._dispatch_grouped(verifies)
             else:
                 self._verify_grouped(verifies)
+        if fasts:
+            # Group by shard so each worker only validates sessions for
+            # its own identity partition (the session was installed there
+            # at handshake time).
+            shards: Dict[int, List[Tuple[str, _PendingVerify]]] = {}
+            for identity, pending in fasts:
+                shards.setdefault(self._pool.shard_of(identity), []).append(
+                    (identity, pending)
+                )
+            for members in shards.values():
+                self._spawn_group_task(self._dispatch_fast(members))
 
     def _admit_verify(
         self,
@@ -510,7 +644,7 @@ class VerificationGateway:
 
     def _answer(self, opcode: Opcode, payload: bytes) -> bytes:
         """One non-verify request -> one reply body."""
-        if payload and opcode != Opcode.ENROLL:
+        if payload and opcode not in (Opcode.ENROLL, Opcode.SESSION):
             # Payload-less opcodes must arrive bare: random bytes that
             # happen to start with a valid (possibly trace-flagged)
             # opcode byte stay protocol errors, not accidental requests.
@@ -532,9 +666,12 @@ class VerificationGateway:
                 Status.OK,
                 protocol.encode_user_keys(self.kgc.ctx.curve, keys),
             )
+        if opcode == Opcode.SESSION:
+            return self._answer_session(payload)
         if opcode == Opcode.REKEY:
             self.kgc.rekey()
             self.counters["rekeys"] += 1
+            self._flush_sessions_after_rekey()
             return protocol.encode_reply(
                 Status.OK, protocol.encode_json_payload(self._params())
             )
@@ -555,6 +692,8 @@ class VerificationGateway:
         try:
             self.kgc.rekey()
             self.counters["rekeys"] += 1
+            self._flush_sessions_after_rekey()
+            # broadcast_params also clears every worker's session shard
             await self._pool.broadcast_params(self._params())
             reply = protocol.encode_reply(
                 Status.OK, protocol.encode_json_payload(self._params())
@@ -563,6 +702,124 @@ class VerificationGateway:
             reply = protocol.error_reply(f"rekey failed: {exc}")
         if not future.done():
             future.set_result(reply)
+
+    # -- the pairing-free session fast path ---------------------------------
+    def _flush_sessions_after_rekey(self) -> None:
+        """A new master secret kills every issued partial key, therefore
+        every session key derived from one (the rekey invalidation
+        chain's session link)."""
+        self.counters["sessions_killed_by_rekey"] += self.sessions.flush()
+        self.authority.rekey(self.kgc.scheme.master_secret)
+
+    def _answer_session(self, payload: bytes) -> bytes:
+        """One SESSION handshake: bootstrap trust rides on the client's
+        *enrolled* McCLS key (one pairing verify), then everything the
+        session touches is plain G1 arithmetic and HMACs."""
+        curve = self.kgc.ctx.curve
+        self.counters["session_requests"] += 1
+        hello, signature = protocol.decode_session_payload(curve, payload)
+        identity = normalize_identity(hello.identity)
+        try:
+            enrolled = self.kgc.keys_for(identity)
+        except KeyError:
+            self.counters["sessions_rejected"] += 1
+            return protocol.error_reply(
+                f"identity {identity!r} is not enrolled"
+            )
+        auth_bytes = protocol.session_hello_auth_bytes(curve, hello)
+        if not self.kgc.scheme.verify(
+            auth_bytes, signature, identity, enrolled.public_key
+        ):
+            self.counters["sessions_rejected"] += 1
+            return protocol.error_reply("session hello signature rejected")
+        accept, session = self.authority.respond(hello)
+        self.sessions.put(session, time.monotonic())
+        self.counters["sessions_established"] += 1
+        if self._pool is not None:
+            self._pool.install_session(session)
+        return protocol.encode_reply(
+            Status.OK, protocol.encode_session_accept(curve, accept)
+        )
+
+    def _answer_fast(self, request: protocol.FastVerifyRequest) -> bytes:
+        """One in-process VERIFY_FAST verdict: session lookup, replay
+        check, HMAC - no curve arithmetic at all."""
+        entry = self.sessions.get(request.session_id, time.monotonic())
+        if entry is None or entry.identity != request.identity:
+            self.counters["fast_verify_unknown_session"] += 1
+            return protocol.error_reply(protocol.UNKNOWN_SESSION)
+        if request.seq <= entry.seq:
+            # replayed or reordered-behind sequence number: a legitimate
+            # client never reuses one, so this is an invalid verdict
+            self.counters["fast_verify_replays"] += 1
+            self.counters["fast_verify_invalid"] += 1
+            return protocol.verify_reply(False)
+        if entry.session.mac_ok(
+            request.mac,
+            *protocol.fast_verify_mac_bytes(
+                request.session_id, request.seq, request.identity,
+                request.message,
+            ),
+        ):
+            entry.seq = request.seq
+            self.counters["fast_verify_valid"] += 1
+            return protocol.verify_reply(True)
+        self.counters["fast_verify_invalid"] += 1
+        return protocol.verify_reply(False)
+
+    async def _dispatch_fast(
+        self, members: List[Tuple[str, "_PendingVerify"]]
+    ) -> None:
+        """One shard's fast-verify window through the worker pool.
+
+        The owning worker holds the shard's session state (installed at
+        handshake time), so MAC checking and replay tracking happen
+        there; a worker restart loses its sessions and the resulting
+        ``unknown session`` errors drive clients to re-handshake.
+        """
+        pendings = [pending for _identity, pending in members]
+        try:
+            try:
+                results, _crypto_s, _fallback = await self._pool.submit_fast(
+                    members[0][0], [p.payload for p in pendings]
+                )
+            except (WorkerLostError, ReproError) as exc:
+                if isinstance(exc, WorkerLostError):
+                    self.counters["worker_lost_replies"] += len(pendings)
+                    reply = protocol.error_reply(f"worker-lost: {exc}")
+                else:
+                    reply = protocol.error_reply(str(exc))
+                now = time.perf_counter()
+                for pending in pendings:
+                    self._resolve_verify(pending, reply, now)
+                return
+            replies = []
+            for kind, value in results:
+                if kind == "ok":
+                    valid = bool(value)
+                    key = "fast_verify_valid" if valid else "fast_verify_invalid"
+                    self.counters[key] += 1
+                    replies.append(protocol.verify_reply(valid))
+                else:
+                    detail = str(value)
+                    if detail == protocol.UNKNOWN_SESSION:
+                        self.counters["fast_verify_unknown_session"] += 1
+                    replies.append(protocol.error_reply(detail))
+            done = time.perf_counter()
+            for pending, reply in zip(pendings, replies):
+                self._resolve_verify(pending, reply, done)
+                self.registry.histogram("service.request_ms").observe(
+                    (done - pending.enqueued) * 1e3
+                )
+        finally:
+            shutdown_reply: Optional[bytes] = None
+            for pending in pendings:
+                if not pending.future.done():
+                    if shutdown_reply is None:
+                        shutdown_reply = protocol.error_reply(
+                            "server shutting down"
+                        )
+                    pending.future.set_result(shutdown_reply)
 
     # -- verification -------------------------------------------------------
     def _group_key(self, pending: _PendingVerify) -> Tuple[str, bytes]:
@@ -943,6 +1200,15 @@ class VerificationGateway:
                     "service.cross_fold_size"
                 ).summary(),
             },
+            "sessions": {
+                "active": len(self.sessions),
+                "capacity": self.sessions.capacity,
+                "ttl_s": self.sessions.ttl_s,
+                "established": self.counters["sessions_established"],
+                "evictions": self.sessions.evictions,
+                "expirations": self.sessions.expirations,
+                "killed_by_rekey": self.counters["sessions_killed_by_rekey"],
+            },
         }
         if self._pool is not None:
             pool_stats = self._pool.stats()
@@ -974,6 +1240,13 @@ class VerificationGateway:
         )
         renderer.gauge("service.queue_size", self.queue_size)
         renderer.gauge("service.enrolled", len(self.kgc.issued_identities()))
+        renderer.gauge("service.sessions_active", len(self.sessions))
+        renderer.counter(
+            "service.session_evictions", self.sessions.evictions
+        )
+        renderer.counter(
+            "service.session_expirations", self.sessions.expirations
+        )
         if self._pool is not None:
             pool_stats = self._pool.stats()
             ready = sum(

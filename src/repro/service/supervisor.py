@@ -36,6 +36,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from typing import Dict, List, Optional
 
 
@@ -95,9 +96,17 @@ class WorkerSupervisor:
 
     # -- bookkeeping --------------------------------------------------------
     def note(self, event: str, worker_index: int, **details) -> None:
-        """Append one supervision event to the bounded log."""
+        """Append one supervision event to the bounded log.
+
+        ``at`` is ``time.monotonic()`` — the same clock every other
+        service timer (deadlines, backoff, heartbeats) runs on, so log
+        ordering and age arithmetic survive NTP steps and suspend/resume.
+        ``wall`` is an ISO-8601 UTC timestamp for humans reading the log;
+        nothing may compute with it.
+        """
         entry = {
-            "at": time.time(),
+            "at": time.monotonic(),
+            "wall": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
             "event": event,
             "worker": worker_index,
             **details,

@@ -235,6 +235,39 @@ class TestCrossBackendIdentity:
 
         assert run(name) == run("reference")
 
+    def test_ecls_sign_verify_matches_reference(self, name):
+        def run(backend_name):
+            ctx = PairingContext(
+                toy_curve(48, backend=backend_name),
+                random.Random(0xC0FFEE),
+            )
+            scheme = create_scheme("ecls", ctx)
+            keys = scheme.generate_user_keys("alice@mwcps")
+            sig = scheme.sign(b"pairing-free backends", keys)
+            assert scheme.verify(
+                b"pairing-free backends",
+                sig,
+                keys.identity,
+                keys.public_key,
+                keys.public_key_extra,
+            )
+            assert not scheme.verify(
+                b"tampered",
+                sig,
+                keys.identity,
+                keys.public_key,
+                keys.public_key_extra,
+            )
+            assert ctx.ops.pairings == 0
+            return (
+                int(sig.z),
+                int(sig.t_pub.x.value),
+                int(sig.t_pub.y.value),
+                int(keys.partial.d),
+            )
+
+        assert run(name) == run("reference")
+
     def test_op_counts_match_reference(self, name):
         def count(backend_name):
             curve = toy_curve(48, backend=backend_name)

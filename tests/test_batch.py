@@ -220,3 +220,77 @@ class TestCrossSigner:
         )
         assert outcome["all_rejected"]
         assert outcome["accepted_forgeries"] == 0
+
+
+class _PoisonedRng(random.Random):
+    """Records every randrange draw so tests can prove a stream was unused."""
+
+    def __init__(self, seed=0):
+        super().__init__(seed)
+        self.randrange_calls = 0
+
+    def randrange(self, *args, **kwargs):
+        self.randrange_calls += 1
+        return super().randrange(*args, **kwargs)
+
+
+class TestBatchRandomnessSource:
+    """Fold weights/deltas must never come from the seeded campaign rng.
+
+    An adversary who knows the campaign seed can replay ``ctx.rng`` and
+    predict the 80-bit deltas, then craft a cancelling batch that passes
+    the small-exponent test.  The default gateway path therefore draws
+    batch randomness from the OS CSPRNG; the seeded stream is only used
+    under the explicit ``insecure_deterministic_batch`` opt-in.
+    """
+
+    def _signed_window(self, ctx):
+        scheme = McCLS(ctx, precompute_s=True)
+        verifier = McCLSBatchVerifier(scheme)
+        signers = [scheme.generate_user_keys(f"rng{i}@x") for i in range(3)]
+        same = verifier.sign_batch([b"a", b"b", b"c"], signers[0])
+        cross = _cross_items(scheme, signers, 6)
+        return scheme, verifier, signers, same, cross
+
+    def test_default_path_never_touches_seeded_stream(self):
+        ctx = PairingContext(CURVE, _PoisonedRng(8))
+        scheme, verifier, signers, same, cross = self._signed_window(ctx)
+        assert not ctx.insecure_deterministic_batch
+        ctx.rng.randrange_calls = 0
+        assert verifier.verify_same_signer(
+            same, signers[0].identity, signers[0].public_key
+        )
+        verdicts, _ = verifier.verify_cross_signer(cross)
+        assert verdicts == [True] * 6
+        # steady-state fold again, still without a seeded draw
+        verdicts, _ = verifier.verify_cross_signer(cross)
+        assert verdicts == [True] * 6
+        assert ctx.rng.randrange_calls == 0
+
+    def test_opt_in_restores_deterministic_draws(self):
+        ctx = PairingContext(
+            CURVE, _PoisonedRng(8), insecure_deterministic_batch=True
+        )
+        scheme, verifier, signers, same, cross = self._signed_window(ctx)
+        ctx.rng.randrange_calls = 0
+        assert verifier.verify_same_signer(
+            same, signers[0].identity, signers[0].public_key
+        )
+        assert ctx.rng.randrange_calls == len(same)
+        verdicts, _ = verifier.verify_cross_signer(cross)
+        assert verdicts == [True] * 6
+        assert ctx.rng.randrange_calls == len(same) + len(cross)
+
+    def test_opt_in_draws_are_replayable(self):
+        draws = [
+            PairingContext(
+                CURVE, random.Random(99), insecure_deterministic_batch=True
+            ).batch_randrange(1, 1 << 64)
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+        defaults = {
+            PairingContext(CURVE, random.Random(99)).batch_randrange(1, 1 << 64)
+            for _ in range(8)
+        }
+        assert len(defaults) > 1  # vanishingly unlikely to collide

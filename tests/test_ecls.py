@@ -1,0 +1,195 @@
+"""ECLS: the pairing-free certificateless signature scheme.
+
+Covers the construction's own algebra (partial-key binding, sign/verify,
+tamper rejection), its zero-pairing claim via the op meter, registry
+integration, and the deliberately weakened variants' advertised bugs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pairing.groups import PairingContext
+from repro.schemes.ecls import (
+    ECLSScheme,
+    ECLSSignature,
+    WeakECLSNoUserSecret,
+    WeakECLSUnboundKey,
+    signature_size_bytes,
+)
+from repro.schemes.registry import all_scheme_names, create_scheme
+
+MSG = b"route-reply seq=41 hops=3"
+
+
+@pytest.fixture()
+def scheme(ctx) -> ECLSScheme:
+    return ECLSScheme(ctx)
+
+
+@pytest.fixture()
+def keys(scheme):
+    return scheme.generate_user_keys("alice@manet")
+
+
+class TestECLSRoundTrip:
+    def test_sign_verify(self, scheme, keys):
+        sig = scheme.sign(MSG, keys)
+        assert scheme.verify(
+            MSG, sig, keys.identity, keys.public_key, keys.public_key_extra
+        )
+
+    def test_partial_key_publicly_checkable(self, scheme, keys):
+        assert scheme.partial_key_is_valid(keys.partial)
+
+    def test_tampered_partial_key_rejected(self, scheme, keys):
+        from repro.schemes.ecls import ECLSPartialKey
+
+        bad = ECLSPartialKey(
+            identity=keys.partial.identity,
+            r_pub=keys.partial.r_pub,
+            d=(keys.partial.d + 1) % scheme.ctx.order,
+        )
+        assert not scheme.partial_key_is_valid(bad)
+
+    def test_wrong_message_rejected(self, scheme, keys):
+        sig = scheme.sign(MSG, keys)
+        assert not scheme.verify(
+            b"other", sig, keys.identity, keys.public_key, keys.public_key_extra
+        )
+
+    def test_wrong_identity_rejected(self, scheme, keys):
+        sig = scheme.sign(MSG, keys)
+        assert not scheme.verify(
+            MSG, sig, "mallory@manet", keys.public_key, keys.public_key_extra
+        )
+
+    def test_tampered_signature_rejected(self, scheme, keys):
+        sig = scheme.sign(MSG, keys)
+        bad = ECLSSignature(t_pub=sig.t_pub, z=(sig.z + 1) % scheme.ctx.order)
+        assert not scheme.verify(
+            MSG, bad, keys.identity, keys.public_key, keys.public_key_extra
+        )
+
+    def test_swapped_public_key_rejected(self, scheme, keys):
+        other = scheme.generate_user_keys("bob@manet")
+        sig = scheme.sign(MSG, keys)
+        assert not scheme.verify(
+            MSG, sig, keys.identity, other.public_key, other.public_key_extra
+        )
+
+    def test_missing_extra_point_rejected(self, scheme, keys):
+        sig = scheme.sign(MSG, keys)
+        assert not scheme.verify(MSG, sig, keys.identity, keys.public_key, None)
+
+    def test_garbage_signature_object_rejected(self, scheme, keys):
+        assert not scheme.verify(
+            MSG, object(), keys.identity, keys.public_key, keys.public_key_extra
+        )
+
+    def test_z_out_of_range_rejected(self, scheme, keys):
+        sig = scheme.sign(MSG, keys)
+        assert not scheme.verify(
+            MSG,
+            ECLSSignature(t_pub=sig.t_pub, z=0),
+            keys.identity,
+            keys.public_key,
+            keys.public_key_extra,
+        )
+        assert not scheme.verify(
+            MSG,
+            ECLSSignature(t_pub=sig.t_pub, z=scheme.ctx.order),
+            keys.identity,
+            keys.public_key,
+            keys.public_key_extra,
+        )
+
+
+class TestZeroPairings:
+    def test_whole_lifecycle_never_pairs(self, ctx):
+        scheme = ECLSScheme(ctx)
+        with ctx.measure() as meter:
+            keys = scheme.generate_user_keys("meter@manet")
+            sig = scheme.sign(MSG, keys)
+            assert scheme.verify(
+                MSG, sig, keys.identity, keys.public_key, keys.public_key_extra
+            )
+        assert meter.delta.pairings == 0
+
+    def test_profiles_advertise_zero_pairings(self):
+        assert ECLSScheme.paper_sign_profile[0] == 0
+        assert ECLSScheme.paper_verify_profile[0] == 0
+
+
+class TestRekey:
+    def test_rotation_kills_issued_keys(self, scheme, keys):
+        sig = scheme.sign(MSG, keys)
+        scheme.rotate_master_secret(None)
+        # H1 binds P_pub: the old signature no longer verifies and the
+        # old partial key no longer validates
+        assert not scheme.verify(
+            MSG, sig, keys.identity, keys.public_key, keys.public_key_extra
+        )
+        assert not scheme.partial_key_is_valid(keys.partial)
+        fresh = scheme.generate_user_keys(keys.identity)
+        sig2 = scheme.sign(MSG, fresh)
+        assert scheme.verify(
+            MSG, sig2, fresh.identity, fresh.public_key, fresh.public_key_extra
+        )
+
+
+class TestRegistry:
+    def test_ecls_is_registered(self, curve48):
+        assert "ecls" in all_scheme_names()
+        scheme = create_scheme("ecls", PairingContext(curve48))
+        assert isinstance(scheme, ECLSScheme)
+
+    def test_weak_variants_not_registered(self):
+        names = all_scheme_names()
+        assert "ecls-weak-unbound" not in names
+        assert "ecls-weak-nouser" not in names
+
+
+class TestWeakVariants:
+    """The weakened schemes still round-trip honestly; the games prove
+    their attacks elsewhere (tests/test_games.py)."""
+
+    @pytest.mark.parametrize(
+        "cls", [WeakECLSUnboundKey, WeakECLSNoUserSecret]
+    )
+    def test_honest_round_trip(self, ctx, cls):
+        scheme = cls(ctx)
+        keys = scheme.generate_user_keys("weak@manet")
+        sig = scheme.sign(MSG, keys)
+        assert scheme.verify(
+            MSG, sig, keys.identity, keys.public_key, keys.public_key_extra
+        )
+
+    def test_unbound_hash_ignores_public_key(self, ctx, rng):
+        scheme = WeakECLSUnboundKey(ctx)
+        keys = scheme.generate_user_keys("weak@manet")
+        sig = scheme.sign(MSG, keys)
+        t_pub = sig.t_pub
+        a = scheme._h2(MSG, keys.identity, t_pub, keys.public_key, None)
+        b = scheme._h2(MSG, keys.identity, t_pub, None, None)
+        assert a == b  # the bug under test
+
+
+def test_signature_size_accounts_point_and_scalar(curve48):
+    fp = (curve48.p.bit_length() + 7) // 8
+    n = (curve48.n.bit_length() + 7) // 8
+    assert signature_size_bytes(curve48) == 1 + 2 * fp + n
+
+
+def test_deterministic_under_seeded_ctx(curve48):
+    def lifecycle(seed):
+        ctx = PairingContext(curve48, random.Random(seed))
+        scheme = ECLSScheme(ctx)
+        keys = scheme.generate_user_keys("det@manet")
+        sig = scheme.sign(MSG, keys)
+        return (keys.secret_value, keys.partial.d, sig.z)
+
+    assert lifecycle(77) == lifecycle(77)
+    assert lifecycle(77) != lifecycle(78)

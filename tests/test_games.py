@@ -15,10 +15,13 @@ import pytest
 
 from repro.core.games import (
     ALGEBRAIC_ADVERSARIES,
+    PAKNIAT_ADVERSARIES,
     PROTOCOL_ADVERSARIES,
     Challenger,
     KeyReplacementAdversary,
     MaliciousKGCForger,
+    MaliciousKGCPartialKeyForger,
+    PublicKeyReplacementForger,
     RandomForgeryAdversary,
     TamperAdversary,
     TransplantAdversary,
@@ -146,3 +149,77 @@ class TestGameResult:
 
         assert GameResult(trials=0, forgeries=0).forgery_rate == 0.0
         assert GameResult(trials=4, forgeries=1).forgery_rate == 0.25
+
+
+class TestPakniatGames:
+    """Pakniat's pairing-free CLS attacks (arXiv:1909.10816).
+
+    Each attack must have teeth - forge with probability 1 against the
+    ECLS variant that reproduces the design bug it exploits - and must
+    fail against hardened ECLS, against the *other* weakened variant,
+    and (by concession) against the pairing-based schemes.
+    """
+
+    def test_type_i_breaks_unbound_hash_variant(self):
+        from repro.schemes.ecls import WeakECLSUnboundKey
+
+        result = run_game(
+            make_scheme(WeakECLSUnboundKey),
+            PublicKeyReplacementForger(random.Random(3)),
+            trials=4,
+        )
+        assert result.forgery_rate == 1.0
+
+    def test_type_ii_breaks_no_user_secret_variant(self):
+        from repro.schemes.ecls import WeakECLSNoUserSecret
+
+        result = run_game(
+            make_scheme(WeakECLSNoUserSecret),
+            MaliciousKGCPartialKeyForger(random.Random(4)),
+            trials=4,
+        )
+        assert result.forgery_rate == 1.0
+
+    @pytest.mark.parametrize("adversary_cls", PAKNIAT_ADVERSARIES)
+    def test_hardened_ecls_resists(self, adversary_cls):
+        from repro.schemes.ecls import ECLSScheme
+
+        result = run_game(
+            make_scheme(ECLSScheme), adversary_cls(random.Random(5)), trials=4
+        )
+        assert result.forgeries == 0, adversary_cls.name
+
+    def test_attacks_do_not_cross_over(self):
+        # each weakened variant resists the attack aimed at the OTHER bug
+        from repro.schemes.ecls import WeakECLSNoUserSecret, WeakECLSUnboundKey
+
+        crossed = [
+            (WeakECLSUnboundKey, MaliciousKGCPartialKeyForger),
+            (WeakECLSNoUserSecret, PublicKeyReplacementForger),
+        ]
+        for scheme_cls, adversary_cls in crossed:
+            result = run_game(
+                make_scheme(scheme_cls),
+                adversary_cls(random.Random(6)),
+                trials=3,
+            )
+            assert result.forgeries == 0, (scheme_cls.name, adversary_cls.name)
+
+    @pytest.mark.parametrize("adversary_cls", PAKNIAT_ADVERSARIES)
+    def test_pairing_schemes_out_of_scope(self, adversary_cls):
+        # the attack shape needs the Schnorr equation: concede vs McCLS
+        result = run_game(
+            make_scheme(), adversary_cls(random.Random(7)), trials=2
+        )
+        assert result.forgeries == 0
+
+    def test_protocol_adversaries_fail_against_ecls(self):
+        from repro.schemes.ecls import ECLSScheme
+
+        for adversary_cls in PROTOCOL_ADVERSARIES:
+            result = run_game(
+                make_scheme(ECLSScheme),
+                adversary_cls(random.Random(8)),
+                trials=2,
+            )
+            assert result.forgeries == 0, adversary_cls.name

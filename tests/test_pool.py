@@ -331,3 +331,43 @@ class TestSupervisorPolicy:
             base_s=0.1, max_s=2.0, jitter=0.5
         ).delay_s(0, random.Random(3))
         assert 0.05 <= jittered <= 0.15
+
+    def test_supervision_log_uses_monotonic_clock(self, monkeypatch):
+        """A wall-clock step (NTP, suspend/resume) must not skew the log.
+
+        ``note()`` stamps ``at`` from ``time.monotonic()`` — the clock the
+        rest of the service (deadlines, backoff, heartbeats) runs on — and
+        keeps wall time only as the display-only ISO ``wall`` field.
+        """
+        from datetime import datetime
+        from repro.service import supervisor as supervisor_mod
+
+        handle = _FakeHandle()
+        _pool, supervisor = self._supervisor(handle)
+
+        fake = {"monotonic": 1000.0, "wall": 2_000_000.0}
+        monkeypatch.setattr(
+            supervisor_mod.time, "monotonic", lambda: fake["monotonic"]
+        )
+        monkeypatch.setattr(
+            supervisor_mod.time, "time", lambda: fake["wall"]
+        )
+        supervisor.note("restart", 0, restarts=1)
+        fake["monotonic"] += 1.0
+        fake["wall"] -= 3600.0  # wall clock steps an hour backwards
+        supervisor.note("lost", 0, reason="test")
+
+        first, second = supervisor.log[-2:]
+        assert first["at"] == 1000.0 and second["at"] == 1001.0
+        assert second["at"] > first["at"]  # ordering survives the step
+        for entry in (first, second):
+            # display-only ISO-8601 UTC wall stamp rides along
+            assert datetime.fromisoformat(entry["wall"]).tzinfo is not None
+
+    def test_supervision_log_bounded(self):
+        handle = _FakeHandle()
+        _pool, supervisor = self._supervisor(handle)
+        for k in range(supervisor.LOG_LIMIT + 10):
+            supervisor.note("ping", 0, seq=k)
+        assert len(supervisor.log) == supervisor.LOG_LIMIT
+        assert supervisor.log[-1]["seq"] == supervisor.LOG_LIMIT + 9

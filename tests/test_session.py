@@ -1,0 +1,141 @@
+"""Certificateless AKA (He & Chen shape): handshake and key material.
+
+Direct tests of :mod:`repro.core.session` — agreement, confirmation,
+hostile-input rejection, partial-key validation and rekey staleness.
+The service-layer wiring (SESSION / VERIFY_FAST opcodes) is covered in
+tests/test_service_sessions.py.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.session import (
+    KEY_BYTES,
+    SESSION_ID_BYTES,
+    EstablishedSession,
+    SessionAuthority,
+    SessionError,
+    SessionInitiator,
+)
+
+
+@pytest.fixture()
+def authority(ctx):
+    return SessionAuthority(ctx, master_secret=0xC0FFEE, rng=random.Random(1))
+
+
+def handshake(ctx, authority, identity="alice@manet", seed=2):
+    initiator = SessionInitiator(
+        ctx, authority.p_pub, identity, rng=random.Random(seed)
+    )
+    accept, gateway_side = authority.respond(initiator.hello())
+    client_side = initiator.finish(accept)
+    return client_side, gateway_side
+
+
+class TestAgreement:
+    def test_both_sides_derive_the_same_session(self, ctx, authority):
+        client, gateway = handshake(ctx, authority)
+        assert client == gateway
+        assert len(client.session_id) == SESSION_ID_BYTES
+        assert len(client.key) == KEY_BYTES
+        assert client.client_identity == "alice@manet"
+        assert client.gateway_identity == authority.identity
+
+    def test_sessions_are_unique_per_handshake(self, ctx, authority):
+        first, _ = handshake(ctx, authority, seed=3)
+        second, _ = handshake(ctx, authority, seed=4)
+        assert first.session_id != second.session_id
+        assert first.key != second.key
+
+    def test_macs_round_trip_and_bind_every_chunk(self, ctx, authority):
+        client, gateway = handshake(ctx, authority)
+        tag = client.mac(b"chunk-a", b"chunk-b")
+        assert gateway.mac_ok(tag, b"chunk-a", b"chunk-b")
+        assert not gateway.mac_ok(tag, b"chunk-a", b"chunk-X")
+        # length framing: moving a byte across the chunk boundary must
+        # change the tag
+        assert not gateway.mac_ok(tag, b"chunk-ab", b"chunk-b"[1:])
+
+    def test_mac_depends_on_the_key(self):
+        a = EstablishedSession(b"i" * 16, b"k" * 32, "c", "g")
+        b = EstablishedSession(b"i" * 16, b"K" * 32, "c", "g")
+        assert a.mac(b"m") != b.mac(b"m")
+
+
+class TestHostileInput:
+    def test_infinity_in_hello_rejected(self, ctx, authority):
+        initiator = SessionInitiator(
+            ctx, authority.p_pub, "eve@manet", rng=random.Random(5)
+        )
+        hello = initiator.hello()
+        bad = dataclasses.replace(hello, client_pub=ctx.g1 * 0)
+        with pytest.raises(SessionError):
+            authority.respond(bad)
+
+    def test_off_curve_accept_point_rejected(self, ctx, authority):
+        from repro.pairing.curve import CurvePoint
+
+        initiator = SessionInitiator(
+            ctx, authority.p_pub, "alice@manet", rng=random.Random(6)
+        )
+        accept, _ = authority.respond(initiator.hello())
+        forged = dataclasses.replace(
+            accept, ephemeral=CurvePoint(accept.ephemeral.curve, 1, 1)
+        )
+        with pytest.raises(SessionError):
+            initiator.finish(forged)
+
+    def test_tampered_partial_key_rejected(self, ctx, authority):
+        initiator = SessionInitiator(
+            ctx, authority.p_pub, "alice@manet", rng=random.Random(7)
+        )
+        accept, _ = authority.respond(initiator.hello())
+        forged = dataclasses.replace(
+            accept, client_d=(accept.client_d + 1) % ctx.order
+        )
+        with pytest.raises(SessionError):
+            initiator.finish(forged)
+
+    def test_tampered_confirm_tag_rejected(self, ctx, authority):
+        initiator = SessionInitiator(
+            ctx, authority.p_pub, "alice@manet", rng=random.Random(8)
+        )
+        accept, _ = authority.respond(initiator.hello())
+        forged = dataclasses.replace(accept, confirm=b"\x00" * 32)
+        with pytest.raises(SessionError):
+            initiator.finish(forged)
+
+    def test_substituted_gateway_key_rejected(self, ctx, authority):
+        # a MITM replacing the gateway's ephemeral cannot produce a valid
+        # confirmation tag: it does not know the implicit-key discrete log
+        initiator = SessionInitiator(
+            ctx, authority.p_pub, "alice@manet", rng=random.Random(9)
+        )
+        accept, _ = authority.respond(initiator.hello())
+        mitm_t = ctx.g1_mul(ctx.g1, 0xBAD)
+        forged = dataclasses.replace(accept, ephemeral=mitm_t)
+        with pytest.raises(SessionError):
+            initiator.finish(forged)
+
+
+class TestRekey:
+    def test_stale_p_pub_view_fails_validation(self, ctx, authority):
+        # client captured P_pub, then the KGC rotated: the partial key the
+        # authority now issues no longer matches the stale view
+        initiator = SessionInitiator(
+            ctx, authority.p_pub, "alice@manet", rng=random.Random(10)
+        )
+        authority.rekey(0xDEAD)
+        accept, _ = authority.respond(initiator.hello())
+        with pytest.raises(SessionError):
+            initiator.finish(accept)
+
+    def test_fresh_view_after_rekey_succeeds(self, ctx, authority):
+        authority.rekey(0xDEAD)
+        client, gateway = handshake(ctx, authority, seed=11)
+        assert client == gateway
